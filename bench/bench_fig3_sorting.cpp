@@ -1,0 +1,109 @@
+// Figure 3 / §3.3.4 — sorted-stream generation.
+//
+// Claims reproduced:
+//  (1) the merged stream interleaves RIB and Updates dumps from collectors
+//      with different cadences into a time-sorted record stream;
+//  (2) the cost of sorting is negligible compared to reading the records;
+//  (3) the disjoint-subset grouping keeps the number of simultaneously
+//      open files well below the total file count (ablation: one global
+//      heap opens everything at once).
+#include <chrono>
+#include <filesystem>
+
+#include "bench/bench_util.hpp"
+#include "core/merge.hpp"
+
+using namespace bgps;
+
+int main() {
+  std::printf("=== Figure 3 / Section 3.3.4: sorted stream generation ===\n");
+
+  // One simulated day: RIS-style (5-min updates, 8-h RIBs) + RouteViews-
+  // style (15-min updates, 2-h RIBs), three collectors total.
+  const std::string root = "/tmp/bgpstream-bench-fig3";
+  sim::StandardSimOptions options;
+  options.topo.num_tier1 = 5;
+  options.topo.num_transit = 16;
+  options.topo.num_stub = 60;
+  options.rv_collectors = 2;
+  options.ris_collectors = 1;
+  options.vps_per_collector = 5;
+  options.publish_delay = 0;
+  std::filesystem::remove_all(root);
+  auto driver = sim::MakeStandardSim(options, root);
+  Timestamp start = TimestampFromYmdHms(2016, 3, 1, 0, 0, 0);
+  Timestamp end = start + 86400;
+  driver->AddFlapNoise(start, end, 200.0);
+  if (!driver->Run(start, end).ok()) return 1;
+
+  broker::Broker broker(root, bench::HistoricalBrokerOptions());
+  const auto& files = broker.index().files();
+  std::printf("archive: %zu dump files over 24h from 3 collectors\n",
+              files.size());
+
+  // --- (a) raw read: every file sequentially, no sorting ---
+  auto t0 = std::chrono::steady_clock::now();
+  size_t raw_records = 0;
+  for (const auto& f : files) {
+    core::DumpReader reader(f);
+    while (reader.Next()) ++raw_records;
+  }
+  double raw_time = bench::SecondsSince(t0);
+
+  // --- (b) full stream with subset grouping (the BGPStream path) ---
+  core::BrokerDataInterface di(&broker);
+  core::BgpStream stream;
+  stream.SetInterval(start, end);
+  stream.SetDataInterface(&di);
+  if (!stream.Start().ok()) return 1;
+  t0 = std::chrono::steady_clock::now();
+  size_t sorted_records = 0, inversions = 0;
+  Timestamp last = 0;
+  size_t subsets_before = 0;
+  while (auto rec = stream.NextRecord()) {
+    if (stream.subsets_merged() != subsets_before) {
+      subsets_before = stream.subsets_merged();
+      last = 0;
+    }
+    if (rec->timestamp < last) ++inversions;
+    last = rec->timestamp;
+    ++sorted_records;
+  }
+  double sorted_time = bench::SecondsSince(t0);
+
+  // --- (c) ablation: one global multi-way merge over ALL files ---
+  t0 = std::chrono::steady_clock::now();
+  core::MultiWayMerge global(files);
+  size_t global_records = 0;
+  Timestamp glast = 0;
+  size_t ginversions = 0;
+  while (auto rec = global.Next()) {
+    if (rec->timestamp < glast) ++ginversions;
+    glast = rec->timestamp;
+    ++global_records;
+  }
+  double global_time = bench::SecondsSince(t0);
+
+  auto subsets = core::GroupOverlapping(files);
+  size_t max_subset = 0;
+  for (const auto& s : subsets) max_subset = std::max(max_subset, s.size());
+
+  std::printf("\n%-42s %12s %10s\n", "configuration", "records", "seconds");
+  std::printf("%-42s %12zu %10.3f\n", "raw read (no sorting)", raw_records,
+              raw_time);
+  std::printf("%-42s %12zu %10.3f\n", "BGPStream merge (grouped subsets)",
+              sorted_records, sorted_time);
+  std::printf("%-42s %12zu %10.3f\n", "ablation: single global heap",
+              global_records, global_time);
+  std::printf("\nsubset grouping: %zu files -> %zu subsets, largest %zu "
+              "(max open files in stream: %zu)\n",
+              files.size(), subsets.size(), max_subset,
+              stream.max_open_files());
+  std::printf("timestamp inversions: grouped=%zu global=%zu (0 = sorted)\n",
+              inversions, ginversions);
+  double overhead = raw_time > 0 ? (sorted_time - raw_time) / raw_time * 100
+                                 : 0;
+  std::printf("sorting overhead vs raw read: %+.1f%% (paper: negligible)\n",
+              overhead);
+  return inversions == 0 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Figure 6 — GARR (AS137) hijack detection with the pfxmonitor plugin
+// (§6.1).
+//
+// Paper shape reproduced: the green line (#unique prefixes) oscillates
+// mildly around the announced count; the blue line (#unique origin ASNs)
+// sits at 1 and spikes to 2 for ~1 hour during each hijack event; the
+// scripted events are all recovered from the plugin output alone.
+#include "bench/bench_util.hpp"
+#include "corsaro/corsaro.hpp"
+#include "corsaro/pfxmonitor.hpp"
+
+using namespace bgps;
+
+int main() {
+  std::printf("=== Figure 6: GARR hijack via pfxmonitor ===\n");
+  auto scenario = sim::BuildGarrScenario("/tmp/bgpstream-bench-fig6", 9);
+  std::printf("victim AS%u (%zu prefixes), attacker AS%u, %zu scripted "
+              "hijack windows, 5-min bins\n\n",
+              scenario.victim, scenario.victim_prefixes.size(),
+              scenario.attacker, scenario.hijack_windows.size());
+
+  broker::Broker broker(scenario.driver->archive_root(),
+                        bench::HistoricalBrokerOptions());
+  core::BrokerDataInterface di(&broker);
+  core::BgpStream stream;
+  stream.SetInterval(scenario.start, scenario.end);
+  stream.SetDataInterface(&di);
+  if (!stream.Start().ok()) return 1;
+
+  corsaro::BgpCorsaro engine(&stream, 300);
+  auto monitor =
+      std::make_unique<corsaro::PfxMonitor>(scenario.victim_prefixes);
+  corsaro::PfxMonitor* pm = monitor.get();
+  engine.AddPlugin(std::move(monitor));
+  engine.Run();
+
+  // Recover events: maximal runs of bins with >1 origin.
+  struct Detection {
+    Timestamp start, end;
+  };
+  std::vector<Detection> detections;
+  size_t min_pfx = SIZE_MAX, max_pfx = 0;
+  for (const auto& row : pm->rows()) {
+    min_pfx = std::min(min_pfx, row.unique_prefixes);
+    max_pfx = std::max(max_pfx, row.unique_prefixes);
+    if (row.unique_origins > 1) {
+      if (!detections.empty() &&
+          detections.back().end == row.bin_start) {
+        detections.back().end = row.bin_start + 300;
+      } else {
+        detections.push_back({row.bin_start, row.bin_start + 300});
+      }
+    }
+  }
+
+  std::printf("%-44s %-44s\n", "scripted hijack window", "detected");
+  size_t matched = 0;
+  for (auto [t0, t1] : scenario.hijack_windows) {
+    const Detection* hit = nullptr;
+    for (const auto& d : detections) {
+      if (d.start < t1 && d.end > t0) hit = &d;
+    }
+    std::string win = FormatTimestamp(t0) + " .. " + FormatTimestamp(t1);
+    if (hit) {
+      ++matched;
+      std::string det =
+          FormatTimestamp(hit->start) + " .. " + FormatTimestamp(hit->end);
+      std::printf("%-44s %-44s\n", win.c_str(), det.c_str());
+    } else {
+      std::printf("%-44s %-44s\n", win.c_str(), "MISSED");
+    }
+  }
+  std::printf("\nprefix series (green line): oscillates %zu..%zu around %zu "
+              "announced\n", min_pfx, max_pfx,
+              scenario.victim_prefixes.size());
+  std::printf("origin spikes (blue line): %zu detected runs, %zu/%zu "
+              "scripted events matched (paper found 4 events incl. 3 "
+              "unreported ones)\n", detections.size(), matched,
+              scenario.hijack_windows.size());
+  return (matched == scenario.hijack_windows.size() &&
+          detections.size() == scenario.hijack_windows.size())
+             ? 0
+             : 1;
+}

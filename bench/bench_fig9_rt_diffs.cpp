@@ -1,0 +1,113 @@
+// Figure 9 — RT diffs vs BGP elems for route-views2-style data (§6.2.2).
+//
+// Paper shape reproduced: average diff cells per bin are several times
+// fewer than update elems at 1-minute bins (~3x) and the reduction factor
+// grows with the bin size (~13x at 1 hour); maxima show diffs absorbing
+// update bursts (prefix flapping).
+#include <filesystem>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_util.hpp"
+#include "corsaro/corsaro.hpp"
+#include "corsaro/rt.hpp"
+#include "mq/serialize.hpp"
+
+using namespace bgps;
+
+int main() {
+  std::printf("=== Figure 9: RT diff cells vs BGP elems ===\n");
+
+  // A few days of one RouteViews-style collector with heavy churn
+  // (including flapping, which the diff mechanism should absorb).
+  const std::string root = "/tmp/bgpstream-bench-fig9";
+  sim::StandardSimOptions options;
+  options.topo.num_tier1 = 5;
+  options.topo.num_transit = 14;
+  options.topo.num_stub = 60;
+  options.rv_collectors = 1;
+  options.ris_collectors = 0;
+  options.vps_per_collector = 6;
+  options.publish_delay = 0;
+  std::filesystem::remove_all(root);
+  auto driver = sim::MakeStandardSim(options, root);
+  Timestamp start = TimestampFromYmdHms(2016, 3, 1, 0, 0, 0);
+  Timestamp end = start + 4 * 86400;
+  driver->AddFlapNoise(start, end, 300.0, 45);  // short flaps: redundancy
+  if (!driver->Run(start, end).ok()) return 1;
+
+  broker::Broker broker(root, bench::HistoricalBrokerOptions());
+
+  std::printf("\n%-10s %12s %12s %12s %12s %10s\n", "bin (min)", "avg elems",
+              "avg diffs", "max elems", "max diffs", "avg ratio");
+  double ratio_1min = 0, ratio_60min = 0;
+  for (Timestamp bin_min : {1, 5, 10, 15, 20, 30, 45, 60}) {
+    core::BrokerDataInterface di(&broker);
+    core::BgpStream stream;
+    (void)stream.AddFilter("type", "updates");
+    stream.SetInterval(start, end);
+    stream.SetDataInterface(&di);
+    if (!stream.Start().ok()) return 1;
+    corsaro::BgpCorsaro engine(&stream, bin_min * 60);
+    auto rt = std::make_unique<corsaro::RoutingTables>();
+    corsaro::RoutingTables* rtp = rt.get();
+    engine.AddPlugin(std::move(rt));
+    engine.Run();
+
+    std::vector<size_t> elems, diffs;
+    for (const auto& s : rtp->bin_stats()) {
+      elems.push_back(s.elems);
+      diffs.push_back(s.diff_cells);
+    }
+    double avg_elems = analysis::Mean(elems);
+    double avg_diffs = analysis::Mean(diffs);
+    double ratio = avg_diffs > 0 ? avg_elems / avg_diffs : 0;
+    std::printf("%-10lld %12.1f %12.1f %12zu %12zu %9.1fx\n",
+                (long long)bin_min, avg_elems, avg_diffs,
+                analysis::Max(elems), analysis::Max(diffs), ratio);
+    if (bin_min == 1) ratio_1min = ratio;
+    if (bin_min == 60) ratio_60min = ratio;
+  }
+
+  std::printf("\nreduction factor grows with bin size: %.1fx @1min -> %.1fx "
+              "@60min (paper: ~3x -> ~13x)\n", ratio_1min, ratio_60min);
+
+  // --- Ablation (§6.2.2 design choice): publish diffs vs full tables ---
+  // Serialized bytes a consumer must ingest per 15-minute bin when the RT
+  // plugin publishes per-bin diffs versus full per-VP snapshots.
+  {
+    core::BrokerDataInterface di(&broker);
+    core::BgpStream stream;
+    (void)stream.AddFilter("type", "updates");
+    stream.SetInterval(start, start + 86400);  // one day is enough
+    stream.SetDataInterface(&di);
+    if (!stream.Start().ok()) return 1;
+    corsaro::BgpCorsaro engine(&stream, 900);
+    corsaro::RoutingTables::Options ropt;
+    ropt.snapshot_every_bins = 1;  // a snapshot each bin, for comparison
+    auto rt = std::make_unique<corsaro::RoutingTables>(ropt);
+    size_t diff_bytes = 0, snapshot_bytes = 0, bins = 0;
+    rt->set_diff_callback([&](Timestamp bin,
+                              const std::vector<corsaro::DiffCell>& diffs) {
+      mq::RtDiffMessage msg{"rv", bin, diffs};
+      diff_bytes += mq::EncodeDiffMessage(msg).size();
+      ++bins;
+    });
+    rt->set_snapshot_callback(
+        [&](Timestamp bin, const corsaro::VpKey& vp,
+            const std::map<Prefix, corsaro::RtCell>& table) {
+          mq::RtSnapshotMessage msg{"rv", bin, vp, table};
+          snapshot_bytes += mq::EncodeSnapshotMessage(msg).size();
+        });
+    engine.AddPlugin(std::move(rt));
+    engine.Run();
+    if (bins > 0 && diff_bytes > 0) {
+      std::printf("\nablation (15-min bins, 1 day): consumer ingest per bin\n"
+                  "  diffs:          %8.1f KiB/bin\n"
+                  "  full snapshots: %8.1f KiB/bin  (%.0fx more)\n",
+                  double(diff_bytes) / double(bins) / 1024.0,
+                  double(snapshot_bytes) / double(bins) / 1024.0,
+                  double(snapshot_bytes) / double(diff_bytes));
+    }
+  }
+  return (ratio_1min > 1.0 && ratio_60min > ratio_1min) ? 0 : 1;
+}

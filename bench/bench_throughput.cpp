@@ -1,0 +1,147 @@
+// §3.1 live-mode requirement — processing must outpace data generation.
+//
+// google-benchmark micro-benchmarks of every stage on the hot path:
+// MRT framing+decode, BGP UPDATE encode/decode, elem extraction, filter
+// evaluation, patricia lookups, multi-way merge. A modern laptop core
+// sustains far more records/s than RouteViews+RIS generate (~hundreds/s),
+// which is the headroom the paper's live applications rely on.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/elem.hpp"
+#include "core/filter.hpp"
+#include "mrt/mrt.hpp"
+#include "util/patricia.hpp"
+
+using namespace bgps;
+
+namespace {
+
+mrt::Bgp4mpMessage MakeUpdateMsg(int prefixes) {
+  mrt::Bgp4mpMessage m;
+  m.peer_asn = 65001;
+  m.local_asn = 64512;
+  m.peer_address = IpAddress::V4(10, 0, 0, 1);
+  m.local_address = IpAddress::V4(192, 0, 2, 1);
+  m.update.attrs.as_path = bgp::AsPath::Sequence({65001, 3356, 2914, 15169});
+  m.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+  m.update.attrs.communities = {bgp::Community(3356, 100),
+                                bgp::Community(65535, 666)};
+  for (int i = 0; i < prefixes; ++i) {
+    m.update.announced.push_back(
+        Prefix(IpAddress::V4(uint32_t(10 + i) << 24), 16));
+  }
+  return m;
+}
+
+void BM_MrtDecodeUpdate(benchmark::State& state) {
+  Bytes wire = mrt::EncodeBgp4mpUpdate(1458000000,
+                                       MakeUpdateMsg(int(state.range(0))));
+  for (auto _ : state) {
+    BufReader r(wire);
+    auto raw = mrt::DecodeRawRecord(r);
+    auto msg = mrt::DecodeRecord(*raw);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(wire.size()));
+}
+BENCHMARK(BM_MrtDecodeUpdate)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_MrtEncodeUpdate(benchmark::State& state) {
+  auto msg = MakeUpdateMsg(int(state.range(0)));
+  for (auto _ : state) {
+    Bytes wire = mrt::EncodeBgp4mpUpdate(1458000000, msg);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MrtEncodeUpdate)->Arg(1)->Arg(64);
+
+void BM_ElemExtraction(benchmark::State& state) {
+  core::Record rec;
+  rec.dump_type = core::DumpType::Updates;
+  rec.msg.timestamp = 1458000000;
+  rec.msg.body = MakeUpdateMsg(int(state.range(0)));
+  size_t elems = 0;
+  for (auto _ : state) {
+    auto out = core::ExtractElems(rec);
+    elems += out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(int64_t(elems));
+}
+BENCHMARK(BM_ElemExtraction)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_FilterMatch(benchmark::State& state) {
+  core::FilterSet filters;
+  (void)filters.AddOption("prefix", "more 10.0.0.0/8");
+  (void)filters.AddOption("community", "*:666");
+  (void)filters.AddOption("elemtype", "announcements");
+  core::Record rec;
+  rec.dump_type = core::DumpType::Updates;
+  rec.msg.body = MakeUpdateMsg(8);
+  auto elems = core::ExtractElems(rec);
+  size_t matched = 0;
+  for (auto _ : state) {
+    for (const auto& e : elems) matched += filters.MatchesElem(e);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(elems.size()));
+  benchmark::DoNotOptimize(matched);
+}
+BENCHMARK(BM_FilterMatch);
+
+void BM_PatriciaLongestMatch(benchmark::State& state) {
+  PatriciaTrie<int> trie(IpFamily::V4);
+  std::mt19937 rng(7);
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    trie.insert(Prefix(IpAddress::V4(rng()), 8 + int(rng() % 17)), i);
+  }
+  std::vector<IpAddress> queries;
+  for (int i = 0; i < 1024; ++i) queries.push_back(IpAddress::V4(rng()));
+  size_t q = 0, hits = 0;
+  for (auto _ : state) {
+    hits += trie.longest_match(queries[q++ & 1023]).has_value();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PatriciaLongestMatch)->Arg(1000)->Arg(100000);
+
+void BM_AsPathToString(benchmark::State& state) {
+  bgp::AsPath path = bgp::AsPath::Sequence({65001, 3356, 2914, 1299, 15169});
+  for (auto _ : state) {
+    std::string s = path.ToString();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_AsPathToString);
+
+void BM_RibRecordDecode(benchmark::State& state) {
+  mrt::RibPrefix rib;
+  rib.prefix = Prefix(IpAddress::V4(10, 0, 0, 0), 8);
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    mrt::RibEntry e;
+    e.peer_index = uint16_t(i);
+    e.originated_time = 1458000000;
+    e.attrs.as_path =
+        bgp::AsPath::Sequence({bgp::Asn(65000 + i), 3356, 15169});
+    e.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+    rib.entries.push_back(std::move(e));
+  }
+  Bytes wire = mrt::EncodeRibPrefix(1458000000, rib, IpFamily::V4);
+  for (auto _ : state) {
+    BufReader r(wire);
+    auto raw = mrt::DecodeRawRecord(r);
+    auto msg = mrt::DecodeRecord(*raw);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RibRecordDecode)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Shared helpers for the figure benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "broker/broker.hpp"
+#include "core/stream.hpp"
+#include "sim/presets.hpp"
+
+namespace bgps::bench {
+
+inline double SecondsSince(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Historical-mode broker over an archive (everything already published).
+inline broker::Broker::Options HistoricalBrokerOptions() {
+  broker::Broker::Options opt;
+  opt.clock = [] { return Timestamp(4102444800); };  // year 2100
+  return opt;
+}
+
+// The shared Figure-5 longitudinal archive (built once, reused by the
+// four fig5 benches).
+inline sim::LongitudinalArchive GetFig5Archive() {
+  sim::LongitudinalOptions options;
+  options.months = 15 * 12;
+  options.collectors = 4;
+  options.vps_per_collector = 6;
+  options.reuse_existing = true;
+  return sim::BuildLongitudinalArchive("/tmp/bgpstream-bench-fig5", options);
+}
+
+inline int YearOf(Timestamp ts) { return CivilFromTimestamp(ts).year; }
+
+}  // namespace bgps::bench

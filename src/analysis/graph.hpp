@@ -1,0 +1,58 @@
+// Simple undirected AS graph + BFS shortest paths — the NetworkX stand-in
+// for the AS-path-inflation analysis (paper §4.2, Listing 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bgps::analysis {
+
+class AsGraph {
+ public:
+  void AddEdge(uint32_t a, uint32_t b) {
+    if (a == b) return;  // simple graph: no loops
+    adj_[a].insert(b);
+    adj_[b].insert(a);
+  }
+
+  size_t node_count() const { return adj_.size(); }
+  size_t edge_count() const {
+    size_t half = 0;
+    for (const auto& [_, nbrs] : adj_) half += nbrs.size();
+    return half / 2;
+  }
+  bool has_node(uint32_t a) const { return adj_.count(a) != 0; }
+
+  // BFS hop distances from `src` to every reachable node (number of edges;
+  // Listing 1 compares len(nx.shortest_path) which counts *nodes*, i.e.
+  // hops + 1 — callers adjust).
+  std::unordered_map<uint32_t, uint32_t> Distances(uint32_t src) const {
+    std::unordered_map<uint32_t, uint32_t> dist;
+    if (!has_node(src)) return dist;
+    std::queue<uint32_t> queue;
+    dist[src] = 0;
+    queue.push(src);
+    while (!queue.empty()) {
+      uint32_t u = queue.front();
+      queue.pop();
+      auto it = adj_.find(u);
+      if (it == adj_.end()) continue;
+      for (uint32_t v : it->second) {
+        if (dist.count(v)) continue;
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+    return dist;
+  }
+
+ private:
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> adj_;
+};
+
+}  // namespace bgps::analysis

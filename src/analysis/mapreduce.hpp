@@ -1,0 +1,46 @@
+// Partitioned map/reduce runner — the Spark stand-in for §5.
+//
+// The paper's longitudinal analyses split the data "by time range and BGP
+// collector", map a PyBGPStream routine over each partition, and reduce
+// per VP / per collector / overall. RunPartitioned reproduces that shape
+// on a thread pool: each partition opens its own BGPStream (one stream
+// per partition, like one task per RDD slice) and the caller reduces the
+// returned per-partition values.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace bgps::analysis {
+
+// Applies `fn(partition)` to every element of `partitions`, running up to
+// `workers` threads (0 = hardware concurrency). Results keep partition
+// order. `Fn` must be callable concurrently on distinct partitions.
+template <typename Partition, typename Fn>
+auto RunPartitioned(const std::vector<Partition>& partitions, Fn&& fn,
+                    unsigned workers = 0)
+    -> std::vector<decltype(fn(partitions.front()))> {
+  using Result = decltype(fn(partitions.front()));
+  std::vector<Result> results(partitions.size());
+  if (partitions.empty()) return results;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 4;
+  workers = std::min<unsigned>(workers, unsigned(partitions.size()));
+
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= partitions.size()) return;
+      results[i] = fn(partitions[i]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace bgps::analysis

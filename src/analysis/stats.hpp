@@ -1,0 +1,40 @@
+// Small statistics helpers used by the figure benches.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace bgps::analysis {
+
+template <typename T>
+double Mean(const std::vector<T>& v) {
+  if (v.empty()) return 0;
+  double sum = 0;
+  for (const T& x : v) sum += double(x);
+  return sum / double(v.size());
+}
+
+template <typename T>
+T Max(const std::vector<T>& v) {
+  if (v.empty()) return T{};
+  return *std::max_element(v.begin(), v.end());
+}
+
+template <typename T>
+double Quantile(std::vector<T> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  double idx = q * double(v.size() - 1);
+  size_t lo = size_t(idx);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = idx - double(lo);
+  return double(v[lo]) * (1 - frac) + double(v[hi]) * frac;
+}
+
+template <typename T>
+double Median(const std::vector<T>& v) {
+  return Quantile(v, 0.5);
+}
+
+}  // namespace bgps::analysis

@@ -1,0 +1,129 @@
+#include "bgp/aspath.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace bgps::bgp {
+
+AsPath AsPath::Sequence(std::vector<Asn> asns) {
+  AsPath p;
+  if (!asns.empty())
+    p.segments_.push_back({SegmentType::AsSequence, std::move(asns)});
+  return p;
+}
+
+namespace {
+Result<Asn> ParseAsn(const std::string& tok) {
+  Asn v = 0;
+  auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || p != tok.data() + tok.size())
+    return InvalidArgument("bad ASN: " + tok);
+  return v;
+}
+}  // namespace
+
+Result<AsPath> AsPath::Parse(const std::string& text) {
+  AsPath path;
+  for (const auto& tok : SplitSkipEmpty(text, ' ')) {
+    if (tok.front() == '{') {
+      if (tok.back() != '}') return InvalidArgument("unterminated set: " + tok);
+      AsPathSegment seg{SegmentType::AsSet, {}};
+      for (const auto& m : SplitSkipEmpty(tok.substr(1, tok.size() - 2), ',')) {
+        BGPS_ASSIGN_OR_RETURN(Asn a, ParseAsn(m));
+        seg.asns.push_back(a);
+      }
+      if (seg.asns.empty()) return InvalidArgument("empty AS set");
+      path.segments_.push_back(std::move(seg));
+    } else {
+      BGPS_ASSIGN_OR_RETURN(Asn a, ParseAsn(tok));
+      // Coalesce consecutive plain hops into one AS_SEQUENCE.
+      if (!path.segments_.empty() &&
+          path.segments_.back().type == SegmentType::AsSequence) {
+        path.segments_.back().asns.push_back(a);
+      } else {
+        path.segments_.push_back({SegmentType::AsSequence, {a}});
+      }
+    }
+  }
+  return path;
+}
+
+void AsPath::prepend(Asn asn) {
+  if (segments_.empty() || segments_.front().type != SegmentType::AsSequence) {
+    segments_.insert(segments_.begin(), {SegmentType::AsSequence, {asn}});
+  } else {
+    auto& seq = segments_.front().asns;
+    seq.insert(seq.begin(), asn);
+  }
+}
+
+size_t AsPath::length() const {
+  size_t len = 0;
+  for (const auto& seg : segments_) {
+    len += seg.type == SegmentType::AsSequence ? seg.asns.size() : 1;
+  }
+  return len;
+}
+
+std::vector<Asn> AsPath::hops() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments_) {
+    out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  }
+  return out;
+}
+
+std::optional<Asn> AsPath::first_asn() const {
+  if (segments_.empty() || segments_.front().asns.empty()) return std::nullopt;
+  return segments_.front().asns.front();
+}
+
+std::optional<Asn> AsPath::origin_asn() const {
+  if (segments_.empty() || segments_.back().asns.empty()) return std::nullopt;
+  const auto& last = segments_.back();
+  if (last.type == SegmentType::AsSequence) return last.asns.back();
+  return *std::min_element(last.asns.begin(), last.asns.end());
+}
+
+std::vector<Asn> AsPath::origin_set() const {
+  if (segments_.empty()) return {};
+  const auto& last = segments_.back();
+  if (last.type == SegmentType::AsSequence) {
+    if (last.asns.empty()) return {};
+    return {last.asns.back()};
+  }
+  return last.asns;
+}
+
+bool AsPath::contains(Asn asn) const {
+  for (const auto& seg : segments_) {
+    if (std::find(seg.asns.begin(), seg.asns.end(), asn) != seg.asns.end())
+      return true;
+  }
+  return false;
+}
+
+std::string AsPath::ToString() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (seg.type == SegmentType::AsSequence) {
+      for (Asn a : seg.asns) {
+        if (!out.empty()) out += ' ';
+        out += std::to_string(a);
+      }
+    } else {
+      if (!out.empty()) out += ' ';
+      out += '{';
+      for (size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    }
+  }
+  return out;
+}
+
+}  // namespace bgps::bgp

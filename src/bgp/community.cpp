@@ -1,0 +1,52 @@
+#include "bgp/community.hpp"
+
+#include <charconv>
+
+namespace bgps::bgp {
+namespace {
+Result<uint16_t> ParseU16(const std::string& tok) {
+  uint32_t v = 0;
+  auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || p != tok.data() + tok.size() || v > 0xFFFF)
+    return InvalidArgument("bad community part: " + tok);
+  return uint16_t(v);
+}
+}  // namespace
+
+Result<Community> Community::Parse(const std::string& text) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos)
+    return InvalidArgument("community missing ':': " + text);
+  BGPS_ASSIGN_OR_RETURN(uint16_t asn, ParseU16(text.substr(0, colon)));
+  BGPS_ASSIGN_OR_RETURN(uint16_t val, ParseU16(text.substr(colon + 1)));
+  return Community(asn, val);
+}
+
+std::string CommunitiesToString(const Communities& cs) {
+  std::string out;
+  for (size_t i = 0; i < cs.size(); ++i) {
+    if (i) out += ' ';
+    out += cs[i].ToString();
+  }
+  return out;
+}
+
+Result<CommunityMatcher> CommunityMatcher::Parse(const std::string& pattern) {
+  size_t colon = pattern.find(':');
+  if (colon == std::string::npos)
+    return InvalidArgument("community pattern missing ':': " + pattern);
+  CommunityMatcher m;
+  std::string asn = pattern.substr(0, colon);
+  std::string val = pattern.substr(colon + 1);
+  if (asn != "*") {
+    BGPS_ASSIGN_OR_RETURN(m.asn_, ParseU16(asn));
+    m.match_asn_ = true;
+  }
+  if (val != "*") {
+    BGPS_ASSIGN_OR_RETURN(m.value_, ParseU16(val));
+    m.match_value_ = true;
+  }
+  return m;
+}
+
+}  // namespace bgps::bgp

@@ -1,0 +1,69 @@
+// BGP standard communities (RFC 1997): 32-bit values rendered "asn:value".
+//
+// Communities drive the RTBH case study (§4.3) and the community-diversity
+// analysis (Fig. 5d), which extracts "the two most-significant bytes of
+// the community value" as the AS identifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bgps::bgp {
+
+class Community {
+ public:
+  Community() = default;
+  explicit Community(uint32_t raw) : raw_(raw) {}
+  Community(uint16_t asn, uint16_t value)
+      : raw_((uint32_t(asn) << 16) | value) {}
+
+  // Parses "asn:value".
+  static Result<Community> Parse(const std::string& text);
+
+  uint32_t raw() const { return raw_; }
+  uint16_t asn() const { return uint16_t(raw_ >> 16); }
+  uint16_t value() const { return uint16_t(raw_); }
+
+  std::string ToString() const {
+    return std::to_string(asn()) + ":" + std::to_string(value());
+  }
+
+  auto operator<=>(const Community&) const = default;
+
+ private:
+  uint32_t raw_ = 0;
+};
+
+using Communities = std::vector<Community>;
+
+std::string CommunitiesToString(const Communities& cs);
+
+// Community match pattern with wildcards: "65000:*", "*:666", "65000:666".
+// Used by the BGPStream community filter (RTBH case study applies
+// "community-based filters" in live mode).
+class CommunityMatcher {
+ public:
+  static Result<CommunityMatcher> Parse(const std::string& pattern);
+
+  bool matches(Community c) const {
+    return (!match_asn_ || c.asn() == asn_) &&
+           (!match_value_ || c.value() == value_);
+  }
+  bool matches_any(const Communities& cs) const {
+    for (Community c : cs) {
+      if (matches(c)) return true;
+    }
+    return false;
+  }
+
+ private:
+  bool match_asn_ = false;
+  bool match_value_ = false;
+  uint16_t asn_ = 0;
+  uint16_t value_ = 0;
+};
+
+}  // namespace bgps::bgp

@@ -1,0 +1,27 @@
+#include "bgp/types.hpp"
+
+namespace bgps::bgp {
+
+const char* FsmStateName(FsmState s) {
+  switch (s) {
+    case FsmState::Unknown: return "UNKNOWN";
+    case FsmState::Idle: return "IDLE";
+    case FsmState::Connect: return "CONNECT";
+    case FsmState::Active: return "ACTIVE";
+    case FsmState::OpenSent: return "OPENSENT";
+    case FsmState::OpenConfirm: return "OPENCONFIRM";
+    case FsmState::Established: return "ESTABLISHED";
+  }
+  return "UNKNOWN";
+}
+
+const char* OriginName(Origin o) {
+  switch (o) {
+    case Origin::Igp: return "IGP";
+    case Origin::Egp: return "EGP";
+    case Origin::Incomplete: return "INCOMPLETE";
+  }
+  return "INCOMPLETE";
+}
+
+}  // namespace bgps::bgp

@@ -1,0 +1,55 @@
+// Shared BGP enumerations (RFC 4271).
+#pragma once
+
+#include <cstdint>
+
+namespace bgps::bgp {
+
+// BGP finite state machine states (RFC 4271 §8.2.2), as dumped by RIPE RIS
+// collectors in BGP4MP_STATE_CHANGE records. Numeric values match the MRT
+// encoding (RFC 6396 §4.4.1).
+enum class FsmState : uint16_t {
+  Unknown = 0,
+  Idle = 1,
+  Connect = 2,
+  Active = 3,
+  OpenSent = 4,
+  OpenConfirm = 5,
+  Established = 6,
+};
+
+const char* FsmStateName(FsmState s);
+
+// ORIGIN path attribute values (RFC 4271 §5.1.1).
+enum class Origin : uint8_t { Igp = 0, Egp = 1, Incomplete = 2 };
+
+const char* OriginName(Origin o);
+
+// Path attribute type codes we implement.
+enum class AttrType : uint8_t {
+  Origin = 1,
+  AsPath = 2,
+  NextHop = 3,
+  Med = 4,
+  LocalPref = 5,
+  AtomicAggregate = 6,
+  Aggregator = 7,
+  Communities = 8,
+  MpReachNlri = 14,
+  MpUnreachNlri = 15,
+};
+
+// BGP message types (RFC 4271 §4.1).
+enum class MessageType : uint8_t {
+  Open = 1,
+  Update = 2,
+  Notification = 3,
+  Keepalive = 4,
+};
+
+// Address family identifiers (shared by MRT and MP_REACH).
+inline constexpr uint16_t kAfiIpv4 = 1;
+inline constexpr uint16_t kAfiIpv6 = 2;
+inline constexpr uint8_t kSafiUnicast = 1;
+
+}  // namespace bgps::bgp

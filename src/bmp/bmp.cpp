@@ -1,0 +1,284 @@
+#include "bmp/bmp.hpp"
+
+#include <fstream>
+
+#include "mrt/file.hpp"
+
+namespace bgps::bmp {
+namespace {
+
+constexpr uint8_t kPeerFlagV6 = 0x80;
+
+void WritePeerHeader(BufWriter& w, const PeerHeader& ph) {
+  w.u8(ph.peer_type);
+  w.u8(ph.peer_address.is_v6() ? kPeerFlagV6 : 0);
+  w.u64(0);  // peer distinguisher (global instance)
+  if (ph.peer_address.is_v6()) {
+    w.bytes(std::span<const uint8_t>(ph.peer_address.bytes().data(), 16));
+  } else {
+    for (int i = 0; i < 12; ++i) w.u8(0);
+    w.u32(ph.peer_address.v4());
+  }
+  w.u32(ph.peer_asn);
+  w.u32(ph.peer_bgp_id);
+  w.u32(uint32_t(ph.timestamp));
+  w.u32(ph.microseconds);
+}
+
+Result<PeerHeader> ReadPeerHeader(BufReader& r) {
+  PeerHeader ph;
+  BGPS_ASSIGN_OR_RETURN(ph.peer_type, r.u8());
+  BGPS_ASSIGN_OR_RETURN(uint8_t flags, r.u8());
+  BGPS_RETURN_IF_ERROR(r.skip(8));  // distinguisher
+  BGPS_ASSIGN_OR_RETURN(Bytes addr, r.bytes(16));
+  if (flags & kPeerFlagV6) {
+    std::array<uint8_t, 16> b{};
+    std::copy(addr.begin(), addr.end(), b.begin());
+    ph.peer_address = IpAddress::V6(b);
+  } else {
+    ph.peer_address = IpAddress::V4(addr[12], addr[13], addr[14], addr[15]);
+  }
+  BGPS_ASSIGN_OR_RETURN(ph.peer_asn, r.u32());
+  BGPS_ASSIGN_OR_RETURN(ph.peer_bgp_id, r.u32());
+  BGPS_ASSIGN_OR_RETURN(uint32_t sec, r.u32());
+  ph.timestamp = sec;
+  BGPS_ASSIGN_OR_RETURN(ph.microseconds, r.u32());
+  return ph;
+}
+
+// Minimal BGP OPEN (RFC 4271 §4.2): enough for the Peer Up PDUs.
+Bytes EncodeOpen(bgp::Asn asn) {
+  BufWriter w;
+  for (int i = 0; i < 16; ++i) w.u8(0xFF);
+  size_t len_at = w.size();
+  w.u16(0);
+  w.u8(uint8_t(bgp::MessageType::Open));
+  w.u8(4);  // BGP version
+  w.u16(asn > 0xFFFF ? uint16_t(23456) : uint16_t(asn));
+  w.u16(180);  // hold time
+  w.u32(asn);  // BGP identifier (reuse ASN, deterministic)
+  w.u8(0);     // no optional parameters
+  w.patch_u16(len_at, uint16_t(w.size()));
+  return w.take();
+}
+
+Result<bgp::Asn> DecodeOpenAsn(BufReader& r) {
+  BGPS_ASSIGN_OR_RETURN(auto hdr, bgp::DecodeBgpHeader(r));
+  auto [type, body_len] = hdr;
+  if (type != bgp::MessageType::Open) return CorruptError("not an OPEN");
+  BGPS_ASSIGN_OR_RETURN(BufReader body, r.sub(body_len));
+  BGPS_RETURN_IF_ERROR(body.skip(1));  // version
+  BGPS_ASSIGN_OR_RETURN(uint16_t asn, body.u16());
+  return bgp::Asn(asn);
+}
+
+void WriteInfoTlv(BufWriter& w, uint16_t type, const std::string& value) {
+  if (value.empty()) return;
+  w.u16(type);
+  w.u16(uint16_t(value.size()));
+  w.str(value);
+}
+
+Bytes Frame(MessageType type, const Bytes& body) {
+  BufWriter w;
+  w.u8(kBmpVersion);
+  w.u32(uint32_t(kCommonHeaderSize + body.size()));
+  w.u8(uint8_t(type));
+  w.bytes(body);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes Encode(const BmpMessage& msg) {
+  BufWriter body;
+  MessageType type;
+  if (msg.is_route_monitoring()) {
+    const auto& rm = std::get<RouteMonitoring>(msg.body);
+    type = MessageType::RouteMonitoring;
+    WritePeerHeader(body, rm.peer);
+    body.bytes(bgp::EncodeUpdate(rm.update, bgp::AsnEncoding::FourByte));
+  } else if (msg.is_peer_down()) {
+    const auto& pd = std::get<PeerDown>(msg.body);
+    type = MessageType::PeerDown;
+    WritePeerHeader(body, pd.peer);
+    body.u8(uint8_t(pd.reason));
+  } else if (msg.is_peer_up()) {
+    const auto& pu = std::get<PeerUp>(msg.body);
+    type = MessageType::PeerUp;
+    WritePeerHeader(body, pu.peer);
+    if (pu.local_address.is_v6()) {
+      body.bytes(std::span<const uint8_t>(pu.local_address.bytes().data(), 16));
+    } else {
+      for (int i = 0; i < 12; ++i) body.u8(0);
+      body.u32(pu.local_address.v4());
+    }
+    body.u16(pu.local_port);
+    body.u16(pu.remote_port);
+    body.bytes(EncodeOpen(pu.local_asn));     // sent OPEN
+    body.bytes(EncodeOpen(pu.peer.peer_asn)); // received OPEN
+  } else {
+    const auto& info = std::get<InfoTlvs>(msg.body);
+    type = info.type;
+    WriteInfoTlv(body, 2, info.sys_name);
+    WriteInfoTlv(body, 1, info.sys_descr);
+  }
+  return Frame(type, body.data());
+}
+
+Result<BmpMessage> Decode(BufReader& r) {
+  if (r.empty()) return EndOfStream();
+  BGPS_ASSIGN_OR_RETURN(uint8_t version, r.u8());
+  if (version != kBmpVersion)
+    return CorruptError("BMP version " + std::to_string(version));
+  BGPS_ASSIGN_OR_RETURN(uint32_t length, r.u32());
+  if (length < kCommonHeaderSize) return CorruptError("BMP length too small");
+  BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
+  BGPS_ASSIGN_OR_RETURN(BufReader body, r.sub(length - kCommonHeaderSize));
+
+  BmpMessage msg;
+  switch (MessageType(type)) {
+    case MessageType::RouteMonitoring: {
+      RouteMonitoring rm;
+      BGPS_ASSIGN_OR_RETURN(rm.peer, ReadPeerHeader(body));
+      BGPS_ASSIGN_OR_RETURN(rm.update,
+                            bgp::DecodeUpdate(body, bgp::AsnEncoding::FourByte));
+      msg.body = std::move(rm);
+      return msg;
+    }
+    case MessageType::PeerDown: {
+      PeerDown pd;
+      BGPS_ASSIGN_OR_RETURN(pd.peer, ReadPeerHeader(body));
+      BGPS_ASSIGN_OR_RETURN(uint8_t reason, body.u8());
+      if (reason < 1 || reason > 4)
+        return CorruptError("bad peer-down reason");
+      pd.reason = PeerDownReason(reason);
+      msg.body = pd;
+      return msg;
+    }
+    case MessageType::PeerUp: {
+      PeerUp pu;
+      BGPS_ASSIGN_OR_RETURN(pu.peer, ReadPeerHeader(body));
+      BGPS_ASSIGN_OR_RETURN(Bytes local, body.bytes(16));
+      if (pu.peer.peer_address.is_v6()) {
+        std::array<uint8_t, 16> b{};
+        std::copy(local.begin(), local.end(), b.begin());
+        pu.local_address = IpAddress::V6(b);
+      } else {
+        pu.local_address = IpAddress::V4(local[12], local[13], local[14],
+                                         local[15]);
+      }
+      BGPS_ASSIGN_OR_RETURN(pu.local_port, body.u16());
+      BGPS_ASSIGN_OR_RETURN(pu.remote_port, body.u16());
+      BGPS_ASSIGN_OR_RETURN(pu.local_asn, DecodeOpenAsn(body));
+      msg.body = pu;
+      return msg;
+    }
+    case MessageType::Initiation:
+    case MessageType::Termination: {
+      InfoTlvs info;
+      info.type = MessageType(type);
+      while (!body.empty()) {
+        BGPS_ASSIGN_OR_RETURN(uint16_t tlv_type, body.u16());
+        BGPS_ASSIGN_OR_RETURN(uint16_t tlv_len, body.u16());
+        BGPS_ASSIGN_OR_RETURN(std::string value, body.str(tlv_len));
+        if (tlv_type == 1) info.sys_descr = std::move(value);
+        else if (tlv_type == 2) info.sys_name = std::move(value);
+      }
+      msg.body = std::move(info);
+      return msg;
+    }
+    case MessageType::StatisticsReport:
+      return UnsupportedError("BMP statistics report");
+  }
+  return UnsupportedError("BMP type " + std::to_string(type));
+}
+
+std::optional<mrt::MrtMessage> ToMrt(const BmpMessage& msg,
+                                     bgp::Asn local_asn_hint) {
+  mrt::MrtMessage out;
+  if (msg.is_route_monitoring()) {
+    const auto& rm = std::get<RouteMonitoring>(msg.body);
+    out.timestamp = rm.peer.timestamp;
+    out.microseconds = rm.peer.microseconds;
+    mrt::Bgp4mpMessage m;
+    m.peer_asn = rm.peer.peer_asn;
+    m.local_asn = local_asn_hint;
+    m.peer_address = rm.peer.peer_address;
+    m.local_address = rm.peer.peer_address.is_v6()
+                          ? *IpAddress::Parse("::1")
+                          : IpAddress::V4(127, 0, 0, 1);
+    m.message_type = bgp::MessageType::Update;
+    m.update = rm.update;
+    out.body = std::move(m);
+    return out;
+  }
+  if (msg.is_peer_down() || msg.is_peer_up()) {
+    const PeerHeader& ph = msg.is_peer_up()
+                               ? std::get<PeerUp>(msg.body).peer
+                               : std::get<PeerDown>(msg.body).peer;
+    out.timestamp = ph.timestamp;
+    mrt::Bgp4mpStateChange sc;
+    sc.peer_asn = ph.peer_asn;
+    sc.local_asn = msg.is_peer_up() ? std::get<PeerUp>(msg.body).local_asn
+                                    : local_asn_hint;
+    sc.peer_address = ph.peer_address;
+    sc.local_address = ph.peer_address.is_v6() ? *IpAddress::Parse("::1")
+                                               : IpAddress::V4(127, 0, 0, 1);
+    if (msg.is_peer_up()) {
+      sc.old_state = bgp::FsmState::OpenConfirm;
+      sc.new_state = bgp::FsmState::Established;
+    } else {
+      sc.old_state = bgp::FsmState::Established;
+      sc.new_state = bgp::FsmState::Idle;
+    }
+    out.body = sc;
+    return out;
+  }
+  return std::nullopt;  // Initiation / Termination
+}
+
+Result<TranscodeStats> TranscodeBmpToMrt(const std::string& bmp_path,
+                                         const std::string& mrt_path) {
+  std::ifstream in(bmp_path, std::ios::binary);
+  if (!in.is_open()) return IoError("cannot open " + bmp_path);
+  Bytes blob((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  BufReader r(blob);
+
+  mrt::MrtFileWriter writer;
+  BGPS_RETURN_IF_ERROR(writer.Open(mrt_path));
+  TranscodeStats stats;
+  bgp::Asn local_asn = 0;
+  while (true) {
+    auto msg = Decode(r);
+    if (!msg.ok()) {
+      if (msg.status().code() == StatusCode::EndOfStream) break;
+      if (msg.status().code() == StatusCode::Unsupported) {
+        ++stats.skipped;
+        continue;
+      }
+      return msg.status();
+    }
+    if (msg->is_peer_up())
+      local_asn = std::get<PeerUp>(msg->body).local_asn;
+    auto mrt_msg = ToMrt(*msg, local_asn);
+    if (!mrt_msg) {
+      ++stats.skipped;
+      continue;
+    }
+    if (mrt_msg->is_message()) {
+      BGPS_RETURN_IF_ERROR(writer.Write(mrt::EncodeBgp4mpUpdate(
+          mrt_msg->timestamp, std::get<mrt::Bgp4mpMessage>(mrt_msg->body))));
+    } else {
+      BGPS_RETURN_IF_ERROR(writer.Write(mrt::EncodeBgp4mpStateChange(
+          mrt_msg->timestamp,
+          std::get<mrt::Bgp4mpStateChange>(mrt_msg->body))));
+    }
+    ++stats.converted;
+  }
+  BGPS_RETURN_IF_ERROR(writer.Close());
+  return stats;
+}
+
+}  // namespace bgps::bmp

@@ -1,0 +1,114 @@
+// BGP Monitoring Protocol (BMP, RFC 7854) — the second data format the
+// paper announces as future work (§7: "adding native support for OpenBMP
+// will enable processing of streams sourced directly from BGP routers";
+// §2 describes BMP as the router-side alternative to route collectors).
+//
+// Implements the message types an OpenBMP feed carries for route
+// monitoring:
+//   0 Route Monitoring   (per-peer header + BGP UPDATE PDU)
+//   2 Peer Down          (reason code, optional NOTIFICATION data)
+//   3 Peer Up            (local address/ports + OPEN PDUs)
+//   4 Initiation         (information TLVs: sysName, sysDescr)
+//   5 Termination        (information TLVs)
+// plus a transcoder to MRT so BMP streams flow through the standard
+// pipeline (Route Monitoring -> BGP4MP MESSAGE_AS4, Peer Up/Down ->
+// STATE_CHANGE_AS4), mirroring how the real BGPStream ingests OpenBMP.
+#pragma once
+
+#include <variant>
+
+#include "mrt/mrt.hpp"
+
+namespace bgps::bmp {
+
+inline constexpr uint8_t kBmpVersion = 3;
+inline constexpr size_t kCommonHeaderSize = 6;
+
+enum class MessageType : uint8_t {
+  RouteMonitoring = 0,
+  StatisticsReport = 1,
+  PeerDown = 2,
+  PeerUp = 3,
+  Initiation = 4,
+  Termination = 5,
+};
+
+// Per-peer header (RFC 7854 §4.2), present in types 0-3.
+struct PeerHeader {
+  uint8_t peer_type = 0;  // 0 = Global Instance Peer
+  IpAddress peer_address;
+  bgp::Asn peer_asn = 0;
+  uint32_t peer_bgp_id = 0;
+  Timestamp timestamp = 0;
+  uint32_t microseconds = 0;
+};
+
+struct RouteMonitoring {
+  PeerHeader peer;
+  bgp::UpdateMessage update;
+};
+
+// Peer Down reason codes (RFC 7854 §4.9).
+enum class PeerDownReason : uint8_t {
+  LocalNotification = 1,
+  LocalNoNotification = 2,
+  RemoteNotification = 3,
+  RemoteNoNotification = 4,
+};
+
+struct PeerDown {
+  PeerHeader peer;
+  PeerDownReason reason = PeerDownReason::RemoteNoNotification;
+};
+
+struct PeerUp {
+  PeerHeader peer;
+  IpAddress local_address;
+  uint16_t local_port = 179;
+  uint16_t remote_port = 179;
+  bgp::Asn local_asn = 0;  // carried in the sent OPEN
+};
+
+// Initiation/Termination information TLVs (RFC 7854 §4.3/4.5).
+struct InfoTlvs {
+  MessageType type = MessageType::Initiation;
+  std::string sys_name;
+  std::string sys_descr;
+};
+
+using BmpBody = std::variant<RouteMonitoring, PeerDown, PeerUp, InfoTlvs>;
+
+struct BmpMessage {
+  BmpBody body;
+
+  bool is_route_monitoring() const {
+    return std::holds_alternative<RouteMonitoring>(body);
+  }
+  bool is_peer_down() const { return std::holds_alternative<PeerDown>(body); }
+  bool is_peer_up() const { return std::holds_alternative<PeerUp>(body); }
+  bool is_info() const { return std::holds_alternative<InfoTlvs>(body); }
+};
+
+// --- codec ---
+
+Bytes Encode(const BmpMessage& msg);
+// Frames and decodes one message from `r` (a stream may concatenate
+// many); EndOfStream on clean end, Corrupt on framing/body errors.
+Result<BmpMessage> Decode(BufReader& r);
+
+// --- MRT bridge ---
+
+// Converts to the MRT model; Initiation/Termination have no MRT
+// equivalent and return nullopt.
+std::optional<mrt::MrtMessage> ToMrt(const BmpMessage& msg,
+                                     bgp::Asn local_asn_hint = 0);
+
+// Transcodes a file of concatenated BMP messages into an MRT dump file.
+struct TranscodeStats {
+  size_t converted = 0;
+  size_t skipped = 0;  // info TLVs and unsupported types
+};
+Result<TranscodeStats> TranscodeBmpToMrt(const std::string& bmp_path,
+                                         const std::string& mrt_path);
+
+}  // namespace bgps::bmp

@@ -1,0 +1,104 @@
+#include "broker/archive.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+
+#include "util/strings.hpp"
+
+namespace fs = std::filesystem;
+
+namespace bgps::broker {
+
+const char* DumpTypeName(DumpType t) {
+  return t == DumpType::Rib ? "ribs" : "updates";
+}
+
+std::string ArchiveFileName(Timestamp start, Timestamp duration,
+                            Timestamp publish_delay) {
+  return std::to_string(start) + "." + std::to_string(duration) + "." +
+         std::to_string(publish_delay) + ".mrt";
+}
+
+std::string ArchiveRelPath(const std::string& project,
+                           const std::string& collector, DumpType type,
+                           Timestamp start, Timestamp duration,
+                           Timestamp publish_delay) {
+  return project + "/" + collector + "/" + DumpTypeName(type) + "/" +
+         ArchiveFileName(start, duration, publish_delay);
+}
+
+bool ParseArchiveFileName(const std::string& name, Timestamp* start,
+                          Timestamp* duration, Timestamp* publish_delay) {
+  auto parts = SplitString(name, '.');
+  if (parts.size() != 4 || parts[3] != "mrt") return false;
+  auto parse = [](const std::string& s, Timestamp* out) {
+    int64_t v = 0;
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size()) return false;
+    *out = v;
+    return true;
+  };
+  return parse(parts[0], start) && parse(parts[1], duration) &&
+         parse(parts[2], publish_delay);
+}
+
+Status ArchiveIndex::Rescan() {
+  files_.clear();
+  std::error_code ec;
+  if (!fs::exists(root_, ec)) return NotFoundError("archive root " + root_);
+
+  for (const auto& proj_entry : fs::directory_iterator(root_, ec)) {
+    if (!proj_entry.is_directory()) continue;
+    std::string project = proj_entry.path().filename().string();
+    for (const auto& coll_entry :
+         fs::directory_iterator(proj_entry.path(), ec)) {
+      if (!coll_entry.is_directory()) continue;
+      std::string collector = coll_entry.path().filename().string();
+      for (DumpType type : {DumpType::Rib, DumpType::Updates}) {
+        fs::path dir = coll_entry.path() / DumpTypeName(type);
+        if (!fs::exists(dir, ec)) continue;
+        for (const auto& f : fs::directory_iterator(dir, ec)) {
+          if (!f.is_regular_file()) continue;
+          DumpFileMeta meta;
+          if (!ParseArchiveFileName(f.path().filename().string(), &meta.start,
+                                    &meta.duration, &meta.publish_time))
+            continue;  // foreign file; the real scraper skips those too
+          // Filename stores the delay; convert to absolute publish time.
+          meta.publish_time += meta.start + meta.duration;
+          meta.project = project;
+          meta.collector = collector;
+          meta.type = type;
+          meta.path = f.path().string();
+          files_.push_back(std::move(meta));
+        }
+      }
+    }
+  }
+  std::sort(files_.begin(), files_.end());
+  return OkStatus();
+}
+
+std::vector<std::string> ArchiveIndex::projects() const {
+  std::vector<std::string> out;
+  for (const auto& f : files_) {
+    if (std::find(out.begin(), out.end(), f.project) == out.end())
+      out.push_back(f.project);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> ArchiveIndex::collectors(
+    const std::string& project) const {
+  std::vector<std::string> out;
+  for (const auto& f : files_) {
+    if (f.project != project) continue;
+    if (std::find(out.begin(), out.end(), f.collector) == out.end())
+      out.push_back(f.collector);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bgps::broker

@@ -1,0 +1,78 @@
+// Data interfaces (paper §3.2): how the stream learns which dump files to
+// read. The Broker interface is primary; Single-file and CSV cover local
+// analysis. (The real release also ships an SQLite interface; CSV covers
+// the same "local index" use case here — see DESIGN.md.)
+#pragma once
+
+#include <unordered_set>
+
+#include "broker/broker.hpp"
+#include "core/filter.hpp"
+
+namespace bgps::core {
+
+// One batch of dump files to merge, pulled on demand (client-pull model,
+// §3.3.2: data is only retrieved when the user is ready to process it).
+struct DataBatch {
+  std::vector<broker::DumpFileMeta> files;
+  bool end_of_stream = false;  // no further batches will ever come
+  bool retry_later = false;    // live mode: poll again after a delay
+};
+
+class DataInterface {
+ public:
+  virtual ~DataInterface() = default;
+
+  // Applies meta filters + interval and returns the next batch.
+  virtual DataBatch NextBatch(const FilterSet& filters) = 0;
+
+  // Live-mode hook invoked before a retry poll (re-scan the archive).
+  virtual void Refresh() {}
+};
+
+// Primary interface: windowed queries against a Broker (paper §3.2).
+class BrokerDataInterface : public DataInterface {
+ public:
+  explicit BrokerDataInterface(broker::Broker* broker) : broker_(broker) {}
+
+  DataBatch NextBatch(const FilterSet& filters) override;
+  void Refresh() override { (void)broker_->Rescan(); }
+
+ private:
+  broker::Broker* broker_;
+  std::optional<Timestamp> cursor_;
+  std::unordered_set<std::string> served_;  // dump paths already returned
+};
+
+// Single local file, with explicit provenance annotations.
+class SingleFileInterface : public DataInterface {
+ public:
+  SingleFileInterface(std::string path, DumpType type,
+                      std::string project = "singlefile",
+                      std::string collector = "singlefile");
+
+  DataBatch NextBatch(const FilterSet& filters) override;
+
+ private:
+  broker::DumpFileMeta meta_;
+  bool consumed_ = false;
+};
+
+// CSV index of local files. Line format:
+//   project,collector,type(ribs|updates),start,duration,path
+class CsvFileInterface : public DataInterface {
+ public:
+  // Parse errors are reported once via status(); malformed lines are
+  // skipped.
+  explicit CsvFileInterface(const std::string& csv_path);
+
+  Status status() const { return status_; }
+  DataBatch NextBatch(const FilterSet& filters) override;
+
+ private:
+  std::vector<broker::DumpFileMeta> files_;
+  size_t next_ = 0;
+  Status status_;
+};
+
+}  // namespace bgps::core

@@ -1,0 +1,52 @@
+// DumpReader: streams annotated Records out of one dump file.
+//
+// Responsibilities (paper §3.3.3):
+//  * track the PEER_INDEX_TABLE of a TABLE_DUMP_V2 file so RIB records can
+//    be decomposed into per-VP elems;
+//  * mark the first/last record of the dump (DumpPosition) via one-record
+//    lookahead;
+//  * convert framing/decoding failures into Corrupted*/Unsupported records
+//    instead of errors.
+#pragma once
+
+#include <memory>
+
+#include "core/elem.hpp"
+#include "mrt/file.hpp"
+
+namespace bgps::core {
+
+class DumpReader {
+ public:
+  // `meta` identifies the dump; opening failures yield a single
+  // CorruptedDump record (the paper marks a record not-valid "when the BGP
+  // dump file cannot be opened").
+  explicit DumpReader(broker::DumpFileMeta meta);
+
+  const broker::DumpFileMeta& meta() const { return meta_; }
+
+  // Timestamp of the next record without consuming it; nullopt at end.
+  std::optional<Timestamp> PeekTimestamp();
+
+  // Next record, or nullopt when the dump is exhausted.
+  std::optional<Record> Next();
+
+  // Peer index table seen in this file (RIB dumps), for elem extraction.
+  const mrt::PeerIndexTable* peer_index() const { return peer_index_.get(); }
+
+ private:
+  // Produces the next record from the file, ignoring lookahead.
+  std::optional<Record> Produce();
+  Record MakeRecord() const;
+
+  broker::DumpFileMeta meta_;
+  mrt::MrtFileReader reader_;
+  std::shared_ptr<const mrt::PeerIndexTable> peer_index_;
+  std::optional<Record> lookahead_;
+  bool started_ = false;
+  bool done_ = false;
+  bool open_failed_ = false;
+  bool emitted_open_failure_ = false;
+};
+
+}  // namespace bgps::core

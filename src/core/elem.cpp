@@ -1,0 +1,108 @@
+#include "core/elem.hpp"
+
+namespace bgps::core {
+
+const char* ElemTypeName(ElemType t) {
+  switch (t) {
+    case ElemType::RibEntry: return "R";
+    case ElemType::Announcement: return "A";
+    case ElemType::Withdrawal: return "W";
+    case ElemType::PeerState: return "S";
+  }
+  return "?";
+}
+
+std::vector<Elem> ExtractElems(const Record& record) {
+  std::vector<Elem> out;
+  if (record.status != RecordStatus::Valid) return out;
+  const mrt::PeerIndexTable* peer_index = record.peer_index.get();
+
+  if (record.msg.is_rib()) {
+    const auto& rib = std::get<mrt::RibPrefix>(record.msg.body);
+    if (peer_index == nullptr) return out;  // PIT lost: cannot attribute VPs
+    for (const auto& entry : rib.entries) {
+      if (entry.peer_index >= peer_index->peers.size()) continue;
+      const auto& peer = peer_index->peers[entry.peer_index];
+      Elem e;
+      e.type = ElemType::RibEntry;
+      e.time = record.msg.timestamp;
+      e.peer_address = peer.address;
+      e.peer_asn = peer.asn;
+      e.prefix = rib.prefix;
+      e.as_path = entry.attrs.as_path;
+      e.communities = entry.attrs.communities;
+      if (entry.attrs.mp_reach) {
+        e.next_hop = entry.attrs.mp_reach->next_hop;
+      } else if (entry.attrs.next_hop) {
+        e.next_hop = *entry.attrs.next_hop;
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  if (record.msg.is_message()) {
+    const auto& msg = std::get<mrt::Bgp4mpMessage>(record.msg.body);
+    if (msg.message_type != bgp::MessageType::Update) return out;
+    const auto& upd = msg.update;
+
+    Elem base;
+    base.time = record.msg.timestamp;
+    base.peer_address = msg.peer_address;
+    base.peer_asn = msg.peer_asn;
+
+    // Withdrawals: plain IPv4 + MP_UNREACH.
+    for (const auto& p : upd.withdrawn) {
+      Elem e = base;
+      e.type = ElemType::Withdrawal;
+      e.prefix = p;
+      out.push_back(std::move(e));
+    }
+    if (upd.attrs.mp_unreach) {
+      for (const auto& p : upd.attrs.mp_unreach->withdrawn) {
+        Elem e = base;
+        e.type = ElemType::Withdrawal;
+        e.prefix = p;
+        out.push_back(std::move(e));
+      }
+    }
+
+    // Announcements: plain IPv4 NLRI + MP_REACH, sharing the same path.
+    base.type = ElemType::Announcement;
+    base.as_path = upd.attrs.as_path;
+    base.communities = upd.attrs.communities;
+    for (const auto& p : upd.announced) {
+      Elem e = base;
+      e.prefix = p;
+      if (upd.attrs.next_hop) e.next_hop = *upd.attrs.next_hop;
+      out.push_back(std::move(e));
+    }
+    if (upd.attrs.mp_reach) {
+      for (const auto& p : upd.attrs.mp_reach->nlri) {
+        Elem e = base;
+        e.prefix = p;
+        e.next_hop = upd.attrs.mp_reach->next_hop;
+        out.push_back(std::move(e));
+      }
+    }
+    return out;
+  }
+
+  if (record.msg.is_state_change()) {
+    const auto& sc = std::get<mrt::Bgp4mpStateChange>(record.msg.body);
+    Elem e;
+    e.type = ElemType::PeerState;
+    e.time = record.msg.timestamp;
+    e.peer_address = sc.peer_address;
+    e.peer_asn = sc.peer_asn;
+    e.old_state = sc.old_state;
+    e.new_state = sc.new_state;
+    out.push_back(std::move(e));
+    return out;
+  }
+
+  // PeerIndexTable records carry no routing elements.
+  return out;
+}
+
+}  // namespace bgps::core

@@ -1,0 +1,45 @@
+// BGPStream elem (paper Table 1): the per-VP, per-prefix unit of
+// information extracted from a record.
+//
+// An MRT record groups elements of the same type across VPs or prefixes
+// (RIB records: one prefix, many VPs; update records: one VP, many
+// prefixes sharing a path). ExtractElems() performs the decomposition of
+// §3.3.3.
+#pragma once
+
+#include "core/record.hpp"
+
+namespace bgps::core {
+
+enum class ElemType : uint8_t {
+  RibEntry,      // route from a RIB dump
+  Announcement,
+  Withdrawal,
+  PeerState,     // FSM state message (RIPE RIS VPs)
+};
+
+const char* ElemTypeName(ElemType t);  // single-letter bgpdump code
+
+struct Elem {
+  ElemType type = ElemType::Announcement;
+  Timestamp time = 0;             // timestamp of the MRT record
+  IpAddress peer_address;         // IP address of the VP
+  bgp::Asn peer_asn = 0;          // AS number of the VP
+  // Conditionally populated (Table 1 footnote):
+  Prefix prefix;                  // R, A, W
+  IpAddress next_hop;             // R, A
+  bgp::AsPath as_path;            // R, A
+  bgp::Communities communities;   // R, A
+  bgp::FsmState old_state = bgp::FsmState::Unknown;  // S
+  bgp::FsmState new_state = bgp::FsmState::Unknown;  // S
+
+  bool has_prefix() const {
+    return type != ElemType::PeerState;
+  }
+};
+
+// Decomposes a record into elems (uses record.peer_index to resolve RIB
+// peer references). Invalid records produce no elems.
+std::vector<Elem> ExtractElems(const Record& record);
+
+}  // namespace bgps::core

@@ -1,0 +1,58 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+
+namespace bgps::core {
+
+std::vector<std::vector<broker::DumpFileMeta>> GroupOverlapping(
+    std::vector<broker::DumpFileMeta> files) {
+  std::sort(files.begin(), files.end());  // by start time first
+  std::vector<std::vector<broker::DumpFileMeta>> subsets;
+
+  // The paper's algorithm: (1) seed a subset with the oldest remaining
+  // file; (2) recursively add files overlapping any file in the subset;
+  // (3) remove them. With files sorted by start, a single left-to-right
+  // sweep tracking the subset's max end implements the recursion: a file
+  // overlaps the subset iff its start is before that max end.
+  size_t i = 0;
+  while (i < files.size()) {
+    std::vector<broker::DumpFileMeta> subset;
+    subset.push_back(files[i]);
+    Timestamp max_end = files[i].end();
+    size_t j = i + 1;
+    while (j < files.size() && files[j].start < max_end) {
+      subset.push_back(files[j]);
+      max_end = std::max(max_end, files[j].end());
+      ++j;
+    }
+    subsets.push_back(std::move(subset));
+    i = j;
+  }
+  return subsets;
+}
+
+MultiWayMerge::MultiWayMerge(const std::vector<broker::DumpFileMeta>& files) {
+  readers_.reserve(files.size());
+  for (const auto& f : files) {
+    readers_.push_back(std::make_unique<DumpReader>(f));
+    Push(readers_.size() - 1);
+  }
+}
+
+void MultiWayMerge::Push(size_t idx) {
+  if (auto ts = readers_[idx]->PeekTimestamp()) {
+    int rank = readers_[idx]->meta().type == broker::DumpType::Rib ? 1 : 0;
+    heap_.push(HeapItem{*ts, rank, idx});
+  }
+}
+
+std::optional<Record> MultiWayMerge::Next() {
+  if (heap_.empty()) return std::nullopt;
+  HeapItem top = heap_.top();
+  heap_.pop();
+  std::optional<Record> rec = readers_[top.reader_idx]->Next();
+  Push(top.reader_idx);
+  return rec;
+}
+
+}  // namespace bgps::core

@@ -1,0 +1,56 @@
+// Sorted-stream generation (paper §3.3.4).
+//
+// Collectors write records with monotonically increasing timestamps within
+// a file, but a stream mixing collectors / dump types needs record-level
+// sorting. libBGPStream performs a multi-way merge over the files of a
+// broker response, after breaking the file set into disjoint subsets of
+// overlapping time intervals so each heap stays small (the paper reports
+// dump-file sets of up to ~500 files collapsing to subsets of ~150).
+#pragma once
+
+#include <queue>
+
+#include "core/dump_reader.hpp"
+
+namespace bgps::core {
+
+// Partitions `files` into disjoint subsets such that files with
+// overlapping [start, end) intervals share a subset, using the paper's
+// iterative algorithm: seed with the oldest file, recursively add
+// overlapping files, remove, repeat. Subsets come back ordered by their
+// earliest start, each internally sorted.
+std::vector<std::vector<broker::DumpFileMeta>> GroupOverlapping(
+    std::vector<broker::DumpFileMeta> files);
+
+// Multi-way merge over one subset: opens all files simultaneously and
+// repeatedly extracts the oldest record (Figure 3).
+class MultiWayMerge {
+ public:
+  explicit MultiWayMerge(const std::vector<broker::DumpFileMeta>& files);
+
+  // Next record in timestamp order; nullopt when all files are drained.
+  std::optional<Record> Next();
+
+  size_t open_files() const { return readers_.size(); }
+
+ private:
+  struct HeapItem {
+    Timestamp ts;
+    // Tie-break at equal timestamps: updates before RIB records. A RIB
+    // dump snapshots state *including* same-instant updates, so consumers
+    // must see those updates first to stay consistent.
+    int type_rank;  // 0 = updates, 1 = rib
+    size_t reader_idx;
+    bool operator>(const HeapItem& o) const {
+      return std::tie(ts, type_rank, reader_idx) >
+             std::tie(o.ts, o.type_rank, o.reader_idx);
+    }
+  };
+
+  void Push(size_t idx);
+
+  std::vector<std::unique_ptr<DumpReader>> readers_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+};
+
+}  // namespace bgps::core

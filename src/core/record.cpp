@@ -1,0 +1,24 @@
+#include "core/record.hpp"
+
+namespace bgps::core {
+
+const char* RecordStatusName(RecordStatus s) {
+  switch (s) {
+    case RecordStatus::Valid: return "valid";
+    case RecordStatus::CorruptedDump: return "corrupted-dump";
+    case RecordStatus::CorruptedRecord: return "corrupted-record";
+    case RecordStatus::Unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+const char* DumpPositionName(DumpPosition p) {
+  switch (p) {
+    case DumpPosition::Start: return "start";
+    case DumpPosition::Middle: return "middle";
+    case DumpPosition::End: return "end";
+  }
+  return "unknown";
+}
+
+}  // namespace bgps::core

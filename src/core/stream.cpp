@@ -1,0 +1,89 @@
+#include "core/stream.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace bgps::core {
+
+Status BgpStream::Start() {
+  if (data_interface_ == nullptr)
+    return InvalidArgument("no data interface configured");
+  if (filters_.interval.start < 0)
+    return InvalidArgument("interval start must be >= 0");
+  if (!options_.poll_wait) {
+    options_.poll_wait = [] {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    };
+  }
+  started_ = true;
+  ended_ = false;
+  return OkStatus();
+}
+
+bool BgpStream::Refill() {
+  size_t consecutive_polls = 0;
+  while (true) {
+    // 1. Drain remaining subsets of the current batch.
+    if (next_subset_ < pending_subsets_.size()) {
+      current_merge_ =
+          std::make_unique<MultiWayMerge>(pending_subsets_[next_subset_++]);
+      ++subsets_merged_;
+      max_open_files_ = std::max(max_open_files_, current_merge_->open_files());
+      return true;
+    }
+    // 2. Pull the next batch from the data interface (client-pull model).
+    DataBatch batch = data_interface_->NextBatch(filters_);
+    ++batches_fetched_;
+    if (!batch.files.empty()) {
+      pending_subsets_ = GroupOverlapping(std::move(batch.files));
+      next_subset_ = 0;
+      continue;
+    }
+    if (batch.retry_later) {
+      // Live mode: block until data may be available, then re-scrape.
+      ++consecutive_polls;
+      if (options_.max_consecutive_polls != 0 &&
+          consecutive_polls >= options_.max_consecutive_polls) {
+        return false;
+      }
+      options_.poll_wait();
+      data_interface_->Refresh();
+      continue;
+    }
+    // end_of_stream
+    return false;
+  }
+}
+
+std::optional<Record> BgpStream::NextRecord() {
+  if (!started_ || ended_) return std::nullopt;
+  while (true) {
+    if (!current_merge_) {
+      if (!Refill()) {
+        ended_ = true;
+        return std::nullopt;
+      }
+    }
+    std::optional<Record> rec = current_merge_->Next();
+    if (!rec) {
+      current_merge_.reset();
+      continue;
+    }
+    if (!filters_.MatchesRecord(*rec)) continue;
+    ++records_emitted_;
+    return rec;
+  }
+}
+
+std::vector<Elem> BgpStream::Elems(const Record& record) const {
+  std::vector<Elem> elems = ExtractElems(record);
+  if (!filters_.HasElemFilters()) return elems;
+  std::vector<Elem> out;
+  out.reserve(elems.size());
+  for (auto& e : elems) {
+    if (filters_.MatchesElem(e)) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace bgps::core

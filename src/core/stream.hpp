@@ -1,0 +1,87 @@
+// BgpStream — the libBGPStream user API (paper §3.3.1).
+//
+// Usage mirrors the C API: a configuration phase (AddFilter /
+// SetInterval / SetDataInterface), then Start(), then an iteration phase
+// pulling records (and decomposing them into elems). Setting the interval
+// end to kLiveEnd turns the same program into a live monitor.
+//
+//   core::BgpStream stream;
+//   stream.AddFilter("collector", "rrc00");
+//   stream.AddFilter("type", "updates");
+//   stream.SetInterval(t0, t1);                  // or SetLive(t0)
+//   stream.SetDataInterface(&broker_interface);
+//   stream.Start();
+//   while (auto rec = stream.NextRecord()) {
+//     for (const auto& elem : stream.Elems(*rec)) { ... }
+//   }
+#pragma once
+
+#include "core/data_interface.hpp"
+#include "core/merge.hpp"
+
+namespace bgps::core {
+
+class BgpStream {
+ public:
+  struct Options {
+    // Called in live mode when the broker has no new data; should block
+    // (wall clock) or advance virtual time, then return. Default sleeps
+    // one second of wall time.
+    std::function<void()> poll_wait;
+    // Safety valve for tests/simulations: stop a live stream after this
+    // many consecutive empty polls (0 = poll forever).
+    size_t max_consecutive_polls = 0;
+  };
+
+  BgpStream() = default;
+  explicit BgpStream(Options options) : options_(std::move(options)) {}
+
+  // --- configuration phase ---
+  Status AddFilter(const std::string& key, const std::string& value) {
+    return filters_.AddOption(key, value);
+  }
+  FilterSet& filters() { return filters_; }
+  void SetInterval(Timestamp start, Timestamp end) {
+    filters_.interval = {start, end};
+  }
+  void SetLive(Timestamp start) { filters_.interval = {start, kLiveEnd}; }
+  void SetDataInterface(DataInterface* di) { data_interface_ = di; }
+
+  // --- reading phase ---
+  Status Start();
+
+  // Next record passing the record-level filters. nullopt = end of stream
+  // (historical exhaustion, or the live poll limit was hit).
+  std::optional<Record> NextRecord();
+
+  // Elems of `record` passing the elem-level filters.
+  std::vector<Elem> Elems(const Record& record) const;
+
+  // Stats (used by the sorting/throughput benches).
+  size_t records_emitted() const { return records_emitted_; }
+  size_t batches_fetched() const { return batches_fetched_; }
+  size_t subsets_merged() const { return subsets_merged_; }
+  size_t max_open_files() const { return max_open_files_; }
+
+ private:
+  // Ensures current_merge_ has data; pulls subsets/batches as needed.
+  // Returns false when the stream has ended.
+  bool Refill();
+
+  FilterSet filters_;
+  DataInterface* data_interface_ = nullptr;
+  Options options_;
+  bool started_ = false;
+  bool ended_ = false;
+
+  std::vector<std::vector<broker::DumpFileMeta>> pending_subsets_;
+  size_t next_subset_ = 0;
+  std::unique_ptr<MultiWayMerge> current_merge_;
+
+  size_t records_emitted_ = 0;
+  size_t batches_fetched_ = 0;
+  size_t subsets_merged_ = 0;
+  size_t max_open_files_ = 0;
+};
+
+}  // namespace bgps::core

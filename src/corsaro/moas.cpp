@@ -1,0 +1,64 @@
+#include "corsaro/moas.hpp"
+
+namespace bgps::corsaro {
+
+void MoasDetector::Reevaluate(Timestamp t, const Prefix& prefix) {
+  auto it = table_.find(prefix);
+  std::set<bgp::Asn> origins;
+  if (it != table_.end()) {
+    for (const auto& [vp, origin] : it->second) origins.insert(origin);
+  }
+  bool was_moas = moas_now_.count(prefix) != 0;
+  bool is_moas = origins.size() >= 2;
+  if (is_moas == was_moas) return;
+
+  MoasEvent event;
+  event.time = t;
+  event.prefix = prefix;
+  event.origins = origins;
+  event.started = is_moas;
+  if (is_moas) {
+    moas_now_.insert(prefix);
+    sets_seen_.insert(origins);
+  } else {
+    moas_now_.erase(prefix);
+  }
+  events_.push_back(event);
+  if (on_event_) on_event_(event);
+}
+
+void MoasDetector::OnRecord(RecordContext& ctx) {
+  for (const auto& elem : ctx.elems) {
+    if (!elem.has_prefix()) continue;
+    VpKeyLocal vp{ctx.record.collector, elem.peer_asn};
+    switch (elem.type) {
+      case core::ElemType::RibEntry:
+      case core::ElemType::Announcement: {
+        auto origin = elem.as_path.origin_asn();
+        if (!origin) break;
+        table_[elem.prefix][vp] = *origin;
+        Reevaluate(elem.time, elem.prefix);
+        break;
+      }
+      case core::ElemType::Withdrawal: {
+        auto it = table_.find(elem.prefix);
+        if (it != table_.end()) {
+          it->second.erase(vp);
+          if (it->second.empty()) table_.erase(it);
+        }
+        Reevaluate(elem.time, elem.prefix);
+        break;
+      }
+      case core::ElemType::PeerState:
+        break;
+    }
+  }
+}
+
+void MoasDetector::OnBinEnd(Timestamp /*bin_start*/, Timestamp /*bin_end*/) {}
+
+std::vector<Prefix> MoasDetector::current_moas() const {
+  return {moas_now_.begin(), moas_now_.end()};
+}
+
+}  // namespace bgps::corsaro

@@ -1,0 +1,58 @@
+// moas — BGPCorsaro plugin detecting Multi-Origin-AS prefixes live.
+//
+// The paper motivates maintaining a continuously updated global view for
+// "detecting BGP-based traffic hijacking: most common hijacks manifest as
+// two or more ASes announcing exactly the same prefix" (§6.2) and studies
+// MOAS longitudinally in Fig. 5b. This plugin tracks, per prefix, the set
+// of origin ASes currently announced across all VPs and emits an event
+// whenever a prefix becomes MOAS (and when it stops being MOAS).
+#pragma once
+
+#include <map>
+
+#include "corsaro/plugin.hpp"
+
+namespace bgps::corsaro {
+
+struct MoasEvent {
+  Timestamp time = 0;
+  Prefix prefix;
+  std::set<bgp::Asn> origins;  // >= 2 on start, 1 on end
+  bool started = false;        // true: became MOAS; false: back to single
+};
+
+class MoasDetector : public Plugin {
+ public:
+  using EventCallback = std::function<void(const MoasEvent&)>;
+
+  explicit MoasDetector(EventCallback on_event = nullptr)
+      : on_event_(std::move(on_event)) {}
+
+  std::string_view name() const override { return "moas"; }
+  void OnRecord(RecordContext& ctx) override;
+  void OnBinEnd(Timestamp bin_start, Timestamp bin_end) override;
+
+  const std::vector<MoasEvent>& events() const { return events_; }
+  // Prefixes currently announced by more than one origin AS.
+  std::vector<Prefix> current_moas() const;
+  // Unique MOAS origin-sets seen so far (the Fig. 5b metric).
+  std::set<std::set<bgp::Asn>> moas_sets() const { return sets_seen_; }
+
+ private:
+  struct VpKeyLocal {
+    std::string collector;
+    bgp::Asn peer;
+    auto operator<=>(const VpKeyLocal&) const = default;
+  };
+
+  void Reevaluate(Timestamp t, const Prefix& prefix);
+
+  // prefix -> VP -> origin ASN currently announced by that VP.
+  std::map<Prefix, std::map<VpKeyLocal, bgp::Asn>> table_;
+  std::set<Prefix> moas_now_;
+  std::set<std::set<bgp::Asn>> sets_seen_;
+  std::vector<MoasEvent> events_;
+  EventCallback on_event_;
+};
+
+}  // namespace bgps::corsaro

@@ -1,0 +1,52 @@
+#include "corsaro/pfxmonitor.hpp"
+
+namespace bgps::corsaro {
+
+PfxMonitor::PfxMonitor(const std::vector<Prefix>& ranges, RowCallback on_row)
+    : on_row_(std::move(on_row)) {
+  for (const auto& r : ranges) ranges_.insert(r, 1);
+}
+
+void PfxMonitor::OnRecord(RecordContext& ctx) {
+  for (const auto& elem : ctx.elems) {
+    if (!elem.has_prefix()) continue;
+    if (!ranges_.overlaps(elem.prefix)) continue;
+    VpKey vp{ctx.record.collector, elem.peer_asn};
+    auto key = std::make_pair(elem.prefix, vp);
+    switch (elem.type) {
+      case core::ElemType::RibEntry:
+      case core::ElemType::Announcement: {
+        auto origin = elem.as_path.origin_asn();
+        if (origin) table_[key] = *origin;
+        break;
+      }
+      case core::ElemType::Withdrawal:
+        table_.erase(key);
+        break;
+      case core::ElemType::PeerState:
+        break;
+    }
+  }
+}
+
+void PfxMonitor::OnBinEnd(Timestamp bin_start, Timestamp /*bin_end*/) {
+  std::set<Prefix> prefixes;
+  std::set<bgp::Asn> origins;
+  for (const auto& [key, origin] : table_) {
+    prefixes.insert(key.first);
+    origins.insert(origin);
+  }
+  BinRow row{bin_start, prefixes.size(), origins.size()};
+  rows_.push_back(row);
+  if (on_row_) on_row_(row);
+}
+
+std::set<bgp::Asn> PfxMonitor::origins(const Prefix& prefix) const {
+  std::set<bgp::Asn> out;
+  for (const auto& [key, origin] : table_) {
+    if (key.first == prefix) out.insert(origin);
+  }
+  return out;
+}
+
+}  // namespace bgps::corsaro

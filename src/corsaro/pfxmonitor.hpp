@@ -1,0 +1,52 @@
+// pfxmonitor — the stateful sample plugin of §6.1.
+//
+// Monitors prefixes overlapping a configured set of IP ranges. For each
+// record it (1) selects RIB/updates elems overlapping the ranges, and
+// (2) tracks, per <prefix, VP>, the origin ASN of the route. At the end
+// of each bin it emits (timestamp, #unique prefixes, #unique origin
+// ASNs) — the two time series of Figure 6 (GARR hijack detection).
+#pragma once
+
+#include <map>
+
+#include "corsaro/plugin.hpp"
+#include "util/patricia.hpp"
+
+namespace bgps::corsaro {
+
+class PfxMonitor : public Plugin {
+ public:
+  struct BinRow {
+    Timestamp bin_start = 0;
+    size_t unique_prefixes = 0;
+    size_t unique_origins = 0;
+  };
+  using RowCallback = std::function<void(const BinRow&)>;
+
+  explicit PfxMonitor(const std::vector<Prefix>& ranges,
+                      RowCallback on_row = nullptr);
+
+  std::string_view name() const override { return "pfxmonitor"; }
+  void OnRecord(RecordContext& ctx) override;
+  void OnBinEnd(Timestamp bin_start, Timestamp bin_end) override;
+
+  const std::vector<BinRow>& rows() const { return rows_; }
+
+  // Origin ASNs currently observed for a monitored prefix (MOAS check).
+  std::set<bgp::Asn> origins(const Prefix& prefix) const;
+
+ private:
+  struct VpKey {
+    std::string collector;
+    bgp::Asn peer;
+    auto operator<=>(const VpKey&) const = default;
+  };
+
+  PrefixTable<char> ranges_;
+  // <prefix, VP> -> origin ASN of the current route (erased on withdrawal).
+  std::map<std::pair<Prefix, VpKey>, bgp::Asn> table_;
+  std::vector<BinRow> rows_;
+  RowCallback on_row_;
+};
+
+}  // namespace bgps::corsaro

@@ -1,0 +1,43 @@
+// BGPCorsaro plugin interface (paper §6.1).
+//
+// Plugins form a pipeline over the sorted record stream. Stateless
+// plugins classify/tag records (later plugins can read the tags);
+// stateful plugins aggregate and emit at the end of each time bin.
+#pragma once
+
+#include <set>
+#include <string_view>
+
+#include "core/stream.hpp"
+
+namespace bgps::corsaro {
+
+// Mutable per-record context passed down the plugin chain.
+struct RecordContext {
+  const core::Record& record;
+  // Elems extracted once by the engine (post elem-filters) and shared by
+  // all plugins.
+  const std::vector<core::Elem>& elems;
+  // Tags set by classification plugins for downstream plugins.
+  std::set<std::string> tags;
+};
+
+class Plugin {
+ public:
+  virtual ~Plugin() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called for every record, in stream (timestamp) order.
+  virtual void OnRecord(RecordContext& ctx) = 0;
+
+  // Bin lifecycle; [bin_start, bin_end) in aligned UTC seconds. OnBinEnd
+  // fires before the first record at/after bin_end is delivered.
+  virtual void OnBinStart(Timestamp /*bin_start*/) {}
+  virtual void OnBinEnd(Timestamp /*bin_start*/, Timestamp /*bin_end*/) {}
+
+  // Called once when the stream ends, after a final OnBinEnd.
+  virtual void OnFinish() {}
+};
+
+}  // namespace bgps::corsaro

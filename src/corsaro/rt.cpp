@@ -1,0 +1,257 @@
+#include "corsaro/rt.hpp"
+
+namespace bgps::corsaro {
+
+const char* VpStateName(VpState s) {
+  switch (s) {
+    case VpState::Down: return "down";
+    case VpState::DownRibApplication: return "down-rib-application";
+    case VpState::Up: return "up";
+    case VpState::UpRibApplication: return "up-rib-application";
+  }
+  return "?";
+}
+
+RoutingTables::RoutingTables(Options options) : options_(options) {}
+
+RoutingTables::VpTable& RoutingTables::Vp(const VpKey& key) {
+  auto it = vps_.find(key);
+  if (it == vps_.end()) {
+    it = vps_.emplace(key, VpTable{}).first;
+    // A VP discovered mid-stream joins an in-progress RIB dump, if any.
+    auto rp = rib_progress_.find(key.collector);
+    if (rp != rib_progress_.end() && rp->second.active)
+      it->second.state = VpNextState(it->second.state, VpInput::RibStart);
+  }
+  return it->second;
+}
+
+void RoutingTables::Transition(VpTable& vp, VpInput input) {
+  vp.state = VpNextState(vp.state, input);
+}
+
+void RoutingTables::ApplyUpdateElem(const std::string& collector,
+                                    const core::Elem& elem) {
+  ++bin_elems_;
+  VpTable& vp = Vp(VpKey{collector, elem.peer_asn});
+  if (elem.type == core::ElemType::PeerState) {
+    Transition(vp, elem.new_state == bgp::FsmState::Established
+                       ? VpInput::StateEstablished
+                       : VpInput::StateDown);
+    return;
+  }
+  // Announcements/withdrawals modify main cells in every state (during
+  // down-RIB-application the paper applies updates to main cells while
+  // the RIB stages into shadows), gated on timestamp monotonicity.
+  auto& cell = vp.main[elem.prefix];
+  if (elem.time < cell.last_modified) return;
+  Touch(vp, elem.prefix);
+  RtCell updated;
+  updated.last_modified = elem.time;
+  if (elem.type == core::ElemType::Announcement) {
+    updated.announced = true;
+    updated.as_path = elem.as_path;
+    updated.communities = elem.communities;
+  } else {
+    updated.announced = false;  // withdrawal
+  }
+  cell = std::move(updated);
+  Transition(vp, VpInput::Update);
+}
+
+void RoutingTables::ApplyRibElem(const std::string& collector,
+                                 const core::Elem& elem) {
+  VpTable& vp = Vp(VpKey{collector, elem.peer_asn});
+  vp.in_current_rib = true;
+  RtCell cell;
+  cell.announced = true;
+  cell.as_path = elem.as_path;
+  cell.communities = elem.communities;
+  cell.last_modified = elem.time;
+  vp.shadow[elem.prefix] = std::move(cell);
+}
+
+void RoutingTables::BeginRib(const std::string& collector) {
+  auto& rp = rib_progress_[collector];
+  rp.active = true;
+  rp.corrupt = false;
+  for (auto& [key, vp] : vps_) {
+    if (key.collector != collector) continue;
+    vp.shadow.clear();
+    vp.in_current_rib = false;
+    Transition(vp, VpInput::RibStart);
+  }
+}
+
+void RoutingTables::AbortRib(const std::string& collector) {
+  // E1: at least one record of the dump was corrupted — ignore it all.
+  auto& rp = rib_progress_[collector];
+  rp.active = false;
+  for (auto& [key, vp] : vps_) {
+    if (key.collector != collector) continue;
+    vp.shadow.clear();
+    vp.in_current_rib = false;
+    Transition(vp, VpInput::RibCorrupt);
+  }
+}
+
+void RoutingTables::EndRib(const std::string& collector) {
+  auto& rp = rib_progress_[collector];
+  rp.active = false;
+  for (auto& [key, vp] : vps_) {
+    if (key.collector != collector) continue;
+    if (!vp.in_current_rib) {
+      // The paper's RouteViews mitigation: a VP absent from the RIB dump
+      // is presumed down (stale cells would otherwise linger forever).
+      if (options_.down_if_absent_from_rib && !vp.main.empty()) {
+        Transition(vp, VpInput::StateDown);
+        for (auto& [prefix, cell] : vp.main) {
+          if (!cell.announced) continue;
+          Touch(vp, prefix);
+          cell.announced = false;
+        }
+      }
+      Transition(vp, VpInput::RibEnd);
+      continue;
+    }
+    // Accuracy check (§6.2.1): where both an evolved main cell and a
+    // shadow cell exist and the main cell was updated *after* this RIB's
+    // records, the evolved state should match the dump's ground truth.
+    for (const auto& [prefix, shadow_cell] : vp.shadow) {
+      auto it = vp.main.find(prefix);
+      if (it == vp.main.end()) continue;
+      const RtCell& main_cell = it->second;
+      ++rib_compared_;
+      // E2 with tie tolerance: a cell updated at or after the RIB record's
+      // timestamp already reflects (at least) the dump's knowledge.
+      if (main_cell.last_modified >= shadow_cell.last_modified) continue;
+      if (!main_cell.announced || main_cell.as_path != shadow_cell.as_path)
+        ++rib_mismatches_;
+    }
+    // Merge: shadow replaces main unless main is at least as new (E2).
+    for (auto& [prefix, shadow_cell] : vp.shadow) {
+      auto it = vp.main.find(prefix);
+      if (it == vp.main.end()) {
+        Touch(vp, prefix);
+        vp.main[prefix] = std::move(shadow_cell);
+        continue;
+      }
+      if (it->second.last_modified >= shadow_cell.last_modified) continue;
+      Touch(vp, prefix);
+      it->second = std::move(shadow_cell);
+    }
+    // Prefixes in main but absent from the dump: if not touched by newer
+    // updates, the VP no longer routes them.
+    for (auto& [prefix, cell] : vp.main) {
+      if (!cell.announced) continue;
+      if (vp.shadow.count(prefix)) continue;
+      // Keep cells modified after the dump started.
+      Timestamp dump_floor = 0;
+      if (!vp.shadow.empty())
+        dump_floor = vp.shadow.begin()->second.last_modified;
+      if (cell.last_modified > dump_floor) continue;
+      Touch(vp, prefix);
+      cell.announced = false;
+    }
+    vp.shadow.clear();
+    vp.in_current_rib = false;
+    Transition(vp, VpInput::RibEnd);
+  }
+}
+
+void RoutingTables::CollectorUpdateCorrupt(const std::string& collector) {
+  for (auto& [key, vp] : vps_) {
+    if (key.collector != collector) continue;
+    Transition(vp, VpInput::UpdateCorrupt);
+  }
+}
+
+void RoutingTables::OnRecord(RecordContext& ctx) {
+  const core::Record& rec = ctx.record;
+  const std::string& collector = rec.collector;
+
+  if (rec.status != core::RecordStatus::Valid) {
+    if (rec.status == core::RecordStatus::Unsupported) return;
+    if (rec.dump_type == core::DumpType::Rib) {
+      AbortRib(collector);  // E1
+    } else {
+      CollectorUpdateCorrupt(collector);  // E3
+    }
+    return;
+  }
+
+  if (rec.dump_type == core::DumpType::Rib) {
+    if (rec.position == core::DumpPosition::Start) BeginRib(collector);
+    for (const auto& elem : ctx.elems) {
+      if (elem.type == core::ElemType::RibEntry) ApplyRibElem(collector, elem);
+    }
+    if (rec.position == core::DumpPosition::End) EndRib(collector);
+    return;
+  }
+
+  for (const auto& elem : ctx.elems) ApplyUpdateElem(collector, elem);
+}
+
+void RoutingTables::Touch(VpTable& vp, const Prefix& prefix) {
+  if (vp.dirty.count(prefix)) return;  // keep the earliest pre-bin value
+  auto it = vp.main.find(prefix);
+  vp.dirty.emplace(prefix, it == vp.main.end() ? RtCell{} : it->second);
+}
+
+namespace {
+// Content equality ignoring the bookkeeping timestamp: a cell whose route
+// did not actually change publishes no diff.
+bool SameContent(const RtCell& a, const RtCell& b) {
+  if (a.announced != b.announced) return false;
+  if (!a.announced) return true;  // two withdrawn cells are equivalent
+  return a.as_path == b.as_path && a.communities == b.communities;
+}
+}  // namespace
+
+void RoutingTables::OnBinEnd(Timestamp bin_start, Timestamp /*bin_end*/) {
+  std::vector<DiffCell> diffs;
+  for (auto& [key, vp] : vps_) {
+    for (const auto& [prefix, old_cell] : vp.dirty) {
+      auto it = vp.main.find(prefix);
+      if (it == vp.main.end()) continue;
+      if (SameContent(old_cell, it->second)) continue;  // reverted in-bin
+      diffs.push_back(DiffCell{key, prefix, it->second});
+    }
+    vp.dirty.clear();
+  }
+  bin_stats_.push_back(RtBinStats{bin_start, bin_elems_, diffs.size()});
+  bin_elems_ = 0;
+  ++bins_seen_;
+
+  if (on_diffs_) on_diffs_(bin_start, diffs);
+  if (on_snapshot_ && options_.snapshot_every_bins != 0 &&
+      bins_seen_ % options_.snapshot_every_bins == 0) {
+    for (const auto& [key, vp] : vps_) {
+      on_snapshot_(bin_start, key, table(key));
+    }
+  }
+}
+
+VpState RoutingTables::state(const VpKey& vp) const {
+  auto it = vps_.find(vp);
+  return it == vps_.end() ? VpState::Down : it->second.state;
+}
+
+std::map<Prefix, RtCell> RoutingTables::table(const VpKey& vp) const {
+  std::map<Prefix, RtCell> out;
+  auto it = vps_.find(vp);
+  if (it == vps_.end()) return out;
+  for (const auto& [prefix, cell] : it->second.main) {
+    if (cell.announced) out.emplace(prefix, cell);
+  }
+  return out;
+}
+
+std::vector<VpKey> RoutingTables::vps() const {
+  std::vector<VpKey> out;
+  out.reserve(vps_.size());
+  for (const auto& [key, _] : vps_) out.push_back(key);
+  return out;
+}
+
+}  // namespace bgps::corsaro

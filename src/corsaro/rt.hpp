@@ -1,0 +1,136 @@
+// routing-tables (RT) plugin (paper §6.2.1–6.2.2).
+//
+// Reconstructs the observable Loc-RIB of every VP at fine time
+// granularity: a RIB dump seeds the table, Updates dumps evolve it, and
+// subsequent RIB dumps sanity-check and correct it. State and routes live
+// in a prefix × VP "matrix"; each cell carries the reachability
+// attributes, the last-modified timestamp and an A/W flag. A shadow cell
+// stages records of an in-progress RIB dump until its last record is seen
+// (events E1–E4 of the paper are all implemented; see rt_fsm.hpp for the
+// per-VP FSM).
+//
+// At the end of each time bin the plugin emits diff cells — only the
+// changed portion of each VP's table (§6.2.2) — plus periodic full
+// snapshots consumers can bootstrap from.
+#pragma once
+
+#include <map>
+
+#include "corsaro/plugin.hpp"
+#include "corsaro/rt_fsm.hpp"
+
+namespace bgps::corsaro {
+
+struct VpKey {
+  std::string collector;
+  bgp::Asn peer = 0;
+  auto operator<=>(const VpKey&) const = default;
+};
+
+// One cell of the prefix × VP matrix.
+struct RtCell {
+  bgp::AsPath as_path;
+  bgp::Communities communities;
+  Timestamp last_modified = 0;
+  bool announced = false;  // A/W flag
+
+  bool operator==(const RtCell&) const = default;
+};
+
+// A changed cell published at the end of a bin.
+struct DiffCell {
+  VpKey vp;
+  Prefix prefix;
+  RtCell cell;  // announced == false -> the prefix was withdrawn
+};
+
+struct RtBinStats {
+  Timestamp bin_start = 0;
+  size_t elems = 0;       // announcement/withdrawal elems seen in the bin
+  size_t diff_cells = 0;  // cells that changed in the bin
+};
+
+struct RoutingTablesOptions {
+  // Emit a full snapshot every N bins (0 = never) — consumers use these
+  // to (re)synchronize before applying diffs (§6.2.2).
+  size_t snapshot_every_bins = 0;
+  // Declare a VP down when a RIB dump contains none of its routes
+  // (the paper's mitigation for RouteViews' missing state messages).
+  bool down_if_absent_from_rib = true;
+};
+
+class RoutingTables : public Plugin {
+ public:
+  using Options = RoutingTablesOptions;
+
+  using DiffCallback =
+      std::function<void(Timestamp bin_start, const std::vector<DiffCell>&)>;
+  using SnapshotCallback = std::function<void(
+      Timestamp bin_start, const VpKey&, const std::map<Prefix, RtCell>&)>;
+
+  explicit RoutingTables(Options options = {});
+
+  std::string_view name() const override { return "routing-tables"; }
+  void OnRecord(RecordContext& ctx) override;
+  void OnBinEnd(Timestamp bin_start, Timestamp bin_end) override;
+
+  void set_diff_callback(DiffCallback cb) { on_diffs_ = std::move(cb); }
+  void set_snapshot_callback(SnapshotCallback cb) { on_snapshot_ = std::move(cb); }
+
+  // --- introspection (consumers, tests, benches) ---
+  VpState state(const VpKey& vp) const;
+  // Announced cells only (the reconstructed routing table).
+  std::map<Prefix, RtCell> table(const VpKey& vp) const;
+  std::vector<VpKey> vps() const;
+  const std::vector<RtBinStats>& bin_stats() const { return bin_stats_; }
+
+  // Accuracy counters (§6.2.1): mismatches between the table evolved from
+  // updates and the ground truth of the next RIB dump, over all compared
+  // prefixes.
+  size_t rib_compared_prefixes() const { return rib_compared_; }
+  size_t rib_mismatches() const { return rib_mismatches_; }
+
+ private:
+  struct VpTable {
+    VpState state = VpState::Down;
+    std::map<Prefix, RtCell> main;
+    std::map<Prefix, RtCell> shadow;
+    bool in_current_rib = false;  // saw entries in the in-progress RIB dump
+    // Cells touched this bin, with their value at the start of the bin —
+    // a diff is emitted only if the content actually changed, so a flap
+    // that reverts within one bin publishes nothing (§6.2.2 redundancy
+    // elimination).
+    std::map<Prefix, RtCell> dirty;
+  };
+
+  // Marks `prefix` as touched, remembering its pre-bin value.
+  static void Touch(VpTable& vp, const Prefix& prefix);
+
+  // Per-collector bookkeeping for the in-progress RIB dump.
+  struct RibProgress {
+    bool active = false;
+    bool corrupt = false;  // E1 latch
+  };
+
+  VpTable& Vp(const VpKey& key);
+  void Transition(VpTable& vp, VpInput input);
+  void ApplyUpdateElem(const std::string& collector, const core::Elem& elem);
+  void ApplyRibElem(const std::string& collector, const core::Elem& elem);
+  void BeginRib(const std::string& collector);
+  void EndRib(const std::string& collector);
+  void AbortRib(const std::string& collector);
+  void CollectorUpdateCorrupt(const std::string& collector);
+
+  Options options_;
+  std::map<VpKey, VpTable> vps_;
+  std::map<std::string, RibProgress> rib_progress_;
+  std::vector<RtBinStats> bin_stats_;
+  size_t bin_elems_ = 0;
+  size_t bins_seen_ = 0;
+  size_t rib_compared_ = 0;
+  size_t rib_mismatches_ = 0;
+  DiffCallback on_diffs_;
+  SnapshotCallback on_snapshot_;
+};
+
+}  // namespace bgps::corsaro

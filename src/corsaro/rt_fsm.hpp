@@ -1,0 +1,78 @@
+// Finite state machine for VP routing-table reconstruction
+// (paper §6.2.1, Figure 8).
+//
+// Two macro-states: "consistent routing table" (up, up-RIB-application)
+// and "unavailable routing table" (down, down-RIB-application). Kept as a
+// standalone pure function so the transition table is exhaustively
+// testable.
+#pragma once
+
+#include <cstdint>
+
+namespace bgps::corsaro {
+
+enum class VpState : uint8_t {
+  Down,                // (1) no consistent table
+  DownRibApplication,  // (2) first RIB dump being applied
+  Up,                  // (3) table consistent
+  UpRibApplication,    // (4) table consistent, new RIB staging into shadow
+};
+
+enum class VpInput : uint8_t {
+  RibStart,          // a RIB dump including this VP began
+  RibEnd,            // that RIB dump ended cleanly (shadow merged)
+  RibCorrupt,        // E1: a record of the RIB dump was corrupted
+  UpdateCorrupt,     // E3: a corrupted Updates dump record was received
+  StateEstablished,  // E4: state message with the Established code
+  StateDown,         // E4: any other state message
+  Update,            // ordinary announcement/withdrawal
+};
+
+const char* VpStateName(VpState s);
+
+// Transition function of Figure 8.
+constexpr VpState VpNextState(VpState state, VpInput input) {
+  switch (input) {
+    case VpInput::UpdateCorrupt:
+      return VpState::Down;  // E3: stop applying updates, wait for a RIB
+    case VpInput::StateEstablished:
+      // E4: session (re-)established. A table is only *consistent* once a
+      // RIB has been applied, so from Down this starts a fresh wait; from
+      // RIB-application states the dump keeps staging.
+      return state == VpState::Down ? VpState::Up : state;
+    case VpInput::StateDown:
+      return VpState::Down;
+    case VpInput::RibStart:
+      switch (state) {
+        case VpState::Down: return VpState::DownRibApplication;
+        case VpState::Up: return VpState::UpRibApplication;
+        default: return state;  // nested RIB starts are idempotent
+      }
+    case VpInput::RibEnd:
+      switch (state) {
+        case VpState::DownRibApplication:
+        case VpState::UpRibApplication:
+          return VpState::Up;
+        default:
+          return state;
+      }
+    case VpInput::RibCorrupt:
+      // E1: discard the staged dump; fall back to the macro-state the VP
+      // was in before the dump began.
+      switch (state) {
+        case VpState::DownRibApplication: return VpState::Down;
+        case VpState::UpRibApplication: return VpState::Up;
+        default: return state;
+      }
+    case VpInput::Update:
+      return state;
+  }
+  return state;
+}
+
+// True when the reconstructed table is usable (macro-state "consistent").
+constexpr bool VpTableConsistent(VpState s) {
+  return s == VpState::Up || s == VpState::UpRibApplication;
+}
+
+}  // namespace bgps::corsaro

@@ -1,0 +1,283 @@
+#include "exabgp/exabgp.hpp"
+
+#include <fstream>
+
+#include "mrt/file.hpp"
+
+namespace bgps::exabgp {
+namespace {
+
+const char* AfiName(IpFamily f) {
+  return f == IpFamily::V4 ? "ipv4 unicast" : "ipv6 unicast";
+}
+
+Json EncodeAttributes(const bgp::PathAttributes& attrs) {
+  Json a = Json::MakeObject();
+  a.Set("origin", Json::MakeString(
+                      attrs.origin == bgp::Origin::Igp       ? "igp"
+                      : attrs.origin == bgp::Origin::Egp     ? "egp"
+                                                             : "incomplete"));
+  Json path = Json::MakeArray();
+  for (bgp::Asn asn : attrs.as_path.hops())
+    path.Append(Json::MakeNumber(double(asn)));
+  a.Set("as-path", std::move(path));
+  if (attrs.local_pref)
+    a.Set("local-preference", Json::MakeNumber(double(*attrs.local_pref)));
+  if (attrs.med) a.Set("med", Json::MakeNumber(double(*attrs.med)));
+  if (!attrs.communities.empty()) {
+    Json comms = Json::MakeArray();
+    for (bgp::Community c : attrs.communities) {
+      Json pair = Json::MakeArray();
+      pair.Append(Json::MakeNumber(c.asn()));
+      pair.Append(Json::MakeNumber(c.value()));
+      comms.Append(std::move(pair));
+    }
+    a.Set("community", std::move(comms));
+  }
+  return a;
+}
+
+Status DecodeAttributes(const Json& a, bgp::PathAttributes* attrs) {
+  const std::string& origin = a["origin"].as_string();
+  attrs->origin = origin == "egp"          ? bgp::Origin::Egp
+                  : origin == "incomplete" ? bgp::Origin::Incomplete
+                                           : bgp::Origin::Igp;
+  if (a["as-path"].is_array()) {
+    std::vector<bgp::Asn> hops;
+    for (const Json& hop : a["as-path"].array()) {
+      if (!hop.is_number()) return CorruptError("non-numeric as-path hop");
+      hops.push_back(bgp::Asn(hop.as_int()));
+    }
+    attrs->as_path = bgp::AsPath::Sequence(std::move(hops));
+  }
+  if (a["local-preference"].is_number())
+    attrs->local_pref = uint32_t(a["local-preference"].as_int());
+  if (a["med"].is_number()) attrs->med = uint32_t(a["med"].as_int());
+  if (a["community"].is_array()) {
+    for (const Json& pair : a["community"].array()) {
+      if (!pair.is_array() || pair.size() != 2)
+        return CorruptError("bad community pair");
+      attrs->communities.push_back(
+          bgp::Community(uint16_t(pair.array()[0].as_int()),
+                         uint16_t(pair.array()[1].as_int())));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string EncodeLine(const ExaBgpMessage& msg) {
+  Json root = Json::MakeObject();
+  root.Set("exabgp", Json::MakeString("4.0.1"));
+  root.Set("time", Json::MakeNumber(double(msg.time)));
+  Json neighbor = Json::MakeObject();
+  {
+    Json address = Json::MakeObject();
+    address.Set("local", Json::MakeString(msg.local_address.ToString()));
+    address.Set("peer", Json::MakeString(msg.peer_address.ToString()));
+    neighbor.Set("address", std::move(address));
+    Json asn = Json::MakeObject();
+    asn.Set("local", Json::MakeNumber(double(msg.local_asn)));
+    asn.Set("peer", Json::MakeNumber(double(msg.peer_asn)));
+    neighbor.Set("asn", std::move(asn));
+  }
+
+  if (msg.kind == ExaBgpMessage::Kind::State) {
+    root.Set("type", Json::MakeString("state"));
+    neighbor.Set("state",
+                 Json::MakeString(msg.state == bgp::FsmState::Established
+                                      ? "up"
+                                      : "down"));
+    root.Set("neighbor", std::move(neighbor));
+    return root.Dump();
+  }
+
+  root.Set("type", Json::MakeString("update"));
+  Json update = Json::MakeObject();
+  update.Set("attribute", EncodeAttributes(msg.update.attrs));
+
+  // Announcements grouped by family and next hop, ExaBGP-style.
+  Json announce = Json::MakeObject();
+  auto add_announce = [&](IpFamily family, const IpAddress& next_hop,
+                          const std::vector<Prefix>& prefixes) {
+    if (prefixes.empty()) return;
+    Json nlris = Json::MakeArray();
+    for (const Prefix& p : prefixes) {
+      Json entry = Json::MakeObject();
+      entry.Set("nlri", Json::MakeString(p.ToString()));
+      nlris.Append(std::move(entry));
+    }
+    Json by_nh = Json::MakeObject();
+    by_nh.Set(next_hop.ToString(), std::move(nlris));
+    announce.Set(AfiName(family), std::move(by_nh));
+  };
+  if (!msg.update.announced.empty()) {
+    IpAddress nh = msg.update.attrs.next_hop.value_or(msg.peer_address);
+    add_announce(IpFamily::V4, nh, msg.update.announced);
+  }
+  if (msg.update.attrs.mp_reach) {
+    add_announce(IpFamily::V6, msg.update.attrs.mp_reach->next_hop,
+                 msg.update.attrs.mp_reach->nlri);
+  }
+  if (announce.size() > 0) update.Set("announce", std::move(announce));
+
+  Json withdraw = Json::MakeObject();
+  auto add_withdraw = [&](IpFamily family,
+                          const std::vector<Prefix>& prefixes) {
+    if (prefixes.empty()) return;
+    Json nlris = Json::MakeArray();
+    for (const Prefix& p : prefixes) {
+      Json entry = Json::MakeObject();
+      entry.Set("nlri", Json::MakeString(p.ToString()));
+      nlris.Append(std::move(entry));
+    }
+    withdraw.Set(AfiName(family), std::move(nlris));
+  };
+  add_withdraw(IpFamily::V4, msg.update.withdrawn);
+  if (msg.update.attrs.mp_unreach)
+    add_withdraw(IpFamily::V6, msg.update.attrs.mp_unreach->withdrawn);
+  if (withdraw.size() > 0) update.Set("withdraw", std::move(withdraw));
+
+  Json message = Json::MakeObject();
+  message.Set("update", std::move(update));
+  neighbor.Set("message", std::move(message));
+  root.Set("neighbor", std::move(neighbor));
+  return root.Dump();
+}
+
+Result<ExaBgpMessage> DecodeLine(const std::string& line) {
+  BGPS_ASSIGN_OR_RETURN(Json root, Json::Parse(line));
+  if (!root.is_object()) return CorruptError("ExaBGP line is not an object");
+  ExaBgpMessage msg;
+  msg.time = Timestamp(root["time"].as_number());
+  const Json& neighbor = root["neighbor"];
+  BGPS_ASSIGN_OR_RETURN(
+      msg.peer_address,
+      IpAddress::Parse(neighbor["address"]["peer"].as_string()));
+  if (neighbor["address"]["local"].is_string()) {
+    BGPS_ASSIGN_OR_RETURN(
+        msg.local_address,
+        IpAddress::Parse(neighbor["address"]["local"].as_string()));
+  }
+  msg.peer_asn = bgp::Asn(neighbor["asn"]["peer"].as_int());
+  msg.local_asn = bgp::Asn(neighbor["asn"]["local"].as_int());
+
+  const std::string& type = root["type"].as_string();
+  if (type == "state") {
+    msg.kind = ExaBgpMessage::Kind::State;
+    msg.state = neighbor["state"].as_string() == "up"
+                    ? bgp::FsmState::Established
+                    : bgp::FsmState::Idle;
+    return msg;
+  }
+  if (type != "update") return UnsupportedError("ExaBGP type " + type);
+
+  msg.kind = ExaBgpMessage::Kind::Update;
+  const Json& update = neighbor["message"]["update"];
+  BGPS_RETURN_IF_ERROR(DecodeAttributes(update["attribute"], &msg.update.attrs));
+
+  const Json& announce = update["announce"];
+  if (announce["ipv4 unicast"].is_object()) {
+    for (const auto& [next_hop, nlris] : announce["ipv4 unicast"].object()) {
+      BGPS_ASSIGN_OR_RETURN(IpAddress nh, IpAddress::Parse(next_hop));
+      msg.update.attrs.next_hop = nh;
+      for (const Json& entry : nlris.array()) {
+        BGPS_ASSIGN_OR_RETURN(Prefix p,
+                              Prefix::Parse(entry["nlri"].as_string()));
+        msg.update.announced.push_back(p);
+      }
+    }
+  }
+  if (announce["ipv6 unicast"].is_object()) {
+    bgp::MpReach mp;
+    for (const auto& [next_hop, nlris] : announce["ipv6 unicast"].object()) {
+      BGPS_ASSIGN_OR_RETURN(mp.next_hop, IpAddress::Parse(next_hop));
+      for (const Json& entry : nlris.array()) {
+        BGPS_ASSIGN_OR_RETURN(Prefix p,
+                              Prefix::Parse(entry["nlri"].as_string()));
+        mp.nlri.push_back(p);
+      }
+    }
+    if (!mp.nlri.empty()) msg.update.attrs.mp_reach = std::move(mp);
+  }
+
+  const Json& withdraw = update["withdraw"];
+  if (withdraw["ipv4 unicast"].is_array()) {
+    for (const Json& entry : withdraw["ipv4 unicast"].array()) {
+      BGPS_ASSIGN_OR_RETURN(Prefix p,
+                            Prefix::Parse(entry["nlri"].as_string()));
+      msg.update.withdrawn.push_back(p);
+    }
+  }
+  if (withdraw["ipv6 unicast"].is_array()) {
+    bgp::MpUnreach mp;
+    for (const Json& entry : withdraw["ipv6 unicast"].array()) {
+      BGPS_ASSIGN_OR_RETURN(Prefix p,
+                            Prefix::Parse(entry["nlri"].as_string()));
+      mp.withdrawn.push_back(p);
+    }
+    if (!mp.withdrawn.empty()) msg.update.attrs.mp_unreach = std::move(mp);
+  }
+  return msg;
+}
+
+mrt::MrtMessage ToMrt(const ExaBgpMessage& msg) {
+  mrt::MrtMessage out;
+  out.timestamp = msg.time;
+  if (msg.kind == ExaBgpMessage::Kind::State) {
+    mrt::Bgp4mpStateChange sc;
+    sc.peer_asn = msg.peer_asn;
+    sc.local_asn = msg.local_asn;
+    sc.peer_address = msg.peer_address;
+    sc.local_address = msg.local_address;
+    sc.old_state = msg.state == bgp::FsmState::Established
+                       ? bgp::FsmState::OpenConfirm
+                       : bgp::FsmState::Established;
+    sc.new_state = msg.state;
+    out.body = sc;
+    return out;
+  }
+  mrt::Bgp4mpMessage m;
+  m.peer_asn = msg.peer_asn;
+  m.local_asn = msg.local_asn;
+  m.peer_address = msg.peer_address;
+  m.local_address = msg.local_address;
+  m.message_type = bgp::MessageType::Update;
+  m.update = msg.update;
+  out.body = std::move(m);
+  return out;
+}
+
+Bytes EncodeAsMrt(const ExaBgpMessage& msg) {
+  if (msg.kind == ExaBgpMessage::Kind::State) {
+    return mrt::EncodeBgp4mpStateChange(
+        msg.time, std::get<mrt::Bgp4mpStateChange>(ToMrt(msg).body));
+  }
+  return mrt::EncodeBgp4mpUpdate(msg.time,
+                                 std::get<mrt::Bgp4mpMessage>(ToMrt(msg).body));
+}
+
+Result<TranscodeStats> TranscodeExaBgpToMrt(const std::string& json_path,
+                                            const std::string& mrt_path) {
+  std::ifstream in(json_path);
+  if (!in.is_open()) return IoError("cannot open " + json_path);
+  mrt::MrtFileWriter writer;
+  BGPS_RETURN_IF_ERROR(writer.Open(mrt_path));
+  TranscodeStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto msg = DecodeLine(line);
+    if (!msg.ok()) {
+      ++stats.skipped;
+      continue;
+    }
+    BGPS_RETURN_IF_ERROR(writer.Write(EncodeAsMrt(*msg)));
+    ++stats.converted;
+  }
+  BGPS_RETURN_IF_ERROR(writer.Close());
+  return stats;
+}
+
+}  // namespace bgps::exabgp

@@ -1,0 +1,63 @@
+// ExaBGP JSON data format (paper §7: "We plan to release new features in
+// the near future, including support for more data formats (e.g., JSON
+// exports from ExaBGP)").
+//
+// Implements the ExaBGP v4-style per-line JSON encoding of BGP updates
+// and session state changes, a decoder into the same UpdateMessage /
+// FsmState model the MRT path uses, and a transcoder to MRT so every
+// downstream component (stream, BGPCorsaro, RT plugin) consumes ExaBGP
+// feeds unchanged.
+//
+// Message shapes handled (one JSON object per line):
+//   {"exabgp":"4.0.1","time":T,"type":"update","neighbor":{
+//      "address":{"local":L,"peer":P},"asn":{"local":LA,"peer":PA},
+//      "message":{"update":{
+//        "attribute":{"origin":"igp","as-path":[..],"local-preference":N,
+//                     "med":N,"community":[[a,b],..]},
+//        "announce":{"ipv4 unicast":{"<next-hop>":[{"nlri":"p/len"},..]},
+//                    "ipv6 unicast":{...}},
+//        "withdraw":{"ipv4 unicast":[{"nlri":"p/len"},..]}}}}}
+//   {"exabgp":"4.0.1","time":T,"type":"state","neighbor":{...,
+//      "state":"up"|"down"}}
+#pragma once
+
+#include "exabgp/json.hpp"
+#include "mrt/mrt.hpp"
+
+namespace bgps::exabgp {
+
+struct ExaBgpMessage {
+  enum class Kind { Update, State };
+
+  Kind kind = Kind::Update;
+  Timestamp time = 0;
+  IpAddress peer_address;
+  IpAddress local_address;
+  bgp::Asn peer_asn = 0;
+  bgp::Asn local_asn = 0;
+  // Update messages:
+  bgp::UpdateMessage update;
+  // State messages ("up" -> Established, "down" -> Idle):
+  bgp::FsmState state = bgp::FsmState::Unknown;
+};
+
+// One JSON line per message.
+std::string EncodeLine(const ExaBgpMessage& msg);
+Result<ExaBgpMessage> DecodeLine(const std::string& line);
+
+// Converts to the MRT record model (BGP4MP MESSAGE_AS4 / STATE_CHANGE_AS4)
+// so ExaBGP feeds flow through the standard pipeline.
+mrt::MrtMessage ToMrt(const ExaBgpMessage& msg);
+Bytes EncodeAsMrt(const ExaBgpMessage& msg);
+
+// Transcodes a file of JSON lines into an MRT dump file. Returns the
+// number of messages converted; malformed lines are counted and skipped
+// (consistent with the tolerant-parse policy of §3.3.3).
+struct TranscodeStats {
+  size_t converted = 0;
+  size_t skipped = 0;
+};
+Result<TranscodeStats> TranscodeExaBgpToMrt(const std::string& json_path,
+                                            const std::string& mrt_path);
+
+}  // namespace bgps::exabgp

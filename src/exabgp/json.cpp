@@ -1,0 +1,297 @@
+#include "exabgp/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace bgps::exabgp {
+namespace {
+
+const Json& NullJson() {
+  static const Json null;
+  return null;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    BGPS_ASSIGN_OR_RETURN(Json v, Value());
+    SkipWs();
+    if (pos_ != text_.size()) return CorruptError("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(uint8_t(text_[pos_]))) ++pos_;
+  }
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> Value() {
+    if (pos_ >= text_.size()) return CorruptError("unexpected end of JSON");
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') {
+      BGPS_ASSIGN_OR_RETURN(std::string s, String());
+      return Json::MakeString(std::move(s));
+    }
+    if (c == 't' || c == 'f') return Bool();
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") == 0) {
+        pos_ += 4;
+        return Json();
+      }
+      return CorruptError("bad JSON literal");
+    }
+    return Number();
+  }
+
+  Result<Json> Object() {
+    ++pos_;  // '{'
+    Json obj = Json::MakeObject();
+    SkipWs();
+    if (Eat('}')) return obj;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return CorruptError("expected object key");
+      BGPS_ASSIGN_OR_RETURN(std::string key, String());
+      SkipWs();
+      if (!Eat(':')) return CorruptError("expected ':'");
+      SkipWs();
+      BGPS_ASSIGN_OR_RETURN(Json value, Value());
+      obj.Set(key, std::move(value));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return obj;
+      return CorruptError("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> Array() {
+    ++pos_;  // '['
+    Json arr = Json::MakeArray();
+    SkipWs();
+    if (Eat(']')) return arr;
+    while (true) {
+      SkipWs();
+      BGPS_ASSIGN_OR_RETURN(Json value, Value());
+      arr.Append(std::move(value));
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return arr;
+      return CorruptError("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> String() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // BMP escapes only (enough for ExaBGP output: ASCII hostnames).
+          if (pos_ + 4 > text_.size()) return CorruptError("bad \\u escape");
+          unsigned code = 0;
+          auto [p, ec] = std::from_chars(text_.data() + pos_,
+                                         text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || p != text_.data() + pos_ + 4)
+            return CorruptError("bad \\u escape");
+          pos_ += 4;
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return CorruptError("bad escape");
+      }
+    }
+    return CorruptError("unterminated string");
+  }
+
+  Result<Json> Bool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json::MakeBool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json::MakeBool(false);
+    }
+    return CorruptError("bad JSON literal");
+  }
+
+  Result<Json> Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(uint8_t(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return CorruptError("bad number");
+    double value = 0;
+    std::string token = text_.substr(start, pos_ - start);
+    try {
+      value = std::stod(token);
+    } catch (...) {
+      return CorruptError("bad number: " + token);
+    }
+    return Json::MakeNumber(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void DumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Json Json::MakeBool(bool b) {
+  Json j;
+  j.type_ = Type::Bool;
+  j.bool_ = b;
+  return j;
+}
+Json Json::MakeNumber(double n) {
+  Json j;
+  j.type_ = Type::Number;
+  j.number_ = n;
+  return j;
+}
+Json Json::MakeString(std::string s) {
+  Json j;
+  j.type_ = Type::String;
+  j.string_ = std::move(s);
+  return j;
+}
+Json Json::MakeArray() {
+  Json j;
+  j.type_ = Type::Array;
+  return j;
+}
+Json Json::MakeObject() {
+  Json j;
+  j.type_ = Type::Object;
+  return j;
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  auto it = object_.find(key);
+  return it == object_.end() ? NullJson() : it->second;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  object_[key] = std::move(value);
+  return *this;
+}
+
+bool Json::has(const std::string& key) const {
+  return object_.count(key) != 0;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::Null: out = "null"; break;
+    case Type::Bool: out = bool_ ? "true" : "false"; break;
+    case Type::Number: {
+      char buf[32];
+      // Integers render without a decimal point (ASNs, timestamps).
+      if (number_ == double(int64_t(number_))) {
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)(number_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.6f", number_);
+      }
+      out = buf;
+      break;
+    }
+    case Type::String: DumpString(string_, out); break;
+    case Type::Array: {
+      out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        out += array_[i].Dump();
+      }
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        DumpString(key, out);
+        out += ':';
+        out += value.Dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace bgps::exabgp

@@ -1,0 +1,69 @@
+// Minimal JSON value model + parser/writer.
+//
+// Supports the subset ExaBGP's JSON encoder emits (objects, arrays,
+// strings with escapes, numbers, booleans, null). No external
+// dependencies; parse errors surface as Status like every other decoder
+// in this codebase.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bgps::exabgp {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  static Json MakeBool(bool b);
+  static Json MakeNumber(double n);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_number() const { return type_ == Type::Number; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  int64_t as_int() const { return int64_t(number_); }
+  const std::string& as_string() const { return string_; }
+
+  // Object access; returns a shared null for missing keys so chained
+  // lookups are safe: msg["neighbor"]["asn"]["peer"].
+  const Json& operator[](const std::string& key) const;
+  Json& Set(const std::string& key, Json value);
+  bool has(const std::string& key) const;
+  const std::map<std::string, Json>& object() const { return object_; }
+
+  // Array access.
+  const std::vector<Json>& array() const { return array_; }
+  void Append(Json value) { array_.push_back(std::move(value)); }
+  size_t size() const {
+    return type_ == Type::Array ? array_.size() : object_.size();
+  }
+
+  // Compact serialization (stable key order: std::map).
+  std::string Dump() const;
+
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace bgps::exabgp

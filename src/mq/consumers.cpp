@@ -1,0 +1,147 @@
+#include "mq/consumers.hpp"
+
+#include <algorithm>
+
+namespace bgps::mq {
+
+GlobalViewConsumer::GlobalViewConsumer(Cluster* cluster,
+                                       std::vector<std::string> collectors,
+                                       std::string ready_topic, GeoFn geo,
+                                       Options options)
+    : cluster_(cluster),
+      geo_(std::move(geo)),
+      options_(options),
+      ready_(cluster, std::move(ready_topic)) {
+  rt_consumers_.reserve(collectors.size());
+  for (const auto& c : collectors)
+    rt_consumers_.emplace_back(cluster, RtTopic(c));
+  pending_.resize(rt_consumers_.size());
+}
+
+void GlobalViewConsumer::Apply(const Message& msg) {
+  auto kind = PeekKind(msg.value);
+  if (!kind.ok()) return;
+  if (*kind == RtMessageKind::Snapshot) {
+    auto snap = DecodeSnapshotMessage(msg.value);
+    if (!snap.ok()) return;
+    view_[snap->vp] = std::move(snap->table);
+    return;
+  }
+  auto diff = DecodeDiffMessage(msg.value);
+  if (!diff.ok()) return;
+  for (const auto& cell : diff->diffs) {
+    auto& table = view_[cell.vp];
+    if (cell.cell.announced) {
+      table[cell.prefix] = cell.cell;
+    } else {
+      table.erase(cell.prefix);
+    }
+  }
+}
+
+void GlobalViewConsumer::DetectChange(Timestamp bin, const std::string& key,
+                                      size_t value) {
+  auto& h = history_[key];
+  if (h.size() >= 3) {  // need some baseline before alarming
+    size_t window = std::min(h.size(), options_.median_window);
+    std::vector<size_t> recent(h.end() - long(window), h.end());
+    std::nth_element(recent.begin(), recent.begin() + long(window / 2),
+                     recent.end());
+    double median = double(recent[window / 2]);
+    if (median > 0 && double(value) < options_.drop_fraction * median) {
+      alarms_.push_back(OutageAlarm{bin, key, value, median});
+    }
+  }
+  h.push_back(value);
+  if (h.size() > 4 * options_.median_window) h.erase(h.begin());
+}
+
+void GlobalViewConsumer::ProcessBin(Timestamp bin_start) {
+  // Full-feed inference (Fig. 5a definition).
+  size_t max_table = 0;
+  for (const auto& [vp, table] : view_)
+    max_table = std::max(max_table, table.size());
+  if (max_table == 0) return;
+  std::vector<const std::map<Prefix, corsaro::RtCell>*> full_feeds;
+  for (const auto& [vp, table] : view_) {
+    if (double(table.size()) >=
+        (1.0 - options_.full_feed_tolerance) * double(max_table))
+      full_feeds.push_back(&table);
+  }
+  if (full_feeds.empty()) return;
+
+  // Per-prefix visibility and origin across full-feed VPs.
+  std::map<Prefix, size_t> seen_by;
+  std::map<Prefix, bgp::Asn> origin_of;
+  for (const auto* table : full_feeds) {
+    for (const auto& [prefix, cell] : *table) {
+      ++seen_by[prefix];
+      if (auto o = cell.as_path.origin_asn()) origin_of[prefix] = *o;
+    }
+  }
+  const size_t quorum = std::max<size_t>(
+      1, size_t(options_.visibility_quorum * double(full_feeds.size())));
+
+  std::map<std::string, size_t> per_country;
+  std::map<bgp::Asn, size_t> per_as;
+  for (const auto& [prefix, count] : seen_by) {
+    if (count < quorum) continue;
+    auto it = origin_of.find(prefix);
+    if (it == origin_of.end()) continue;
+    ++per_as[it->second];
+    if (geo_) ++per_country[geo_(it->second)];
+  }
+
+  // Keys seen in past bins but absent now dropped to zero — an outage must
+  // produce an explicit zero point, not a hole in the series.
+  for (const auto& [key, _] : history_) {
+    bool is_as = key.rfind("AS", 0) == 0;
+    if (is_as) {
+      bgp::Asn asn = bgp::Asn(std::stoul(key.substr(2)));
+      per_as.emplace(asn, 0);
+    } else {
+      per_country.emplace(key, 0);
+    }
+  }
+
+  for (const auto& [country, n] : per_country) {
+    country_rows_.push_back(VisibilityRow{bin_start, country, n});
+    DetectChange(bin_start, country, n);
+  }
+  for (const auto& [asn, n] : per_as) {
+    std::string key = "AS" + std::to_string(asn);
+    as_rows_.push_back(VisibilityRow{bin_start, key, n});
+    DetectChange(bin_start, key, n);
+  }
+}
+
+size_t GlobalViewConsumer::Poll() {
+  size_t processed = 0;
+  for (const auto& marker_msg : ready_.Poll()) {
+    auto marker = DecodeReadyMarker(marker_msg.value);
+    if (!marker.ok()) continue;
+    // Advance the view exactly to the ready bin: per-topic order is bin
+    // order, so apply messages stamped at or before the bin and keep the
+    // rest for later markers.
+    for (size_t i = 0; i < rt_consumers_.size(); ++i) {
+      for (auto& msg : rt_consumers_[i].Poll())
+        pending_[i].push_back(std::move(msg));
+      while (!pending_[i].empty() &&
+             pending_[i].front().timestamp <= marker->bin_start) {
+        Apply(pending_[i].front());
+        pending_[i].pop_front();
+      }
+    }
+    ProcessBin(marker->bin_start);
+    ++processed;
+  }
+  return processed;
+}
+
+const std::map<Prefix, corsaro::RtCell>* GlobalViewConsumer::vp_table(
+    const corsaro::VpKey& vp) const {
+  auto it = view_.find(vp);
+  return it == view_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bgps::mq

@@ -1,0 +1,89 @@
+// Consumers (paper §6.2.4): near-realtime per-country and per-AS outage
+// detection over the reconstructed global view.
+//
+// A GlobalViewConsumer applies snapshots/diffs from the per-collector RT
+// topics, waits for its sync server's ready markers, and per ready bin
+// computes the number of prefixes visible per country and per origin AS
+// (only prefixes observed by full-feed VPs are counted, with full-feed
+// inferred as in Fig. 5a: within 20 percentage points of the largest
+// table). A change-point detector raises outage alarms on sharp drops —
+// the Fig. 10 Iraq timeline is exactly this consumer's output.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "mq/sync.hpp"
+
+namespace bgps::mq {
+
+// Maps an origin ASN to a country code (the sim's geolocation stand-in).
+using GeoFn = std::function<std::string(bgp::Asn)>;
+
+struct VisibilityRow {
+  Timestamp bin_start = 0;
+  std::string key;     // country code or "AS<asn>"
+  size_t visible_prefixes = 0;
+};
+
+struct OutageAlarm {
+  Timestamp bin_start = 0;
+  std::string key;
+  size_t value = 0;
+  double baseline = 0;  // median of the trailing window
+};
+
+struct GlobalViewOptions {
+  // A prefix counts as visible when at least this fraction of full-feed
+  // VPs currently announce it.
+  double visibility_quorum = 0.5;
+  // Full-feed inference: table size >= (1 - 0.20) * max table size.
+  double full_feed_tolerance = 0.20;
+  // Change-point: alarm when value < drop_fraction * trailing median.
+  double drop_fraction = 0.5;
+  size_t median_window = 12;  // bins
+};
+
+class GlobalViewConsumer {
+ public:
+  using Options = GlobalViewOptions;
+
+  GlobalViewConsumer(Cluster* cluster, std::vector<std::string> collectors,
+                     std::string ready_topic, GeoFn geo, Options options = {});
+
+  // Drains ready markers and processes each ready bin. Returns the number
+  // of bins processed.
+  size_t Poll();
+
+  const std::vector<VisibilityRow>& country_rows() const {
+    return country_rows_;
+  }
+  const std::vector<VisibilityRow>& as_rows() const { return as_rows_; }
+  const std::vector<OutageAlarm>& alarms() const { return alarms_; }
+
+  // Current reconstructed table of one VP (for tests).
+  const std::map<Prefix, corsaro::RtCell>* vp_table(
+      const corsaro::VpKey& vp) const;
+
+ private:
+  void Apply(const Message& msg);
+  void ProcessBin(Timestamp bin_start);
+  void DetectChange(Timestamp bin, const std::string& key, size_t value);
+
+  Cluster* cluster_;
+  GeoFn geo_;
+  Options options_;
+  std::vector<Consumer> rt_consumers_;
+  // Fetched but not-yet-applied messages per collector topic: the view is
+  // advanced only up to the bin being processed, so a consumer lagging
+  // behind the producers still computes each bin's true snapshot.
+  std::vector<std::deque<Message>> pending_;
+  Consumer ready_;
+  std::map<corsaro::VpKey, std::map<Prefix, corsaro::RtCell>> view_;
+  std::vector<VisibilityRow> country_rows_;
+  std::vector<VisibilityRow> as_rows_;
+  std::vector<OutageAlarm> alarms_;
+  std::map<std::string, std::vector<size_t>> history_;
+};
+
+}  // namespace bgps::mq

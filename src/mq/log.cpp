@@ -1,0 +1,73 @@
+#include "mq/log.hpp"
+
+namespace bgps::mq {
+
+Cluster::Topic& Cluster::GetOrCreate(const std::string& topic,
+                                     size_t partitions) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    Topic t;
+    t.parts.resize(partitions == 0 ? 1 : partitions);
+    it = topics_.emplace(topic, std::move(t)).first;
+  }
+  return it->second;
+}
+
+void Cluster::CreateTopic(const std::string& topic, size_t partitions) {
+  std::lock_guard lock(mu_);
+  GetOrCreate(topic, partitions);
+}
+
+uint64_t Cluster::Publish(const std::string& topic, size_t partition,
+                          Message message) {
+  std::lock_guard lock(mu_);
+  Topic& t = GetOrCreate(topic, 1);
+  Partition& p = t.parts.at(partition);
+  message.offset = p.log.size();
+  p.log.push_back(std::move(message));
+  return p.log.back().offset;
+}
+
+std::vector<Message> Cluster::Fetch(const std::string& topic, size_t partition,
+                                    uint64_t from_offset, size_t max) const {
+  std::lock_guard lock(mu_);
+  std::vector<Message> out;
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return out;
+  if (partition >= it->second.parts.size()) return out;
+  const auto& log = it->second.parts[partition].log;
+  for (uint64_t i = from_offset; i < log.size(); ++i) {
+    out.push_back(log[size_t(i)]);
+    if (max != 0 && out.size() >= max) break;
+  }
+  return out;
+}
+
+uint64_t Cluster::EndOffset(const std::string& topic, size_t partition) const {
+  std::lock_guard lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return 0;
+  if (partition >= it->second.parts.size()) return 0;
+  return it->second.parts[partition].log.size();
+}
+
+size_t Cluster::partitions(const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.parts.size();
+}
+
+std::vector<std::string> Cluster::topics() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : topics_) out.push_back(name);
+  return out;
+}
+
+std::vector<Message> Consumer::Poll(size_t max) {
+  auto msgs = cluster_->Fetch(topic_, partition_, offset_, max);
+  if (!msgs.empty()) offset_ = msgs.back().offset + 1;
+  return msgs;
+}
+
+}  // namespace bgps::mq

@@ -1,0 +1,85 @@
+// In-process Kafka stand-in (paper §6.2): named topics of partitioned,
+// offset-addressed, append-only message logs.
+//
+// Preserves the properties the architecture relies on: per-partition
+// ordering, offset-based consumption (many independent consumers), and
+// thread safety (BGPCorsaro producers and consumers may run on different
+// threads). Durability/replication are out of scope — the cluster lives
+// in memory.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace bgps::mq {
+
+struct Message {
+  std::string key;
+  Bytes value;
+  Timestamp timestamp = 0;
+  uint64_t offset = 0;  // assigned by the partition on append
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Creates the topic if needed. Partition counts are fixed at first use.
+  void CreateTopic(const std::string& topic, size_t partitions = 1);
+
+  // Appends and returns the assigned offset. Auto-creates 1-partition
+  // topics (like Kafka's auto.create.topics).
+  uint64_t Publish(const std::string& topic, size_t partition,
+                   Message message);
+
+  // Messages with offset >= `from_offset`, up to `max` (0 = all).
+  std::vector<Message> Fetch(const std::string& topic, size_t partition,
+                             uint64_t from_offset, size_t max = 0) const;
+
+  // Next offset to be assigned (== number of messages appended).
+  uint64_t EndOffset(const std::string& topic, size_t partition) const;
+
+  size_t partitions(const std::string& topic) const;
+  std::vector<std::string> topics() const;
+
+ private:
+  struct Partition {
+    std::vector<Message> log;
+  };
+  struct Topic {
+    std::vector<Partition> parts;
+  };
+
+  Topic& GetOrCreate(const std::string& topic, size_t partitions);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Topic> topics_;
+};
+
+// Offset-tracking consumer handle for one (topic, partition).
+class Consumer {
+ public:
+  Consumer(const Cluster* cluster, std::string topic, size_t partition = 0)
+      : cluster_(cluster), topic_(std::move(topic)), partition_(partition) {}
+
+  // Fetches everything new since the last Poll.
+  std::vector<Message> Poll(size_t max = 0);
+
+  uint64_t position() const { return offset_; }
+  void Seek(uint64_t offset) { offset_ = offset; }
+
+ private:
+  const Cluster* cluster_;
+  std::string topic_;
+  size_t partition_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace bgps::mq

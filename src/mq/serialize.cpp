@@ -1,0 +1,195 @@
+#include "mq/serialize.hpp"
+
+#include "bgp/attrs.hpp"
+
+namespace bgps::mq {
+namespace {
+
+void WriteString(BufWriter& w, const std::string& s) {
+  w.u16(uint16_t(s.size()));
+  w.str(s);
+}
+
+Result<std::string> ReadString(BufReader& r) {
+  BGPS_ASSIGN_OR_RETURN(uint16_t len, r.u16());
+  return r.str(len);
+}
+
+void WritePrefix(BufWriter& w, const Prefix& p) {
+  w.u8(p.family() == IpFamily::V4 ? 4 : 6);
+  bgp::EncodeNlriPrefix(w, p);
+}
+
+Result<Prefix> ReadPrefix(BufReader& r) {
+  BGPS_ASSIGN_OR_RETURN(uint8_t fam, r.u8());
+  if (fam != 4 && fam != 6) return CorruptError("bad prefix family");
+  return bgp::DecodeNlriPrefix(r, fam == 4 ? IpFamily::V4 : IpFamily::V6);
+}
+
+void WriteCell(BufWriter& w, const corsaro::RtCell& cell) {
+  w.u8(cell.announced ? 1 : 0);
+  w.u64(uint64_t(cell.last_modified));
+  // AS path as a flat hop list (the sim never emits sets in RT context,
+  // but sets survive via the bgpdump text form).
+  WriteString(w, cell.as_path.ToString());
+  w.u16(uint16_t(cell.communities.size()));
+  for (auto c : cell.communities) w.u32(c.raw());
+}
+
+Result<corsaro::RtCell> ReadCell(BufReader& r) {
+  corsaro::RtCell cell;
+  BGPS_ASSIGN_OR_RETURN(uint8_t announced, r.u8());
+  cell.announced = announced != 0;
+  BGPS_ASSIGN_OR_RETURN(uint64_t ts, r.u64());
+  cell.last_modified = Timestamp(ts);
+  BGPS_ASSIGN_OR_RETURN(std::string path, ReadString(r));
+  BGPS_ASSIGN_OR_RETURN(cell.as_path, bgp::AsPath::Parse(path));
+  BGPS_ASSIGN_OR_RETURN(uint16_t ncomm, r.u16());
+  for (int i = 0; i < ncomm; ++i) {
+    BGPS_ASSIGN_OR_RETURN(uint32_t raw, r.u32());
+    cell.communities.push_back(bgp::Community(raw));
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::string RtTopic(const std::string& collector) { return "rt." + collector; }
+
+Bytes EncodeDiffMessage(const RtDiffMessage& msg) {
+  BufWriter w;
+  w.u8(uint8_t(RtMessageKind::Diff));
+  WriteString(w, msg.collector);
+  w.u64(uint64_t(msg.bin_start));
+  w.u32(uint32_t(msg.diffs.size()));
+  for (const auto& d : msg.diffs) {
+    WriteString(w, d.vp.collector);
+    w.u32(d.vp.peer);
+    WritePrefix(w, d.prefix);
+    WriteCell(w, d.cell);
+  }
+  return w.take();
+}
+
+Result<RtDiffMessage> DecodeDiffMessage(const Bytes& data) {
+  BufReader r(data);
+  BGPS_ASSIGN_OR_RETURN(uint8_t kind, r.u8());
+  if (kind != uint8_t(RtMessageKind::Diff))
+    return CorruptError("not a diff message");
+  RtDiffMessage msg;
+  BGPS_ASSIGN_OR_RETURN(msg.collector, ReadString(r));
+  BGPS_ASSIGN_OR_RETURN(uint64_t ts, r.u64());
+  msg.bin_start = Timestamp(ts);
+  BGPS_ASSIGN_OR_RETURN(uint32_t n, r.u32());
+  msg.diffs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    corsaro::DiffCell d;
+    BGPS_ASSIGN_OR_RETURN(d.vp.collector, ReadString(r));
+    BGPS_ASSIGN_OR_RETURN(d.vp.peer, r.u32());
+    BGPS_ASSIGN_OR_RETURN(d.prefix, ReadPrefix(r));
+    BGPS_ASSIGN_OR_RETURN(d.cell, ReadCell(r));
+    msg.diffs.push_back(std::move(d));
+  }
+  return msg;
+}
+
+Bytes EncodeSnapshotMessage(const RtSnapshotMessage& msg) {
+  BufWriter w;
+  w.u8(uint8_t(RtMessageKind::Snapshot));
+  WriteString(w, msg.collector);
+  w.u64(uint64_t(msg.bin_start));
+  WriteString(w, msg.vp.collector);
+  w.u32(msg.vp.peer);
+  w.u32(uint32_t(msg.table.size()));
+  for (const auto& [prefix, cell] : msg.table) {
+    WritePrefix(w, prefix);
+    WriteCell(w, cell);
+  }
+  return w.take();
+}
+
+Result<RtSnapshotMessage> DecodeSnapshotMessage(const Bytes& data) {
+  BufReader r(data);
+  BGPS_ASSIGN_OR_RETURN(uint8_t kind, r.u8());
+  if (kind != uint8_t(RtMessageKind::Snapshot))
+    return CorruptError("not a snapshot message");
+  RtSnapshotMessage msg;
+  BGPS_ASSIGN_OR_RETURN(msg.collector, ReadString(r));
+  BGPS_ASSIGN_OR_RETURN(uint64_t ts, r.u64());
+  msg.bin_start = Timestamp(ts);
+  BGPS_ASSIGN_OR_RETURN(msg.vp.collector, ReadString(r));
+  BGPS_ASSIGN_OR_RETURN(msg.vp.peer, r.u32());
+  BGPS_ASSIGN_OR_RETURN(uint32_t n, r.u32());
+  for (uint32_t i = 0; i < n; ++i) {
+    BGPS_ASSIGN_OR_RETURN(Prefix p, ReadPrefix(r));
+    BGPS_ASSIGN_OR_RETURN(corsaro::RtCell cell, ReadCell(r));
+    msg.table.emplace(p, std::move(cell));
+  }
+  return msg;
+}
+
+Bytes EncodeMetaMessage(const RtMetaMessage& msg) {
+  BufWriter w;
+  WriteString(w, msg.collector);
+  w.u64(uint64_t(msg.bin_start));
+  w.u32(uint32_t(msg.diff_cells));
+  return w.take();
+}
+
+Result<RtMetaMessage> DecodeMetaMessage(const Bytes& data) {
+  BufReader r(data);
+  RtMetaMessage msg;
+  BGPS_ASSIGN_OR_RETURN(msg.collector, ReadString(r));
+  BGPS_ASSIGN_OR_RETURN(uint64_t ts, r.u64());
+  msg.bin_start = Timestamp(ts);
+  BGPS_ASSIGN_OR_RETURN(uint32_t n, r.u32());
+  msg.diff_cells = n;
+  return msg;
+}
+
+Result<RtMessageKind> PeekKind(const Bytes& data) {
+  if (data.empty()) return CorruptError("empty message");
+  uint8_t k = data[0];
+  if (k != 1 && k != 2) return CorruptError("bad message kind");
+  return RtMessageKind(k);
+}
+
+void PublishRtToCluster(corsaro::RoutingTables& rt, Cluster& cluster,
+                        const std::string& collector) {
+  rt.set_diff_callback([&cluster, collector](
+                           Timestamp bin_start,
+                           const std::vector<corsaro::DiffCell>& diffs) {
+    RtDiffMessage msg;
+    msg.collector = collector;
+    msg.bin_start = bin_start;
+    msg.diffs = diffs;
+    Message m;
+    m.key = collector;
+    m.timestamp = bin_start;
+    m.value = EncodeDiffMessage(msg);
+    cluster.Publish(RtTopic(collector), 0, std::move(m));
+
+    RtMetaMessage meta{collector, bin_start, diffs.size()};
+    Message mm;
+    mm.key = collector;
+    mm.timestamp = bin_start;
+    mm.value = EncodeMetaMessage(meta);
+    cluster.Publish(kRtMetaTopic, 0, std::move(mm));
+  });
+  rt.set_snapshot_callback(
+      [&cluster, collector](Timestamp bin_start, const corsaro::VpKey& vp,
+                            const std::map<Prefix, corsaro::RtCell>& table) {
+        RtSnapshotMessage msg;
+        msg.collector = collector;
+        msg.bin_start = bin_start;
+        msg.vp = vp;
+        msg.table = table;
+        Message m;
+        m.key = collector;
+        m.timestamp = bin_start;
+        m.value = EncodeSnapshotMessage(msg);
+        cluster.Publish(RtTopic(collector), 0, std::move(m));
+      });
+}
+
+}  // namespace bgps::mq

@@ -1,0 +1,58 @@
+// (De)serialization of RT plugin output for the message queue
+// (paper §6.2.2: "IO routines: diffs, (de)serialization, Kafka").
+//
+// Two message kinds flow through the per-collector "rt.<collector>"
+// topics: full per-VP table snapshots (periodic, for consumer sync) and
+// per-bin diff-cell batches. A lightweight meta record accompanies each
+// bin on the "rt-meta" topic for the sync servers.
+#pragma once
+
+#include "corsaro/rt.hpp"
+#include "mq/log.hpp"
+
+namespace bgps::mq {
+
+enum class RtMessageKind : uint8_t { Diff = 1, Snapshot = 2 };
+
+struct RtDiffMessage {
+  std::string collector;
+  Timestamp bin_start = 0;
+  std::vector<corsaro::DiffCell> diffs;
+};
+
+struct RtSnapshotMessage {
+  std::string collector;
+  Timestamp bin_start = 0;
+  corsaro::VpKey vp;
+  std::map<Prefix, corsaro::RtCell> table;
+};
+
+// Per-bin availability note consumed by sync servers (§6.2.3).
+struct RtMetaMessage {
+  std::string collector;
+  Timestamp bin_start = 0;
+  size_t diff_cells = 0;
+};
+
+Bytes EncodeDiffMessage(const RtDiffMessage& msg);
+Result<RtDiffMessage> DecodeDiffMessage(const Bytes& data);
+
+Bytes EncodeSnapshotMessage(const RtSnapshotMessage& msg);
+Result<RtSnapshotMessage> DecodeSnapshotMessage(const Bytes& data);
+
+Bytes EncodeMetaMessage(const RtMetaMessage& msg);
+Result<RtMetaMessage> DecodeMetaMessage(const Bytes& data);
+
+// Peeks the kind byte of an rt.<collector> topic message.
+Result<RtMessageKind> PeekKind(const Bytes& data);
+
+// Standard topic names.
+std::string RtTopic(const std::string& collector);
+inline constexpr const char* kRtMetaTopic = "rt-meta";
+
+// Glue: wires a RoutingTables plugin to a Cluster — diffs, periodic
+// snapshots and meta all published to the right topics.
+void PublishRtToCluster(corsaro::RoutingTables& rt, Cluster& cluster,
+                        const std::string& collector);
+
+}  // namespace bgps::mq

@@ -1,0 +1,79 @@
+#include "mq/sync.hpp"
+
+namespace bgps::mq {
+
+Bytes EncodeReadyMarker(const ReadyMarker& m) {
+  BufWriter w;
+  w.u64(uint64_t(m.bin_start));
+  w.u16(uint16_t(m.collectors_present.size()));
+  for (const auto& c : m.collectors_present) {
+    w.u16(uint16_t(c.size()));
+    w.str(c);
+  }
+  return w.take();
+}
+
+Result<ReadyMarker> DecodeReadyMarker(const Bytes& data) {
+  BufReader r(data);
+  ReadyMarker m;
+  BGPS_ASSIGN_OR_RETURN(uint64_t ts, r.u64());
+  m.bin_start = Timestamp(ts);
+  BGPS_ASSIGN_OR_RETURN(uint16_t n, r.u16());
+  for (int i = 0; i < n; ++i) {
+    BGPS_ASSIGN_OR_RETURN(uint16_t len, r.u16());
+    BGPS_ASSIGN_OR_RETURN(std::string c, r.str(len));
+    m.collectors_present.push_back(std::move(c));
+  }
+  return m;
+}
+
+size_t SyncServer::Poll() {
+  for (const auto& msg : meta_.Poll()) {
+    auto meta = DecodeMetaMessage(msg.value);
+    if (!meta.ok()) continue;
+    pending_[meta->bin_start].insert(meta->collector);
+    newest_seen_ = std::max(newest_seen_, meta->bin_start);
+  }
+  size_t published = 0;
+  for (Timestamp bin : ReadyBins()) {
+    auto it = pending_.find(bin);
+    if (it == pending_.end()) continue;
+    ReadyMarker marker;
+    marker.bin_start = bin;
+    marker.collectors_present.assign(it->second.begin(), it->second.end());
+    Message m;
+    m.timestamp = bin;
+    m.value = EncodeReadyMarker(marker);
+    cluster_->Publish(ready_topic_, 0, std::move(m));
+    pending_.erase(it);
+    ++published;
+  }
+  return published;
+}
+
+std::vector<Timestamp> CompletenessSyncServer::ReadyBins() {
+  std::vector<Timestamp> ready;
+  for (const auto& [bin, collectors] : pending_) {
+    bool complete = true;
+    for (const auto& want : expected_) {
+      if (!collectors.count(want)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) ready.push_back(bin);
+  }
+  return ready;
+}
+
+std::vector<Timestamp> TimeoutSyncServer::ReadyBins() {
+  // "Data time" stands in for the wall clock: a bin times out once meta
+  // for a bin at least `timeout_` newer has been observed.
+  std::vector<Timestamp> ready;
+  for (const auto& [bin, _] : pending_) {
+    if (newest_seen_ >= bin + timeout_) ready.push_back(bin);
+  }
+  return ready;
+}
+
+}  // namespace bgps::mq

@@ -1,0 +1,79 @@
+// Sync servers (paper §6.2.3).
+//
+// Different applications need different trade-offs between latency and
+// completeness when aligning per-collector data. Each sync server watches
+// the lightweight rt-meta topic and publishes "bin ready" markers to its
+// own topic once its criterion is met:
+//   * CompletenessSyncServer — all expected collectors reported the bin
+//     (the IODA configuration: completeness over latency);
+//   * TimeoutSyncServer — a bin becomes ready once a newer bin appears
+//     `timeout` seconds later, whether or not everyone reported (the
+//     realtime-hijack-detection configuration).
+#pragma once
+
+#include "mq/serialize.hpp"
+
+namespace bgps::mq {
+
+struct ReadyMarker {
+  Timestamp bin_start = 0;
+  std::vector<std::string> collectors_present;
+};
+
+Bytes EncodeReadyMarker(const ReadyMarker& m);
+Result<ReadyMarker> DecodeReadyMarker(const Bytes& data);
+
+class SyncServer {
+ public:
+  SyncServer(Cluster* cluster, std::string ready_topic)
+      : cluster_(cluster),
+        ready_topic_(std::move(ready_topic)),
+        meta_(cluster, kRtMetaTopic) {}
+  virtual ~SyncServer() = default;
+
+  const std::string& ready_topic() const { return ready_topic_; }
+
+  // Drains new meta messages and publishes any newly-ready bins.
+  // Returns the number of bins marked ready.
+  size_t Poll();
+
+ protected:
+  // Subclass decides which pending bins are ready.
+  virtual std::vector<Timestamp> ReadyBins() = 0;
+
+  Cluster* cluster_;
+  std::string ready_topic_;
+  Consumer meta_;
+  // bin -> collectors that reported it
+  std::map<Timestamp, std::set<std::string>> pending_;
+  Timestamp newest_seen_ = 0;
+};
+
+class CompletenessSyncServer : public SyncServer {
+ public:
+  CompletenessSyncServer(Cluster* cluster, std::string ready_topic,
+                         std::set<std::string> expected)
+      : SyncServer(cluster, std::move(ready_topic)),
+        expected_(std::move(expected)) {}
+
+ protected:
+  std::vector<Timestamp> ReadyBins() override;
+
+ private:
+  std::set<std::string> expected_;
+};
+
+class TimeoutSyncServer : public SyncServer {
+ public:
+  TimeoutSyncServer(Cluster* cluster, std::string ready_topic,
+                    Timestamp timeout)
+      : SyncServer(cluster, std::move(ready_topic)), timeout_(timeout) {}
+
+ protected:
+  std::vector<Timestamp> ReadyBins() override;
+
+ private:
+  Timestamp timeout_;
+};
+
+}  // namespace bgps::mq

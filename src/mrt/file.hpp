@@ -1,0 +1,69 @@
+// MRT dump-file reader and writer.
+//
+// A dump file is a plain concatenation of MRT records. The reader streams
+// records one at a time (the paper's libBGPStream streams dumps straight
+// from the HTTP connection; here the archive is a local directory, so we
+// stream from disk with a fixed-size read buffer instead of slurping).
+//
+// Corruption handling mirrors the paper's extended libBGPdump: a framing
+// error is unrecoverable for the rest of the file (there is no resync
+// marker in MRT), so the reader reports Corrupt once and then EndOfStream.
+#pragma once
+
+#include <fstream>
+
+#include "mrt/mrt.hpp"
+
+namespace bgps::mrt {
+
+class MrtFileReader {
+ public:
+  MrtFileReader() = default;
+
+  Status Open(const std::string& path);
+  bool is_open() const { return file_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  // Returns the next framed record; EndOfStream at EOF; Corrupt exactly
+  // once if framing breaks, then EndOfStream.
+  Result<RawRecord> Next();
+
+  // Total records framed so far (for stats / tests).
+  size_t records_read() const { return records_read_; }
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  bool corrupt_ = false;
+  size_t records_read_ = 0;
+};
+
+class MrtFileWriter {
+ public:
+  MrtFileWriter() = default;
+
+  Status Open(const std::string& path);
+  bool is_open() const { return file_.is_open(); }
+
+  // Appends an already-encoded record (output of the mrt::Encode* family).
+  Status Write(const Bytes& encoded_record);
+  // Appends raw garbage — used by the simulator's corruption injection.
+  Status WriteRaw(const Bytes& bytes);
+
+  Status Close();
+
+ private:
+  std::ofstream file_;
+};
+
+// Convenience: reads and fully decodes every record in a file. Corrupt or
+// unsupported records are skipped and counted. Intended for tests/tools,
+// not the streaming path.
+struct FileScan {
+  std::vector<MrtMessage> messages;
+  size_t corrupt = 0;
+  size_t unsupported = 0;
+};
+Result<FileScan> ScanFile(const std::string& path);
+
+}  // namespace bgps::mrt

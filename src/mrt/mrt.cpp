@@ -1,0 +1,283 @@
+#include "mrt/mrt.hpp"
+
+#include <algorithm>
+
+namespace bgps::mrt {
+namespace {
+
+constexpr uint8_t kPeerTypeIpv6 = 0x01;
+constexpr uint8_t kPeerTypeAs4 = 0x02;
+
+Result<IpAddress> ReadIp(BufReader& r, IpFamily family) {
+  if (family == IpFamily::V4) {
+    BGPS_ASSIGN_OR_RETURN(uint32_t v, r.u32());
+    return IpAddress::V4(v);
+  }
+  BGPS_ASSIGN_OR_RETURN(Bytes b, r.bytes(16));
+  std::array<uint8_t, 16> arr{};
+  std::copy(b.begin(), b.end(), arr.begin());
+  return IpAddress::V6(arr);
+}
+
+void WriteIp(BufWriter& w, const IpAddress& a) {
+  w.bytes(std::span<const uint8_t>(a.bytes().data(), size_t(a.width()) / 8));
+}
+
+Result<IpFamily> FamilyFromAfi(uint16_t afi) {
+  if (afi == bgp::kAfiIpv4) return IpFamily::V4;
+  if (afi == bgp::kAfiIpv6) return IpFamily::V6;
+  return CorruptError("bad AFI " + std::to_string(afi));
+}
+
+uint16_t AfiFromFamily(IpFamily f) {
+  return f == IpFamily::V4 ? bgp::kAfiIpv4 : bgp::kAfiIpv6;
+}
+
+Result<PeerIndexTable> DecodePeerIndexTable(BufReader& r) {
+  PeerIndexTable pit;
+  BGPS_ASSIGN_OR_RETURN(pit.collector_bgp_id, r.u32());
+  BGPS_ASSIGN_OR_RETURN(uint16_t name_len, r.u16());
+  BGPS_ASSIGN_OR_RETURN(pit.view_name, r.str(name_len));
+  BGPS_ASSIGN_OR_RETURN(uint16_t count, r.u16());
+  pit.peers.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
+    PeerEntry pe;
+    BGPS_ASSIGN_OR_RETURN(pe.bgp_id, r.u32());
+    IpFamily fam = (type & kPeerTypeIpv6) ? IpFamily::V6 : IpFamily::V4;
+    BGPS_ASSIGN_OR_RETURN(pe.address, ReadIp(r, fam));
+    if (type & kPeerTypeAs4) {
+      BGPS_ASSIGN_OR_RETURN(pe.asn, r.u32());
+    } else {
+      BGPS_ASSIGN_OR_RETURN(uint16_t a, r.u16());
+      pe.asn = a;
+    }
+    pit.peers.push_back(std::move(pe));
+  }
+  return pit;
+}
+
+Result<RibPrefix> DecodeRibPrefix(BufReader& r, IpFamily family) {
+  RibPrefix rib;
+  BGPS_ASSIGN_OR_RETURN(rib.sequence, r.u32());
+  BGPS_ASSIGN_OR_RETURN(rib.prefix, bgp::DecodeNlriPrefix(r, family));
+  BGPS_ASSIGN_OR_RETURN(uint16_t count, r.u16());
+  rib.entries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    RibEntry e;
+    BGPS_ASSIGN_OR_RETURN(e.peer_index, r.u16());
+    BGPS_ASSIGN_OR_RETURN(uint32_t otime, r.u32());
+    e.originated_time = otime;
+    BGPS_ASSIGN_OR_RETURN(uint16_t attr_len, r.u16());
+    BGPS_ASSIGN_OR_RETURN(
+        e.attrs,
+        bgp::DecodePathAttributes(r, attr_len, bgp::AsnEncoding::FourByte));
+    rib.entries.push_back(std::move(e));
+  }
+  return rib;
+}
+
+Result<Bgp4mpMessage> DecodeBgp4mpMessage(BufReader& r, bool as4) {
+  Bgp4mpMessage msg;
+  if (as4) {
+    BGPS_ASSIGN_OR_RETURN(msg.peer_asn, r.u32());
+    BGPS_ASSIGN_OR_RETURN(msg.local_asn, r.u32());
+  } else {
+    BGPS_ASSIGN_OR_RETURN(uint16_t pa, r.u16());
+    BGPS_ASSIGN_OR_RETURN(uint16_t la, r.u16());
+    msg.peer_asn = pa;
+    msg.local_asn = la;
+  }
+  BGPS_ASSIGN_OR_RETURN(msg.interface_index, r.u16());
+  BGPS_ASSIGN_OR_RETURN(uint16_t afi, r.u16());
+  BGPS_ASSIGN_OR_RETURN(IpFamily fam, FamilyFromAfi(afi));
+  BGPS_ASSIGN_OR_RETURN(msg.peer_address, ReadIp(r, fam));
+  BGPS_ASSIGN_OR_RETURN(msg.local_address, ReadIp(r, fam));
+  // Peek the BGP header to learn the message type before full decode.
+  {
+    BufReader peek = r;
+    BGPS_ASSIGN_OR_RETURN(auto hdr, bgp::DecodeBgpHeader(peek));
+    msg.message_type = hdr.first;
+  }
+  if (msg.message_type == bgp::MessageType::Update) {
+    BGPS_ASSIGN_OR_RETURN(
+        msg.update,
+        bgp::DecodeUpdate(r, as4 ? bgp::AsnEncoding::FourByte
+                                 : bgp::AsnEncoding::TwoByte));
+  }
+  return msg;
+}
+
+Result<Bgp4mpStateChange> DecodeBgp4mpStateChange(BufReader& r, bool as4) {
+  Bgp4mpStateChange sc;
+  if (as4) {
+    BGPS_ASSIGN_OR_RETURN(sc.peer_asn, r.u32());
+    BGPS_ASSIGN_OR_RETURN(sc.local_asn, r.u32());
+  } else {
+    BGPS_ASSIGN_OR_RETURN(uint16_t pa, r.u16());
+    BGPS_ASSIGN_OR_RETURN(uint16_t la, r.u16());
+    sc.peer_asn = pa;
+    sc.local_asn = la;
+  }
+  BGPS_ASSIGN_OR_RETURN(sc.interface_index, r.u16());
+  BGPS_ASSIGN_OR_RETURN(uint16_t afi, r.u16());
+  BGPS_ASSIGN_OR_RETURN(IpFamily fam, FamilyFromAfi(afi));
+  BGPS_ASSIGN_OR_RETURN(sc.peer_address, ReadIp(r, fam));
+  BGPS_ASSIGN_OR_RETURN(sc.local_address, ReadIp(r, fam));
+  BGPS_ASSIGN_OR_RETURN(uint16_t old_s, r.u16());
+  BGPS_ASSIGN_OR_RETURN(uint16_t new_s, r.u16());
+  if (old_s > 6 || new_s > 6) return CorruptError("bad FSM state code");
+  sc.old_state = bgp::FsmState(old_s);
+  sc.new_state = bgp::FsmState(new_s);
+  return sc;
+}
+
+// Encodes the 12-byte common header followed by `body`.
+Bytes Frame(Timestamp ts, MrtType type, uint16_t subtype, const Bytes& body) {
+  BufWriter w;
+  w.u32(uint32_t(ts));
+  w.u16(uint16_t(type));
+  w.u16(subtype);
+  w.u32(uint32_t(body.size()));
+  w.bytes(body);
+  return w.take();
+}
+
+}  // namespace
+
+Result<RawRecord> DecodeRawRecord(BufReader& r) {
+  if (r.empty()) return EndOfStream();
+  RawRecord raw;
+  BGPS_ASSIGN_OR_RETURN(uint32_t ts, r.u32());
+  raw.timestamp = ts;
+  BGPS_ASSIGN_OR_RETURN(raw.type, r.u16());
+  BGPS_ASSIGN_OR_RETURN(raw.subtype, r.u16());
+  BGPS_ASSIGN_OR_RETURN(uint32_t len, r.u32());
+  BGPS_ASSIGN_OR_RETURN(raw.body, r.bytes(len));
+  if (raw.type == uint16_t(MrtType::Bgp4mpEt)) {
+    // Extended timestamp: first 4 body bytes are microseconds.
+    BufReader br(raw.body);
+    BGPS_ASSIGN_OR_RETURN(raw.microseconds, br.u32());
+    raw.body.erase(raw.body.begin(), raw.body.begin() + 4);
+  }
+  return raw;
+}
+
+Result<MrtMessage> DecodeRecord(const RawRecord& raw) {
+  MrtMessage msg;
+  msg.timestamp = raw.timestamp;
+  msg.microseconds = raw.microseconds;
+  BufReader r(raw.body);
+
+  if (raw.type == uint16_t(MrtType::TableDumpV2)) {
+    switch (TableDumpV2Subtype(raw.subtype)) {
+      case TableDumpV2Subtype::PeerIndexTable: {
+        BGPS_ASSIGN_OR_RETURN(auto pit, DecodePeerIndexTable(r));
+        msg.body = std::move(pit);
+        return msg;
+      }
+      case TableDumpV2Subtype::RibIpv4Unicast: {
+        BGPS_ASSIGN_OR_RETURN(auto rib, DecodeRibPrefix(r, IpFamily::V4));
+        msg.body = std::move(rib);
+        return msg;
+      }
+      case TableDumpV2Subtype::RibIpv6Unicast: {
+        BGPS_ASSIGN_OR_RETURN(auto rib, DecodeRibPrefix(r, IpFamily::V6));
+        msg.body = std::move(rib);
+        return msg;
+      }
+    }
+    return UnsupportedError("TABLE_DUMP_V2 subtype " +
+                            std::to_string(raw.subtype));
+  }
+
+  if (raw.type == uint16_t(MrtType::Bgp4mp) ||
+      raw.type == uint16_t(MrtType::Bgp4mpEt)) {
+    switch (Bgp4mpSubtype(raw.subtype)) {
+      case Bgp4mpSubtype::Message:
+      case Bgp4mpSubtype::MessageAs4: {
+        bool as4 = Bgp4mpSubtype(raw.subtype) == Bgp4mpSubtype::MessageAs4;
+        BGPS_ASSIGN_OR_RETURN(auto m, DecodeBgp4mpMessage(r, as4));
+        msg.body = std::move(m);
+        return msg;
+      }
+      case Bgp4mpSubtype::StateChange:
+      case Bgp4mpSubtype::StateChangeAs4: {
+        bool as4 =
+            Bgp4mpSubtype(raw.subtype) == Bgp4mpSubtype::StateChangeAs4;
+        BGPS_ASSIGN_OR_RETURN(auto sc, DecodeBgp4mpStateChange(r, as4));
+        msg.body = std::move(sc);
+        return msg;
+      }
+    }
+    return UnsupportedError("BGP4MP subtype " + std::to_string(raw.subtype));
+  }
+
+  return UnsupportedError("MRT type " + std::to_string(raw.type));
+}
+
+Bytes EncodePeerIndexTable(Timestamp ts, const PeerIndexTable& pit) {
+  BufWriter w;
+  w.u32(pit.collector_bgp_id);
+  w.u16(uint16_t(pit.view_name.size()));
+  w.str(pit.view_name);
+  w.u16(uint16_t(pit.peers.size()));
+  for (const auto& pe : pit.peers) {
+    uint8_t type = kPeerTypeAs4;  // we always write 4-byte ASNs
+    if (pe.address.is_v6()) type |= kPeerTypeIpv6;
+    w.u8(type);
+    w.u32(pe.bgp_id);
+    WriteIp(w, pe.address);
+    w.u32(pe.asn);
+  }
+  return Frame(ts, MrtType::TableDumpV2,
+               uint16_t(TableDumpV2Subtype::PeerIndexTable), w.take());
+}
+
+Bytes EncodeRibPrefix(Timestamp ts, const RibPrefix& rib, IpFamily family) {
+  BufWriter w;
+  w.u32(rib.sequence);
+  bgp::EncodeNlriPrefix(w, rib.prefix);
+  w.u16(uint16_t(rib.entries.size()));
+  for (const auto& e : rib.entries) {
+    w.u16(e.peer_index);
+    w.u32(uint32_t(e.originated_time));
+    Bytes attrs =
+        bgp::EncodePathAttributes(e.attrs, bgp::AsnEncoding::FourByte);
+    w.u16(uint16_t(attrs.size()));
+    w.bytes(attrs);
+  }
+  auto subtype = family == IpFamily::V4 ? TableDumpV2Subtype::RibIpv4Unicast
+                                        : TableDumpV2Subtype::RibIpv6Unicast;
+  return Frame(ts, MrtType::TableDumpV2, uint16_t(subtype), w.take());
+}
+
+Bytes EncodeBgp4mpUpdate(Timestamp ts, const Bgp4mpMessage& msg) {
+  BufWriter w;
+  w.u32(msg.peer_asn);
+  w.u32(msg.local_asn);
+  w.u16(msg.interface_index);
+  w.u16(AfiFromFamily(msg.peer_address.family()));
+  WriteIp(w, msg.peer_address);
+  WriteIp(w, msg.local_address);
+  Bytes bgp_msg = bgp::EncodeUpdate(msg.update, bgp::AsnEncoding::FourByte);
+  w.bytes(bgp_msg);
+  return Frame(ts, MrtType::Bgp4mp, uint16_t(Bgp4mpSubtype::MessageAs4),
+               w.take());
+}
+
+Bytes EncodeBgp4mpStateChange(Timestamp ts, const Bgp4mpStateChange& sc) {
+  BufWriter w;
+  w.u32(sc.peer_asn);
+  w.u32(sc.local_asn);
+  w.u16(sc.interface_index);
+  w.u16(AfiFromFamily(sc.peer_address.family()));
+  WriteIp(w, sc.peer_address);
+  WriteIp(w, sc.local_address);
+  w.u16(uint16_t(sc.old_state));
+  w.u16(uint16_t(sc.new_state));
+  return Frame(ts, MrtType::Bgp4mp, uint16_t(Bgp4mpSubtype::StateChangeAs4),
+               w.take());
+}
+
+}  // namespace bgps::mrt

@@ -1,0 +1,128 @@
+#include "reader/ascii.hpp"
+
+#include <ostream>
+
+namespace bgps::reader {
+namespace {
+
+std::string ElemTypeWord(core::ElemType t) {
+  switch (t) {
+    case core::ElemType::RibEntry: return "R";
+    case core::ElemType::Announcement: return "A";
+    case core::ElemType::Withdrawal: return "W";
+    case core::ElemType::PeerState: return "S";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FormatElem(const core::Record& record, const core::Elem& elem,
+                       OutputFormat format) {
+  std::string out;
+  if (format == OutputFormat::Bgpdump) {
+    // bgpdump -m: TYPE|ts|A/W/B|peer-ip|peer-asn|prefix|path|origin|
+    //             next-hop|localpref|med|communities|agg|aggregator|
+    const char* table = record.dump_type == core::DumpType::Rib ? "TABLE_DUMP2"
+                                                                : "BGP4MP";
+    out += table;
+    out += '|';
+    out += std::to_string(elem.time);
+    out += '|';
+    switch (elem.type) {
+      case core::ElemType::RibEntry: out += 'B'; break;
+      case core::ElemType::Announcement: out += 'A'; break;
+      case core::ElemType::Withdrawal: out += 'W'; break;
+      case core::ElemType::PeerState: out += "STATE"; break;
+    }
+    out += '|';
+    out += elem.peer_address.ToString();
+    out += '|';
+    out += std::to_string(elem.peer_asn);
+    out += '|';
+    if (elem.type == core::ElemType::PeerState) {
+      out += bgp::FsmStateName(elem.old_state);
+      out += '|';
+      out += bgp::FsmStateName(elem.new_state);
+      return out;
+    }
+    out += elem.prefix.ToString();
+    if (elem.type == core::ElemType::Withdrawal) return out;
+    out += '|';
+    out += elem.as_path.ToString();
+    out += "|IGP|";
+    out += elem.next_hop.ToString();
+    out += "|0|0|";
+    out += bgp::CommunitiesToString(elem.communities);
+    out += "|NAG||";
+    return out;
+  }
+
+  // Native format.
+  out += ElemTypeWord(elem.type);
+  out += '|';
+  out += std::to_string(elem.time);
+  out += '|';
+  out += record.project;
+  out += '|';
+  out += record.collector;
+  out += '|';
+  out += std::to_string(elem.peer_asn);
+  out += '|';
+  out += elem.peer_address.ToString();
+  out += '|';
+  if (elem.has_prefix()) out += elem.prefix.ToString();
+  out += '|';
+  if (elem.type == core::ElemType::RibEntry ||
+      elem.type == core::ElemType::Announcement) {
+    out += elem.next_hop.ToString();
+    out += '|';
+    out += elem.as_path.ToString();
+    out += '|';
+    out += bgp::CommunitiesToString(elem.communities);
+  } else {
+    out += "||";
+  }
+  out += '|';
+  if (elem.type == core::ElemType::PeerState) {
+    out += bgp::FsmStateName(elem.old_state);
+    out += '|';
+    out += bgp::FsmStateName(elem.new_state);
+  } else {
+    out += '|';
+  }
+  return out;
+}
+
+std::string FormatRecord(const core::Record& record) {
+  std::string out;
+  out += std::to_string(record.timestamp);
+  out += '|';
+  out += record.project;
+  out += '|';
+  out += record.collector;
+  out += '|';
+  out += broker::DumpTypeName(record.dump_type);
+  out += '|';
+  out += core::RecordStatusName(record.status);
+  out += '|';
+  out += core::DumpPositionName(record.position);
+  return out;
+}
+
+size_t RunBgpReader(core::BgpStream& stream, std::ostream& out,
+                    const BgpReaderOptions& options) {
+  size_t printed = 0;
+  while (auto rec = stream.NextRecord()) {
+    if (options.show_records) out << FormatRecord(*rec) << '\n';
+    for (const auto& elem : stream.Elems(*rec)) {
+      out << FormatElem(*rec, elem, options.format) << '\n';
+      ++printed;
+      if (options.max_elems != 0 && printed >= options.max_elems)
+        return printed;
+    }
+  }
+  return printed;
+}
+
+}  // namespace bgps::reader

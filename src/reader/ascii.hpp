@@ -1,0 +1,40 @@
+// BGPReader — ASCII rendering of records and elems (paper §4.1).
+//
+// BGPReader is the drop-in replacement for the bgpdump CLI: it renders a
+// (sorted, multi-collector, filtered) stream as pipe-separated lines, and
+// a compatibility mode emits the exact field layout of `bgpdump -m`.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/stream.hpp"
+
+namespace bgps::reader {
+
+enum class OutputFormat {
+  BgpReader,  // native: provenance-rich lines
+  Bgpdump,    // bgpdump -m compatible field layout
+};
+
+// Native elem line:
+//   <R|A|W|S>|<ts>|<project>|<collector>|<peer-asn>|<peer-ip>|<prefix>|
+//   <next-hop>|<as-path>|<communities>|<old-state>|<new-state>
+std::string FormatElem(const core::Record& record, const core::Elem& elem,
+                       OutputFormat format);
+
+// Record header line (used with --show-records):
+//   <ts>|<project>|<collector>|<ribs|updates>|<status>|<dump-pos>
+std::string FormatRecord(const core::Record& record);
+
+// Drives a configured stream and prints matching elems to `out`.
+// Returns the number of elems printed.
+struct BgpReaderOptions {
+  OutputFormat format = OutputFormat::BgpReader;
+  bool show_records = false;  // also print one line per record
+  size_t max_elems = 0;       // stop after this many elems (0 = unlimited)
+};
+
+size_t RunBgpReader(core::BgpStream& stream, std::ostream& out,
+                    const BgpReaderOptions& options = {});
+
+}  // namespace bgps::reader

@@ -1,0 +1,110 @@
+// Route-collector emulation: the stand-in for RouteViews / RIPE RIS
+// collector hosts (paper §2, Figure 1).
+//
+// A CollectorSim maintains BGP sessions with its VPs, buffers the update
+// messages implied by world deltas, and periodically dumps:
+//   * RIB dumps   — a TABLE_DUMP_V2 snapshot of all VP Adj-RIB-out tables
+//                   (every 2 h RouteViews-style, 8 h RIS-style);
+//   * Updates dumps — the BGP4MP messages received in the last window
+//                   (15 min RouteViews-style, 5 min RIS-style).
+// RIS-style collectors also dump session state changes; RouteViews-style
+// ones do not (the exact asymmetry behind the paper's §6.2.1 accuracy
+// numbers).
+#pragma once
+
+#include <random>
+
+#include "broker/archive.hpp"
+#include "mrt/file.hpp"
+#include "sim/world.hpp"
+
+namespace bgps::sim {
+
+struct VpSpec {
+  Asn asn = 0;
+  IpAddress address;     // IPv4 session address
+  bool full_feed = true; // partial feeds export own+customer routes only
+};
+
+struct CollectorConfig {
+  std::string project;   // "routeviews" | "ris"
+  std::string name;      // e.g. "route-views2", "rrc00"
+  std::vector<VpSpec> vps;
+  Timestamp rib_period = 2 * 3600;
+  Timestamp update_period = 15 * 60;
+  bool state_messages = false;      // RIS dumps session FSM transitions
+  Timestamp publish_delay = 120;    // seconds after dump end until visible
+  Timestamp publish_jitter = 0;     // uniform extra delay (live realism)
+  double corrupt_probability = 0.0; // chance an updates dump is truncated
+  // Probability that an individual update message is lost in the
+  // collection pipeline (unresponsive VPs / dropped messages). The paper
+  // attributes RouteViews' higher RT error (1e-5 vs RIS 1e-8) mostly to
+  // such VPs; RIB dumps still carry the fresh state, so each lost message
+  // becomes a shadow-vs-main mismatch at the next RIB.
+  double update_loss_probability = 0.0;
+  Asn collector_asn = 64512;
+  IpAddress collector_address = IpAddress::V4(192, 0, 2, 1);
+};
+
+// Deterministic VP session address for an AS.
+IpAddress VpAddressFor(Asn asn);
+IpAddress VpAddressV6For(Asn asn);
+
+class CollectorSim {
+ public:
+  CollectorSim(CollectorConfig config, std::string archive_root,
+               uint64_t seed);
+
+  const CollectorConfig& config() const { return config_; }
+
+  bool monitors(Asn vp) const { return vp_index_.count(vp) != 0; }
+  bool vp_is_down(Asn vp) const { return down_.count(vp) != 0; }
+
+  // Feeds one world delta (timestamped `t`) into the VP's session buffer.
+  // Applies the VP's feed policy; ignores VPs not monitored or down.
+  void OnDelta(Timestamp t, const VpDelta& delta);
+
+  // Session control. `silent` models a VP that stops talking without a
+  // NOTIFICATION (RouteViews-style staleness). On Up, the VP re-announces
+  // its full exported table (drawn from `world`).
+  void VpDown(Timestamp t, Asn vp, bool silent);
+  void VpUp(Timestamp t, Asn vp, const World& world);
+
+  // Dump writers. WriteRib snapshots all live VPs' exported tables.
+  Status WriteRib(Timestamp t, const World& world);
+  // Flushes buffered updates with timestamp in [window_start,
+  // window_start + update_period) into one updates dump file.
+  Status FlushUpdates(Timestamp window_start);
+
+  size_t ribs_written() const { return ribs_written_; }
+  size_t updates_files_written() const { return updates_written_; }
+  size_t update_messages_buffered() const { return total_messages_; }
+  size_t updates_lost() const { return updates_lost_; }
+
+ private:
+  struct PendingRecord {
+    Timestamp time;
+    Bytes encoded;
+  };
+
+  std::optional<Route> ExportFor(const VpSpec& vp,
+                                 const std::optional<Route>& route) const;
+  void BufferUpdate(Timestamp t, const VpSpec& vp, const Prefix& prefix,
+                    const std::optional<Route>& route);
+  std::string DumpPath(broker::DumpType type, Timestamp start,
+                       Timestamp duration, Timestamp delay) const;
+  const VpSpec* Find(Asn vp) const;
+
+  CollectorConfig config_;
+  std::string archive_root_;
+  std::unordered_map<Asn, size_t> vp_index_;  // ASN -> index in config_.vps
+  std::set<Asn> down_;
+  std::vector<PendingRecord> pending_;  // kept sorted by time on flush
+  std::mt19937_64 rng_;
+  size_t ribs_written_ = 0;
+  size_t updates_written_ = 0;
+  size_t total_messages_ = 0;
+  size_t updates_lost_ = 0;
+};
+
+}  // namespace bgps::sim

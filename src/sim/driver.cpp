@@ -1,0 +1,133 @@
+#include "sim/driver.hpp"
+
+#include <algorithm>
+
+namespace bgps::sim {
+
+SimDriver::SimDriver(Topology topo, std::string archive_root, uint64_t seed)
+    : topo_(std::move(topo)),
+      world_(&topo_),
+      archive_root_(std::move(archive_root)),
+      rng_(seed) {}
+
+CollectorSim& SimDriver::AddCollector(CollectorConfig config) {
+  collectors_.emplace_back(std::move(config), archive_root_, rng_());
+  return collectors_.back();
+}
+
+std::vector<Asn> SimDriver::all_vps() const {
+  std::set<Asn> set;
+  for (const auto& c : collectors_) {
+    for (const auto& vp : c.config().vps) set.insert(vp.asn);
+  }
+  return {set.begin(), set.end()};
+}
+
+void SimDriver::AddFlapNoise(Timestamp start, Timestamp end,
+                             double flaps_per_hour, Timestamp mean_downtime,
+                             const std::set<Prefix>& avoid) {
+  // Candidate prefixes: static topology origins not in the avoid set.
+  std::vector<std::pair<Asn, Prefix>> candidates;
+  for (const auto& [asn, prefix] : topo_.all_origins()) {
+    if (!avoid.count(prefix)) candidates.emplace_back(asn, prefix);
+  }
+  if (candidates.empty() || flaps_per_hour <= 0) return;
+
+  const double mean_gap = 3600.0 / flaps_per_hour;
+  std::exponential_distribution<double> gap(1.0 / mean_gap);
+  std::exponential_distribution<double> down(1.0 / double(mean_downtime));
+  double t = double(start) + gap(rng_);
+  while (t < double(end)) {
+    const auto& [asn, prefix] = candidates[rng_() % candidates.size()];
+    Timestamp td = Timestamp(t);
+    Timestamp tu = td + std::max<Timestamp>(1, Timestamp(down(rng_)));
+    AddEvent(SimEvent::WithdrawAt(td, prefix));
+    if (tu < end) {
+      AddEvent(SimEvent::Announce(tu, prefix, {OriginSpec{asn, {}}}));
+    }
+    t += gap(rng_);
+  }
+}
+
+void SimDriver::Apply(const SimEvent& event) {
+  switch (event.kind) {
+    case SimEvent::Kind::SetOrigins:
+    case SimEvent::Kind::Withdraw: {
+      auto origins = event.kind == SimEvent::Kind::Withdraw
+                         ? std::vector<OriginSpec>{}
+                         : event.origins;
+      auto deltas = world_.SetOrigins(event.prefix, std::move(origins),
+                                      all_vps());
+      for (auto& c : collectors_) {
+        for (const auto& d : deltas) c.OnDelta(event.time, d);
+      }
+      break;
+    }
+    case SimEvent::Kind::VpDown:
+      for (auto& c : collectors_) c.VpDown(event.time, event.vp, event.silent);
+      break;
+    case SimEvent::Kind::VpUp:
+      for (auto& c : collectors_) c.VpUp(event.time, event.vp, world_);
+      break;
+  }
+}
+
+Status SimDriver::Run(Timestamp start, Timestamp end) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const SimEvent& a, const SimEvent& b) {
+                     return a.time < b.time;
+                   });
+
+  struct Schedule {
+    Timestamp next_rib;
+    Timestamp next_flush;  // flushes the window ending at this time
+  };
+  std::vector<Schedule> sched;
+  sched.reserve(collectors_.size());
+  for (const auto& c : collectors_) {
+    sched.push_back(
+        {start, start + c.config().update_period});
+  }
+
+  size_t ei = 0;
+  while (true) {
+    // Next dump boundary across all collectors.
+    Timestamp tb = end;
+    for (const auto& s : sched)
+      tb = std::min({tb, s.next_rib, s.next_flush});
+
+    // Apply all events up to and including the boundary instant, so a RIB
+    // dump written at tb reflects events that fired exactly at tb (their
+    // update messages carry timestamp tb and land in the *next* updates
+    // window, which FlushUpdates selects by timestamp).
+    while (ei < events_.size() && events_[ei].time <= tb) Apply(events_[ei++]);
+
+    if (tb >= end) break;
+
+    for (size_t i = 0; i < collectors_.size(); ++i) {
+      auto& c = collectors_[i];
+      auto& s = sched[i];
+      if (s.next_rib == tb) {
+        BGPS_RETURN_IF_ERROR(c.WriteRib(tb, world_));
+        s.next_rib += c.config().rib_period;
+      }
+      if (s.next_flush == tb) {
+        BGPS_RETURN_IF_ERROR(
+            c.FlushUpdates(tb - c.config().update_period));
+        s.next_flush += c.config().update_period;
+      }
+    }
+  }
+
+  // Final partial flush so trailing messages are not lost.
+  for (size_t i = 0; i < collectors_.size(); ++i) {
+    auto& c = collectors_[i];
+    Timestamp last_window = sched[i].next_flush - c.config().update_period;
+    if (last_window < end) {
+      BGPS_RETURN_IF_ERROR(c.FlushUpdates(last_window));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace bgps::sim

@@ -1,0 +1,98 @@
+// SimDriver: runs a scripted timeline against the World and makes the
+// collectors dump MRT files into an archive — the complete stand-in for
+// "the Internet + RouteViews + RIPE RIS" that the rest of the stack
+// consumes through the Broker.
+#pragma once
+
+#include <deque>
+
+#include "sim/collector.hpp"
+
+namespace bgps::sim {
+
+struct SimEvent {
+  enum class Kind { SetOrigins, Withdraw, VpDown, VpUp };
+
+  Timestamp time = 0;
+  Kind kind = Kind::SetOrigins;
+  // SetOrigins / Withdraw:
+  Prefix prefix;
+  std::vector<OriginSpec> origins;
+  // VpDown / VpUp:
+  Asn vp = 0;
+  bool silent = false;  // down without a state message (RouteViews-style)
+
+  static SimEvent Announce(Timestamp t, const Prefix& p,
+                           std::vector<OriginSpec> origins) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::SetOrigins;
+    e.prefix = p;
+    e.origins = std::move(origins);
+    return e;
+  }
+  static SimEvent WithdrawAt(Timestamp t, const Prefix& p) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::Withdraw;
+    e.prefix = p;
+    return e;
+  }
+  static SimEvent Down(Timestamp t, Asn vp, bool silent) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::VpDown;
+    e.vp = vp;
+    e.silent = silent;
+    return e;
+  }
+  static SimEvent Up(Timestamp t, Asn vp) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::VpUp;
+    e.vp = vp;
+    return e;
+  }
+};
+
+class SimDriver {
+ public:
+  SimDriver(Topology topo, std::string archive_root, uint64_t seed = 1);
+
+  const Topology& topology() const { return topo_; }
+  World& world() { return world_; }
+  const std::string& archive_root() const { return archive_root_; }
+
+  CollectorSim& AddCollector(CollectorConfig config);
+  std::deque<CollectorSim>& collectors() { return collectors_; }
+
+  void AddEvent(SimEvent event) { events_.push_back(std::move(event)); }
+
+  // Schedules background churn: random announced prefixes flap (withdraw,
+  // then re-announce after `mean_downtime`), `flaps_per_hour` on average
+  // across the whole table. Prefixes in `avoid` are left alone so scripted
+  // events keep a clean signal.
+  void AddFlapNoise(Timestamp start, Timestamp end, double flaps_per_hour,
+                    Timestamp mean_downtime = 120,
+                    const std::set<Prefix>& avoid = {});
+
+  // Executes the timeline over [start, end): applies events in time order
+  // and triggers each collector's periodic RIB / updates dumps. Call after
+  // world().AnnounceAll() (or manual announcements).
+  Status Run(Timestamp start, Timestamp end);
+
+  // Union of all collectors' VP ASNs (deltas are computed for these).
+  std::vector<Asn> all_vps() const;
+
+ private:
+  void Apply(const SimEvent& event);
+
+  Topology topo_;
+  World world_;
+  std::string archive_root_;
+  std::deque<CollectorSim> collectors_;
+  std::vector<SimEvent> events_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace bgps::sim

@@ -1,0 +1,560 @@
+#include "sim/presets.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace bgps::sim {
+namespace {
+
+// Common mid-size world for the event-driven scenarios.
+TopologyConfig EventTopoConfig(uint64_t seed) {
+  TopologyConfig cfg;
+  cfg.num_tier1 = 5;
+  cfg.num_transit = 18;
+  cfg.num_stub = 70;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Asn SomeTransit(const Topology& topo, uint64_t salt) {
+  std::vector<Asn> transits;
+  for (Asn asn : topo.asns_sorted()) {
+    if (topo.node(asn).tier == AsTier::Transit) transits.push_back(asn);
+  }
+  return transits[salt % transits.size()];
+}
+
+}  // namespace
+
+GarrScenario BuildGarrScenario(const std::string& archive_root, int days,
+                               uint64_t seed) {
+  GarrScenario sc;
+  fs::remove_all(archive_root);
+
+  Topology topo = Topology::Generate(EventTopoConfig(seed));
+  // Plant the victim: a stub with a block of /24s under one /16 (GARR
+  // announced 78 prefixes; we scale to 12, 7 of which get hijacked).
+  std::vector<Prefix> victim_prefixes;
+  for (int i = 0; i < 12; ++i) {
+    victim_prefixes.push_back(
+        Prefix(IpAddress::V4(193, 206, uint8_t(i), 0), 24));
+  }
+  sc.victim_prefixes = victim_prefixes;
+  topo.AddStub(sc.victim, "IT", victim_prefixes,
+               {SomeTransit(topo, 1), SomeTransit(topo, 3)});
+  // The attacker: a stub in a different corner of the topology.
+  topo.AddStub(sc.attacker, "RO", {Prefix(IpAddress::V4(89, 33, 0, 0), 20)},
+               {SomeTransit(topo, 7)});
+
+  auto driver = std::make_unique<SimDriver>(std::move(topo), archive_root,
+                                            seed);
+  // One RouteViews-style and one RIS-style collector (the paper used all;
+  // Fig. 6 needs several topologically distinct VPs, which these supply).
+  for (int kind = 0; kind < 2; ++kind) {
+    CollectorConfig cfg;
+    if (kind == 0) {
+      cfg.project = "routeviews";
+      cfg.name = RouteViewsName(0);
+      cfg.rib_period = 2 * 3600;
+      cfg.update_period = 15 * 60;
+      cfg.state_messages = false;
+    } else {
+      cfg.project = "ris";
+      cfg.name = RisName(12);  // RRC12, as in §4.3/§5
+      cfg.rib_period = 8 * 3600;
+      cfg.update_period = 5 * 60;
+      cfg.state_messages = true;
+    }
+    cfg.publish_delay = 0;
+    cfg.vps = PickVps(driver->topology(), 6, 0.25, seed * 31 + kind);
+    driver->AddCollector(std::move(cfg));
+  }
+
+  driver->world().AnnounceAll();
+
+  sc.start = TimestampFromYmdHms(2015, 1, 1, 0, 0, 0);
+  sc.end = sc.start + Timestamp(days) * 86400;
+
+  // Hijack windows: days 1, 5, 7 and 8 of the window (paper: Jan 1, 5, 7,
+  // 8 2015), each ~1 h, clipped to the simulated duration.
+  sc.hijacked.assign(victim_prefixes.begin(), victim_prefixes.begin() + 7);
+  for (int day : {0, 4, 6, 7}) {
+    Timestamp t0 = sc.start + Timestamp(day) * 86400 + 11 * 3600;
+    Timestamp t1 = t0 + 3600;
+    if (t1 >= sc.end) continue;
+    sc.hijack_windows.emplace_back(t0, t1);
+    for (const auto& p : sc.hijacked) {
+      driver->AddEvent(SimEvent::Announce(
+          t0, p, {OriginSpec{sc.victim, {}}, OriginSpec{sc.attacker, {}}}));
+      driver->AddEvent(
+          SimEvent::Announce(t1, p, {OriginSpec{sc.victim, {}}}));
+    }
+  }
+
+  // Background churn away from the monitored space.
+  std::set<Prefix> avoid(victim_prefixes.begin(), victim_prefixes.end());
+  driver->AddFlapNoise(sc.start, sc.end, 60.0, 120, avoid);
+  // Mild oscillation *inside* the monitored space (Fig. 6's green line):
+  // the victim occasionally de-aggregates / re-aggregates one prefix.
+  for (Timestamp t = sc.start + 7200; t + 7200 < sc.end; t += 86400 / 2) {
+    const Prefix& p = victim_prefixes.back();
+    driver->AddEvent(SimEvent::WithdrawAt(t, p));
+    driver->AddEvent(
+        SimEvent::Announce(t + 1800, p, {OriginSpec{sc.victim, {}}}));
+  }
+
+  (void)driver->Run(sc.start, sc.end);
+  sc.driver = std::move(driver);
+  return sc;
+}
+
+CountryOutageScenario BuildCountryOutageScenario(
+    const std::string& archive_root, int days, uint64_t seed) {
+  CountryOutageScenario sc;
+  fs::remove_all(archive_root);
+
+  TopologyConfig topo_cfg = EventTopoConfig(seed + 1);
+  Topology topo = Topology::Generate(topo_cfg);
+
+  // Plant five ISPs in the target country, each with a customer cone of
+  // local stubs (EarthLink/ScopeSky/... in the paper's Fig. 10).
+  std::vector<std::pair<Asn, int>> isp_sizes = {
+      {50710, 14}, {50597, 9}, {197893, 6}, {57588, 5}, {198735, 4}};
+  Asn upstream1 = SomeTransit(topo, 2), upstream2 = SomeTransit(topo, 5);
+  Asn next_stub_asn = 90000;
+  for (auto [asn, prefix_count] : isp_sizes) {
+    std::vector<Prefix> prefixes;
+    for (int i = 0; i < prefix_count; ++i) {
+      prefixes.push_back(Prefix(
+          IpAddress::V4(uint8_t(91), uint8_t(asn >> 8), uint8_t(i * 4), 0),
+          22));
+    }
+    AsNode& isp = topo.AddStub(asn, sc.country, prefixes,
+                               {upstream1, upstream2});
+    // ISPs are transit for local stubs.
+    isp.tier = AsTier::Transit;
+    for (int c = 0; c < 2; ++c) {
+      topo.AddStub(next_stub_asn, sc.country,
+                   {Prefix(IpAddress::V4(uint8_t(92), uint8_t(next_stub_asn),
+                                         0, 0),
+                           20)},
+                   {asn});
+      ++next_stub_asn;
+    }
+    sc.isps.push_back(asn);
+  }
+
+  auto driver =
+      std::make_unique<SimDriver>(std::move(topo), archive_root, seed + 1);
+  for (int kind = 0; kind < 2; ++kind) {
+    CollectorConfig cfg;
+    if (kind == 0) {
+      cfg.project = "routeviews";
+      cfg.name = RouteViewsName(0);
+      cfg.rib_period = 2 * 3600;
+      cfg.update_period = 15 * 60;
+      cfg.state_messages = false;
+    } else {
+      cfg.project = "ris";
+      cfg.name = RisName(0);
+      cfg.rib_period = 8 * 3600;
+      cfg.update_period = 5 * 60;
+      cfg.state_messages = true;
+    }
+    cfg.publish_delay = 0;
+    cfg.vps = PickVps(driver->topology(), 7, 0.3, seed * 17 + kind);
+    driver->AddCollector(std::move(cfg));
+  }
+  driver->world().AnnounceAll();
+
+  sc.start = TimestampFromYmdHms(2015, 6, 20, 0, 0, 0);
+  sc.end = sc.start + Timestamp(days) * 86400;
+
+  // Government-ordered shutdowns: ~3 h every morning within a middle
+  // stretch of the window (paper: Jun 27 - Jul 15, starting ~daily).
+  Timestamp shutdown_first = sc.start + 7 * 86400;
+  Timestamp shutdown_last = std::min(sc.end, sc.start + 25 * 86400);
+  std::set<Prefix> country_prefixes;
+  for (Asn isp : sc.isps) {
+    // The ISP and its customer cone go dark.
+    std::vector<Asn> cone{isp};
+    for (Asn c : driver->topology().node(isp).customers) cone.push_back(c);
+    for (Asn member : cone) {
+      for (const auto& p : driver->topology().node(member).prefixes)
+        country_prefixes.insert(p);
+    }
+  }
+  for (Timestamp day = shutdown_first; day + 4 * 3600 < shutdown_last;
+       day += 86400) {
+    Timestamp t0 = day + 5 * 3600;  // 05:00 local-ish
+    Timestamp t1 = t0 + 3 * 3600;
+    sc.outage_windows.emplace_back(t0, t1);
+    for (const auto& p : country_prefixes) {
+      driver->AddEvent(SimEvent::WithdrawAt(t0, p));
+    }
+    // Restore: each prefix re-announced by its owner.
+    for (Asn isp : sc.isps) {
+      std::vector<Asn> cone{isp};
+      for (Asn c : driver->topology().node(isp).customers) cone.push_back(c);
+      for (Asn member : cone) {
+        for (const auto& p : driver->topology().node(member).prefixes) {
+          driver->AddEvent(
+              SimEvent::Announce(t1, p, {OriginSpec{member, {}}}));
+        }
+      }
+    }
+  }
+
+  driver->AddFlapNoise(sc.start, sc.end, 40.0, 120, country_prefixes);
+  (void)driver->Run(sc.start, sc.end);
+  sc.driver = std::move(driver);
+  return sc;
+}
+
+RtbhScenario BuildRtbhScenario(const std::string& archive_root, int events,
+                               int probes_per_event, uint64_t seed) {
+  RtbhScenario sc;
+  fs::remove_all(archive_root);
+  std::mt19937_64 rng(seed);
+
+  TopologyConfig cfg = EventTopoConfig(seed + 9);
+  cfg.blackholing_fraction = 0.65;
+  Topology topo = Topology::Generate(cfg);
+  auto driver =
+      std::make_unique<SimDriver>(std::move(topo), archive_root, seed + 9);
+  for (int kind = 0; kind < 2; ++kind) {
+    CollectorConfig ccfg;
+    if (kind == 0) {
+      ccfg.project = "routeviews";
+      ccfg.name = RouteViewsName(0);
+      ccfg.rib_period = 2 * 3600;
+      ccfg.update_period = 15 * 60;
+    } else {
+      ccfg.project = "ris";
+      ccfg.name = RisName(12);
+      ccfg.rib_period = 8 * 3600;
+      ccfg.update_period = 5 * 60;
+      ccfg.state_messages = true;
+    }
+    ccfg.publish_delay = 0;
+    ccfg.vps = PickVps(driver->topology(), 5, 0.2, seed * 13 + kind);
+    driver->AddCollector(std::move(ccfg));
+  }
+  driver->world().AnnounceAll();
+
+  sc.start = TimestampFromYmdHms(2016, 4, 20, 0, 0, 0);
+
+  // Victim pool: stubs with at least one blackholing-capable provider.
+  const Topology& t = driver->topology();
+  std::vector<Asn> victims;
+  for (Asn asn : t.asns_sorted()) {
+    const AsNode& node = t.node(asn);
+    if (node.tier != AsTier::Stub) continue;
+    for (Asn p : node.providers) {
+      if (t.node(p).supports_blackholing) {
+        victims.push_back(asn);
+        break;
+      }
+    }
+  }
+  // Probe pool: everything else (the paper selects Atlas probes near the
+  // origin; we draw from the whole AS population per event below).
+  std::vector<Asn> all = t.asns_sorted();
+
+  Timestamp cursor = sc.start + 1800;
+  World& world = driver->world();
+  for (int e = 0; e < events && !victims.empty(); ++e) {
+    RtbhEvent ev;
+    ev.victim = victims[rng() % victims.size()];
+    const AsNode& vnode = t.node(ev.victim);
+    ev.target = Prefix(vnode.prefixes.front().address(), 32);
+    // Tag the communities of all blackholing-capable providers: the
+    // multi-homed-customer case of §4.3 (some providers may still not
+    // support RTBH -> partial reachability).
+    bgp::Communities tags;
+    for (Asn p : vnode.providers) {
+      tags.push_back(bgp::Community(uint16_t(p), kBlackholeValue));
+      if (t.node(p).supports_blackholing) ev.tagged_providers.push_back(p);
+    }
+    // 80% of RTBH requests < 1 day, 20% < 40 min (paper's durations);
+    // scale down so many events fit one simulated day.
+    Timestamp duration = (rng() % 5 == 0) ? Timestamp(1200 + rng() % 1200)
+                                          : Timestamp(3600 + rng() % 7200);
+    ev.start = cursor;
+    ev.end = cursor + duration;
+    cursor = ev.end + 1800 + Timestamp(rng() % 1800);
+
+    // Apply the announcement now, measure "during", then withdraw and
+    // measure "after" — the sim timeline is advanced segment-wise by the
+    // caller-visible driver below.
+    driver->AddEvent(
+        SimEvent::Announce(ev.start, ev.target, {OriginSpec{ev.victim, tags}}));
+    driver->AddEvent(SimEvent::WithdrawAt(ev.end, ev.target));
+
+    // Probes: neighbors of the origin, plus random ASes (stand-in for
+    // same-IXP / same-country Atlas probes).
+    std::set<Asn> probe_set(vnode.providers.begin(), vnode.providers.end());
+    while (int(probe_set.size()) < probes_per_event) {
+      Asn cand = all[rng() % all.size()];
+      if (cand != ev.victim) probe_set.insert(cand);
+    }
+    for (Asn src : probe_set) {
+      RtbhEvent::Probe probe;
+      probe.source = src;
+      ev.probes.push_back(probe);
+    }
+    sc.events.push_back(std::move(ev));
+  }
+  sc.end = cursor + 1800;
+
+  // Execute segment-wise: pause exactly inside and right after each event
+  // to take the traceroute measurements (the paper's live-triggered
+  // probing; >90% of real events were probed in time, here always).
+  Timestamp segment_start = sc.start;
+  for (auto& ev : sc.events) {
+    Status st = driver->Run(segment_start, ev.start + 1);
+    (void)st;
+    for (auto& probe : ev.probes) {
+      auto r = world.Traceroute(probe.source, ev.target.address());
+      probe.during_reached_origin = r.reached_origin;
+      // During the event the DoS itself may keep the host down even on
+      // clear paths (paper Fig. 4a counts end-host responses).
+      probe.during_reached_host = r.reached_origin && (rng() % 100 < 70);
+    }
+    st = driver->Run(ev.start + 1, ev.end + 1);
+    for (auto& probe : ev.probes) {
+      auto r = world.Traceroute(probe.source, ev.target.address());
+      probe.after_reached_origin = r.reached_origin;
+      probe.after_reached_host = r.reached_origin && (rng() % 100 < 97);
+    }
+    segment_start = ev.end + 1;
+  }
+  (void)driver->Run(segment_start, sc.end);
+
+  sc.driver = std::move(driver);
+  return sc;
+}
+
+LongitudinalArchive BuildLongitudinalArchive(
+    const std::string& archive_root, const LongitudinalOptions& options) {
+  LongitudinalArchive arch;
+  arch.root = archive_root;
+
+  // Completion marker: lets the figure-5 benches share one archive.
+  const std::string marker_text =
+      "v1 months=" + std::to_string(options.months) +
+      " collectors=" + std::to_string(options.collectors) +
+      " vps=" + std::to_string(options.vps_per_collector) +
+      " seed=" + std::to_string(options.seed);
+  const fs::path marker_path = fs::path(archive_root) / ".complete";
+  bool skip_write = false;
+  if (options.reuse_existing && fs::exists(marker_path)) {
+    std::ifstream in(marker_path);
+    std::string existing((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    skip_write = existing == marker_text;
+  }
+  if (!skip_write) fs::remove_all(archive_root);
+
+  std::mt19937_64 rng(options.seed);
+
+  TopologyConfig topo_cfg = options.topo;
+  if (topo_cfg.num_stub == 200 && topo_cfg.num_transit == 40) {
+    // Default scale for the fig5 benches if the caller did not override.
+    topo_cfg.num_tier1 = 6;
+    topo_cfg.num_transit = 30;
+    topo_cfg.num_stub = 160;
+  }
+  topo_cfg.seed = options.seed;
+  arch.topo = Topology::Generate(topo_cfg);
+
+  // Birth months: interleave transits and stubs so the transit fraction
+  // stays roughly constant as the graph grows (the paper's IPv4 finding).
+  // A fifth of the ASes exist from month 0.
+  std::vector<Asn> asns = arch.topo.asns_sorted();
+  for (Asn asn : asns) {
+    const AsNode& node = arch.topo.node(asn);
+    if (node.tier == AsTier::Tier1) {
+      arch.birth_month[asn] = 0;
+      continue;
+    }
+    // Providers must exist before their customers: bias birth by ASN
+    // order (generation order respects the hierarchy) plus jitter.
+    double frac = double(asn - asns.front()) / double(asns.size());
+    int base = int(frac * 0.85 * options.months);
+    int jitter = int(rng() % 13);
+    arch.birth_month[asn] = std::max(0, base - jitter);
+  }
+  // Enforce provider-before-customer.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& link : arch.topo.links()) {
+      if (link.type != LinkType::CustomerProvider) continue;
+      if (arch.birth_month[link.b] < arch.birth_month[link.a]) {
+        arch.birth_month[link.b] = arch.birth_month[link.a];
+        changed = true;
+      }
+    }
+  }
+
+  // IPv6 adoption: transit ASes early (first third), stubs late (after
+  // ~60% of the window) — reproduces Fig. 5c's transit-heavy early IPv6.
+  for (Asn asn : asns) {
+    const AsNode& node = arch.topo.node(asn);
+    if (node.prefixes_v6.empty()) {
+      arch.v6_month[asn] = -1;
+      continue;
+    }
+    int birth = arch.birth_month[asn];
+    int adopt;
+    if (node.is_transit()) {
+      adopt = int(rng() % std::max(1, options.months / 3));
+    } else {
+      adopt = int(options.months * 3 / 5 + rng() % std::max(1, options.months / 3));
+    }
+    arch.v6_month[asn] = std::max(birth, adopt);
+  }
+
+  // MOAS assignments (Fig. 5b): a slowly growing set of prefixes gains a
+  // second origin once both ASes exist.
+  struct Moas {
+    Prefix prefix;
+    Asn owner;
+    Asn second;
+    int month;
+  };
+  std::vector<Moas> moas;
+  {
+    auto origins = arch.topo.all_origins();
+    size_t target = origins.size() / 12;  // ~8% of prefixes eventually MOAS
+    for (size_t i = 0; i < target; ++i) {
+      const auto& [owner, prefix] = origins[rng() % origins.size()];
+      if (prefix.family() != IpFamily::V4) continue;
+      Asn second = asns[rng() % asns.size()];
+      if (second == owner) continue;
+      int month = std::max(
+          {arch.birth_month[owner], arch.birth_month[second],
+           int(rng() % options.months)});
+      moas.push_back({prefix, owner, second, month});
+    }
+  }
+
+  // Collectors and their VPs (VPs join over the years — Fig. 5a heatmap).
+  for (int c = 0; c < options.collectors; ++c) {
+    bool rv = c % 2 == 0;
+    std::string name = rv ? RouteViewsName(c / 2) : RisName(c / 2);
+    arch.collector_project[name] = rv ? "routeviews" : "ris";
+    auto vps = PickVps(arch.topo, options.vps_per_collector,
+                       options.partial_feed_fraction,
+                       options.seed * 101 + uint64_t(c));
+    std::vector<LongitudinalArchive::VpInfo> infos;
+    for (auto& vp : vps) {
+      LongitudinalArchive::VpInfo info;
+      info.spec = vp;
+      info.join_month = std::max(arch.birth_month[vp.asn],
+                                 int(rng() % (options.months * 2 / 3)));
+      infos.push_back(info);
+    }
+    arch.collectors[name] = std::move(infos);
+  }
+
+  // Monthly snapshots: midnight on the 15th (see §5: the 1st is missing
+  // ~34 dumps/year in the real archives, so the paper uses the 15th).
+  for (int m = 0; m < options.months; ++m) {
+    int year = options.first_year + m / 12;
+    int month = 1 + m % 12;
+    Timestamp ts = TimestampFromYmdHms(year, month, 15, 0, 0, 0);
+    arch.snapshot_times.push_back(ts);
+    if (skip_write) continue;  // archive already on disk; metadata only
+
+    // Active subgraph for this month.
+    std::unordered_map<Asn, bool> active;
+    for (Asn asn : asns) active[asn] = arch.birth_month[asn] <= m;
+
+    // Routes for every active prefix (with MOAS overlays).
+    std::map<Prefix, RouteMap> routes;
+    for (const auto& [asn, prefix] : arch.topo.all_origins()) {
+      if (!active[asn]) continue;
+      if (prefix.family() == IpFamily::V6 &&
+          (arch.v6_month[asn] < 0 || arch.v6_month[asn] > m))
+        continue;
+      std::vector<OriginSpec> origins{{asn, {}}};
+      for (const auto& mo : moas) {
+        if (mo.prefix == prefix && mo.month <= m && active[mo.second]) {
+          origins.push_back({mo.second, {}});
+        }
+      }
+      routes.emplace(prefix, PropagateRoutes(arch.topo, origins, &active));
+    }
+
+    // One RIB dump per collector.
+    for (const auto& [name, vps] : arch.collectors) {
+      const std::string& project = arch.collector_project[name];
+      fs::path dir = fs::path(archive_root) / project / name / "ribs";
+      std::error_code ec;
+      fs::create_directories(dir, ec);
+      // Duration matches the project's real RIB cadence.
+      Timestamp duration = project == "routeviews" ? 7200 : 28800;
+      fs::path file = dir / broker::ArchiveFileName(ts, duration, 0);
+
+      mrt::MrtFileWriter writer;
+      if (!writer.Open(file.string()).ok()) continue;
+      mrt::PeerIndexTable pit;
+      pit.view_name = name;
+      std::vector<int> joined;  // indices of joined VPs
+      for (size_t i = 0; i < vps.size(); ++i) {
+        pit.peers.push_back({uint32_t(vps[i].spec.asn), vps[i].spec.address,
+                             vps[i].spec.asn});
+        if (vps[i].join_month <= m) joined.push_back(int(i));
+      }
+      (void)writer.Write(mrt::EncodePeerIndexTable(ts, pit));
+
+      uint32_t seq = 0;
+      for (const auto& [prefix, rmap] : routes) {
+        mrt::RibPrefix rib;
+        rib.prefix = prefix;
+        rib.sequence = seq;
+        for (int i : joined) {
+          const VpSpec& vp = vps[size_t(i)].spec;
+          auto rit = rmap.find(vp.asn);
+          if (rit == rmap.end()) continue;
+          const Route& route = rit->second;
+          if (!vp.full_feed && route.source != RouteSource::Origin &&
+              route.source != RouteSource::Customer)
+            continue;
+          mrt::RibEntry entry;
+          entry.peer_index = uint16_t(i);
+          entry.originated_time = ts;
+          std::vector<Asn> path{vp.asn};
+          path.insert(path.end(), route.path.begin(), route.path.end());
+          entry.attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+          entry.attrs.communities = route.communities;
+          if (prefix.family() == IpFamily::V4) {
+            entry.attrs.next_hop = vp.address;
+          } else {
+            bgp::MpReach mp;
+            mp.next_hop = VpAddressV6For(vp.asn);
+            entry.attrs.mp_reach = std::move(mp);
+          }
+          rib.entries.push_back(std::move(entry));
+        }
+        if (rib.entries.empty()) continue;
+        ++seq;
+        (void)writer.Write(mrt::EncodeRibPrefix(ts, rib, prefix.family()));
+      }
+      (void)writer.Close();
+    }
+  }
+
+  if (!skip_write) {
+    std::ofstream out(marker_path);
+    out << marker_text;
+  }
+  return arch;
+}
+
+}  // namespace bgps::sim

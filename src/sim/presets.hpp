@@ -1,0 +1,110 @@
+// Named scenarios reproducing the paper's case studies. Shared by the
+// examples and the figure benches (see DESIGN.md §3 for the mapping).
+#pragma once
+
+#include "sim/scenario.hpp"
+
+namespace bgps::sim {
+
+// --- Fig. 6: GARR hijack ----------------------------------------------------
+// A victim stub (AS137-like) originates a block of prefixes; a foreign
+// stub (AS198596-like) announces `hijacked_count` of them (same-prefix
+// MOAS) in several ~1 h windows, like the Jan 2015 TehnoGrup events.
+struct GarrScenario {
+  std::unique_ptr<SimDriver> driver;
+  Asn victim = 137;
+  Asn attacker = 198596;
+  std::vector<Prefix> victim_prefixes;
+  std::vector<Prefix> hijacked;  // subset also announced by the attacker
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<std::pair<Timestamp, Timestamp>> hijack_windows;
+};
+
+GarrScenario BuildGarrScenario(const std::string& archive_root, int days,
+                               uint64_t seed = 2015);
+
+// --- Fig. 10: country-wide outages ------------------------------------------
+// Five ISPs of one country withdraw everything in recurring ~3 h windows
+// (the Iraq exam shutdowns of Jun-Jul 2015).
+struct CountryOutageScenario {
+  std::unique_ptr<SimDriver> driver;
+  std::string country = "IQ";
+  std::vector<Asn> isps;         // the five monitored providers
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<std::pair<Timestamp, Timestamp>> outage_windows;
+};
+
+CountryOutageScenario BuildCountryOutageScenario(const std::string& archive_root,
+                                                 int days, uint64_t seed = 2015);
+
+// --- Fig. 4: RTBH study ------------------------------------------------------
+// Victim stubs announce /32s tagged with their providers' blackhole
+// communities for short windows. Traceroute measurements are taken from
+// Atlas-like probe ASes during and after each event (the sim is paused at
+// the right instants, mirroring the paper's live-triggered probing).
+struct RtbhEvent {
+  Asn victim = 0;
+  Prefix target;                       // the black-holed /32
+  std::vector<Asn> tagged_providers;   // providers whose community was set
+  Timestamp start = 0;
+  Timestamp end = 0;
+  // Per-probe outcomes (one entry per probe AS).
+  struct Probe {
+    Asn source = 0;
+    bool during_reached_host = false;
+    bool during_reached_origin = false;
+    bool after_reached_host = false;
+    bool after_reached_origin = false;
+  };
+  std::vector<Probe> probes;
+};
+
+struct RtbhScenario {
+  std::unique_ptr<SimDriver> driver;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<RtbhEvent> events;
+};
+
+RtbhScenario BuildRtbhScenario(const std::string& archive_root, int events,
+                               int probes_per_event, uint64_t seed = 416);
+
+// --- Fig. 5a-d: longitudinal archive ----------------------------------------
+// Monthly midnight RIB dumps (15th of the month, like the paper after its
+// missing-dump finding) over `months` months, with the topology growing
+// over time: ASes and VPs have birth months, IPv6 adoption ramps up.
+struct LongitudinalOptions {
+  int months = 15 * 12;       // Jan 2001 .. Jan 2016
+  int first_year = 2001;
+  int collectors = 4;         // 2 routeviews-style + 2 ris-style
+  int vps_per_collector = 6;
+  double partial_feed_fraction = 0.35;
+  TopologyConfig topo;        // final (fully grown) topology
+  uint64_t seed = 501;
+  // If true and a completion marker matching these options exists under
+  // the archive root, skip the (expensive) dump generation and only
+  // recompute the in-memory metadata. Figure-5 benches share one archive.
+  bool reuse_existing = false;
+};
+
+struct LongitudinalArchive {
+  std::string root;
+  Topology topo;
+  std::vector<Timestamp> snapshot_times;  // one per month
+  std::unordered_map<Asn, int> birth_month;     // AS appears at this month
+  std::unordered_map<Asn, int> v6_month;        // -1 = never originates v6
+  // collector -> VP specs with join month.
+  struct VpInfo {
+    VpSpec spec;
+    int join_month = 0;
+  };
+  std::map<std::string, std::vector<VpInfo>> collectors;  // name -> VPs
+  std::map<std::string, std::string> collector_project;   // name -> project
+};
+
+LongitudinalArchive BuildLongitudinalArchive(const std::string& archive_root,
+                                             const LongitudinalOptions& options);
+
+}  // namespace bgps::sim

@@ -1,0 +1,161 @@
+#include "sim/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace bgps::sim {
+namespace {
+
+// A candidate route offered to `target` by neighbor `via`.
+struct Offer {
+  size_t path_len;
+  Asn via;
+  Asn target;
+  std::vector<Asn> path;  // path as seen by target (starts with via)
+  bgp::Communities communities;
+
+  // Min-heap order: shortest path first, then lowest next-hop ASN.
+  bool operator>(const Offer& o) const {
+    return std::tie(path_len, via, target) > std::tie(o.path_len, o.via, o.target);
+  }
+};
+
+using OfferQueue = std::priority_queue<Offer, std::vector<Offer>, std::greater<>>;
+
+// Communities as exported by `node`: strip, then tag.
+bgp::Communities ExportCommunities(const AsNode& node,
+                                   const bgp::Communities& in) {
+  bgp::Communities out = node.strips_communities ? bgp::Communities{} : in;
+  if (node.adds_communities) {
+    out.push_back(bgp::Community(uint16_t(node.asn & 0xFFFF), kTransitTagValue));
+  }
+  return out;
+}
+
+}  // namespace
+
+RouteMap PropagateRoutes(const Topology& topo,
+                         const std::vector<OriginSpec>& origins,
+                         const std::unordered_map<Asn, bool>* active) {
+  RouteMap routes;
+  auto is_active = [&](Asn a) {
+    if (!topo.has_node(a)) return false;
+    if (!active) return true;
+    auto it = active->find(a);
+    return it != active->end() && it->second;
+  };
+
+  // Seed origins.
+  for (const auto& spec : origins) {
+    if (!is_active(spec.asn)) continue;
+    Route r;
+    r.source = RouteSource::Origin;
+    bgp::Communities cs = spec.communities;
+    cs.push_back(bgp::Community(uint16_t(spec.asn & 0xFFFF), kOriginTagValue));
+    r.communities = std::move(cs);
+    // An origin with multiple OriginSpec entries keeps the first.
+    routes.emplace(spec.asn, std::move(r));
+  }
+  if (routes.empty()) return routes;
+
+  // --- Phase 1: customer routes climb to providers (valley-free "up"). ---
+  {
+    OfferQueue queue;
+    auto offer_up = [&](Asn from) {
+      const AsNode& n = topo.node(from);
+      const Route& r = routes.at(from);
+      for (Asn provider : n.providers) {
+        if (!is_active(provider)) continue;
+        Offer o;
+        o.via = from;
+        o.target = provider;
+        o.path.reserve(r.path.size() + 1);
+        o.path.push_back(from);
+        o.path.insert(o.path.end(), r.path.begin(), r.path.end());
+        o.path_len = o.path.size();
+        o.communities = ExportCommunities(n, r.communities);
+        queue.push(std::move(o));
+      }
+    };
+    for (const auto& [asn, _] : routes) offer_up(asn);
+    while (!queue.empty()) {
+      Offer o = queue.top();
+      queue.pop();
+      if (routes.count(o.target)) continue;  // already has a (better) route
+      Route r;
+      r.path = std::move(o.path);
+      r.source = RouteSource::Customer;
+      r.communities = std::move(o.communities);
+      routes.emplace(o.target, std::move(r));
+      offer_up(o.target);
+    }
+  }
+
+  // --- Phase 2: customer/own routes cross peering links (one hop). ---
+  {
+    OfferQueue queue;
+    for (const auto& [asn, r] : routes) {
+      if (r.source != RouteSource::Origin && r.source != RouteSource::Customer)
+        continue;
+      const AsNode& n = topo.node(asn);
+      for (Asn peer : n.peers) {
+        if (!is_active(peer)) continue;
+        Offer o;
+        o.via = asn;
+        o.target = peer;
+        o.path.push_back(asn);
+        o.path.insert(o.path.end(), r.path.begin(), r.path.end());
+        o.path_len = o.path.size();
+        o.communities = ExportCommunities(n, r.communities);
+        queue.push(std::move(o));
+      }
+    }
+    while (!queue.empty()) {
+      Offer o = queue.top();
+      queue.pop();
+      if (routes.count(o.target)) continue;
+      Route r;
+      r.path = std::move(o.path);
+      r.source = RouteSource::Peer;
+      r.communities = std::move(o.communities);
+      routes.emplace(o.target, std::move(r));
+      // Peer routes do not propagate to other peers/providers.
+    }
+  }
+
+  // --- Phase 3: all routes descend to customers (valley-free "down"). ---
+  {
+    OfferQueue queue;
+    auto offer_down = [&](Asn from) {
+      const AsNode& n = topo.node(from);
+      const Route& r = routes.at(from);
+      for (Asn customer : n.customers) {
+        if (!is_active(customer)) continue;
+        Offer o;
+        o.via = from;
+        o.target = customer;
+        o.path.push_back(from);
+        o.path.insert(o.path.end(), r.path.begin(), r.path.end());
+        o.path_len = o.path.size();
+        o.communities = ExportCommunities(n, r.communities);
+        queue.push(std::move(o));
+      }
+    };
+    for (const auto& [asn, _] : routes) offer_down(asn);
+    while (!queue.empty()) {
+      Offer o = queue.top();
+      queue.pop();
+      if (routes.count(o.target)) continue;
+      Route r;
+      r.path = std::move(o.path);
+      r.source = RouteSource::Provider;
+      r.communities = std::move(o.communities);
+      routes.emplace(o.target, std::move(r));
+      offer_down(o.target);
+    }
+  }
+
+  return routes;
+}
+
+}  // namespace bgps::sim

@@ -1,0 +1,55 @@
+// Gao–Rexford route propagation over the synthetic topology.
+//
+// Computes, for one prefix and its origin set (several origins = MOAS /
+// hijack), the best route in every AS's Loc-RIB under standard policy:
+//   export:  customer routes (and own routes) go to everyone;
+//            peer/provider-learned routes go to customers only
+//            (valley-free routing);
+//   select:  customer > peer > provider, then shortest AS path, then
+//            lowest next-hop ASN (deterministic tie-break).
+//
+// Communities accumulate hop by hop per the AS policies (taggers add
+// <asn>:<tag>, strippers clear), reproducing the propagation behaviour
+// analyzed in Fig. 5d.
+#pragma once
+
+#include "sim/topology.hpp"
+
+namespace bgps::sim {
+
+enum class RouteSource : uint8_t { Origin, Customer, Peer, Provider };
+
+struct Route {
+  // AS-level path from this AS to the origin, *excluding* this AS itself
+  // and ending at the origin; empty when this AS originates the prefix.
+  // A VP exporting to a collector prepends its own ASN.
+  std::vector<Asn> path;
+  RouteSource source = RouteSource::Origin;
+  bgp::Communities communities;
+
+  Asn origin(Asn self) const { return path.empty() ? self : path.back(); }
+  size_t length() const { return path.size(); }
+
+  bool operator==(const Route&) const = default;
+};
+
+struct OriginSpec {
+  Asn asn = 0;
+  bgp::Communities communities;  // attached at origination (e.g. RTBH tag)
+};
+
+// Best route per AS. ASes with no entry have no route to the prefix.
+using RouteMap = std::unordered_map<Asn, Route>;
+
+// `active` restricts propagation to a subgraph (longitudinal growth);
+// nullptr = all ASes. Origins not in the topology/active set are ignored.
+RouteMap PropagateRoutes(const Topology& topo,
+                         const std::vector<OriginSpec>& origins,
+                         const std::unordered_map<Asn, bool>* active = nullptr);
+
+// Community tag value transit taggers attach (value half of <asn>:<tag>).
+inline constexpr uint16_t kTransitTagValue = 100;
+// Tag origins attach to their own announcements.
+inline constexpr uint16_t kOriginTagValue = 1;
+
+}  // namespace bgps::sim

@@ -1,0 +1,92 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+namespace bgps::sim {
+
+std::string RouteViewsName(int index) {
+  if (index == 0) return "route-views2";
+  return "route-views" + std::to_string(index + 2);
+}
+
+std::string RisName(int index) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "rrc%02d", index);
+  return buf;
+}
+
+std::vector<VpSpec> PickVps(const Topology& topo, int count,
+                            double partial_fraction, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Asn> transit, stub;
+  for (Asn asn : topo.asns_sorted()) {
+    (topo.node(asn).is_transit() ? transit : stub).push_back(asn);
+  }
+  std::shuffle(transit.begin(), transit.end(), rng);
+  std::shuffle(stub.begin(), stub.end(), rng);
+
+  std::vector<VpSpec> vps;
+  size_t ti = 0, si = 0;
+  for (int i = 0; i < count; ++i) {
+    Asn asn;
+    // ~2/3 transit VPs, ~1/3 stubs (stub VPs are natural partial feeds).
+    if (i % 3 != 2 && ti < transit.size()) {
+      asn = transit[ti++];
+    } else if (si < stub.size()) {
+      asn = stub[si++];
+    } else if (ti < transit.size()) {
+      asn = transit[ti++];
+    } else {
+      break;
+    }
+    VpSpec vp;
+    vp.asn = asn;
+    vp.address = VpAddressFor(asn);
+    vp.full_feed =
+        std::uniform_real_distribution<>(0, 1)(rng) >= partial_fraction;
+    vps.push_back(vp);
+  }
+  return vps;
+}
+
+std::unique_ptr<SimDriver> MakeStandardSim(const StandardSimOptions& options,
+                                           const std::string& archive_root) {
+  Topology topo = Topology::Generate(options.topo);
+  auto driver = std::make_unique<SimDriver>(std::move(topo), archive_root,
+                                            options.seed);
+
+  uint64_t vp_seed = options.seed * 7919 + 13;
+  for (int i = 0; i < options.rv_collectors; ++i) {
+    CollectorConfig cfg;
+    cfg.project = "routeviews";
+    cfg.name = RouteViewsName(i);
+    cfg.rib_period = 2 * 3600;
+    cfg.update_period = 15 * 60;
+    cfg.state_messages = false;
+    cfg.publish_delay = options.publish_delay;
+    cfg.publish_jitter = options.publish_jitter;
+    cfg.corrupt_probability = options.corrupt_probability;
+    cfg.vps = PickVps(driver->topology(), options.vps_per_collector,
+                      options.partial_feed_fraction, vp_seed++);
+    driver->AddCollector(std::move(cfg));
+  }
+  for (int i = 0; i < options.ris_collectors; ++i) {
+    CollectorConfig cfg;
+    cfg.project = "ris";
+    cfg.name = RisName(i);
+    cfg.rib_period = 8 * 3600;
+    cfg.update_period = 5 * 60;
+    cfg.state_messages = true;
+    cfg.publish_delay = options.publish_delay;
+    cfg.publish_jitter = options.publish_jitter;
+    cfg.corrupt_probability = options.corrupt_probability;
+    cfg.vps = PickVps(driver->topology(), options.vps_per_collector,
+                      options.partial_feed_fraction, vp_seed++);
+    driver->AddCollector(std::move(cfg));
+  }
+
+  driver->world().AnnounceAll();
+  return driver;
+}
+
+}  // namespace bgps::sim

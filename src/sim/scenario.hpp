@@ -1,0 +1,37 @@
+// Prebuilt simulation scenarios shared by examples, tests and benches.
+#pragma once
+
+#include <memory>
+
+#include "sim/driver.hpp"
+
+namespace bgps::sim {
+
+struct StandardSimOptions {
+  TopologyConfig topo;
+  int rv_collectors = 1;            // "routeviews" project, 2h RIB / 15min upd
+  int ris_collectors = 1;           // "ris" project, 8h RIB / 5min upd
+  int vps_per_collector = 6;
+  double partial_feed_fraction = 0.3;
+  Timestamp publish_delay = 120;
+  Timestamp publish_jitter = 0;
+  double corrupt_probability = 0.0;
+  uint64_t seed = 7;
+};
+
+// Builds a topology and a driver with RouteViews-style and RIS-style
+// collectors whose VPs are drawn from the transit tier (plus some stubs,
+// some partial-feed). World is announced and ready; add events and Run().
+std::unique_ptr<SimDriver> MakeStandardSim(const StandardSimOptions& options,
+                                           const std::string& archive_root);
+
+// Collector naming helpers ("route-views2", "rrc00", ...).
+std::string RouteViewsName(int index);
+std::string RisName(int index);
+
+// Picks `count` VP specs from the topology (deterministic per seed):
+// transit-heavy mix, `partial_fraction` of them partial-feed.
+std::vector<VpSpec> PickVps(const Topology& topo, int count,
+                            double partial_fraction, uint64_t seed);
+
+}  // namespace bgps::sim

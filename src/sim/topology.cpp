@@ -1,0 +1,218 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgps::sim {
+namespace {
+
+// Deterministic IPv4 prefix allocator: hands out /16s under 10 distinct
+// /8s so prefixes from different ASes never collide, then lets ASes
+// de-aggregate into /20s//24s. Public-looking space (1..99 /8s).
+class PrefixAllocator {
+ public:
+  Prefix NextV4(int len) {
+    // Allocate sequentially within a /8-per-256-ASes plan.
+    uint32_t base = (uint32_t(1 + next_slash16_ / 256) << 24) |
+                    (uint32_t(next_slash16_ % 256) << 16);
+    ++next_slash16_;
+    return Prefix(IpAddress::V4(base), len);
+  }
+
+  Prefix NextV6(int len) {
+    std::array<uint8_t, 16> b{};
+    b[0] = 0x20;
+    b[1] = 0x01;
+    b[2] = uint8_t(next_v6_ >> 8);
+    b[3] = uint8_t(next_v6_);
+    ++next_v6_;
+    return Prefix(IpAddress::V6(b), len);
+  }
+
+ private:
+  uint32_t next_slash16_ = 0;
+  uint32_t next_v6_ = 1;
+};
+
+}  // namespace
+
+void Topology::Link(Asn provider, Asn customer) {
+  nodes_[provider].customers.push_back(customer);
+  nodes_[customer].providers.push_back(provider);
+  links_.push_back({provider, customer, LinkType::CustomerProvider});
+}
+
+void Topology::Peer(Asn a, Asn b) {
+  nodes_[a].peers.push_back(b);
+  nodes_[b].peers.push_back(a);
+  links_.push_back({a, b, LinkType::PeerPeer});
+}
+
+Topology Topology::Generate(const TopologyConfig& config) {
+  Topology topo;
+  std::mt19937_64 rng(config.seed);
+  PrefixAllocator alloc;
+
+  auto pick_country = [&](AsTier tier) -> std::string {
+    // Tier-1s cluster in the first few countries; stubs spread everywhere.
+    if (config.countries.empty()) return "ZZ";
+    if (tier == AsTier::Tier1)
+      return config.countries[rng() % std::min<size_t>(
+                                  3, config.countries.size())];
+    return config.countries[rng() % config.countries.size()];
+  };
+
+  // Generated ASNs start at 1000 so scenario scripts can plant actors
+  // with real-world-flavoured low ASNs (AS137, ...) without collisions.
+  Asn next_asn = 1000;
+  std::vector<Asn> tier1s, transits, stubs;
+
+  auto make_node = [&](AsTier tier) -> AsNode& {
+    Asn asn = next_asn++;
+    AsNode node;
+    node.asn = asn;
+    node.tier = tier;
+    node.country = pick_country(tier);
+    auto [it, _] = topo.nodes_.emplace(asn, std::move(node));
+    return it->second;
+  };
+
+  auto assign_prefixes = [&](AsNode& node, int mean_count) {
+    int count = 1 + int(rng() % size_t(2 * mean_count - 1));
+    for (int i = 0; i < count; ++i) {
+      // Mostly /16..../20; occasionally a /24 de-aggregate.
+      int len = 16 + int(rng() % 5);
+      if (rng() % 8 == 0) len = 24;
+      node.prefixes.push_back(alloc.NextV4(len));
+    }
+    bool v6 = std::uniform_real_distribution<>(0, 1)(rng) < config.v6_fraction;
+    if (v6) {
+      int count6 = 1 + int(rng() % 2);
+      for (int i = 0; i < count6; ++i) node.prefixes_v6.push_back(alloc.NextV6(32));
+    }
+  };
+
+  auto assign_policies = [&](AsNode& node) {
+    if (node.tier == AsTier::Stub) return;
+    std::uniform_real_distribution<> uni(0, 1);
+    node.adds_communities = uni(rng) < config.community_tagger_fraction;
+    node.strips_communities = uni(rng) < config.community_stripper_fraction;
+    node.supports_blackholing = uni(rng) < config.blackholing_fraction;
+  };
+
+  // Tier-1 clique.
+  for (int i = 0; i < config.num_tier1; ++i) {
+    AsNode& n = make_node(AsTier::Tier1);
+    assign_prefixes(n, 4);
+    assign_policies(n);
+    tier1s.push_back(n.asn);
+  }
+  for (size_t i = 0; i < tier1s.size(); ++i) {
+    for (size_t j = i + 1; j < tier1s.size(); ++j) topo.Peer(tier1s[i], tier1s[j]);
+  }
+
+  // Transit tier: providers drawn from tier1 + earlier transits.
+  for (int i = 0; i < config.num_transit; ++i) {
+    AsNode& n = make_node(AsTier::Transit);
+    assign_prefixes(n, config.prefixes_per_transit);
+    assign_policies(n);
+    std::vector<Asn> candidates = tier1s;
+    candidates.insert(candidates.end(), transits.begin(), transits.end());
+    int np = config.min_providers +
+             int(rng() % size_t(config.max_providers - config.min_providers + 1));
+    std::shuffle(candidates.begin(), candidates.end(), rng);
+    for (int p = 0; p < np && p < int(candidates.size()); ++p)
+      topo.Link(candidates[size_t(p)], n.asn);
+    transits.push_back(n.asn);
+  }
+  // Extra transit-transit peerings (skipping pairs already related).
+  std::uniform_real_distribution<> uni(0, 1);
+  for (size_t i = 0; i < transits.size(); ++i) {
+    for (size_t j = i + 1; j < transits.size(); ++j) {
+      if (topo.relationship(transits[i], transits[j]) != Rel::None) continue;
+      if (uni(rng) < config.peer_fraction /
+                         std::max(1.0, double(transits.size()) / 10.0)) {
+        topo.Peer(transits[i], transits[j]);
+      }
+    }
+  }
+
+  // Stubs: 1-2 providers from the transit tier (some multihomed to T1).
+  for (int i = 0; i < config.num_stub; ++i) {
+    AsNode& n = make_node(AsTier::Stub);
+    assign_prefixes(n, config.prefixes_per_stub);
+    int np = 1 + int(rng() % 2);
+    for (int p = 0; p < np; ++p) {
+      Asn provider;
+      if (!transits.empty() && (rng() % 10 != 0 || tier1s.empty())) {
+        provider = transits[rng() % transits.size()];
+      } else {
+        provider = tier1s[rng() % tier1s.size()];
+      }
+      // Avoid duplicate provider links.
+      if (std::find(n.providers.begin(), n.providers.end(), provider) !=
+          n.providers.end())
+        continue;
+      topo.Link(provider, n.asn);
+    }
+    stubs.push_back(n.asn);
+  }
+
+  return topo;
+}
+
+std::vector<Asn> Topology::asns_sorted() const {
+  std::vector<Asn> out;
+  out.reserve(nodes_.size());
+  for (const auto& [asn, _] : nodes_) out.push_back(asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Asn> Topology::asns_in_country(const std::string& country) const {
+  std::vector<Asn> out;
+  for (const auto& [asn, node] : nodes_) {
+    if (node.country == country) out.push_back(asn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Topology::Rel Topology::relationship(Asn asn, Asn neighbor) const {
+  const AsNode& n = nodes_.at(asn);
+  if (std::find(n.providers.begin(), n.providers.end(), neighbor) !=
+      n.providers.end())
+    return Rel::Provider;
+  if (std::find(n.customers.begin(), n.customers.end(), neighbor) !=
+      n.customers.end())
+    return Rel::Customer;
+  if (std::find(n.peers.begin(), n.peers.end(), neighbor) != n.peers.end())
+    return Rel::Peer;
+  return Rel::None;
+}
+
+AsNode& Topology::AddStub(Asn asn, const std::string& country,
+                          std::vector<Prefix> prefixes,
+                          std::vector<Asn> providers) {
+  assert(!has_node(asn) && "AddStub ASN collides with an existing node");
+  AsNode node;
+  node.asn = asn;
+  node.tier = AsTier::Stub;
+  node.country = country;
+  node.prefixes = std::move(prefixes);
+  auto [it, _] = nodes_.emplace(asn, std::move(node));
+  for (Asn p : providers) Link(p, asn);
+  return it->second;
+}
+
+std::vector<std::pair<Asn, Prefix>> Topology::all_origins() const {
+  std::vector<std::pair<Asn, Prefix>> out;
+  for (const auto& [asn, node] : nodes_) {
+    for (const auto& p : node.prefixes) out.emplace_back(asn, p);
+    for (const auto& p : node.prefixes_v6) out.emplace_back(asn, p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bgps::sim

@@ -1,0 +1,106 @@
+// Synthetic AS-level Internet topology.
+//
+// Replaces the real BGP ecosystem the paper observes through RouteViews /
+// RIPE RIS. The generator builds a three-tier topology (Tier-1 clique,
+// transit ISPs, stub/edge ASes) with customer-provider and peer-peer
+// links, assigns IPv4/IPv6 prefixes, countries (for the per-country outage
+// analysis, Fig. 10) and per-AS community policies (for the community
+// propagation analysis, Fig. 5d).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "util/ip.hpp"
+
+namespace bgps::sim {
+
+using bgp::Asn;
+
+enum class AsTier : uint8_t { Tier1, Transit, Stub };
+
+enum class LinkType : uint8_t { CustomerProvider, PeerPeer };
+
+struct AsLink {
+  Asn a = 0;  // provider for CustomerProvider links
+  Asn b = 0;  // customer for CustomerProvider links
+  LinkType type = LinkType::CustomerProvider;
+};
+
+struct AsNode {
+  Asn asn = 0;
+  AsTier tier = AsTier::Stub;
+  std::string country;          // ISO-like 2-letter code
+  std::vector<Prefix> prefixes;      // IPv4 prefixes originated
+  std::vector<Prefix> prefixes_v6;   // IPv6 prefixes (empty if not v6-enabled)
+  std::vector<Asn> providers;
+  std::vector<Asn> customers;
+  std::vector<Asn> peers;
+
+  // Community behaviour (drives Fig. 5d): transit ASes may tag routes they
+  // propagate; some ASes strip communities before exporting.
+  bool adds_communities = false;
+  bool strips_communities = false;
+  // Providers supporting RTBH advertise a blackhole community
+  // (<asn>:666) their customers can attach (§4.3).
+  bool supports_blackholing = false;
+
+  bool is_transit() const { return tier != AsTier::Stub; }
+};
+
+struct TopologyConfig {
+  int num_tier1 = 8;
+  int num_transit = 40;
+  int num_stub = 200;
+  int min_providers = 1;
+  int max_providers = 3;
+  double peer_fraction = 0.15;     // extra transit-transit peerings
+  double v6_fraction = 0.35;       // ASes originating IPv6 too
+  double community_tagger_fraction = 0.6;   // transit ASes tagging routes
+  double community_stripper_fraction = 0.15;
+  double blackholing_fraction = 0.5;        // transit ASes supporting RTBH
+  int prefixes_per_stub = 3;       // mean, geometric-ish
+  int prefixes_per_transit = 6;
+  std::vector<std::string> countries = {"US", "DE", "JP", "BR", "IQ",
+                                        "IT", "RO", "FR", "GB", "IN"};
+  uint64_t seed = 42;
+};
+
+class Topology {
+ public:
+  // Generates a topology per config; deterministic for a given seed.
+  static Topology Generate(const TopologyConfig& config);
+
+  const AsNode& node(Asn asn) const { return nodes_.at(asn); }
+  AsNode& node(Asn asn) { return nodes_.at(asn); }
+  bool has_node(Asn asn) const { return nodes_.count(asn) != 0; }
+  const std::unordered_map<Asn, AsNode>& nodes() const { return nodes_; }
+  const std::vector<AsLink>& links() const { return links_; }
+
+  std::vector<Asn> asns_sorted() const;
+  std::vector<Asn> asns_in_country(const std::string& country) const;
+
+  // Relationship of `neighbor` from `asn`'s point of view.
+  enum class Rel { Provider, Customer, Peer, None };
+  Rel relationship(Asn asn, Asn neighbor) const;
+
+  // Adds a stub AS with explicit attributes (used by scenario scripts to
+  // plant actors like the GARR-style victim and its hijacker).
+  AsNode& AddStub(Asn asn, const std::string& country,
+                  std::vector<Prefix> prefixes, std::vector<Asn> providers);
+
+  // All (origin AS, prefix) pairs, both families.
+  std::vector<std::pair<Asn, Prefix>> all_origins() const;
+
+ private:
+  void Link(Asn provider, Asn customer);
+  void Peer(Asn a, Asn b);
+
+  std::unordered_map<Asn, AsNode> nodes_;
+  std::vector<AsLink> links_;
+};
+
+}  // namespace bgps::sim

@@ -1,0 +1,174 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+namespace bgps::sim {
+
+void World::Recompute(const Prefix& prefix) {
+  auto it = announced_.find(prefix);
+  if (it == announced_.end() || it->second.empty()) {
+    routes_.erase(prefix);
+    blackhole_.erase(prefix);
+    index_.erase(prefix);
+    return;
+  }
+  routes_[prefix] = PropagateRoutes(*topo_, it->second);
+  index_.insert(prefix, 1);
+
+  // RTBH: an AS null-routes the prefix if it supports blackholing and any
+  // origin attached that AS's <asn>:666 community.
+  std::set<Asn> bh;
+  for (const auto& spec : it->second) {
+    for (const auto& c : spec.communities) {
+      if (c.value() != kBlackholeValue) continue;
+      Asn asn = c.asn();
+      if (topo_->has_node(asn) && topo_->node(asn).supports_blackholing)
+        bh.insert(asn);
+    }
+  }
+  if (bh.empty()) {
+    blackhole_.erase(prefix);
+  } else {
+    blackhole_[prefix] = std::move(bh);
+  }
+}
+
+std::optional<Route> World::Export(Asn vp, const RouteMap& routes,
+                                   bool full_feed) const {
+  auto it = routes.find(vp);
+  if (it == routes.end()) return std::nullopt;
+  if (!full_feed && it->second.source != RouteSource::Origin &&
+      it->second.source != RouteSource::Customer)
+    return std::nullopt;
+  return it->second;
+}
+
+std::vector<VpDelta> World::SetOrigins(const Prefix& prefix,
+                                       std::vector<OriginSpec> origins,
+                                       const std::vector<Asn>& vps) {
+  // Snapshot old exported views (full-feed view; collectors re-filter for
+  // partial feeds — deltas carry the raw route, filtering happens there).
+  RouteMap old_routes;
+  if (auto it = routes_.find(prefix); it != routes_.end())
+    old_routes = it->second;
+
+  if (origins.empty()) {
+    announced_.erase(prefix);
+  } else {
+    announced_[prefix] = std::move(origins);
+  }
+  Recompute(prefix);
+
+  const RouteMap* new_routes = nullptr;
+  if (auto it = routes_.find(prefix); it != routes_.end())
+    new_routes = &it->second;
+
+  std::vector<VpDelta> deltas;
+  for (Asn vp : vps) {
+    std::optional<Route> before, after;
+    if (auto it = old_routes.find(vp); it != old_routes.end())
+      before = it->second;
+    if (new_routes) {
+      if (auto it = new_routes->find(vp); it != new_routes->end())
+        after = it->second;
+    }
+    if (before == after) continue;
+    deltas.push_back(VpDelta{vp, prefix, std::move(before), std::move(after)});
+  }
+  return deltas;
+}
+
+std::vector<VpDelta> World::Withdraw(const Prefix& prefix,
+                                     const std::vector<Asn>& vps) {
+  return SetOrigins(prefix, {}, vps);
+}
+
+void World::AnnounceAll() {
+  for (const auto& [asn, node] : topo_->nodes()) {
+    for (const auto& p : node.prefixes) {
+      announced_[p] = {OriginSpec{asn, {}}};
+    }
+    for (const auto& p : node.prefixes_v6) {
+      announced_[p] = {OriginSpec{asn, {}}};
+    }
+  }
+  for (const auto& [prefix, _] : announced_) Recompute(prefix);
+}
+
+std::vector<OriginSpec> World::origins(const Prefix& prefix) const {
+  auto it = announced_.find(prefix);
+  return it == announced_.end() ? std::vector<OriginSpec>{} : it->second;
+}
+
+std::optional<Route> World::ExportedRoute(Asn vp, const Prefix& prefix,
+                                          bool full_feed) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return std::nullopt;
+  return Export(vp, it->second, full_feed);
+}
+
+std::map<Prefix, Route> World::ExportedTable(Asn vp, bool full_feed) const {
+  std::map<Prefix, Route> out;
+  for (const auto& [prefix, routes] : routes_) {
+    if (auto r = Export(vp, routes, full_feed)) out.emplace(prefix, *r);
+  }
+  return out;
+}
+
+std::set<Asn> World::blackholers(const Prefix& prefix) const {
+  auto it = blackhole_.find(prefix);
+  return it == blackhole_.end() ? std::set<Asn>{} : it->second;
+}
+
+World::TracerouteResult World::Traceroute(Asn src_asn,
+                                          const IpAddress& dst) const {
+  TracerouteResult result;
+  Asn current = src_asn;
+  // TTL guard: AS paths in the sim are < 16 hops.
+  for (int ttl = 0; ttl < 32; ++ttl) {
+    result.hops.push_back(current);
+
+    // Null-route check at this hop.
+    bool dropped = false;
+    index_.visit_matches(dst, [&](const Prefix& p, char) {
+      auto bh = blackhole_.find(p);
+      if (bh != blackhole_.end() && bh->second.count(current)) dropped = true;
+    });
+    if (dropped) {
+      result.blackholed = true;
+      return result;
+    }
+
+    // Longest-prefix-match forwarding: most specific announced prefix
+    // containing dst for which this hop has a route.
+    std::vector<Prefix> candidates;
+    index_.visit_matches(dst, [&](const Prefix& p, char) {
+      candidates.push_back(p);
+    });
+    // visit_matches yields least->most specific; walk from the back.
+    const Route* route = nullptr;
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      auto rm = routes_.find(*it);
+      if (rm == routes_.end()) continue;
+      auto r = rm->second.find(current);
+      if (r != rm->second.end()) {
+        route = &r->second;
+        break;
+      }
+    }
+    if (route == nullptr) {
+      result.no_route = true;
+      return result;
+    }
+    if (route->path.empty()) {
+      // This AS originates the best-matching prefix: delivered.
+      result.reached_origin = true;
+      return result;
+    }
+    current = route->path.front();
+  }
+  result.no_route = true;  // loop guard tripped
+  return result;
+}
+
+}  // namespace bgps::sim

@@ -1,0 +1,97 @@
+// World: dynamic routing state of the simulated Internet.
+//
+// Holds the per-prefix control plane (which origins announce what, with
+// which communities, and the resulting per-AS best routes), applies
+// events (announce / withdraw / hijack / RTBH), reports per-VP deltas so
+// collectors can emit update messages, and answers data-plane forwarding
+// queries (the RIPE-Atlas-traceroute stand-in for Fig. 4).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "sim/routing.hpp"
+#include "util/patricia.hpp"
+
+namespace bgps::sim {
+
+// The per-VP consequence of a control-plane change: the VP's exported
+// route for `prefix` changed from `before` to `after` (nullopt = no
+// route / withdrawn). Collectors translate these into update messages.
+struct VpDelta {
+  Asn vp = 0;
+  Prefix prefix;
+  std::optional<Route> before;
+  std::optional<Route> after;
+};
+
+class World {
+ public:
+  explicit World(const Topology* topo) : topo_(topo) {}
+
+  const Topology& topology() const { return *topo_; }
+
+  // (Re)announces `prefix` from the given origin set, recomputes routes
+  // and returns the per-VP deltas for `vps` (their *exported* view, which
+  // for partial-feed VPs covers only own/customer routes).
+  std::vector<VpDelta> SetOrigins(const Prefix& prefix,
+                                  std::vector<OriginSpec> origins,
+                                  const std::vector<Asn>& vps);
+
+  // Withdraws `prefix` everywhere.
+  std::vector<VpDelta> Withdraw(const Prefix& prefix,
+                                const std::vector<Asn>& vps);
+
+  // Convenience: announce every prefix of every AS from its owner, with
+  // no deltas reported (initial world bring-up).
+  void AnnounceAll();
+
+  // Current origin set of a prefix (empty = not announced).
+  std::vector<OriginSpec> origins(const Prefix& prefix) const;
+  const std::map<Prefix, std::vector<OriginSpec>>& announced() const {
+    return announced_;
+  }
+
+  // The route `vp` exports to a collector (nullopt if none, or if the VP
+  // is partial-feed and the route is peer/provider-learned).
+  std::optional<Route> ExportedRoute(Asn vp, const Prefix& prefix,
+                                     bool full_feed) const;
+
+  // Full exported table of a VP: prefix -> route.
+  std::map<Prefix, Route> ExportedTable(Asn vp, bool full_feed) const;
+
+  // --- data plane -----------------------------------------------------
+
+  struct TracerouteResult {
+    std::vector<Asn> hops;        // ASes traversed, starting at the source
+    bool reached_origin = false;  // packet arrived at the origin AS
+    bool blackholed = false;      // dropped by an RTBH null-route
+    bool no_route = false;        // a hop had no route toward the target
+  };
+
+  // Forwards a packet from `src_asn` toward `dst`, following each hop's
+  // best route (most-specific announced prefix with a route at that hop).
+  // RTBH null-routes drop the packet at the blackholing AS (§4.3).
+  TracerouteResult Traceroute(Asn src_asn, const IpAddress& dst) const;
+
+  // ASes currently null-routing `prefix` (providers whose blackhole
+  // community was attached and that support RTBH).
+  std::set<Asn> blackholers(const Prefix& prefix) const;
+
+ private:
+  void Recompute(const Prefix& prefix);
+  std::optional<Route> Export(Asn vp, const RouteMap& routes,
+                              bool full_feed) const;
+
+  const Topology* topo_;
+  std::map<Prefix, std::vector<OriginSpec>> announced_;
+  std::map<Prefix, RouteMap> routes_;
+  std::map<Prefix, std::set<Asn>> blackhole_;
+  PrefixTable<char> index_;  // announced prefixes, for LPM forwarding
+};
+
+// Standard RTBH community value (<provider>:666), as used by many real
+// providers and the paper's compiled blackholing-community list.
+inline constexpr uint16_t kBlackholeValue = 666;
+
+}  // namespace bgps::sim

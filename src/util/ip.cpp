@@ -1,0 +1,283 @@
+#include "util/ip.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace bgps {
+namespace {
+
+// FNV-1a over a byte range; cheap and adequate for hash containers.
+size_t FnvHash(const uint8_t* data, size_t n, size_t seed) {
+  size_t h = seed ^ 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<uint16_t> ParseHexGroup(const std::string& s) {
+  if (s.empty() || s.size() > 4) return InvalidArgument("bad v6 group: " + s);
+  uint16_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc() || p != s.data() + s.size())
+    return InvalidArgument("bad v6 group: " + s);
+  return v;
+}
+
+}  // namespace
+
+IpAddress IpAddress::V4(uint32_t host_order) {
+  IpAddress a;
+  a.family_ = IpFamily::V4;
+  a.bytes_[0] = uint8_t(host_order >> 24);
+  a.bytes_[1] = uint8_t(host_order >> 16);
+  a.bytes_[2] = uint8_t(host_order >> 8);
+  a.bytes_[3] = uint8_t(host_order);
+  return a;
+}
+
+IpAddress IpAddress::V4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return V4((uint32_t(a) << 24) | (uint32_t(b) << 16) | (uint32_t(c) << 8) | d);
+}
+
+IpAddress IpAddress::V6(const std::array<uint8_t, 16>& bytes) {
+  IpAddress a;
+  a.family_ = IpFamily::V6;
+  a.bytes_ = bytes;
+  return a;
+}
+
+Result<IpAddress> IpAddress::Parse(const std::string& text) {
+  if (text.find(':') == std::string::npos) {
+    // IPv4 dotted quad.
+    uint32_t parts[4];
+    int idx = 0;
+    size_t pos = 0;
+    bool consumed_all = false;
+    while (idx < 4) {
+      size_t dot = text.find('.', pos);
+      std::string part = text.substr(pos, dot == std::string::npos
+                                              ? std::string::npos
+                                              : dot - pos);
+      if (part.empty() || part.size() > 3) return InvalidArgument("bad IPv4: " + text);
+      uint32_t v = 0;
+      auto [p, ec] = std::from_chars(part.data(), part.data() + part.size(), v);
+      if (ec != std::errc() || p != part.data() + part.size() || v > 255)
+        return InvalidArgument("bad IPv4: " + text);
+      parts[idx++] = v;
+      if (dot == std::string::npos) {
+        consumed_all = true;
+        break;
+      }
+      pos = dot + 1;
+    }
+    if (idx != 4 || !consumed_all)
+      return InvalidArgument("bad IPv4: " + text);
+    return V4(uint8_t(parts[0]), uint8_t(parts[1]), uint8_t(parts[2]),
+              uint8_t(parts[3]));
+  }
+
+  // IPv6: split on ':' handling one '::'.
+  std::vector<std::string> head, tail;
+  bool seen_gap = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  std::string cur;
+  // Normalize: iterate chars, track "::".
+  while (i < n) {
+    if (text[i] == ':') {
+      if (i + 1 < n && text[i + 1] == ':') {
+        if (seen_gap) return InvalidArgument("multiple :: in " + text);
+        if (!cur.empty()) {
+          head.push_back(cur);
+          cur.clear();
+        }
+        seen_gap = true;
+        i += 2;
+        continue;
+      }
+      if (!cur.empty()) {
+        (seen_gap ? tail : head).push_back(cur);
+        cur.clear();
+      } else {
+        // A lone ':' with no group before it is only legal as part of
+        // '::', which the branch above consumes.
+        return InvalidArgument("empty group in " + text);
+      }
+      ++i;
+      continue;
+    }
+    cur += text[i++];
+  }
+  if (!cur.empty()) (seen_gap ? tail : head).push_back(cur);
+
+  size_t groups = head.size() + tail.size();
+  if ((!seen_gap && groups != 8) || (seen_gap && groups > 7))
+    return InvalidArgument("bad IPv6 group count: " + text);
+
+  std::array<uint8_t, 16> bytes{};
+  size_t gi = 0;
+  for (const auto& g : head) {
+    BGPS_ASSIGN_OR_RETURN(uint16_t v, ParseHexGroup(g));
+    bytes[gi * 2] = uint8_t(v >> 8);
+    bytes[gi * 2 + 1] = uint8_t(v);
+    ++gi;
+  }
+  gi = 8 - tail.size();
+  for (const auto& g : tail) {
+    BGPS_ASSIGN_OR_RETURN(uint16_t v, ParseHexGroup(g));
+    bytes[gi * 2] = uint8_t(v >> 8);
+    bytes[gi * 2 + 1] = uint8_t(v);
+    ++gi;
+  }
+  return V6(bytes);
+}
+
+uint32_t IpAddress::v4() const {
+  return (uint32_t(bytes_[0]) << 24) | (uint32_t(bytes_[1]) << 16) |
+         (uint32_t(bytes_[2]) << 8) | uint32_t(bytes_[3]);
+}
+
+bool IpAddress::bit(int i) const {
+  return (bytes_[size_t(i) / 8] >> (7 - (i % 8))) & 1;
+}
+
+IpAddress IpAddress::masked(int len) const {
+  IpAddress out = *this;
+  const int w = width();
+  if (len < 0) len = 0;
+  if (len > w) len = w;
+  int full = len / 8;
+  int rem = len % 8;
+  int nbytes = w / 8;
+  if (full < nbytes && rem > 0) {
+    out.bytes_[size_t(full)] &= uint8_t(0xFF << (8 - rem));
+    ++full;
+  }
+  for (int b = full; b < nbytes; ++b) out.bytes_[size_t(b)] = 0;
+  return out;
+}
+
+int IpAddress::common_prefix_len(const IpAddress& other) const {
+  const int w = std::min(width(), other.width());
+  for (int i = 0; i < w / 8; ++i) {
+    uint8_t diff = bytes_[size_t(i)] ^ other.bytes_[size_t(i)];
+    if (diff != 0) {
+      int lead = 0;
+      while (!(diff & 0x80)) {
+        diff <<= 1;
+        ++lead;
+      }
+      return i * 8 + lead;
+    }
+  }
+  return w;
+}
+
+std::string IpAddress::ToString() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // RFC 5952-ish: compress the longest zero run (len >= 2).
+  uint16_t groups[8];
+  for (int i = 0; i < 8; ++i)
+    groups[i] = uint16_t((bytes_[size_t(i) * 2] << 8) | bytes_[size_t(i) * 2 + 1]);
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] == 0) {
+      int j = i;
+      while (j < 8 && groups[j] == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";  // the gap renders as two colons wherever it sits
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::strong_ordering IpAddress::operator<=>(const IpAddress& o) const {
+  if (family_ != o.family_)
+    return family_ == IpFamily::V4 ? std::strong_ordering::less
+                                   : std::strong_ordering::greater;
+  const int nbytes = width() / 8;
+  for (int i = 0; i < nbytes; ++i) {
+    if (bytes_[size_t(i)] != o.bytes_[size_t(i)])
+      return bytes_[size_t(i)] <=> o.bytes_[size_t(i)];
+  }
+  return std::strong_ordering::equal;
+}
+
+size_t IpAddress::hash() const {
+  return FnvHash(bytes_.data(), size_t(width()) / 8,
+                 family_ == IpFamily::V4 ? 4 : 6);
+}
+
+Prefix::Prefix(IpAddress addr, int len) : addr_(addr.masked(len)), len_(len) {
+  if (len_ < 0) len_ = 0;
+  if (len_ > addr_.width()) len_ = addr_.width();
+}
+
+Result<Prefix> Prefix::Parse(const std::string& text) {
+  size_t slash = text.find('/');
+  if (slash == std::string::npos)
+    return InvalidArgument("prefix missing '/': " + text);
+  BGPS_ASSIGN_OR_RETURN(IpAddress addr, IpAddress::Parse(text.substr(0, slash)));
+  std::string lenpart = text.substr(slash + 1);
+  int len = 0;
+  auto [p, ec] = std::from_chars(lenpart.data(), lenpart.data() + lenpart.size(), len);
+  if (ec != std::errc() || p != lenpart.data() + lenpart.size())
+    return InvalidArgument("bad prefix length: " + text);
+  if (len < 0 || len > addr.width())
+    return InvalidArgument("prefix length out of range: " + text);
+  return Prefix(addr, len);
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (addr.family() != family()) return false;
+  return addr.common_prefix_len(addr_) >= len_;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  if (other.family() != family()) return false;
+  return other.len_ >= len_ && other.addr_.common_prefix_len(addr_) >= len_;
+}
+
+bool Prefix::overlaps(const Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(len_);
+}
+
+std::strong_ordering Prefix::operator<=>(const Prefix& o) const {
+  if (auto c = addr_ <=> o.addr_; c != std::strong_ordering::equal) return c;
+  return len_ <=> o.len_;
+}
+
+size_t Prefix::hash() const { return addr_.hash() * 31 + size_t(len_); }
+
+}  // namespace bgps

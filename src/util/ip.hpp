@@ -1,0 +1,106 @@
+// IP addresses and prefixes (IPv4 + IPv6) — the vocabulary types of the
+// whole stack (Table 1: peer address, prefix, next hop).
+//
+// Both families share one 16-byte representation; IPv4 uses the first 4
+// bytes. All bit-level operations (masking, containment, common-prefix
+// length) are family-aware.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace bgps {
+
+enum class IpFamily : uint8_t { V4 = 4, V6 = 6 };
+
+class IpAddress {
+ public:
+  IpAddress() : family_(IpFamily::V4), bytes_{} {}
+
+  static IpAddress V4(uint32_t host_order);
+  static IpAddress V4(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+  static IpAddress V6(const std::array<uint8_t, 16>& bytes);
+  // Parses dotted-quad or RFC 4291 textual IPv6 (with '::' compression).
+  static Result<IpAddress> Parse(const std::string& text);
+
+  IpFamily family() const { return family_; }
+  bool is_v4() const { return family_ == IpFamily::V4; }
+  bool is_v6() const { return family_ == IpFamily::V6; }
+
+  // Address width in bits: 32 or 128.
+  int width() const { return is_v4() ? 32 : 128; }
+
+  // Raw bytes (4 meaningful for v4, 16 for v6).
+  const std::array<uint8_t, 16>& bytes() const { return bytes_; }
+  uint32_t v4() const;  // host-order u32; only valid for v4
+
+  // Bit `i` counted from the most significant bit of the address.
+  bool bit(int i) const;
+
+  // Returns a copy with all bits after `len` cleared.
+  IpAddress masked(int len) const;
+
+  // Length of the common leading-bit run with `other` (same family).
+  int common_prefix_len(const IpAddress& other) const;
+
+  std::string ToString() const;
+
+  std::strong_ordering operator<=>(const IpAddress& o) const;
+  bool operator==(const IpAddress& o) const = default;
+
+  size_t hash() const;
+
+ private:
+  IpFamily family_;
+  std::array<uint8_t, 16> bytes_;
+};
+
+class Prefix {
+ public:
+  Prefix() : addr_(), len_(0) {}
+  // The address is masked to `len` bits so equal prefixes compare equal.
+  Prefix(IpAddress addr, int len);
+
+  // Parses "a.b.c.d/len" or "v6addr/len".
+  static Result<Prefix> Parse(const std::string& text);
+
+  const IpAddress& address() const { return addr_; }
+  int length() const { return len_; }
+  IpFamily family() const { return addr_.family(); }
+  int max_length() const { return addr_.width(); }
+
+  bool contains(const IpAddress& addr) const;
+  // True if `other` is equal to or more specific than *this.
+  bool contains(const Prefix& other) const;
+  // True if the two prefixes share any address (one contains the other).
+  bool overlaps(const Prefix& other) const;
+
+  std::string ToString() const;
+
+  std::strong_ordering operator<=>(const Prefix& o) const;
+  bool operator==(const Prefix& o) const = default;
+
+  size_t hash() const;
+
+ private:
+  IpAddress addr_;
+  int len_;
+};
+
+}  // namespace bgps
+
+namespace std {
+template <>
+struct hash<bgps::IpAddress> {
+  size_t operator()(const bgps::IpAddress& a) const { return a.hash(); }
+};
+template <>
+struct hash<bgps::Prefix> {
+  size_t operator()(const bgps::Prefix& p) const { return p.hash(); }
+};
+}  // namespace std

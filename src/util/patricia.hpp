@@ -1,0 +1,254 @@
+// Binary patricia (radix) trie keyed by IP prefixes.
+//
+// Used by the pfxmonitor plugin (§6.1: "selects only the ... records
+// related to prefixes that overlap with the given IP address ranges")
+// and by prefix filters in the core library. Supports exact match,
+// longest-prefix match, and overlap queries (any stored prefix that
+// contains, or is contained by, the query prefix).
+//
+// One trie holds a single address family; PrefixTable below pairs a
+// v4 and a v6 trie behind one interface.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/ip.hpp"
+
+namespace bgps {
+
+template <typename V>
+class PatriciaTrie {
+ public:
+  explicit PatriciaTrie(IpFamily family) : family_(family) {}
+
+  IpFamily family() const { return family_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts or overwrites. Returns true if the prefix was newly added.
+  bool insert(const Prefix& p, V value) {
+    Node* n = find_or_create(p);
+    bool fresh = !n->value.has_value();
+    n->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  V* find(const Prefix& p) {
+    Node* n = locate(p);
+    return (n && n->value) ? &*n->value : nullptr;
+  }
+  const V* find(const Prefix& p) const {
+    return const_cast<PatriciaTrie*>(this)->find(p);
+  }
+
+  // Removes an exact prefix. Returns true if it was present.
+  bool erase(const Prefix& p) {
+    Node* n = locate(p);
+    if (!n || !n->value) return false;
+    n->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Longest stored prefix containing `addr` (classic routing lookup).
+  std::optional<std::pair<Prefix, V>> longest_match(const IpAddress& addr) const {
+    if (addr.family() != family_) return std::nullopt;
+    const Node* n = root_.get();
+    std::optional<std::pair<Prefix, V>> best;
+    int depth = 0;
+    while (n) {
+      // Verify the node's full prefix really covers addr (patricia skips bits).
+      if (n->value && n->prefix.contains(addr)) best = {n->prefix, *n->value};
+      if (n->prefix.length() > depth) depth = n->prefix.length();
+      if (depth >= addr.width()) break;
+      n = addr.bit(n->prefix.length()) ? n->right.get() : n->left.get();
+    }
+    return best;
+  }
+
+  // True if any stored prefix overlaps `q` (contains it or is inside it).
+  bool overlaps(const Prefix& q) const {
+    bool hit = false;
+    visit_overlaps(q, [&](const Prefix&, const V&) { hit = true; });
+    return hit;
+  }
+
+  // Invokes `fn(prefix, value)` for every stored prefix overlapping `q`.
+  template <typename Fn>
+  void visit_overlaps(const Prefix& q, Fn&& fn) const {
+    if (q.family() != family_) return;
+    visit_overlaps_rec(root_.get(), q, fn);
+  }
+
+  // Invokes `fn(prefix, value)` for every stored prefix containing `addr`,
+  // from least to most specific (the path down the trie).
+  template <typename Fn>
+  void visit_matches(const IpAddress& addr, Fn&& fn) const {
+    if (addr.family() != family_) return;
+    const Node* n = root_.get();
+    while (n) {
+      if (n->value && n->prefix.contains(addr)) fn(n->prefix, *n->value);
+      if (n->prefix.length() >= addr.width()) break;
+      if (!n->prefix.contains(addr) && n->prefix.length() > 0) break;
+      n = addr.bit(n->prefix.length()) ? n->right.get() : n->left.get();
+    }
+  }
+
+  // Invokes `fn(prefix, value)` for every stored entry, in trie order.
+  template <typename Fn>
+  void visit_all(Fn&& fn) const {
+    visit_all_rec(root_.get(), fn);
+  }
+
+  std::vector<Prefix> keys() const {
+    std::vector<Prefix> out;
+    visit_all([&](const Prefix& p, const V&) { out.push_back(p); });
+    return out;
+  }
+
+ private:
+  struct Node {
+    explicit Node(Prefix p) : prefix(p) {}
+    Prefix prefix;                 // masked; internal nodes have no value
+    std::optional<V> value;
+    std::unique_ptr<Node> left;    // next bit == 0
+    std::unique_ptr<Node> right;   // next bit == 1
+  };
+
+  // Descends the trie along p's bits; returns the node whose prefix equals
+  // p, or nullptr. Handles patricia bit-skipping by re-checking prefixes.
+  Node* locate(const Prefix& p) const {
+    if (p.family() != family_) return nullptr;
+    Node* n = root_.get();
+    while (n) {
+      if (n->prefix.length() > p.length()) return nullptr;
+      if (!n->prefix.contains(p)) return nullptr;
+      if (n->prefix.length() == p.length() && n->prefix == p) return n;
+      n = p.address().bit(n->prefix.length()) ? n->right.get() : n->left.get();
+    }
+    return nullptr;
+  }
+
+  Node* find_or_create(const Prefix& p) {
+    std::unique_ptr<Node>* slot = &root_;
+    while (true) {
+      Node* n = slot->get();
+      if (!n) {
+        *slot = std::make_unique<Node>(p);
+        return slot->get();
+      }
+      if (n->prefix == p) return n;
+      if (n->prefix.contains(p)) {
+        // Descend.
+        slot = p.address().bit(n->prefix.length()) ? &n->right : &n->left;
+        continue;
+      }
+      if (p.contains(n->prefix)) {
+        // p becomes an ancestor of n.
+        auto fresh = std::make_unique<Node>(p);
+        bool bit = n->prefix.address().bit(p.length());
+        (bit ? fresh->right : fresh->left) = std::move(*slot);
+        *slot = std::move(fresh);
+        return slot->get();
+      }
+      // Diverge: insert a glue node at the longest common prefix.
+      int common = p.address().common_prefix_len(n->prefix.address());
+      int glue_len = std::min({common, p.length(), n->prefix.length()});
+      Prefix glue(p.address(), glue_len);
+      auto glue_node = std::make_unique<Node>(glue);
+      bool nbit = n->prefix.address().bit(glue_len);
+      (nbit ? glue_node->right : glue_node->left) = std::move(*slot);
+      *slot = std::move(glue_node);
+      Node* g = slot->get();
+      std::unique_ptr<Node>* pslot = p.address().bit(glue_len) ? &g->right : &g->left;
+      *pslot = std::make_unique<Node>(p);
+      return pslot->get();
+    }
+  }
+
+  template <typename Fn>
+  static void visit_overlaps_rec(const Node* n, const Prefix& q, Fn& fn) {
+    if (!n) return;
+    if (!n->prefix.overlaps(q)) {
+      // A node not overlapping q can still have descendants that do only
+      // if q is *inside* the node's subtree span — impossible when they
+      // don't share the node's prefix. Prune.
+      if (!q.contains(n->prefix) && !n->prefix.contains(q)) return;
+    }
+    if (n->value && n->prefix.overlaps(q)) fn(n->prefix, *n->value);
+    if (n->prefix.length() >= q.length()) {
+      // Everything below is more specific than q; all descendants that
+      // share q's prefix overlap. Recurse into both children.
+      visit_overlaps_rec(n->left.get(), q, fn);
+      visit_overlaps_rec(n->right.get(), q, fn);
+    } else {
+      // Follow q's bit to stay on its path.
+      const Node* next = q.address().bit(n->prefix.length()) ? n->right.get()
+                                                             : n->left.get();
+      visit_overlaps_rec(next, q, fn);
+    }
+  }
+
+  template <typename Fn>
+  static void visit_all_rec(const Node* n, Fn& fn) {
+    if (!n) return;
+    if (n->value) fn(n->prefix, *n->value);
+    visit_all_rec(n->left.get(), fn);
+    visit_all_rec(n->right.get(), fn);
+  }
+
+  IpFamily family_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+// Dual-family prefix table: one patricia trie per family.
+template <typename V>
+class PrefixTable {
+ public:
+  PrefixTable() : v4_(IpFamily::V4), v6_(IpFamily::V6) {}
+
+  bool insert(const Prefix& p, V value) {
+    return trie(p.family()).insert(p, std::move(value));
+  }
+  V* find(const Prefix& p) { return trie(p.family()).find(p); }
+  const V* find(const Prefix& p) const {
+    return p.family() == IpFamily::V4 ? v4_.find(p) : v6_.find(p);
+  }
+  bool erase(const Prefix& p) { return trie(p.family()).erase(p); }
+  size_t size() const { return v4_.size() + v6_.size(); }
+  bool empty() const { return size() == 0; }
+
+  std::optional<std::pair<Prefix, V>> longest_match(const IpAddress& a) const {
+    return a.family() == IpFamily::V4 ? v4_.longest_match(a)
+                                      : v6_.longest_match(a);
+  }
+  bool overlaps(const Prefix& q) const {
+    return q.family() == IpFamily::V4 ? v4_.overlaps(q) : v6_.overlaps(q);
+  }
+  template <typename Fn>
+  void visit_overlaps(const Prefix& q, Fn&& fn) const {
+    if (q.family() == IpFamily::V4) v4_.visit_overlaps(q, fn);
+    else v6_.visit_overlaps(q, fn);
+  }
+  template <typename Fn>
+  void visit_matches(const IpAddress& a, Fn&& fn) const {
+    if (a.family() == IpFamily::V4) v4_.visit_matches(a, fn);
+    else v6_.visit_matches(a, fn);
+  }
+  template <typename Fn>
+  void visit_all(Fn&& fn) const {
+    v4_.visit_all(fn);
+    v6_.visit_all(fn);
+  }
+
+ private:
+  PatriciaTrie<V>& trie(IpFamily f) { return f == IpFamily::V4 ? v4_ : v6_; }
+  PatriciaTrie<V> v4_;
+  PatriciaTrie<V> v6_;
+};
+
+}  // namespace bgps

@@ -1,0 +1,28 @@
+#include "util/result.hpp"
+
+namespace bgps {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "OK";
+    case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::OutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::Corrupt: return "CORRUPT";
+    case StatusCode::NotFound: return "NOT_FOUND";
+    case StatusCode::Unsupported: return "UNSUPPORTED";
+    case StatusCode::IoError: return "IO_ERROR";
+    case StatusCode::EndOfStream: return "END_OF_STREAM";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace bgps

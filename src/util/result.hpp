@@ -1,0 +1,134 @@
+// Lightweight Status / Result<T> error-handling vocabulary.
+//
+// The BGPStream stack never throws for data errors: malformed MRT bytes,
+// truncated dumps and bad user filters are expected inputs (paper §3.3.3
+// requires corrupt records to surface as flagged records, not aborts).
+// Exceptions are reserved for programming errors (via assertions).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bgps {
+
+enum class StatusCode {
+  Ok,
+  InvalidArgument,   // caller passed something malformed (filter string, ...)
+  OutOfRange,        // read past the end of a buffer
+  Corrupt,           // wire data violates the format spec
+  NotFound,          // file / key / resource absent
+  Unsupported,       // recognized but unimplemented MRT type/subtype
+  IoError,           // filesystem-level failure
+  EndOfStream,       // clean end of data (not an error for callers that loop)
+};
+
+// Human-readable name for a status code (stable, used in logs and tests).
+const char* StatusCodeName(StatusCode code);
+
+// A Status is a code plus an optional context message.
+class Status {
+ public:
+  Status() : code_(StatusCode::Ok) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::Ok; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CODE: message" rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::InvalidArgument, std::move(m));
+}
+inline Status OutOfRange(std::string m) {
+  return Status(StatusCode::OutOfRange, std::move(m));
+}
+inline Status CorruptError(std::string m) {
+  return Status(StatusCode::Corrupt, std::move(m));
+}
+inline Status NotFoundError(std::string m) {
+  return Status(StatusCode::NotFound, std::move(m));
+}
+inline Status UnsupportedError(std::string m) {
+  return Status(StatusCode::Unsupported, std::move(m));
+}
+inline Status IoError(std::string m) {
+  return Status(StatusCode::IoError, std::move(m));
+}
+inline Status EndOfStream() { return Status(StatusCode::EndOfStream, ""); }
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // value_or: convenience for tests and defaults.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate a non-OK status from an expression producing Status.
+#define BGPS_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::bgps::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+// Assign from a Result<T>, propagating errors. Usage:
+//   BGPS_ASSIGN_OR_RETURN(auto v, ParseThing(buf));
+#define BGPS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define BGPS_ASSIGN_CONCAT_(a, b) a##b
+#define BGPS_ASSIGN_CONCAT(a, b) BGPS_ASSIGN_CONCAT_(a, b)
+#define BGPS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BGPS_ASSIGN_OR_RETURN_IMPL(BGPS_ASSIGN_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+}  // namespace bgps

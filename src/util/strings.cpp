@@ -1,0 +1,41 @@
+#include "util/strings.hpp"
+
+namespace bgps {
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(s.substr(pos));
+      return out;
+    }
+    out.emplace_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& tok : SplitString(s, sep)) {
+    if (!tok.empty()) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace bgps

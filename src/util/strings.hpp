@@ -1,0 +1,17 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgps {
+
+std::vector<std::string> SplitString(std::string_view s, char sep);
+// Like SplitString but drops empty tokens (for whitespace-ish splitting).
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace bgps

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bmp/bmp.hpp"
+#include "mrt/file.hpp"
+
+namespace bgps::bmp {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+PeerHeader MakePeer() {
+  PeerHeader ph;
+  ph.peer_address = IpAddress::V4(10, 0, 0, 9);
+  ph.peer_asn = 65009;
+  ph.peer_bgp_id = 0x0A000009;
+  ph.timestamp = 1466000000;
+  ph.microseconds = 123456;
+  return ph;
+}
+
+BmpMessage MakeRouteMonitoring() {
+  RouteMonitoring rm;
+  rm.peer = MakePeer();
+  rm.update.attrs.as_path = bgp::AsPath::Sequence({65009, 3356, 15169});
+  rm.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 9);
+  rm.update.attrs.communities = {bgp::Community(3356, 100)};
+  rm.update.announced = {P("198.18.0.0/15")};
+  BmpMessage msg;
+  msg.body = std::move(rm);
+  return msg;
+}
+
+TEST(Bmp, RouteMonitoringRoundTrip) {
+  BmpMessage msg = MakeRouteMonitoring();
+  Bytes wire = Encode(msg);
+  BufReader r(wire);
+  auto decoded = Decode(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->is_route_monitoring());
+  const auto& rm = std::get<RouteMonitoring>(decoded->body);
+  EXPECT_EQ(rm.peer.peer_asn, 65009u);
+  EXPECT_EQ(rm.peer.peer_address.ToString(), "10.0.0.9");
+  EXPECT_EQ(rm.peer.timestamp, 1466000000);
+  EXPECT_EQ(rm.peer.microseconds, 123456u);
+  EXPECT_EQ(rm.update, std::get<RouteMonitoring>(msg.body).update);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Bmp, V6PeerRoundTrip) {
+  RouteMonitoring rm;
+  rm.peer = MakePeer();
+  rm.peer.peer_address = *IpAddress::Parse("2001:db8::9");
+  rm.update.attrs.as_path = bgp::AsPath::Sequence({65009});
+  bgp::MpReach mp;
+  mp.next_hop = *IpAddress::Parse("2001:db8::9");
+  mp.nlri = {P("2001:db8:5::/48")};
+  rm.update.attrs.mp_reach = mp;
+  BmpMessage msg;
+  msg.body = rm;
+  Bytes wire = Encode(msg);
+  BufReader r(wire);
+  auto decoded = Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  const auto& d = std::get<RouteMonitoring>(decoded->body);
+  EXPECT_EQ(d.peer.peer_address.ToString(), "2001:db8::9");
+  ASSERT_TRUE(d.update.attrs.mp_reach.has_value());
+}
+
+TEST(Bmp, PeerUpDownRoundTrip) {
+  PeerUp pu;
+  pu.peer = MakePeer();
+  pu.local_address = IpAddress::V4(192, 0, 2, 1);
+  pu.local_asn = 64512;
+  pu.local_port = 41000;
+  BmpMessage up;
+  up.body = pu;
+  Bytes wire = Encode(up);
+  BufReader r(wire);
+  auto decoded = Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_peer_up());
+  const auto& d = std::get<PeerUp>(decoded->body);
+  EXPECT_EQ(d.local_asn, 64512u);
+  EXPECT_EQ(d.local_port, 41000);
+  EXPECT_EQ(d.local_address.ToString(), "192.0.2.1");
+
+  PeerDown pd;
+  pd.peer = MakePeer();
+  pd.reason = PeerDownReason::LocalNoNotification;
+  BmpMessage down;
+  down.body = pd;
+  wire = Encode(down);
+  BufReader r2(wire);
+  decoded = Decode(r2);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_peer_down());
+  EXPECT_EQ(std::get<PeerDown>(decoded->body).reason,
+            PeerDownReason::LocalNoNotification);
+}
+
+TEST(Bmp, InitiationTlvsRoundTrip) {
+  InfoTlvs info;
+  info.type = MessageType::Initiation;
+  info.sys_name = "edge-router-1";
+  info.sys_descr = "test descr";
+  BmpMessage msg;
+  msg.body = info;
+  Bytes wire = Encode(msg);
+  BufReader r(wire);
+  auto decoded = Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_info());
+  const auto& d = std::get<InfoTlvs>(decoded->body);
+  EXPECT_EQ(d.sys_name, "edge-router-1");
+  EXPECT_EQ(d.sys_descr, "test descr");
+}
+
+TEST(Bmp, DecodeErrors) {
+  Bytes wire = Encode(MakeRouteMonitoring());
+  // Bad version.
+  Bytes bad = wire;
+  bad[0] = 2;
+  BufReader r1(bad);
+  EXPECT_EQ(Decode(r1).status().code(), StatusCode::Corrupt);
+  // Truncated body.
+  bad = wire;
+  bad.resize(bad.size() - 4);
+  BufReader r2(bad);
+  EXPECT_FALSE(Decode(r2).ok());
+  // Clean end.
+  BufReader r3(Bytes{});
+  EXPECT_EQ(Decode(r3).status().code(), StatusCode::EndOfStream);
+}
+
+TEST(Bmp, StreamOfMessages) {
+  BufWriter w;
+  InfoTlvs init;
+  init.sys_name = "r1";
+  BmpMessage im;
+  im.body = init;
+  w.bytes(Encode(im));
+  PeerUp pu;
+  pu.peer = MakePeer();
+  pu.local_address = IpAddress::V4(192, 0, 2, 1);
+  pu.local_asn = 64512;
+  BmpMessage um;
+  um.body = pu;
+  w.bytes(Encode(um));
+  w.bytes(Encode(MakeRouteMonitoring()));
+  Bytes blob = w.take();
+  BufReader r(blob);
+  int count = 0;
+  while (true) {
+    auto msg = Decode(r);
+    if (!msg.ok()) break;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Bmp, ToMrtMapping) {
+  auto rm_mrt = ToMrt(MakeRouteMonitoring(), 64512);
+  ASSERT_TRUE(rm_mrt.has_value());
+  ASSERT_TRUE(rm_mrt->is_message());
+  const auto& m = std::get<mrt::Bgp4mpMessage>(rm_mrt->body);
+  EXPECT_EQ(m.peer_asn, 65009u);
+  EXPECT_EQ(m.local_asn, 64512u);
+  EXPECT_EQ(rm_mrt->timestamp, 1466000000);
+
+  PeerDown pd;
+  pd.peer = MakePeer();
+  BmpMessage down;
+  down.body = pd;
+  auto down_mrt = ToMrt(down, 64512);
+  ASSERT_TRUE(down_mrt.has_value());
+  ASSERT_TRUE(down_mrt->is_state_change());
+  EXPECT_EQ(std::get<mrt::Bgp4mpStateChange>(down_mrt->body).new_state,
+            bgp::FsmState::Idle);
+
+  InfoTlvs info;
+  BmpMessage im;
+  im.body = info;
+  EXPECT_FALSE(ToMrt(im).has_value());
+}
+
+TEST(Bmp, TranscodeStreamToMrt) {
+  namespace fs = std::filesystem;
+  fs::path bmp_path = fs::temp_directory_path() /
+                      ("bmp_" + std::to_string(::getpid()) + ".bin");
+  fs::path mrt_path = fs::temp_directory_path() /
+                      ("bmp_" + std::to_string(::getpid()) + ".mrt");
+  {
+    std::ofstream out(bmp_path, std::ios::binary);
+    auto write = [&](const BmpMessage& m) {
+      Bytes b = Encode(m);
+      out.write(reinterpret_cast<const char*>(b.data()),
+                std::streamsize(b.size()));
+    };
+    InfoTlvs init;
+    init.sys_name = "r1";
+    BmpMessage im;
+    im.body = init;
+    write(im);  // skipped (no MRT equivalent)
+    PeerUp pu;
+    pu.peer = MakePeer();
+    pu.local_address = IpAddress::V4(192, 0, 2, 1);
+    pu.local_asn = 64512;
+    BmpMessage um;
+    um.body = pu;
+    write(um);  // -> STATE_CHANGE Established
+    write(MakeRouteMonitoring());  // -> BGP4MP update
+    PeerDown pd;
+    pd.peer = MakePeer();
+    BmpMessage dm;
+    dm.body = pd;
+    write(dm);  // -> STATE_CHANGE Idle
+  }
+
+  auto stats = TranscodeBmpToMrt(bmp_path.string(), mrt_path.string());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->converted, 3u);
+  EXPECT_EQ(stats->skipped, 1u);
+
+  auto scan = mrt::ScanFile(mrt_path.string());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->messages.size(), 3u);
+  EXPECT_TRUE(scan->messages[0].is_state_change());
+  EXPECT_TRUE(scan->messages[1].is_message());
+  // The transcoder learned the local ASN from the Peer Up OPEN.
+  EXPECT_EQ(std::get<mrt::Bgp4mpMessage>(scan->messages[1].body).local_asn,
+            64512u);
+  EXPECT_TRUE(scan->messages[2].is_state_change());
+  fs::remove(bmp_path);
+  fs::remove(mrt_path);
+}
+
+}  // namespace
+}  // namespace bgps::bmp

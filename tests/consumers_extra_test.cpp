@@ -1,0 +1,131 @@
+// Extra consumer/sync coverage: timeout-based sync feeding the consumer,
+// snapshot-based late join, and full-feed quorum edge cases.
+#include <gtest/gtest.h>
+
+#include "mq/consumers.hpp"
+
+namespace bgps::mq {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+corsaro::DiffCell Cell(const std::string& collector, bgp::Asn peer,
+                       const std::string& prefix, bool announced,
+                       const std::string& path = "1 15169") {
+  corsaro::DiffCell d;
+  d.vp = {collector, peer};
+  d.prefix = P(prefix);
+  d.cell.announced = announced;
+  d.cell.as_path = *bgp::AsPath::Parse(path);
+  d.cell.last_modified = 1;
+  return d;
+}
+
+void PublishDiffs(Cluster& cluster, const std::string& collector,
+                  Timestamp bin, std::vector<corsaro::DiffCell> diffs) {
+  RtDiffMessage msg{collector, bin, std::move(diffs)};
+  Message m;
+  m.timestamp = bin;
+  m.value = EncodeDiffMessage(msg);
+  cluster.Publish(RtTopic(collector), 0, std::move(m));
+  Message meta;
+  meta.timestamp = bin;
+  meta.value = EncodeMetaMessage(RtMetaMessage{collector, bin, msg.diffs.size()});
+  cluster.Publish(kRtMetaTopic, 0, std::move(meta));
+}
+
+TEST(TimeoutSyncConsumer, ProcessesBinsWithoutLaggard) {
+  Cluster cluster;
+  TimeoutSyncServer sync(&cluster, "ready", 600);
+  GlobalViewConsumer consumer(&cluster, {"fast", "slow"}, "ready",
+                              [](bgp::Asn) { return "XX"; });
+  // Only "fast" ever reports; bins release via timeout.
+  PublishDiffs(cluster, "fast", 0,
+               {Cell("fast", 1, "10.0.0.0/8", true)});
+  PublishDiffs(cluster, "fast", 300, {});
+  PublishDiffs(cluster, "fast", 900, {});
+  sync.Poll();
+  size_t processed = consumer.Poll();
+  // Bins 0 and 300 timed out (900 >= bin + 600); 900 still pending.
+  EXPECT_EQ(processed, 2u);
+  ASSERT_FALSE(consumer.country_rows().empty());
+  EXPECT_EQ(consumer.country_rows().front().key, "XX");
+  EXPECT_EQ(consumer.country_rows().front().visible_prefixes, 1u);
+}
+
+TEST(Consumer, SnapshotBootstrapsLateJoiner) {
+  Cluster cluster;
+  CompletenessSyncServer sync(&cluster, "ready", {"c1"});
+
+  // A snapshot followed by a diff; the consumer joins after both exist.
+  RtSnapshotMessage snap;
+  snap.collector = "c1";
+  snap.bin_start = 0;
+  snap.vp = {"c1", 7};
+  snap.table[P("10.0.0.0/8")] = Cell("c1", 7, "10.0.0.0/8", true).cell;
+  snap.table[P("20.0.0.0/8")] = Cell("c1", 7, "20.0.0.0/8", true).cell;
+  Message m;
+  m.timestamp = 0;
+  m.value = EncodeSnapshotMessage(snap);
+  cluster.Publish(RtTopic("c1"), 0, std::move(m));
+  PublishDiffs(cluster, "c1", 0, {Cell("c1", 7, "20.0.0.0/8", false)});
+
+  GlobalViewConsumer consumer(&cluster, {"c1"}, "ready",
+                              [](bgp::Asn) { return "XX"; });
+  sync.Poll();
+  EXPECT_EQ(consumer.Poll(), 1u);
+  const auto* table = consumer.vp_table({"c1", 7});
+  ASSERT_NE(table, nullptr);
+  // Snapshot applied, then the withdrawal diff on top.
+  EXPECT_EQ(table->size(), 1u);
+  EXPECT_TRUE(table->count(P("10.0.0.0/8")));
+}
+
+TEST(Consumer, QuorumExcludesMinorityView) {
+  Cluster cluster;
+  CompletenessSyncServer sync(&cluster, "ready", {"c1"});
+  GlobalViewConsumer::Options opt;
+  opt.visibility_quorum = 0.75;  // needs 3 of 4 full-feed VPs
+  GlobalViewConsumer consumer(&cluster, {"c1"}, "ready",
+                              [](bgp::Asn) { return "XX"; }, opt);
+  // Four VPs each see four common prefixes; one VP additionally claims a
+  // fifth nobody else sees (below the 3-of-4 quorum -> not visible, but
+  // its table is still within 20pp of the max so it stays full-feed).
+  std::vector<corsaro::DiffCell> diffs;
+  for (bgp::Asn vp = 1; vp <= 4; ++vp) {
+    for (int i = 0; i < 4; ++i) {
+      diffs.push_back(
+          Cell("c1", vp, std::to_string(10 + i) + ".0.0.0/8", true));
+    }
+  }
+  diffs.push_back(Cell("c1", 1, "99.0.0.0/8", true));
+  PublishDiffs(cluster, "c1", 0, diffs);
+  sync.Poll();
+  consumer.Poll();
+  ASSERT_EQ(consumer.country_rows().size(), 1u);
+  EXPECT_EQ(consumer.country_rows()[0].visible_prefixes, 4u);
+}
+
+TEST(Consumer, FullFeedInferenceExcludesTinyTables) {
+  Cluster cluster;
+  CompletenessSyncServer sync(&cluster, "ready", {"c1"});
+  GlobalViewConsumer consumer(&cluster, {"c1"}, "ready",
+                              [](bgp::Asn) { return "XX"; });
+  // VP 1 sees 10 prefixes; VP 2 (partial feed) sees only 1 of them. The
+  // quorum must be computed over full-feed VPs only, so all 10 prefixes
+  // stay visible.
+  std::vector<corsaro::DiffCell> diffs;
+  for (int i = 0; i < 10; ++i) {
+    diffs.push_back(
+        Cell("c1", 1, std::to_string(10 + i) + ".0.0.0/8", true));
+  }
+  diffs.push_back(Cell("c1", 2, "10.0.0.0/8", true));
+  PublishDiffs(cluster, "c1", 0, diffs);
+  sync.Poll();
+  consumer.Poll();
+  ASSERT_EQ(consumer.country_rows().size(), 1u);
+  EXPECT_EQ(consumer.country_rows()[0].visible_prefixes, 10u);
+}
+
+}  // namespace
+}  // namespace bgps::mq

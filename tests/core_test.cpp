@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "core/elem.hpp"
+#include "core/filter.hpp"
+#include "core/merge.hpp"
+
+namespace bgps::core {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+Record MakeUpdateRecord() {
+  mrt::Bgp4mpMessage msg;
+  msg.peer_asn = 65001;
+  msg.peer_address = IpAddress::V4(10, 0, 0, 1);
+  msg.local_asn = 64512;
+  msg.local_address = IpAddress::V4(192, 0, 2, 1);
+  msg.update.withdrawn = {P("10.9.0.0/16")};
+  msg.update.announced = {P("172.16.0.0/12"), P("172.32.0.0/16")};
+  msg.update.attrs.as_path = bgp::AsPath::Sequence({65001, 3356, 15169});
+  msg.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+  msg.update.attrs.communities = {bgp::Community(3356, 666)};
+  bgp::MpReach mp;
+  mp.next_hop = *IpAddress::Parse("2001:db8::1");
+  mp.nlri = {P("2001:db8:7::/48")};
+  msg.update.attrs.mp_reach = mp;
+  bgp::MpUnreach mpu;
+  mpu.withdrawn = {P("2001:db8:9::/48")};
+  msg.update.attrs.mp_unreach = mpu;
+
+  Record rec;
+  rec.project = "ris";
+  rec.collector = "rrc00";
+  rec.dump_type = DumpType::Updates;
+  rec.timestamp = 1000;
+  rec.msg.timestamp = 1000;
+  rec.msg.body = std::move(msg);
+  return rec;
+}
+
+TEST(Elem, UpdateDecomposition) {
+  Record rec = MakeUpdateRecord();
+  auto elems = ExtractElems(rec);
+  // 1 v4 withdrawal + 1 v6 withdrawal + 2 v4 announcements + 1 v6.
+  ASSERT_EQ(elems.size(), 5u);
+  size_t withdrawals = 0, announcements = 0;
+  for (const auto& e : elems) {
+    EXPECT_EQ(e.peer_asn, 65001u);
+    EXPECT_EQ(e.time, 1000);
+    if (e.type == ElemType::Withdrawal) ++withdrawals;
+    if (e.type == ElemType::Announcement) {
+      ++announcements;
+      EXPECT_EQ(e.as_path.ToString(), "65001 3356 15169");
+    }
+  }
+  EXPECT_EQ(withdrawals, 2u);
+  EXPECT_EQ(announcements, 3u);
+}
+
+TEST(Elem, V6AnnouncementUsesMpNextHop) {
+  Record rec = MakeUpdateRecord();
+  auto elems = ExtractElems(rec);
+  bool found = false;
+  for (const auto& e : elems) {
+    if (e.type == ElemType::Announcement && e.prefix.family() == IpFamily::V6) {
+      EXPECT_EQ(e.next_hop.ToString(), "2001:db8::1");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Elem, StateChangeDecomposition) {
+  mrt::Bgp4mpStateChange sc;
+  sc.peer_asn = 65001;
+  sc.peer_address = IpAddress::V4(10, 0, 0, 1);
+  sc.old_state = bgp::FsmState::Established;
+  sc.new_state = bgp::FsmState::Idle;
+  Record rec;
+  rec.timestamp = 5;
+  rec.msg.timestamp = 5;
+  rec.msg.body = sc;
+  auto elems = ExtractElems(rec);
+  ASSERT_EQ(elems.size(), 1u);
+  EXPECT_EQ(elems[0].type, ElemType::PeerState);
+  EXPECT_EQ(elems[0].old_state, bgp::FsmState::Established);
+  EXPECT_EQ(elems[0].new_state, bgp::FsmState::Idle);
+  EXPECT_FALSE(elems[0].has_prefix());
+}
+
+TEST(Elem, RibDecompositionUsesPeerIndex) {
+  auto pit = std::make_shared<mrt::PeerIndexTable>();
+  pit->peers.push_back({1, IpAddress::V4(10, 0, 0, 1), 65001});
+  pit->peers.push_back({2, IpAddress::V4(10, 0, 0, 2), 65002});
+
+  mrt::RibPrefix rib;
+  rib.prefix = P("192.168.0.0/16");
+  mrt::RibEntry e1;
+  e1.peer_index = 0;
+  e1.attrs.as_path = bgp::AsPath::Sequence({65001, 15169});
+  mrt::RibEntry e2;
+  e2.peer_index = 1;
+  e2.attrs.as_path = bgp::AsPath::Sequence({65002, 3356, 15169});
+  mrt::RibEntry e3;
+  e3.peer_index = 99;  // dangling reference: skipped
+  rib.entries = {e1, e2, e3};
+
+  Record rec;
+  rec.dump_type = DumpType::Rib;
+  rec.msg.timestamp = 42;
+  rec.msg.body = rib;
+  rec.peer_index = pit;
+  auto elems = ExtractElems(rec);
+  ASSERT_EQ(elems.size(), 2u);
+  EXPECT_EQ(elems[0].type, ElemType::RibEntry);
+  EXPECT_EQ(elems[0].peer_asn, 65001u);
+  EXPECT_EQ(elems[1].peer_asn, 65002u);
+  EXPECT_EQ(elems[0].prefix, P("192.168.0.0/16"));
+}
+
+TEST(Elem, RibWithoutPeerIndexYieldsNothing) {
+  mrt::RibPrefix rib;
+  rib.prefix = P("192.168.0.0/16");
+  rib.entries.push_back({});
+  Record rec;
+  rec.dump_type = DumpType::Rib;
+  rec.msg.body = rib;
+  EXPECT_TRUE(ExtractElems(rec).empty());
+}
+
+TEST(Elem, InvalidRecordYieldsNothing) {
+  Record rec = MakeUpdateRecord();
+  rec.status = RecordStatus::CorruptedRecord;
+  EXPECT_TRUE(ExtractElems(rec).empty());
+}
+
+TEST(Filter, PrefixModes) {
+  PrefixFilter exact{P("10.0.0.0/8"), PrefixMatchMode::Exact};
+  PrefixFilter more{P("10.0.0.0/8"), PrefixMatchMode::MoreSpecific};
+  PrefixFilter less{P("10.0.0.0/8"), PrefixMatchMode::LessSpecific};
+  PrefixFilter any{P("10.0.0.0/8"), PrefixMatchMode::Any};
+
+  EXPECT_TRUE(exact.matches(P("10.0.0.0/8")));
+  EXPECT_FALSE(exact.matches(P("10.1.0.0/16")));
+
+  EXPECT_TRUE(more.matches(P("10.1.0.0/16")));
+  EXPECT_FALSE(more.matches(P("0.0.0.0/0")));
+
+  EXPECT_TRUE(less.matches(P("0.0.0.0/0")));
+  EXPECT_FALSE(less.matches(P("10.1.0.0/16")));
+
+  EXPECT_TRUE(any.matches(P("10.1.0.0/16")));
+  EXPECT_TRUE(any.matches(P("0.0.0.0/0")));
+  EXPECT_FALSE(any.matches(P("11.0.0.0/8")));
+}
+
+TEST(Filter, AddOptionParsing) {
+  FilterSet f;
+  EXPECT_TRUE(f.AddOption("project", "ris").ok());
+  EXPECT_TRUE(f.AddOption("collector", "rrc00").ok());
+  EXPECT_TRUE(f.AddOption("type", "updates").ok());
+  EXPECT_TRUE(f.AddOption("prefix", "more 10.0.0.0/8").ok());
+  EXPECT_TRUE(f.AddOption("prefix", "192.0.0.0/8").ok());
+  EXPECT_TRUE(f.AddOption("community", "65535:666").ok());
+  EXPECT_TRUE(f.AddOption("community", "*:666").ok());
+  EXPECT_TRUE(f.AddOption("peer", "65001").ok());
+  EXPECT_TRUE(f.AddOption("elemtype", "announcements").ok());
+  EXPECT_TRUE(f.AddOption("path", "3356").ok());
+  EXPECT_TRUE(f.AddOption("ipversion", "4").ok());
+
+  EXPECT_FALSE(f.AddOption("type", "bogus").ok());
+  EXPECT_FALSE(f.AddOption("prefix", "nonsense").ok());
+  EXPECT_FALSE(f.AddOption("unknown-key", "x").ok());
+  EXPECT_FALSE(f.AddOption("elemtype", "bogus").ok());
+  EXPECT_FALSE(f.AddOption("ipversion", "5").ok());
+}
+
+TEST(Filter, MetaMatching) {
+  FilterSet f;
+  ASSERT_TRUE(f.AddOption("project", "ris").ok());
+  ASSERT_TRUE(f.AddOption("collector", "rrc00").ok());
+  EXPECT_TRUE(f.MatchesMeta("ris", "rrc00", DumpType::Updates));
+  EXPECT_FALSE(f.MatchesMeta("routeviews", "rrc00", DumpType::Updates));
+  EXPECT_FALSE(f.MatchesMeta("ris", "rrc01", DumpType::Updates));
+
+  FilterSet open;
+  EXPECT_TRUE(open.MatchesMeta("anything", "goes", DumpType::Rib));
+}
+
+TEST(Filter, ElemMatching) {
+  FilterSet f;
+  ASSERT_TRUE(f.AddOption("prefix", "more 172.16.0.0/12").ok());
+  ASSERT_TRUE(f.AddOption("community", "3356:666").ok());
+  Record rec = MakeUpdateRecord();
+  auto elems = ExtractElems(rec);
+  size_t matched = 0;
+  for (const auto& e : elems) {
+    if (f.MatchesElem(e)) ++matched;
+  }
+  // Only v4 announcements within 172.16/12 carrying the community:
+  // 172.16.0.0/12 itself qualifies, 172.32.0.0/16 is outside /12.
+  EXPECT_EQ(matched, 1u);
+}
+
+TEST(Filter, PeerAndPathFilters) {
+  FilterSet peer_f;
+  ASSERT_TRUE(peer_f.AddOption("peer", "65002").ok());
+  FilterSet path_f;
+  ASSERT_TRUE(path_f.AddOption("path", "3356").ok());
+  Record rec = MakeUpdateRecord();
+  auto elems = ExtractElems(rec);
+  for (const auto& e : elems) {
+    EXPECT_FALSE(peer_f.MatchesElem(e));  // peer is 65001
+    if (e.type == ElemType::Announcement) {
+      EXPECT_TRUE(path_f.MatchesElem(e));
+    } else {
+      EXPECT_FALSE(path_f.MatchesElem(e));  // withdrawals have no path
+    }
+  }
+}
+
+TEST(Filter, ElemTypeFilter) {
+  FilterSet f;
+  ASSERT_TRUE(f.AddOption("elemtype", "withdrawals").ok());
+  Record rec = MakeUpdateRecord();
+  size_t matched = 0;
+  for (const auto& e : ExtractElems(rec)) {
+    if (f.MatchesElem(e)) {
+      EXPECT_EQ(e.type, ElemType::Withdrawal);
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, 2u);
+}
+
+TEST(Filter, IpVersionFilter) {
+  FilterSet f;
+  ASSERT_TRUE(f.AddOption("ipversion", "6").ok());
+  Record rec = MakeUpdateRecord();
+  for (const auto& e : ExtractElems(rec)) {
+    if (f.MatchesElem(e) && e.has_prefix()) {
+      EXPECT_EQ(e.prefix.family(), IpFamily::V6);
+    }
+  }
+}
+
+broker::DumpFileMeta Meta(Timestamp start, Timestamp duration,
+                          const std::string& collector = "c") {
+  broker::DumpFileMeta m;
+  m.project = "p";
+  m.collector = collector;
+  m.start = start;
+  m.duration = duration;
+  m.path = "/dev/null/" + collector + std::to_string(start);
+  return m;
+}
+
+TEST(GroupOverlapping, DisjointFilesSeparateSubsets) {
+  auto subsets = GroupOverlapping({Meta(0, 100), Meta(100, 100), Meta(250, 50)});
+  ASSERT_EQ(subsets.size(), 3u);  // [0,100) and [100,200) touch but no overlap
+}
+
+TEST(GroupOverlapping, OverlapMergesTransitively) {
+  // A RIB spanning [0, 480) chains everything under it together.
+  auto subsets = GroupOverlapping(
+      {Meta(0, 480), Meta(0, 120), Meta(120, 120), Meta(240, 120),
+       Meta(600, 120)});
+  ASSERT_EQ(subsets.size(), 2u);
+  EXPECT_EQ(subsets[0].size(), 4u);
+  EXPECT_EQ(subsets[1].size(), 1u);
+}
+
+TEST(GroupOverlapping, PaperFigure3Shape) {
+  // Fig. 3: RRC01 (5-min updates + one RIB) and RV2 (15-min updates)
+  // split into two disjoint sets based on overlapping intervals.
+  std::vector<broker::DumpFileMeta> files;
+  // RRC01 updates 00:00-00:30 in 5-min dumps.
+  for (int i = 0; i < 6; ++i) files.push_back(Meta(i * 300, 300, "rrc01"));
+  // RV2 updates 00:00-00:30 in 15-min dumps.
+  for (int i = 0; i < 2; ++i) files.push_back(Meta(i * 900, 900, "rv2"));
+  auto subsets = GroupOverlapping(files);
+  // Every file overlaps some other through the 15-min dumps: 2 subsets
+  // (00:00-00:15 covers 3+1 files, 00:15-00:30 covers 3+1).
+  ASSERT_EQ(subsets.size(), 2u);
+  EXPECT_EQ(subsets[0].size(), 4u);
+  EXPECT_EQ(subsets[1].size(), 4u);
+}
+
+TEST(GroupOverlapping, EmptyInput) {
+  EXPECT_TRUE(GroupOverlapping({}).empty());
+}
+
+TEST(GroupOverlapping, SubsetsOrderedByStart) {
+  auto subsets = GroupOverlapping({Meta(500, 10), Meta(0, 10), Meta(200, 10)});
+  ASSERT_EQ(subsets.size(), 3u);
+  EXPECT_EQ(subsets[0][0].start, 0);
+  EXPECT_EQ(subsets[1][0].start, 200);
+  EXPECT_EQ(subsets[2][0].start, 500);
+}
+
+TEST(RecordStatusNames, Stable) {
+  EXPECT_STREQ(RecordStatusName(RecordStatus::Valid), "valid");
+  EXPECT_STREQ(RecordStatusName(RecordStatus::CorruptedDump),
+               "corrupted-dump");
+  EXPECT_STREQ(DumpPositionName(DumpPosition::Start), "start");
+}
+
+}  // namespace
+}  // namespace bgps::core

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "exabgp/exabgp.hpp"
+#include "mrt/file.hpp"
+
+namespace bgps::exabgp {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+// --- JSON layer ---
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->as_bool());
+  EXPECT_FALSE(Json::Parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::Parse("42")->as_number(), 42);
+  EXPECT_DOUBLE_EQ(Json::Parse("-3.5")->as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->as_number(), 1000);
+  EXPECT_EQ(Json::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseStructures) {
+  auto j = Json::Parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)["a"].array().size(), 3u);
+  EXPECT_EQ((*j)["a"].array()[2]["b"].as_string(), "c");
+  EXPECT_TRUE((*j)["d"]["e"].is_null());
+  // Missing keys chain safely.
+  EXPECT_TRUE((*j)["x"]["y"]["z"].is_null());
+}
+
+TEST(Json, ParseEscapes) {
+  auto j = Json::Parse(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->as_string(), "a\"b\\c\ndA");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("nully").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  const std::string text =
+      R"({"arr":[1,2.500000,"x"],"num":7,"obj":{"nested":true},"s":"a\"b"})";
+  auto j = Json::Parse(text);
+  ASSERT_TRUE(j.ok());
+  auto j2 = Json::Parse(j->Dump());
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ(j->Dump(), j2->Dump());
+}
+
+// --- ExaBGP message layer ---
+
+ExaBgpMessage MakeUpdate() {
+  ExaBgpMessage msg;
+  msg.kind = ExaBgpMessage::Kind::Update;
+  msg.time = 1500898535;
+  msg.peer_address = IpAddress::V4(10, 0, 0, 1);
+  msg.local_address = IpAddress::V4(192, 0, 2, 1);
+  msg.peer_asn = 65001;
+  msg.local_asn = 64512;
+  msg.update.attrs.as_path = bgp::AsPath::Sequence({65001, 3356, 15169});
+  msg.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+  msg.update.attrs.communities = {bgp::Community(3356, 100),
+                                  bgp::Community(65535, 666)};
+  msg.update.attrs.local_pref = 100;
+  msg.update.announced = {P("192.0.2.0/24"), P("198.51.100.0/24")};
+  msg.update.withdrawn = {P("203.0.113.0/24")};
+  return msg;
+}
+
+TEST(ExaBgp, UpdateLineRoundTrip) {
+  ExaBgpMessage msg = MakeUpdate();
+  std::string line = EncodeLine(msg);
+  auto decoded = DecodeLine(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, ExaBgpMessage::Kind::Update);
+  EXPECT_EQ(decoded->time, msg.time);
+  EXPECT_EQ(decoded->peer_asn, msg.peer_asn);
+  EXPECT_EQ(decoded->update.announced, msg.update.announced);
+  EXPECT_EQ(decoded->update.withdrawn, msg.update.withdrawn);
+  EXPECT_EQ(decoded->update.attrs.as_path.ToString(), "65001 3356 15169");
+  EXPECT_EQ(decoded->update.attrs.communities, msg.update.attrs.communities);
+  EXPECT_EQ(decoded->update.attrs.local_pref, msg.update.attrs.local_pref);
+}
+
+TEST(ExaBgp, V6UpdateRoundTrip) {
+  ExaBgpMessage msg;
+  msg.kind = ExaBgpMessage::Kind::Update;
+  msg.time = 100;
+  msg.peer_address = IpAddress::V4(10, 0, 0, 2);
+  msg.peer_asn = 65002;
+  msg.update.attrs.as_path = bgp::AsPath::Sequence({65002, 1});
+  bgp::MpReach mp;
+  mp.next_hop = *IpAddress::Parse("2001:db8::1");
+  mp.nlri = {P("2001:db8:1::/48")};
+  msg.update.attrs.mp_reach = mp;
+  bgp::MpUnreach mpu;
+  mpu.withdrawn = {P("2001:db8:2::/48")};
+  msg.update.attrs.mp_unreach = mpu;
+
+  auto decoded = DecodeLine(EncodeLine(msg));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->update.attrs.mp_reach.has_value());
+  EXPECT_EQ(decoded->update.attrs.mp_reach->nlri, mp.nlri);
+  ASSERT_TRUE(decoded->update.attrs.mp_unreach.has_value());
+  EXPECT_EQ(decoded->update.attrs.mp_unreach->withdrawn, mpu.withdrawn);
+}
+
+TEST(ExaBgp, StateLineRoundTrip) {
+  ExaBgpMessage msg;
+  msg.kind = ExaBgpMessage::Kind::State;
+  msg.time = 1500898536;
+  msg.peer_address = IpAddress::V4(10, 0, 0, 1);
+  msg.peer_asn = 65001;
+  msg.state = bgp::FsmState::Established;
+  auto decoded = DecodeLine(EncodeLine(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, ExaBgpMessage::Kind::State);
+  EXPECT_EQ(decoded->state, bgp::FsmState::Established);
+
+  msg.state = bgp::FsmState::Idle;
+  decoded = DecodeLine(EncodeLine(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->state, bgp::FsmState::Idle);
+}
+
+TEST(ExaBgp, DecodeHandwrittenLine) {
+  // A line in the upstream shape (field order differs from our encoder).
+  const std::string line = R"({"exabgp":"4.0.1","time":1500898535,)"
+      R"("type":"update","neighbor":{"address":{"local":"192.0.2.1",)"
+      R"("peer":"10.0.0.9"},"asn":{"local":64512,"peer":65009},)"
+      R"("message":{"update":{"attribute":{"origin":"igp",)"
+      R"("as-path":[65009,174]},"announce":{"ipv4 unicast":)"
+      R"({"10.0.0.9":[{"nlri":"10.9.0.0/16"},{"nlri":"10.10.0.0/16"}]}}}}}})";
+  auto decoded = DecodeLine(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->peer_asn, 65009u);
+  ASSERT_EQ(decoded->update.announced.size(), 2u);
+  EXPECT_EQ(decoded->update.attrs.next_hop->ToString(), "10.0.0.9");
+}
+
+TEST(ExaBgp, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeLine("not json").ok());
+  EXPECT_FALSE(DecodeLine("{}").ok());  // no neighbor/peer address
+  EXPECT_FALSE(DecodeLine(R"({"type":"open","neighbor":{"address":)"
+                          R"({"peer":"10.0.0.1"},"asn":{"peer":1}}})")
+                   .ok());  // unsupported type
+}
+
+TEST(ExaBgp, ToMrtPreservesContent) {
+  ExaBgpMessage msg = MakeUpdate();
+  Bytes wire = EncodeAsMrt(msg);
+  BufReader r(wire);
+  auto raw = mrt::DecodeRawRecord(r);
+  ASSERT_TRUE(raw.ok());
+  auto decoded = mrt::DecodeRecord(*raw);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_message());
+  const auto& m = std::get<mrt::Bgp4mpMessage>(decoded->body);
+  EXPECT_EQ(m.peer_asn, msg.peer_asn);
+  EXPECT_EQ(m.update.announced, msg.update.announced);
+  EXPECT_EQ(decoded->timestamp, msg.time);
+}
+
+TEST(ExaBgp, TranscodeFileToMrt) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path();
+  fs::path json_path = dir / ("exabgp_" + std::to_string(::getpid()) + ".json");
+  fs::path mrt_path = dir / ("exabgp_" + std::to_string(::getpid()) + ".mrt");
+
+  {
+    std::ofstream out(json_path);
+    out << EncodeLine(MakeUpdate()) << "\n";
+    out << "this line is broken\n";
+    ExaBgpMessage st;
+    st.kind = ExaBgpMessage::Kind::State;
+    st.time = 1500898536;
+    st.peer_address = IpAddress::V4(10, 0, 0, 1);
+    st.peer_asn = 65001;
+    st.state = bgp::FsmState::Idle;
+    out << EncodeLine(st) << "\n";
+  }
+
+  auto stats = TranscodeExaBgpToMrt(json_path.string(), mrt_path.string());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->converted, 2u);
+  EXPECT_EQ(stats->skipped, 1u);
+
+  // The MRT file flows through the standard scanner.
+  auto scan = mrt::ScanFile(mrt_path.string());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->messages.size(), 2u);
+  EXPECT_TRUE(scan->messages[0].is_message());
+  EXPECT_TRUE(scan->messages[1].is_state_change());
+  fs::remove(json_path);
+  fs::remove(mrt_path);
+}
+
+}  // namespace
+}  // namespace bgps::exabgp

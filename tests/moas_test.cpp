@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "corsaro/corsaro.hpp"
+#include "corsaro/moas.hpp"
+#include "sim/presets.hpp"
+#include "tests/sim_fixture.hpp"
+
+namespace bgps::corsaro {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+core::Elem Announce(bgp::Asn peer, const Prefix& prefix, bgp::Asn origin,
+                    Timestamp t = 100) {
+  core::Elem e;
+  e.type = core::ElemType::Announcement;
+  e.time = t;
+  e.peer_asn = peer;
+  e.prefix = prefix;
+  e.as_path = bgp::AsPath::Sequence({peer, 3356, origin});
+  return e;
+}
+
+core::Elem Withdraw(bgp::Asn peer, const Prefix& prefix, Timestamp t = 100) {
+  core::Elem e;
+  e.type = core::ElemType::Withdrawal;
+  e.time = t;
+  e.peer_asn = peer;
+  e.prefix = prefix;
+  return e;
+}
+
+void Feed(MoasDetector& moas, const std::vector<core::Elem>& elems,
+          const std::string& collector = "c1") {
+  core::Record rec;
+  rec.collector = collector;
+  rec.dump_type = core::DumpType::Updates;
+  RecordContext ctx{rec, elems, {}};
+  moas.OnRecord(ctx);
+}
+
+TEST(MoasDetector, SingleOriginIsNotMoas) {
+  MoasDetector moas;
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 100),
+              Announce(2, P("10.0.0.0/8"), 100)});
+  EXPECT_TRUE(moas.events().empty());
+  EXPECT_TRUE(moas.current_moas().empty());
+}
+
+TEST(MoasDetector, TwoOriginsStartEvent) {
+  MoasDetector moas;
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 100)});
+  Feed(moas, {Announce(2, P("10.0.0.0/8"), 200, 150)});
+  ASSERT_EQ(moas.events().size(), 1u);
+  const auto& ev = moas.events()[0];
+  EXPECT_TRUE(ev.started);
+  EXPECT_EQ(ev.time, 150);
+  EXPECT_EQ(ev.origins, (std::set<bgp::Asn>{100, 200}));
+  EXPECT_EQ(moas.current_moas(), std::vector<Prefix>{P("10.0.0.0/8")});
+}
+
+TEST(MoasDetector, EndEventWhenHijackerWithdraws) {
+  MoasDetector moas;
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 100)});
+  Feed(moas, {Announce(2, P("10.0.0.0/8"), 200)});
+  // VP2 reverts to the legitimate origin.
+  Feed(moas, {Announce(2, P("10.0.0.0/8"), 100, 300)});
+  ASSERT_EQ(moas.events().size(), 2u);
+  EXPECT_FALSE(moas.events()[1].started);
+  EXPECT_EQ(moas.events()[1].origins, std::set<bgp::Asn>{100});
+  EXPECT_TRUE(moas.current_moas().empty());
+}
+
+TEST(MoasDetector, WithdrawalEndsMoas) {
+  MoasDetector moas;
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 100)});
+  Feed(moas, {Announce(2, P("10.0.0.0/8"), 200)});
+  Feed(moas, {Withdraw(2, P("10.0.0.0/8"), 400)});
+  ASSERT_EQ(moas.events().size(), 2u);
+  EXPECT_FALSE(moas.events()[1].started);
+}
+
+TEST(MoasDetector, PerVpOriginOverwrite) {
+  // The same VP flip-flopping between origins is MOAS only when two VPs
+  // *simultaneously* see different origins.
+  MoasDetector moas;
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 100)});
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 200)});  // same VP, new origin
+  EXPECT_TRUE(moas.events().empty());
+}
+
+TEST(MoasDetector, SetsSeenAccumulate) {
+  MoasDetector moas;
+  Feed(moas, {Announce(1, P("10.0.0.0/8"), 100),
+              Announce(2, P("10.0.0.0/8"), 200)});
+  Feed(moas, {Announce(1, P("20.0.0.0/8"), 300),
+              Announce(2, P("20.0.0.0/8"), 400)});
+  EXPECT_EQ(moas.moas_sets().size(), 2u);
+}
+
+TEST(MoasDetector, DetectsScriptedHijackEndToEnd) {
+  // The GARR scenario through the whole stack: the detector must fire for
+  // the hijacked prefixes during the window and close afterwards.
+  auto sc = sim::BuildGarrScenario(
+      (std::filesystem::temp_directory_path() /
+       ("moas_garr_" + std::to_string(::getpid())))
+          .string(),
+      2, 21);
+  broker::Broker::Options bopt;
+  bopt.clock = [] { return Timestamp(4102444800); };
+  broker::Broker broker(sc.driver->archive_root(), bopt);
+  core::BrokerDataInterface di(&broker);
+  core::BgpStream stream;
+  stream.SetInterval(sc.start, sc.end);
+  stream.SetDataInterface(&di);
+  ASSERT_TRUE(stream.Start().ok());
+  BgpCorsaro engine(&stream, 300);
+  auto moas = std::make_unique<MoasDetector>();
+  MoasDetector* mp = moas.get();
+  engine.AddPlugin(std::move(moas));
+  engine.Run();
+
+  ASSERT_EQ(sc.hijack_windows.size(), 1u);
+  auto [w0, w1] = sc.hijack_windows[0];
+  size_t starts_in_window = 0, ends_after = 0;
+  for (const auto& ev : mp->events()) {
+    if (ev.started) {
+      EXPECT_GE(ev.time, w0);
+      EXPECT_LT(ev.time, w1);
+      EXPECT_EQ(ev.origins, (std::set<bgp::Asn>{sc.victim, sc.attacker}));
+      ++starts_in_window;
+    } else {
+      EXPECT_GE(ev.time, w1);
+      ++ends_after;
+    }
+  }
+  EXPECT_EQ(starts_in_window, sc.hijacked.size());
+  EXPECT_EQ(ends_after, sc.hijacked.size());
+  EXPECT_TRUE(mp->current_moas().empty());
+  std::filesystem::remove_all(sc.driver->archive_root());
+}
+
+}  // namespace
+}  // namespace bgps::corsaro

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "analysis/graph.hpp"
+#include "analysis/mapreduce.hpp"
+#include "analysis/stats.hpp"
+#include "mq/consumers.hpp"
+
+namespace bgps::mq {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+TEST(Cluster, PublishFetchOffsets) {
+  Cluster cluster;
+  cluster.CreateTopic("t", 2);
+  EXPECT_EQ(cluster.partitions("t"), 2u);
+  Message m;
+  m.key = "k";
+  m.value = {1, 2, 3};
+  EXPECT_EQ(cluster.Publish("t", 0, m), 0u);
+  EXPECT_EQ(cluster.Publish("t", 0, m), 1u);
+  EXPECT_EQ(cluster.Publish("t", 1, m), 0u);  // partitions independent
+  EXPECT_EQ(cluster.EndOffset("t", 0), 2u);
+  EXPECT_EQ(cluster.EndOffset("t", 1), 1u);
+
+  auto msgs = cluster.Fetch("t", 0, 0);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].offset, 0u);
+  EXPECT_EQ(msgs[1].offset, 1u);
+  EXPECT_EQ(cluster.Fetch("t", 0, 1).size(), 1u);
+  EXPECT_TRUE(cluster.Fetch("t", 0, 2).empty());
+  EXPECT_TRUE(cluster.Fetch("missing", 0, 0).empty());
+}
+
+TEST(Cluster, AutoCreateOnPublish) {
+  Cluster cluster;
+  Message m;
+  cluster.Publish("auto", 0, m);
+  EXPECT_EQ(cluster.partitions("auto"), 1u);
+  EXPECT_EQ(cluster.topics(), std::vector<std::string>{"auto"});
+}
+
+TEST(Cluster, ConsumerTracksPosition) {
+  Cluster cluster;
+  Message m;
+  cluster.Publish("t", 0, m);
+  cluster.Publish("t", 0, m);
+  Consumer c(&cluster, "t");
+  EXPECT_EQ(c.Poll().size(), 2u);
+  EXPECT_TRUE(c.Poll().empty());
+  cluster.Publish("t", 0, m);
+  EXPECT_EQ(c.Poll().size(), 1u);
+  c.Seek(0);
+  EXPECT_EQ(c.Poll().size(), 3u);
+}
+
+TEST(Cluster, ConcurrentProducersAreSafe) {
+  Cluster cluster;
+  cluster.CreateTopic("t", 1);
+  constexpr int kThreads = 4, kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cluster] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Message m;
+        m.value = {uint8_t(i)};
+        cluster.Publish("t", 0, m);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cluster.EndOffset("t", 0), size_t(kThreads * kPerThread));
+  // Offsets are dense and unique.
+  auto msgs = cluster.Fetch("t", 0, 0);
+  for (size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(msgs[i].offset, i);
+}
+
+corsaro::DiffCell MakeDiff(const std::string& collector, bgp::Asn peer,
+                           const std::string& prefix, bool announced,
+                           const std::string& path = "65001 15169") {
+  corsaro::DiffCell d;
+  d.vp = {collector, peer};
+  d.prefix = P(prefix);
+  d.cell.announced = announced;
+  d.cell.as_path = *bgp::AsPath::Parse(path);
+  d.cell.last_modified = 12345;
+  d.cell.communities = {bgp::Community(65001, 1)};
+  return d;
+}
+
+TEST(Serialize, DiffMessageRoundTrip) {
+  RtDiffMessage msg;
+  msg.collector = "rrc00";
+  msg.bin_start = 1458000000;
+  msg.diffs = {MakeDiff("rrc00", 65001, "10.0.0.0/8", true),
+               MakeDiff("rrc00", 65002, "2001:db8::/32", false)};
+  Bytes wire = EncodeDiffMessage(msg);
+  EXPECT_EQ(*PeekKind(wire), RtMessageKind::Diff);
+  auto decoded = DecodeDiffMessage(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->collector, "rrc00");
+  EXPECT_EQ(decoded->bin_start, 1458000000);
+  ASSERT_EQ(decoded->diffs.size(), 2u);
+  EXPECT_EQ(decoded->diffs[0].prefix, P("10.0.0.0/8"));
+  EXPECT_TRUE(decoded->diffs[0].cell.announced);
+  EXPECT_EQ(decoded->diffs[0].cell.as_path.ToString(), "65001 15169");
+  EXPECT_FALSE(decoded->diffs[1].cell.announced);
+  EXPECT_EQ(decoded->diffs[1].prefix.family(), IpFamily::V6);
+}
+
+TEST(Serialize, SnapshotMessageRoundTrip) {
+  RtSnapshotMessage msg;
+  msg.collector = "rv2";
+  msg.bin_start = 100;
+  msg.vp = {"rv2", 65009};
+  msg.table[P("10.0.0.0/8")] = MakeDiff("rv2", 65009, "10.0.0.0/8", true).cell;
+  msg.table[P("192.168.0.0/16")] =
+      MakeDiff("rv2", 65009, "192.168.0.0/16", true).cell;
+  Bytes wire = EncodeSnapshotMessage(msg);
+  EXPECT_EQ(*PeekKind(wire), RtMessageKind::Snapshot);
+  auto decoded = DecodeSnapshotMessage(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->vp.peer, 65009u);
+  EXPECT_EQ(decoded->table.size(), 2u);
+}
+
+TEST(Serialize, MetaMessageRoundTrip) {
+  RtMetaMessage msg{"rrc00", 7777, 42};
+  auto decoded = DecodeMetaMessage(EncodeMetaMessage(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->collector, "rrc00");
+  EXPECT_EQ(decoded->bin_start, 7777);
+  EXPECT_EQ(decoded->diff_cells, 42u);
+}
+
+TEST(Serialize, DecodeRejectsWrongKind) {
+  RtMetaMessage msg{"c", 1, 2};
+  Bytes wire = EncodeMetaMessage(msg);
+  EXPECT_FALSE(DecodeDiffMessage(wire).ok());
+  EXPECT_FALSE(PeekKind({}).ok());
+}
+
+void PublishMeta(Cluster& cluster, const std::string& collector,
+                 Timestamp bin) {
+  Message m;
+  m.timestamp = bin;
+  m.value = EncodeMetaMessage(RtMetaMessage{collector, bin, 1});
+  cluster.Publish(kRtMetaTopic, 0, std::move(m));
+}
+
+TEST(SyncServers, CompletenessWaitsForAllCollectors) {
+  Cluster cluster;
+  CompletenessSyncServer sync(&cluster, "ready", {"a", "b"});
+  PublishMeta(cluster, "a", 100);
+  EXPECT_EQ(sync.Poll(), 0u);  // b missing
+  PublishMeta(cluster, "b", 100);
+  EXPECT_EQ(sync.Poll(), 1u);
+  auto markers = cluster.Fetch("ready", 0, 0);
+  ASSERT_EQ(markers.size(), 1u);
+  auto marker = DecodeReadyMarker(markers[0].value);
+  ASSERT_TRUE(marker.ok());
+  EXPECT_EQ(marker->bin_start, 100);
+  EXPECT_EQ(marker->collectors_present.size(), 2u);
+}
+
+TEST(SyncServers, TimeoutReleasesIncompleteBins) {
+  Cluster cluster;
+  TimeoutSyncServer sync(&cluster, "ready", 600);
+  PublishMeta(cluster, "a", 100);   // b never reports bin 100
+  EXPECT_EQ(sync.Poll(), 0u);
+  PublishMeta(cluster, "a", 400);
+  EXPECT_EQ(sync.Poll(), 0u);       // only 300s of data-time passed
+  PublishMeta(cluster, "a", 700);
+  EXPECT_EQ(sync.Poll(), 1u);       // bin 100 timed out
+  auto markers = cluster.Fetch("ready", 0, 0);
+  ASSERT_EQ(markers.size(), 1u);
+  EXPECT_EQ(DecodeReadyMarker(markers[0].value)->bin_start, 100);
+}
+
+// End-to-end consumer pipeline with hand-rolled diffs: two collectors,
+// two VPs, an outage on one AS.
+TEST(GlobalViewConsumer, DetectsPerAsOutage) {
+  Cluster cluster;
+  CompletenessSyncServer sync(&cluster, "ready", {"c1", "c2"});
+  GlobalViewConsumer::Options opt;
+  opt.median_window = 4;
+  GlobalViewConsumer consumer(
+      &cluster, {"c1", "c2"}, "ready",
+      [](bgp::Asn asn) { return asn == 15169 ? "US" : "IQ"; }, opt);
+
+  auto publish_diffs = [&](const std::string& collector, Timestamp bin,
+                           std::vector<corsaro::DiffCell> diffs) {
+    RtDiffMessage msg;
+    msg.collector = collector;
+    msg.bin_start = bin;
+    msg.diffs = std::move(diffs);
+    Message m;
+    m.timestamp = bin;
+    m.value = EncodeDiffMessage(msg);
+    cluster.Publish(RtTopic(collector), 0, std::move(m));
+    PublishMeta(cluster, collector, bin);
+  };
+
+  // Bins 0..5: both VPs see both prefixes (one per origin AS).
+  for (Timestamp bin = 0; bin < 6; ++bin) {
+    std::vector<corsaro::DiffCell> d1, d2;
+    if (bin == 0) {
+      d1 = {MakeDiff("c1", 1, "10.0.0.0/8", true, "1 15169"),
+            MakeDiff("c1", 1, "20.0.0.0/8", true, "1 64999")};
+      d2 = {MakeDiff("c2", 2, "10.0.0.0/8", true, "2 15169"),
+            MakeDiff("c2", 2, "20.0.0.0/8", true, "2 64999")};
+    }
+    publish_diffs("c1", bin, d1);
+    publish_diffs("c2", bin, d2);
+    sync.Poll();
+    consumer.Poll();
+  }
+  // Bin 6: AS64999's prefix withdrawn everywhere (outage).
+  publish_diffs("c1", 6, {MakeDiff("c1", 1, "20.0.0.0/8", false)});
+  publish_diffs("c2", 6, {MakeDiff("c2", 2, "20.0.0.0/8", false)});
+  sync.Poll();
+  consumer.Poll();
+
+  // Per-AS series recorded for both ASes; alarm raised for AS64999.
+  bool saw_as64999 = false;
+  for (const auto& row : consumer.as_rows()) {
+    if (row.key == "AS64999" && row.visible_prefixes == 1) saw_as64999 = true;
+  }
+  EXPECT_TRUE(saw_as64999);
+  bool alarm = false;
+  for (const auto& a : consumer.alarms()) {
+    // The per-country IQ series and the per-AS series both collapse.
+    if (a.key == "AS64999" || a.key == "IQ") alarm = true;
+  }
+  EXPECT_TRUE(alarm);
+  // The surviving AS keeps its prefix visible in the final bin.
+  const auto* t = consumer.vp_table({"c1", 1});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 1u);
+}
+
+TEST(Analysis, AsGraphBfs) {
+  analysis::AsGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(1, 4);  // shortcut
+  g.AddEdge(5, 5);  // ignored self-loop
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  auto dist = g.Distances(1);
+  EXPECT_EQ(dist[4], 1u);
+  EXPECT_EQ(dist[3], 2u);
+  EXPECT_TRUE(g.Distances(99).empty());
+}
+
+TEST(Analysis, RunPartitionedKeepsOrder) {
+  std::vector<int> parts;
+  for (int i = 0; i < 64; ++i) parts.push_back(i);
+  auto results =
+      analysis::RunPartitioned(parts, [](int p) { return p * p; }, 8);
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[size_t(i)], i * i);
+}
+
+TEST(Analysis, Stats) {
+  std::vector<int> v{5, 1, 9, 3, 7};
+  EXPECT_DOUBLE_EQ(analysis::Mean(v), 5.0);
+  EXPECT_EQ(analysis::Max(v), 9);
+  EXPECT_DOUBLE_EQ(analysis::Median(v), 5.0);
+  EXPECT_DOUBLE_EQ(analysis::Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(analysis::Quantile(v, 1.0), 9.0);
+  EXPECT_DOUBLE_EQ(analysis::Mean(std::vector<int>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace bgps::mq

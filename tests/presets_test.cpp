@@ -1,0 +1,180 @@
+// Scenario-preset invariants: the scripted case studies must put exactly
+// the right signals into the archives the benches consume.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corsaro/corsaro.hpp"
+#include "corsaro/pfxmonitor.hpp"
+#include "sim/presets.hpp"
+#include "tests/sim_fixture.hpp"
+
+namespace bgps::sim {
+namespace {
+
+std::string TmpDir(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          (name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(GarrScenario, PlantsActorsAndWindows) {
+  auto sc = BuildGarrScenario(TmpDir("garr"), 2, 77);
+  EXPECT_TRUE(sc.driver->topology().has_node(sc.victim));
+  EXPECT_TRUE(sc.driver->topology().has_node(sc.attacker));
+  EXPECT_EQ(sc.victim_prefixes.size(), 12u);
+  EXPECT_EQ(sc.hijacked.size(), 7u);
+  // Two days only cover the first scripted event.
+  ASSERT_EQ(sc.hijack_windows.size(), 1u);
+  EXPECT_GE(sc.hijack_windows[0].first, sc.start);
+  EXPECT_LT(sc.hijack_windows[0].second, sc.end);
+  // After the run, the hijack is over: prefixes are victim-only.
+  for (const auto& p : sc.hijacked) {
+    auto origins = sc.driver->world().origins(p);
+    ASSERT_EQ(origins.size(), 1u) << p.ToString();
+    EXPECT_EQ(origins[0].asn, sc.victim);
+  }
+  std::filesystem::remove_all(sc.driver->archive_root());
+}
+
+TEST(GarrScenario, ArchiveContainsAttackerAnnouncements) {
+  auto sc = BuildGarrScenario(TmpDir("garr2"), 2, 78);
+  broker::Broker::Options bopt;
+  bopt.clock = [] { return Timestamp(4102444800); };
+  broker::Broker broker(sc.driver->archive_root(), bopt);
+  core::BrokerDataInterface di(&broker);
+  core::BgpStream stream;
+  (void)stream.AddFilter("type", "updates");
+  stream.SetInterval(sc.start, sc.end);
+  stream.SetDataInterface(&di);
+  ASSERT_TRUE(stream.Start().ok());
+  size_t attacker_announcements = 0;
+  while (auto rec = stream.NextRecord()) {
+    for (const auto& elem : stream.Elems(*rec)) {
+      if (elem.type != core::ElemType::Announcement) continue;
+      if (elem.as_path.origin_asn() == sc.attacker &&
+          std::find(sc.hijacked.begin(), sc.hijacked.end(), elem.prefix) !=
+              sc.hijacked.end()) {
+        ++attacker_announcements;
+      }
+    }
+  }
+  EXPECT_GT(attacker_announcements, 0u);
+  std::filesystem::remove_all(sc.driver->archive_root());
+}
+
+TEST(CountryOutageScenario, WithdrawsCountryPrefixes) {
+  auto sc = BuildCountryOutageScenario(TmpDir("outage"), 9, 90);
+  ASSERT_EQ(sc.isps.size(), 5u);
+  ASSERT_FALSE(sc.outage_windows.empty());
+  for (Asn isp : sc.isps) {
+    ASSERT_TRUE(sc.driver->topology().has_node(isp));
+    EXPECT_EQ(sc.driver->topology().node(isp).country, sc.country);
+  }
+  // After the run (past the last restore), everything is announced again.
+  const auto& topo = sc.driver->topology();
+  for (Asn isp : sc.isps) {
+    for (const auto& p : topo.node(isp).prefixes) {
+      EXPECT_EQ(sc.driver->world().origins(p).size(), 1u) << p.ToString();
+    }
+  }
+  std::filesystem::remove_all(sc.driver->archive_root());
+}
+
+TEST(RtbhScenario, EventsCarryBlackholeCommunitiesAndMeasurements) {
+  auto sc = BuildRtbhScenario(TmpDir("rtbh"), 4, 12, 9);
+  ASSERT_EQ(sc.events.size(), 4u);
+  for (const auto& ev : sc.events) {
+    EXPECT_EQ(ev.target.length(), 32);
+    EXPECT_FALSE(ev.tagged_providers.empty());
+    EXPECT_GE(ev.probes.size(), 12u);
+    EXPECT_LT(ev.start, ev.end);
+    // Reachability must improve when the blackholing is lifted.
+    size_t during = 0, after = 0;
+    for (const auto& p : ev.probes) {
+      during += p.during_reached_origin;
+      after += p.after_reached_origin;
+    }
+    EXPECT_GE(after, during);
+    EXPECT_EQ(after, ev.probes.size());  // clean paths after withdrawal
+    // The blackhole is withdrawn after the event.
+    EXPECT_TRUE(sc.driver->world().origins(ev.target).empty());
+  }
+  std::filesystem::remove_all(sc.driver->archive_root());
+}
+
+TEST(LongitudinalArchive, GrowthAndStructure) {
+  LongitudinalOptions options;
+  options.months = 24;
+  options.collectors = 2;
+  options.vps_per_collector = 4;
+  options.topo.num_tier1 = 3;
+  options.topo.num_transit = 8;
+  options.topo.num_stub = 24;
+  options.seed = 31;
+  std::string root = TmpDir("longi");
+  auto arch = BuildLongitudinalArchive(root, options);
+
+  ASSERT_EQ(arch.snapshot_times.size(), 24u);
+  // Snapshots are the 15th of each month.
+  for (Timestamp ts : arch.snapshot_times) {
+    EXPECT_EQ(CivilFromTimestamp(ts).day, 15);
+  }
+  // Provider-before-customer birth ordering.
+  for (const auto& link : arch.topo.links()) {
+    if (link.type != LinkType::CustomerProvider) continue;
+    EXPECT_LE(arch.birth_month.at(link.a), arch.birth_month.at(link.b));
+  }
+  // Each collector wrote one RIB per month (some early ones may be empty
+  // of VPs but the file still exists once any VP joined).
+  broker::ArchiveIndex index(root);
+  ASSERT_TRUE(index.Rescan().ok());
+  EXPECT_EQ(index.files().size(), 24u * 2u);
+  for (const auto& f : index.files()) {
+    EXPECT_EQ(f.type, broker::DumpType::Rib);
+  }
+
+  // reuse_existing: second build with the same options must not rewrite.
+  auto before = std::filesystem::last_write_time(index.files()[0].path);
+  LongitudinalOptions reuse = options;
+  reuse.reuse_existing = true;
+  auto arch2 = BuildLongitudinalArchive(root, reuse);
+  EXPECT_EQ(std::filesystem::last_write_time(index.files()[0].path), before);
+  EXPECT_EQ(arch2.snapshot_times, arch.snapshot_times);
+  std::filesystem::remove_all(root);
+}
+
+TEST(LongitudinalArchive, TableGrowsOverTime) {
+  LongitudinalOptions options;
+  options.months = 36;
+  options.collectors = 1;
+  options.vps_per_collector = 3;
+  options.topo.num_tier1 = 3;
+  options.topo.num_transit = 8;
+  options.topo.num_stub = 30;
+  options.seed = 32;
+  std::string root = TmpDir("longi2");
+  auto arch = BuildLongitudinalArchive(root, options);
+
+  auto count_rib_prefixes = [&](Timestamp snapshot) {
+    size_t prefixes = 0;
+    broker::ArchiveIndex index(root);
+    EXPECT_TRUE(index.Rescan().ok());
+    for (const auto& f : index.files()) {
+      if (f.start != snapshot) continue;
+      auto scan = mrt::ScanFile(f.path);
+      EXPECT_TRUE(scan.ok());
+      for (const auto& msg : scan->messages) {
+        if (msg.is_rib()) ++prefixes;
+      }
+    }
+    return prefixes;
+  };
+  size_t early = count_rib_prefixes(arch.snapshot_times[6]);
+  size_t late = count_rib_prefixes(arch.snapshot_times.back());
+  EXPECT_GT(late, early);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace bgps::sim

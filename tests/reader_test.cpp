@@ -1,0 +1,107 @@
+// BGPReader ASCII formatting (paper §4.1).
+#include <gtest/gtest.h>
+
+#include "reader/ascii.hpp"
+
+namespace bgps::reader {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+core::Record MakeRecord() {
+  core::Record rec;
+  rec.project = "ris";
+  rec.collector = "rrc00";
+  rec.dump_type = core::DumpType::Updates;
+  rec.timestamp = 1463011200;
+  rec.status = core::RecordStatus::Valid;
+  rec.position = core::DumpPosition::Middle;
+  return rec;
+}
+
+core::Elem MakeAnnouncement() {
+  core::Elem e;
+  e.type = core::ElemType::Announcement;
+  e.time = 1463011200;
+  e.peer_asn = 65001;
+  e.peer_address = IpAddress::V4(10, 0, 0, 1);
+  e.prefix = P("192.0.2.0/24");
+  e.next_hop = IpAddress::V4(10, 0, 0, 1);
+  e.as_path = bgp::AsPath::Sequence({65001, 3356, 15169});
+  e.communities = {bgp::Community(3356, 100)};
+  return e;
+}
+
+TEST(FormatElem, NativeAnnouncement) {
+  std::string line =
+      FormatElem(MakeRecord(), MakeAnnouncement(), OutputFormat::BgpReader);
+  EXPECT_EQ(line,
+            "A|1463011200|ris|rrc00|65001|10.0.0.1|192.0.2.0/24|10.0.0.1|"
+            "65001 3356 15169|3356:100||");
+}
+
+TEST(FormatElem, NativeWithdrawal) {
+  core::Elem e = MakeAnnouncement();
+  e.type = core::ElemType::Withdrawal;
+  std::string line = FormatElem(MakeRecord(), e, OutputFormat::BgpReader);
+  EXPECT_TRUE(line.rfind("W|1463011200|ris|rrc00|65001|10.0.0.1|192.0.2.0/24",
+                         0) == 0)
+      << line;
+}
+
+TEST(FormatElem, NativePeerState) {
+  core::Elem e;
+  e.type = core::ElemType::PeerState;
+  e.time = 1463011200;
+  e.peer_asn = 65001;
+  e.peer_address = IpAddress::V4(10, 0, 0, 1);
+  e.old_state = bgp::FsmState::Established;
+  e.new_state = bgp::FsmState::Idle;
+  std::string line = FormatElem(MakeRecord(), e, OutputFormat::BgpReader);
+  EXPECT_NE(line.find("ESTABLISHED|IDLE"), std::string::npos) << line;
+}
+
+TEST(FormatElem, BgpdumpAnnouncement) {
+  std::string line =
+      FormatElem(MakeRecord(), MakeAnnouncement(), OutputFormat::Bgpdump);
+  EXPECT_EQ(line,
+            "BGP4MP|1463011200|A|10.0.0.1|65001|192.0.2.0/24|"
+            "65001 3356 15169|IGP|10.0.0.1|0|0|3356:100|NAG||");
+}
+
+TEST(FormatElem, BgpdumpRibEntryUsesTableDump2) {
+  core::Record rec = MakeRecord();
+  rec.dump_type = core::DumpType::Rib;
+  core::Elem e = MakeAnnouncement();
+  e.type = core::ElemType::RibEntry;
+  std::string line = FormatElem(rec, e, OutputFormat::Bgpdump);
+  EXPECT_TRUE(line.rfind("TABLE_DUMP2|", 0) == 0) << line;
+  EXPECT_NE(line.find("|B|"), std::string::npos) << line;
+}
+
+TEST(FormatElem, BgpdumpWithdrawalShortForm) {
+  core::Elem e = MakeAnnouncement();
+  e.type = core::ElemType::Withdrawal;
+  std::string line = FormatElem(MakeRecord(), e, OutputFormat::Bgpdump);
+  EXPECT_EQ(line, "BGP4MP|1463011200|W|10.0.0.1|65001|192.0.2.0/24");
+}
+
+TEST(FormatRecord, AllFields) {
+  core::Record rec = MakeRecord();
+  rec.status = core::RecordStatus::CorruptedRecord;
+  rec.position = core::DumpPosition::End;
+  EXPECT_EQ(FormatRecord(rec),
+            "1463011200|ris|rrc00|updates|corrupted-record|end");
+}
+
+TEST(FormatElem, V6Announcement) {
+  core::Elem e = MakeAnnouncement();
+  e.prefix = P("2001:db8::/32");
+  e.next_hop = *IpAddress::Parse("2001:db8::1");
+  std::string line = FormatElem(MakeRecord(), e, OutputFormat::BgpReader);
+  EXPECT_NE(line.find("2001:db8::/32"), std::string::npos);
+  EXPECT_NE(line.find("2001:db8::1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgps::reader

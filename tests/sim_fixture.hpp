@@ -1,0 +1,52 @@
+// Shared test fixture: builds a small simulated archive once per process
+// and exposes its location + configuration to tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/scenario.hpp"
+
+namespace bgps::testutil {
+
+struct SmallArchive {
+  std::string root;
+  std::unique_ptr<sim::SimDriver> driver;
+  Timestamp start = 0;
+  Timestamp end = 0;
+};
+
+// One hour of data: 1 RouteViews-style + 1 RIS-style collector, a small
+// topology, light flap noise. Deterministic (fixed seeds).
+inline SmallArchive& GetSmallArchive() {
+  static SmallArchive* archive = [] {
+    auto* a = new SmallArchive();
+    a->root = (std::filesystem::temp_directory_path() /
+               ("bgps_test_archive_" + std::to_string(::getpid())))
+                  .string();
+    std::filesystem::remove_all(a->root);
+
+    sim::StandardSimOptions options;
+    options.topo.num_tier1 = 4;
+    options.topo.num_transit = 12;
+    options.topo.num_stub = 40;
+    options.topo.seed = 99;
+    options.rv_collectors = 1;
+    options.ris_collectors = 1;
+    options.vps_per_collector = 5;
+    options.publish_delay = 0;
+    options.seed = 5;
+    a->driver = sim::MakeStandardSim(options, a->root);
+
+    a->start = TimestampFromYmdHms(2016, 3, 1, 0, 0, 0);
+    a->end = a->start + 3600;
+    a->driver->AddFlapNoise(a->start + 60, a->end - 60, 120.0, 90);
+    Status st = a->driver->Run(a->start, a->end);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return a;
+  }();
+  return *archive;
+}
+
+}  // namespace bgps::testutil

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "broker/archive.hpp"
+#include "mrt/file.hpp"
+#include "sim/scenario.hpp"
+
+namespace bgps::sim {
+namespace {
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+TopologyConfig SmallConfig() {
+  TopologyConfig cfg;
+  cfg.num_tier1 = 3;
+  cfg.num_transit = 10;
+  cfg.num_stub = 30;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Topology, GenerationInvariants) {
+  Topology topo = Topology::Generate(SmallConfig());
+  EXPECT_EQ(topo.nodes().size(), 43u);
+
+  size_t t1 = 0, transit = 0, stub = 0;
+  for (const auto& [asn, node] : topo.nodes()) {
+    switch (node.tier) {
+      case AsTier::Tier1: ++t1; break;
+      case AsTier::Transit: ++transit; break;
+      case AsTier::Stub: ++stub; break;
+    }
+    // Every non-tier1 AS has at least one provider (connected graph).
+    if (node.tier != AsTier::Tier1) {
+      EXPECT_FALSE(node.providers.empty()) << asn;
+    }
+    EXPECT_FALSE(node.prefixes.empty()) << asn;
+    EXPECT_FALSE(node.country.empty());
+    // Stubs never have customers.
+    if (node.tier == AsTier::Stub) EXPECT_TRUE(node.customers.empty());
+  }
+  EXPECT_EQ(t1, 3u);
+  EXPECT_EQ(transit, 10u);
+  EXPECT_EQ(stub, 30u);
+}
+
+TEST(Topology, Tier1Clique) {
+  Topology topo = Topology::Generate(SmallConfig());
+  std::vector<Asn> t1s;
+  for (const auto& [asn, node] : topo.nodes()) {
+    if (node.tier == AsTier::Tier1) t1s.push_back(asn);
+  }
+  for (Asn a : t1s) {
+    for (Asn b : t1s) {
+      if (a == b) continue;
+      EXPECT_EQ(topo.relationship(a, b), Topology::Rel::Peer);
+    }
+  }
+}
+
+TEST(Topology, RelationshipsAreSymmetric) {
+  Topology topo = Topology::Generate(SmallConfig());
+  for (const auto& link : topo.links()) {
+    if (link.type == LinkType::CustomerProvider) {
+      EXPECT_EQ(topo.relationship(link.a, link.b), Topology::Rel::Customer);
+      EXPECT_EQ(topo.relationship(link.b, link.a), Topology::Rel::Provider);
+    } else {
+      EXPECT_EQ(topo.relationship(link.a, link.b), Topology::Rel::Peer);
+      EXPECT_EQ(topo.relationship(link.b, link.a), Topology::Rel::Peer);
+    }
+  }
+}
+
+TEST(Topology, DeterministicForSeed) {
+  Topology a = Topology::Generate(SmallConfig());
+  Topology b = Topology::Generate(SmallConfig());
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  EXPECT_EQ(a.links().size(), b.links().size());
+  for (const auto& [asn, node] : a.nodes()) {
+    EXPECT_EQ(node.prefixes, b.node(asn).prefixes);
+  }
+}
+
+TEST(Topology, PrefixesAreUniqueAcrossAses) {
+  Topology topo = Topology::Generate(SmallConfig());
+  std::set<Prefix> seen;
+  for (const auto& [asn, prefix] : topo.all_origins()) {
+    EXPECT_TRUE(seen.insert(prefix).second) << prefix.ToString();
+  }
+}
+
+TEST(Topology, AddStubPlantsActor) {
+  Topology topo = Topology::Generate(SmallConfig());
+  Asn provider = 0;
+  for (const auto& [asn, node] : topo.nodes()) {
+    if (node.tier == AsTier::Transit) {
+      provider = asn;
+      break;
+    }
+  }
+  topo.AddStub(137, "IT", {P("193.206.0.0/16")}, {provider});
+  EXPECT_TRUE(topo.has_node(137));
+  EXPECT_EQ(topo.relationship(137, provider), Topology::Rel::Provider);
+  EXPECT_EQ(topo.node(137).country, "IT");
+}
+
+TEST(Routing, EveryAsReachesEveryPrefix) {
+  // Connected valley-free topology: all ASes get a route to any prefix.
+  Topology topo = Topology::Generate(SmallConfig());
+  auto origins = topo.all_origins();
+  ASSERT_FALSE(origins.empty());
+  auto [origin_asn, prefix] = origins.front();
+  RouteMap routes = PropagateRoutes(topo, {OriginSpec{origin_asn, {}}});
+  EXPECT_EQ(routes.size(), topo.nodes().size());
+  EXPECT_EQ(routes.at(origin_asn).source, RouteSource::Origin);
+  EXPECT_TRUE(routes.at(origin_asn).path.empty());
+}
+
+TEST(Routing, PathsAreValleyFreeAndLoopFree) {
+  Topology topo = Topology::Generate(SmallConfig());
+  auto [origin_asn, prefix] = topo.all_origins().front();
+  RouteMap routes = PropagateRoutes(topo, {OriginSpec{origin_asn, {}}});
+  for (const auto& [asn, route] : routes) {
+    if (route.path.empty()) continue;
+    EXPECT_EQ(route.path.back(), origin_asn);
+    // Loop-free.
+    std::set<Asn> seen{asn};
+    for (Asn hop : route.path) {
+      EXPECT_TRUE(seen.insert(hop).second)
+          << "loop via " << hop << " from " << asn;
+    }
+    // Valley-free: once the path goes down (provider->customer) or
+    // crosses a peer link, it must keep going down. Walk from `asn`.
+    std::vector<Asn> full{asn};
+    full.insert(full.end(), route.path.begin(), route.path.end());
+    bool descending = false;
+    int peer_crossings = 0;
+    for (size_t i = 0; i + 1 < full.size(); ++i) {
+      auto rel = topo.relationship(full[i], full[i + 1]);
+      if (rel == Topology::Rel::Provider) {
+        EXPECT_FALSE(descending) << "valley in path from " << asn;
+      } else if (rel == Topology::Rel::Peer) {
+        ++peer_crossings;
+        EXPECT_FALSE(descending) << "peer after descent from " << asn;
+        descending = true;
+      } else if (rel == Topology::Rel::Customer) {
+        descending = true;
+      } else {
+        FAIL() << "path uses non-adjacent ASes " << full[i] << "->"
+               << full[i + 1];
+      }
+    }
+    EXPECT_LE(peer_crossings, 1);
+  }
+}
+
+TEST(Routing, PrefersCustomerOverPeerOverProvider) {
+  Topology topo = Topology::Generate(SmallConfig());
+  auto [origin_asn, prefix] = topo.all_origins().front();
+  RouteMap routes = PropagateRoutes(topo, {OriginSpec{origin_asn, {}}});
+  for (const auto& [asn, route] : routes) {
+    if (route.path.empty()) continue;
+    auto rel = topo.relationship(asn, route.path.front());
+    switch (route.source) {
+      case RouteSource::Customer:
+        EXPECT_EQ(rel, Topology::Rel::Customer);
+        break;
+      case RouteSource::Peer:
+        EXPECT_EQ(rel, Topology::Rel::Peer);
+        break;
+      case RouteSource::Provider:
+        EXPECT_EQ(rel, Topology::Rel::Provider);
+        break;
+      case RouteSource::Origin:
+        FAIL();
+    }
+  }
+}
+
+TEST(Routing, OriginCommunityAttached) {
+  Topology topo = Topology::Generate(SmallConfig());
+  auto [origin_asn, prefix] = topo.all_origins().front();
+  RouteMap routes =
+      PropagateRoutes(topo, {OriginSpec{origin_asn, {bgp::Community(9, 9)}}});
+  const Route& at_origin = routes.at(origin_asn);
+  ASSERT_GE(at_origin.communities.size(), 2u);
+  EXPECT_EQ(at_origin.communities[0], bgp::Community(9, 9));
+}
+
+TEST(Routing, MoasOriginsSplitTheWorld) {
+  Topology topo = Topology::Generate(SmallConfig());
+  // Two stub origins announce the same prefix.
+  std::vector<Asn> stubs;
+  for (const auto& [asn, node] : topo.nodes()) {
+    if (node.tier == AsTier::Stub) stubs.push_back(asn);
+  }
+  std::sort(stubs.begin(), stubs.end());
+  ASSERT_GE(stubs.size(), 2u);
+  Asn o1 = stubs.front(), o2 = stubs.back();
+  RouteMap routes =
+      PropagateRoutes(topo, {OriginSpec{o1, {}}, OriginSpec{o2, {}}});
+  std::set<Asn> origins_seen;
+  for (const auto& [asn, route] : routes) {
+    origins_seen.insert(route.origin(asn));
+  }
+  EXPECT_EQ(origins_seen, (std::set<Asn>{o1, o2}));
+}
+
+TEST(Routing, InactiveSubgraphExcluded) {
+  Topology topo = Topology::Generate(SmallConfig());
+  auto [origin_asn, prefix] = topo.all_origins().front();
+  std::unordered_map<Asn, bool> active;
+  for (const auto& [asn, _] : topo.nodes()) active[asn] = true;
+  // Deactivate the origin: nobody has a route.
+  active[origin_asn] = false;
+  RouteMap routes =
+      PropagateRoutes(topo, {OriginSpec{origin_asn, {}}}, &active);
+  EXPECT_TRUE(routes.empty());
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = Topology::Generate(SmallConfig());
+    world_ = std::make_unique<World>(&topo_);
+    world_->AnnounceAll();
+    vps_ = topo_.asns_sorted();
+  }
+  Topology topo_;
+  std::unique_ptr<World> world_;
+  std::vector<Asn> vps_;
+};
+
+TEST_F(WorldTest, AnnounceAllMakesEverythingVisible) {
+  for (const auto& [asn, prefix] : topo_.all_origins()) {
+    auto route = world_->ExportedRoute(vps_.front(), prefix, true);
+    ASSERT_TRUE(route.has_value()) << prefix.ToString();
+  }
+}
+
+TEST_F(WorldTest, WithdrawEmitsDeltasAndClearsRoutes) {
+  auto [origin, prefix] = topo_.all_origins().front();
+  auto deltas = world_->Withdraw(prefix, vps_);
+  EXPECT_EQ(deltas.size(), vps_.size());  // everyone lost the route
+  for (const auto& d : deltas) {
+    EXPECT_TRUE(d.before.has_value());
+    EXPECT_FALSE(d.after.has_value());
+  }
+  EXPECT_FALSE(world_->ExportedRoute(vps_.front(), prefix, true).has_value());
+  // Re-announce restores.
+  auto deltas2 = world_->SetOrigins(prefix, {OriginSpec{origin, {}}}, vps_);
+  EXPECT_EQ(deltas2.size(), vps_.size());
+}
+
+TEST_F(WorldTest, NoopChangeYieldsNoDeltas) {
+  auto [origin, prefix] = topo_.all_origins().front();
+  auto deltas = world_->SetOrigins(prefix, {OriginSpec{origin, {}}}, vps_);
+  // Same origin re-announced with same communities: only ASes whose path
+  // changed get deltas. With identical inputs the propagation is
+  // deterministic, so there are none.
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST_F(WorldTest, PartialFeedHidesPeerAndProviderRoutes) {
+  auto [origin, prefix] = topo_.all_origins().front();
+  size_t full = 0, partial = 0;
+  for (Asn vp : vps_) {
+    if (world_->ExportedRoute(vp, prefix, true)) ++full;
+    if (world_->ExportedRoute(vp, prefix, false)) ++partial;
+  }
+  EXPECT_EQ(full, vps_.size());
+  EXPECT_LT(partial, full);  // most ASes learn via peer/provider
+  EXPECT_GE(partial, 1u);    // the origin itself exports it
+}
+
+TEST_F(WorldTest, ExportedTableSizesMatchFeedPolicy) {
+  Asn stub = 0;
+  for (const auto& [asn, node] : topo_.nodes()) {
+    if (node.tier == AsTier::Stub) {
+      stub = asn;
+      break;
+    }
+  }
+  auto full_table = world_->ExportedTable(stub, true);
+  auto partial_table = world_->ExportedTable(stub, false);
+  EXPECT_EQ(full_table.size(), world_->announced().size());
+  EXPECT_LT(partial_table.size(), full_table.size() / 2);
+}
+
+TEST_F(WorldTest, TracerouteReachesOrigin) {
+  auto [origin, prefix] = topo_.all_origins().front();
+  IpAddress dst = prefix.address();
+  for (Asn src : {vps_.front(), vps_.back()}) {
+    auto result = world_->Traceroute(src, dst);
+    EXPECT_TRUE(result.reached_origin) << "from " << src;
+    EXPECT_FALSE(result.blackholed);
+    EXPECT_EQ(result.hops.back(), origin);
+  }
+}
+
+TEST_F(WorldTest, TracerouteFailsForWithdrawnPrefix) {
+  auto [origin, prefix] = topo_.all_origins().front();
+  world_->Withdraw(prefix, {});
+  auto result = world_->Traceroute(vps_.front(), prefix.address());
+  EXPECT_FALSE(result.reached_origin);
+  EXPECT_TRUE(result.no_route);
+}
+
+TEST_F(WorldTest, RtbhBlackholesAtSupportingProvider) {
+  // Find a stub with a provider that supports blackholing.
+  Asn victim = 0, provider = 0;
+  for (const auto& [asn, node] : topo_.nodes()) {
+    if (node.tier != AsTier::Stub) continue;
+    for (Asn p : node.providers) {
+      if (topo_.node(p).supports_blackholing) {
+        victim = asn;
+        provider = p;
+        break;
+      }
+    }
+    if (victim) break;
+  }
+  ASSERT_NE(victim, 0u) << "test topology has no blackholing provider";
+
+  // Victim announces a /32 tagged with the provider's blackhole community.
+  Prefix target(topo_.node(victim).prefixes.front().address(), 32);
+  world_->SetOrigins(
+      target,
+      {OriginSpec{victim,
+                  {bgp::Community(uint16_t(provider), kBlackholeValue)}}},
+      {});
+  EXPECT_EQ(world_->blackholers(target), std::set<Asn>{provider});
+
+  // Traffic whose forwarding path crosses the provider is dropped.
+  size_t dropped = 0, delivered = 0;
+  for (Asn src : vps_) {
+    if (src == victim) continue;
+    auto result = world_->Traceroute(src, target.address());
+    if (result.blackholed) {
+      ++dropped;
+      EXPECT_EQ(result.hops.back(), provider);
+    } else if (result.reached_origin) {
+      ++delivered;
+    }
+  }
+  EXPECT_GT(dropped, 0u);
+  // The /32 still propagates (no egress filtering), so sources whose best
+  // path avoids the blackholing provider still deliver — unless the victim
+  // is single-homed behind it.
+  if (topo_.node(victim).providers.size() > 1) EXPECT_GT(delivered, 0u);
+}
+
+TEST(Driver, BoundaryEventIncludedInRibAndNextUpdatesWindow) {
+  // An event firing exactly at a dump boundary must be reflected in the
+  // RIB written at that instant, and its update messages must land in the
+  // updates window *starting* there (not the one ending there).
+  std::string root = (std::filesystem::temp_directory_path() /
+                      ("drv_boundary_" + std::to_string(::getpid())))
+                         .string();
+  std::filesystem::remove_all(root);
+  Topology topo = Topology::Generate(SmallConfig());
+  auto [victim, prefix] = topo.all_origins().front();
+  SimDriver driver(std::move(topo), root, 5);
+  CollectorConfig cfg;
+  cfg.project = "ris";
+  cfg.name = "rrc00";
+  cfg.rib_period = 1800;
+  cfg.update_period = 300;
+  cfg.state_messages = true;
+  cfg.publish_delay = 0;
+  cfg.vps = PickVps(driver.topology(), 3, 0.0, 42);
+  driver.AddCollector(cfg);
+  driver.world().AnnounceAll();
+
+  Timestamp start = 1800000000;
+  // Withdraw exactly at the second RIB boundary.
+  Timestamp boundary = start + 1800;
+  driver.AddEvent(SimEvent::WithdrawAt(boundary, prefix));
+  ASSERT_TRUE(driver.Run(start, start + 3600).ok());
+
+  broker::ArchiveIndex index(root);
+  ASSERT_TRUE(index.Rescan().ok());
+  size_t withdrawals_before = 0, withdrawals_at = 0;
+  bool rib_at_boundary_has_prefix = false;
+  for (const auto& f : index.files()) {
+    auto scan = mrt::ScanFile(f.path);
+    ASSERT_TRUE(scan.ok()) << f.path;
+    for (const auto& msg : scan->messages) {
+      if (f.type == broker::DumpType::Rib && f.start == boundary &&
+          msg.is_rib()) {
+        if (std::get<mrt::RibPrefix>(msg.body).prefix == prefix)
+          rib_at_boundary_has_prefix = true;
+      }
+      if (f.type == broker::DumpType::Updates && msg.is_message()) {
+        const auto& m = std::get<mrt::Bgp4mpMessage>(msg.body);
+        for (const auto& w : m.update.withdrawn) {
+          if (w != prefix) continue;
+          if (f.start == boundary) ++withdrawals_at;
+          if (f.end() <= boundary) ++withdrawals_before;
+        }
+      }
+    }
+  }
+  // RIB at the boundary already reflects the withdrawal...
+  EXPECT_FALSE(rib_at_boundary_has_prefix);
+  // ...and the messages are in the window starting at the boundary.
+  EXPECT_EQ(withdrawals_before, 0u);
+  EXPECT_GT(withdrawals_at, 0u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Driver, UpdateLossCounterTracksDrops) {
+  std::string root = (std::filesystem::temp_directory_path() /
+                      ("drv_loss_" + std::to_string(::getpid())))
+                         .string();
+  std::filesystem::remove_all(root);
+  Topology topo = Topology::Generate(SmallConfig());
+  SimDriver driver(std::move(topo), root, 6);
+  CollectorConfig cfg;
+  cfg.project = "routeviews";
+  cfg.name = "route-views2";
+  cfg.update_loss_probability = 1.0;  // drop everything
+  cfg.publish_delay = 0;
+  cfg.vps = PickVps(driver.topology(), 3, 0.0, 43);
+  driver.AddCollector(cfg);
+  driver.world().AnnounceAll();
+  Timestamp start = 1800000000;
+  driver.AddFlapNoise(start, start + 1800, 200.0, 60);
+  ASSERT_TRUE(driver.Run(start, start + 1800).ok());
+  const auto& c = driver.collectors().front();
+  EXPECT_GT(c.updates_lost(), 0u);
+  EXPECT_EQ(c.update_messages_buffered(), 0u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(VpAddress, DeterministicAndDistinct) {
+  EXPECT_EQ(VpAddressFor(0x1234), VpAddressFor(0x1234));
+  EXPECT_NE(VpAddressFor(0x1234), VpAddressFor(0x1235));
+  EXPECT_TRUE(VpAddressV6For(100).is_v6());
+}
+
+TEST(PickVps, RespectsCountAndDeterminism) {
+  Topology topo = Topology::Generate(SmallConfig());
+  auto a = PickVps(topo, 8, 0.5, 77);
+  auto b = PickVps(topo, 8, 0.5, 77);
+  ASSERT_EQ(a.size(), 8u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].asn, b[i].asn);
+    EXPECT_EQ(a[i].full_feed, b[i].full_feed);
+  }
+  // No duplicate VPs.
+  std::set<Asn> asns;
+  for (const auto& vp : a) EXPECT_TRUE(asns.insert(vp.asn).second);
+}
+
+}  // namespace
+}  // namespace bgps::sim

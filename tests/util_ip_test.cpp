@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "util/ip.hpp"
+
+namespace bgps {
+namespace {
+
+TEST(IpAddress, ParseV4) {
+  auto a = IpAddress::Parse("192.168.1.2");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->ToString(), "192.168.1.2");
+  EXPECT_EQ(a->v4(), 0xC0A80102u);
+}
+
+TEST(IpAddress, ParseV4Invalid) {
+  EXPECT_FALSE(IpAddress::Parse("256.0.0.1").ok());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3").ok());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(IpAddress::Parse("a.b.c.d").ok());
+  EXPECT_FALSE(IpAddress::Parse("").ok());
+  EXPECT_FALSE(IpAddress::Parse("1..2.3").ok());
+}
+
+TEST(IpAddress, ParseV6Basic) {
+  auto a = IpAddress::Parse("2001:db8::1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->ToString(), "2001:db8::1");
+}
+
+TEST(IpAddress, ParseV6Full) {
+  auto a = IpAddress::Parse("2001:0db8:0001:0002:0003:0004:0005:0006");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "2001:db8:1:2:3:4:5:6");
+}
+
+TEST(IpAddress, ParseV6AllZero) {
+  auto a = IpAddress::Parse("::");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "::");
+}
+
+TEST(IpAddress, ParseV6TrailingGap) {
+  auto a = IpAddress::Parse("2001:db8::");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "2001:db8::");
+}
+
+TEST(IpAddress, ParseV6LeadingGap) {
+  auto a = IpAddress::Parse("::ffff:1:2");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "::ffff:1:2");
+}
+
+TEST(IpAddress, ParseV6Invalid) {
+  EXPECT_FALSE(IpAddress::Parse("2001:db8:::1").ok());
+  EXPECT_FALSE(IpAddress::Parse("1:2:3:4:5:6:7").ok());
+  EXPECT_FALSE(IpAddress::Parse("1:2:3:4:5:6:7:8:9").ok());
+  EXPECT_FALSE(IpAddress::Parse("2001::db8::1").ok());
+  EXPECT_FALSE(IpAddress::Parse("zzzz::1").ok());
+}
+
+TEST(IpAddress, V6ZeroRunCompression) {
+  // Longest zero run is compressed, single zero group is not.
+  auto a = IpAddress::Parse("1:0:0:2:0:0:0:3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ToString(), "1:0:0:2::3");
+}
+
+TEST(IpAddress, BitAccess) {
+  auto a = IpAddress::V4(0x80000001);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(31));
+}
+
+TEST(IpAddress, Masked) {
+  auto a = IpAddress::V4(192, 168, 255, 255);
+  EXPECT_EQ(a.masked(16).ToString(), "192.168.0.0");
+  EXPECT_EQ(a.masked(24).ToString(), "192.168.255.0");
+  EXPECT_EQ(a.masked(0).ToString(), "0.0.0.0");
+  EXPECT_EQ(a.masked(32).ToString(), "192.168.255.255");
+  EXPECT_EQ(a.masked(17).ToString(), "192.168.128.0");
+}
+
+TEST(IpAddress, CommonPrefixLen) {
+  auto a = IpAddress::V4(192, 168, 0, 0);
+  auto b = IpAddress::V4(192, 168, 128, 0);
+  EXPECT_EQ(a.common_prefix_len(b), 16);
+  EXPECT_EQ(a.common_prefix_len(a), 32);
+  auto c = IpAddress::V4(0, 0, 0, 0);
+  auto d = IpAddress::V4(128, 0, 0, 0);
+  EXPECT_EQ(c.common_prefix_len(d), 0);
+}
+
+TEST(IpAddress, OrderingV4BeforeV6) {
+  auto v4 = IpAddress::V4(255, 255, 255, 255);
+  auto v6 = *IpAddress::Parse("::1");
+  EXPECT_TRUE(v4 < v6);
+}
+
+TEST(Prefix, ParseAndFormat) {
+  auto p = Prefix::Parse("10.1.0.0/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "10.1.0.0/16");
+  EXPECT_EQ(p->length(), 16);
+}
+
+TEST(Prefix, ParseMasksHostBits) {
+  auto p = Prefix::Parse("10.1.2.3/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "10.1.0.0/16");
+  // Equal prefixes written differently compare equal after masking.
+  EXPECT_EQ(*p, *Prefix::Parse("10.1.255.255/16"));
+}
+
+TEST(Prefix, ParseInvalid) {
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0").ok());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/-1").ok());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/abc").ok());
+  EXPECT_FALSE(Prefix::Parse("2001:db8::/129").ok());
+}
+
+TEST(Prefix, ContainsAddress) {
+  auto p = *Prefix::Parse("192.0.0.0/8");
+  EXPECT_TRUE(p.contains(*IpAddress::Parse("192.168.1.1")));
+  EXPECT_FALSE(p.contains(*IpAddress::Parse("193.0.0.1")));
+  EXPECT_FALSE(p.contains(*IpAddress::Parse("2001:db8::1")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  auto p8 = *Prefix::Parse("192.0.0.0/8");
+  auto p16 = *Prefix::Parse("192.168.0.0/16");
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_TRUE(p8.contains(p8));
+}
+
+TEST(Prefix, Overlaps) {
+  auto p8 = *Prefix::Parse("192.0.0.0/8");
+  auto p16 = *Prefix::Parse("192.168.0.0/16");
+  auto other = *Prefix::Parse("10.0.0.0/8");
+  EXPECT_TRUE(p8.overlaps(p16));
+  EXPECT_TRUE(p16.overlaps(p8));
+  EXPECT_FALSE(p8.overlaps(other));
+}
+
+TEST(Prefix, V6Containment) {
+  auto p32 = *Prefix::Parse("2001:db8::/32");
+  auto p48 = *Prefix::Parse("2001:db8:1::/48");
+  EXPECT_TRUE(p32.contains(p48));
+  EXPECT_FALSE(p48.contains(p32));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  auto def = *Prefix::Parse("0.0.0.0/0");
+  EXPECT_TRUE(def.contains(*Prefix::Parse("1.2.3.4/32")));
+  EXPECT_TRUE(def.contains(*IpAddress::Parse("255.255.255.255")));
+}
+
+TEST(Prefix, HostPrefix) {
+  auto host = *Prefix::Parse("1.2.3.4/32");
+  EXPECT_TRUE(host.contains(*IpAddress::Parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(*IpAddress::Parse("1.2.3.5")));
+}
+
+TEST(Prefix, HashEqualForEqualPrefixes) {
+  auto a = *Prefix::Parse("10.1.2.3/16");
+  auto b = *Prefix::Parse("10.1.0.0/16");
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+// Property sweep: parse(ToString(p)) == p across lengths and families.
+class PrefixRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixRoundTrip, V4) {
+  int len = GetParam();
+  if (len > 32) return;
+  Prefix p(IpAddress::V4(0xC0A80000u | 0xFFFF), len);
+  auto q = Prefix::Parse(p.ToString());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, p);
+}
+
+TEST_P(PrefixRoundTrip, V6) {
+  int len = GetParam() * 4;  // 0..128
+  std::array<uint8_t, 16> b{};
+  for (int i = 0; i < 16; ++i) b[size_t(i)] = uint8_t(0x11 * (i + 1));
+  Prefix p(IpAddress::V6(b), len);
+  auto q = Prefix::Parse(p.ToString());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixRoundTrip, ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace bgps
