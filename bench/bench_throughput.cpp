@@ -7,10 +7,17 @@
 // which is the headroom the paper's live applications rely on.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
 #include <random>
+#include <thread>
 
 #include "core/elem.hpp"
 #include "core/filter.hpp"
+#include "core/stream.hpp"
+#include "mrt/file.hpp"
 #include "mrt/mrt.hpp"
 #include "util/patricia.hpp"
 
@@ -141,6 +148,123 @@ void BM_RibRecordDecode(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_RibRecordDecode)->Arg(4)->Arg(32)->Arg(256);
+
+// --- End-to-end stream: synchronous vs prefetching decode stage ------------
+//
+// A multi-file merge workload: 8 overlapping-subsets of 4 updates files
+// each. The per-file open latency argument emulates the paper's
+// deployment, where dumps stream over HTTP from the RouteViews / RIS
+// archives — exactly the stall the asynchronous prefetch stage (paper
+// §3.1/§3.3.4) exists to hide. At 0 latency the pair measures the pure
+// CPU overhead of the worker handoff instead.
+
+constexpr int kBenchSubsets = 8;
+constexpr int kBenchFilesPerSubset = 4;
+constexpr int kBenchRecordsPerFile = 250;
+
+std::string& ThroughputArchiveDir() {
+  // PID-keyed so concurrent bench processes don't truncate each other's
+  // input files mid-decode; removed at exit like the other benches'
+  // temp trees.
+  static std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bgps-bench-throughput-" + std::to_string(::getpid()))).string();
+  return dir;
+}
+
+const std::vector<broker::DumpFileMeta>& GetThroughputArchive() {
+  static const std::vector<broker::DumpFileMeta>* files = [] {
+    namespace fs = std::filesystem;
+    auto* out = new std::vector<broker::DumpFileMeta>();
+    fs::path dir = ThroughputArchiveDir();
+    fs::create_directories(dir);
+    std::atexit([] {
+      std::error_code ec;
+      std::filesystem::remove_all(ThroughputArchiveDir(), ec);
+    });
+    for (int s = 0; s < kBenchSubsets; ++s) {
+      Timestamp base = 1458000000 + Timestamp(s) * 10000;
+      for (int f = 0; f < kBenchFilesPerSubset; ++f) {
+        broker::DumpFileMeta meta;
+        meta.project = "bench";
+        meta.collector = "c" + std::to_string(f);
+        meta.type = broker::DumpType::Updates;
+        meta.start = base + f;  // offset starts; all overlap within subset
+        meta.duration = 900;
+        meta.path = (dir / (std::to_string(s) + "_" + std::to_string(f) +
+                            ".mrt")).string();
+        // Always regenerate: a stale file from an older bench revision
+        // (or a crashed half-written run) would silently skew the
+        // sync-vs-prefetch comparison.
+        mrt::MrtFileWriter w;
+        if (!w.Open(meta.path).ok()) std::abort();
+        for (int i = 0; i < kBenchRecordsPerFile; ++i) {
+          Timestamp ts = meta.start + Timestamp(i) * 3;
+          (void)w.Write(mrt::EncodeBgp4mpUpdate(ts, MakeUpdateMsg(4)));
+        }
+        (void)w.Close();
+        out->push_back(std::move(meta));
+      }
+    }
+    return out;
+  }();
+  return *files;
+}
+
+// Hands the whole archive to the stream in one batch, then ends.
+class VectorDataInterface : public core::DataInterface {
+ public:
+  explicit VectorDataInterface(std::vector<broker::DumpFileMeta> files)
+      : files_(std::move(files)) {}
+  core::DataBatch NextBatch(const core::FilterSet&) override {
+    core::DataBatch batch;
+    if (!served_) {
+      batch.files = files_;
+      served_ = true;
+    } else {
+      batch.end_of_stream = true;
+    }
+    return batch;
+  }
+
+ private:
+  std::vector<broker::DumpFileMeta> files_;
+  bool served_ = false;
+};
+
+void RunStreamBench(benchmark::State& state, size_t prefetch_subsets) {
+  const auto& files = GetThroughputArchive();
+  auto open_latency = std::chrono::microseconds(state.range(0));
+  size_t records = 0;
+  for (auto _ : state) {
+    VectorDataInterface di(files);
+    core::BgpStream::Options opt;
+    if (open_latency.count() > 0) {
+      opt.file_open_hook = [open_latency](const broker::DumpFileMeta&) {
+        std::this_thread::sleep_for(open_latency);
+      };
+    }
+    opt.prefetch_subsets = prefetch_subsets;
+    opt.decode_threads = 4;
+    core::BgpStream stream(std::move(opt));
+    stream.SetInterval(0, 4102444800);
+    stream.SetDataInterface(&di);
+    if (!stream.Start().ok()) std::abort();
+    while (auto rec = stream.NextRecord()) {
+      records += 1;
+      benchmark::DoNotOptimize(rec->timestamp);
+    }
+  }
+  state.SetItemsProcessed(int64_t(records));
+  state.counters["records_per_run"] =
+      double(records) / double(state.iterations());
+}
+
+void BM_StreamSync(benchmark::State& state) { RunStreamBench(state, 0); }
+BENCHMARK(BM_StreamSync)->Arg(0)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_StreamPrefetch(benchmark::State& state) { RunStreamBench(state, 3); }
+BENCHMARK(BM_StreamPrefetch)->Arg(0)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -89,4 +89,14 @@ std::optional<Record> DumpReader::Next() {
   return out;
 }
 
+DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
+                           const FileOpenHook& hook) {
+  if (hook) hook(meta);
+  DecodedDump out;
+  out.meta = meta;
+  DumpReader reader(meta);
+  while (auto rec = reader.Next()) out.records.push_back(std::move(*rec));
+  return out;
+}
+
 }  // namespace bgps::core

@@ -9,12 +9,19 @@
 //    instead of errors.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/elem.hpp"
 #include "mrt/file.hpp"
 
 namespace bgps::core {
+
+// Invoked (on the decoding thread) just before a dump file is opened.
+// Observability hook for stats/logging; the throughput bench also uses it
+// to emulate remote-archive fetch latency, and tests use it to watch the
+// prefetch stage work ahead of the consumer.
+using FileOpenHook = std::function<void(const broker::DumpFileMeta&)>;
 
 class DumpReader {
  public:
@@ -48,5 +55,19 @@ class DumpReader {
   bool open_failed_ = false;
   bool emitted_open_failure_ = false;
 };
+
+// One dump file fully decoded into memory: the output unit of the
+// asynchronous prefetching decode stage. Records are in file order
+// (timestamp-monotonic within a well-formed dump).
+struct DecodedDump {
+  broker::DumpFileMeta meta;
+  std::vector<Record> records;
+};
+
+// Opens and fully decodes `meta` (calling `hook` first, if set). Produces
+// exactly the record sequence a DumpReader would stream, including the
+// Corrupted*/Unsupported records and Start/End positions.
+DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
+                           const FileOpenHook& hook = nullptr);
 
 }  // namespace bgps::core

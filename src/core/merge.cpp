@@ -31,17 +31,64 @@ std::vector<std::vector<broker::DumpFileMeta>> GroupOverlapping(
   return subsets;
 }
 
-MultiWayMerge::MultiWayMerge(const std::vector<broker::DumpFileMeta>& files) {
-  readers_.reserve(files.size());
+namespace {
+
+// Streams records straight out of a DumpReader (decode on this thread).
+class StreamingSource : public RecordSource {
+ public:
+  explicit StreamingSource(const broker::DumpFileMeta& meta) : reader_(meta) {}
+  const broker::DumpFileMeta& meta() const override { return reader_.meta(); }
+  std::optional<Timestamp> PeekTimestamp() override {
+    return reader_.PeekTimestamp();
+  }
+  std::optional<Record> Next() override { return reader_.Next(); }
+
+ private:
+  DumpReader reader_;
+};
+
+// Walks an in-memory batch decoded ahead of time by the prefetch stage.
+class DecodedSource : public RecordSource {
+ public:
+  explicit DecodedSource(DecodedDump dump) : dump_(std::move(dump)) {}
+  const broker::DumpFileMeta& meta() const override { return dump_.meta; }
+  std::optional<Timestamp> PeekTimestamp() override {
+    if (next_ >= dump_.records.size()) return std::nullopt;
+    return dump_.records[next_].timestamp;
+  }
+  std::optional<Record> Next() override {
+    if (next_ >= dump_.records.size()) return std::nullopt;
+    return std::move(dump_.records[next_++]);
+  }
+
+ private:
+  DecodedDump dump_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+MultiWayMerge::MultiWayMerge(const std::vector<broker::DumpFileMeta>& files,
+                             const FileOpenHook& hook) {
+  sources_.reserve(files.size());
   for (const auto& f : files) {
-    readers_.push_back(std::make_unique<DumpReader>(f));
-    Push(readers_.size() - 1);
+    if (hook) hook(f);
+    sources_.push_back(std::make_unique<StreamingSource>(f));
+    Push(sources_.size() - 1);
+  }
+}
+
+MultiWayMerge::MultiWayMerge(std::vector<DecodedDump> dumps) {
+  sources_.reserve(dumps.size());
+  for (auto& d : dumps) {
+    sources_.push_back(std::make_unique<DecodedSource>(std::move(d)));
+    Push(sources_.size() - 1);
   }
 }
 
 void MultiWayMerge::Push(size_t idx) {
-  if (auto ts = readers_[idx]->PeekTimestamp()) {
-    int rank = readers_[idx]->meta().type == broker::DumpType::Rib ? 1 : 0;
+  if (auto ts = sources_[idx]->PeekTimestamp()) {
+    int rank = sources_[idx]->meta().type == broker::DumpType::Rib ? 1 : 0;
     heap_.push(HeapItem{*ts, rank, idx});
   }
 }
@@ -50,8 +97,8 @@ std::optional<Record> MultiWayMerge::Next() {
   if (heap_.empty()) return std::nullopt;
   HeapItem top = heap_.top();
   heap_.pop();
-  std::optional<Record> rec = readers_[top.reader_idx]->Next();
-  Push(top.reader_idx);
+  std::optional<Record> rec = sources_[top.source_idx]->Next();
+  Push(top.source_idx);
   return rec;
 }
 

@@ -22,16 +22,33 @@ namespace bgps::core {
 std::vector<std::vector<broker::DumpFileMeta>> GroupOverlapping(
     std::vector<broker::DumpFileMeta> files);
 
+// A per-file record cursor the merge pulls from: either a streaming
+// DumpReader (synchronous path) or an in-memory DecodedDump produced by
+// the prefetching decode stage. Both yield the identical record sequence.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  virtual const broker::DumpFileMeta& meta() const = 0;
+  virtual std::optional<Timestamp> PeekTimestamp() = 0;
+  virtual std::optional<Record> Next() = 0;
+};
+
 // Multi-way merge over one subset: opens all files simultaneously and
 // repeatedly extracts the oldest record (Figure 3).
 class MultiWayMerge {
  public:
-  explicit MultiWayMerge(const std::vector<broker::DumpFileMeta>& files);
+  // Streaming path: opens a DumpReader per file (invoking `hook`, if set,
+  // before each open) and decodes on the consumer thread.
+  explicit MultiWayMerge(const std::vector<broker::DumpFileMeta>& files,
+                         const FileOpenHook& hook = nullptr);
+
+  // Prefetched path: merges batches already decoded by worker threads.
+  explicit MultiWayMerge(std::vector<DecodedDump> dumps);
 
   // Next record in timestamp order; nullopt when all files are drained.
   std::optional<Record> Next();
 
-  size_t open_files() const { return readers_.size(); }
+  size_t open_files() const { return sources_.size(); }
 
  private:
   struct HeapItem {
@@ -40,16 +57,16 @@ class MultiWayMerge {
     // dump snapshots state *including* same-instant updates, so consumers
     // must see those updates first to stay consistent.
     int type_rank;  // 0 = updates, 1 = rib
-    size_t reader_idx;
+    size_t source_idx;
     bool operator>(const HeapItem& o) const {
-      return std::tie(ts, type_rank, reader_idx) >
-             std::tie(o.ts, o.type_rank, o.reader_idx);
+      return std::tie(ts, type_rank, source_idx) >
+             std::tie(o.ts, o.type_rank, o.source_idx);
     }
   };
 
   void Push(size_t idx);
 
-  std::vector<std::unique_ptr<DumpReader>> readers_;
+  std::vector<std::unique_ptr<RecordSource>> sources_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
 };
 

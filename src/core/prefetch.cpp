@@ -1,0 +1,87 @@
+#include "core/prefetch.hpp"
+
+#include <algorithm>
+
+namespace bgps::core {
+
+PrefetchDecoder::PrefetchDecoder(Options options)
+    : options_(std::move(options)) {
+  size_t n = std::max<size_t>(1, options_.threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PrefetchDecoder::~PrefetchDecoder() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void PrefetchDecoder::Submit(std::vector<broker::DumpFileMeta> subset) {
+  auto job = std::make_shared<Job>();
+  job->dumps.resize(subset.size());
+  job->files = std::move(subset);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  work_cv_.notify_all();
+}
+
+std::vector<DecodedDump> PrefetchDecoder::WaitNext() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return !jobs_.empty() && jobs_.front()->decoded == jobs_.front()->files.size();
+  });
+  auto job = jobs_.front();
+  jobs_.pop_front();
+  return std::move(job->dumps);
+}
+
+size_t PrefetchDecoder::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+size_t PrefetchDecoder::files_decoded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_decoded_;
+}
+
+void PrefetchDecoder::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Shutdown drops still-unclaimed work: the consumer is gone, so only
+    // decodes already in flight are worth finishing.
+    if (stopping_) return;
+    // Claim the earliest unclaimed file across queued jobs (front first:
+    // the consumer is waiting on the oldest subset).
+    std::shared_ptr<Job> job;
+    size_t idx = 0;
+    for (auto& j : jobs_) {
+      if (j->next_file < j->files.size()) {
+        job = j;
+        idx = job->next_file++;
+        break;
+      }
+    }
+    if (!job) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    DecodedDump dump = DecodeDumpFile(job->files[idx], options_.file_open_hook);
+    lock.lock();
+    job->dumps[idx] = std::move(dump);
+    ++job->decoded;
+    ++files_decoded_;
+    if (job->decoded == job->files.size()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace bgps::core

@@ -1,0 +1,81 @@
+// Asynchronous prefetching decode stage (paper §3.1).
+//
+// The central live-mode requirement is that processing outpaces data
+// generation. The synchronous stream interleaves file open + MRT decode
+// with merge/filter/elem extraction on one thread, so every millisecond
+// of retrieval latency (in the paper's deployment the dumps stream over
+// HTTP from the RouteViews / RIPE RIS archives) stalls the consumer.
+//
+// PrefetchDecoder moves open+decode onto a small worker pool that runs
+// ahead of the consumer: while the application merges overlapping-subset
+// N, workers are already opening and decoding the files of subsets
+// N+1..N+depth into in-memory record batches (DecodedDump), handed back
+// through an order-preserving queue. BgpStream bounds how many subsets
+// are in flight (Options::prefetch_subsets), which bounds memory.
+//
+// Ordering guarantee: WaitNext() returns subsets in Submit() order, and
+// within a subset the DecodedDump vector preserves the submitted file
+// order, so a MultiWayMerge built from it breaks ties exactly like the
+// synchronous path and the two paths emit identical record sequences.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/dump_reader.hpp"
+
+namespace bgps::core {
+
+class PrefetchDecoder {
+ public:
+  struct Options {
+    size_t threads = 2;       // decode workers (clamped to >= 1)
+    FileOpenHook file_open_hook;  // runs on the worker thread per file
+  };
+
+  explicit PrefetchDecoder(Options options);
+  // Abandons still-unclaimed queued files (the consumer is gone), lets
+  // in-flight decodes finish, and joins the pool.
+  ~PrefetchDecoder();
+
+  PrefetchDecoder(const PrefetchDecoder&) = delete;
+  PrefetchDecoder& operator=(const PrefetchDecoder&) = delete;
+
+  // Enqueues one overlapping-subset for decoding. Never blocks; the
+  // caller (BgpStream) bounds the number of subsets in flight.
+  void Submit(std::vector<broker::DumpFileMeta> subset);
+
+  // Blocks until the oldest submitted subset is fully decoded and
+  // returns it (FIFO: results come back in Submit order regardless of
+  // which worker finished first). Precondition: outstanding() > 0.
+  std::vector<DecodedDump> WaitNext();
+
+  // Subsets submitted but not yet returned by WaitNext().
+  size_t outstanding() const;
+
+  // Dump files decoded so far (stats for tests/benches).
+  size_t files_decoded() const;
+
+ private:
+  struct Job {
+    std::vector<broker::DumpFileMeta> files;
+    std::vector<DecodedDump> dumps;  // slot per file, filled by workers
+    size_t next_file = 0;            // next index to claim
+    size_t decoded = 0;              // slots filled
+  };
+
+  void WorkerLoop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a file may be claimable"
+  std::condition_variable done_cv_;  // consumer: "front job may be done"
+  std::deque<std::shared_ptr<Job>> jobs_;  // submission order
+  size_t files_decoded_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bgps::core

@@ -15,18 +15,44 @@ Status BgpStream::Start() {
       std::this_thread::sleep_for(std::chrono::seconds(1));
     };
   }
+  if (options_.prefetch_subsets > 0 && !decoder_) {
+    PrefetchDecoder::Options popt;
+    popt.threads = options_.decode_threads;
+    popt.file_open_hook = options_.file_open_hook;
+    decoder_ = std::make_unique<PrefetchDecoder>(std::move(popt));
+  }
   started_ = true;
   ended_ = false;
   return OkStatus();
+}
+
+void BgpStream::TopUpPrefetch() {
+  while (decoder_ && decoder_->outstanding() < options_.prefetch_subsets &&
+         next_subset_ < pending_subsets_.size()) {
+    decoder_->Submit(std::move(pending_subsets_[next_subset_++]));
+  }
 }
 
 bool BgpStream::Refill() {
   size_t consecutive_polls = 0;
   while (true) {
     // 1. Drain remaining subsets of the current batch.
-    if (next_subset_ < pending_subsets_.size()) {
-      current_merge_ =
-          std::make_unique<MultiWayMerge>(pending_subsets_[next_subset_++]);
+    if (decoder_) {
+      TopUpPrefetch();
+      if (decoder_->outstanding() > 0) {
+        std::vector<DecodedDump> dumps = decoder_->WaitNext();
+        // Re-fill the slot just vacated before merging, so workers stay
+        // busy while the consumer processes this subset.
+        TopUpPrefetch();
+        current_merge_ = std::make_unique<MultiWayMerge>(std::move(dumps));
+        ++subsets_merged_;
+        max_open_files_ =
+            std::max(max_open_files_, current_merge_->open_files());
+        return true;
+      }
+    } else if (next_subset_ < pending_subsets_.size()) {
+      current_merge_ = std::make_unique<MultiWayMerge>(
+          pending_subsets_[next_subset_++], options_.file_open_hook);
       ++subsets_merged_;
       max_open_files_ = std::max(max_open_files_, current_merge_->open_files());
       return true;

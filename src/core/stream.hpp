@@ -18,6 +18,7 @@
 
 #include "core/data_interface.hpp"
 #include "core/merge.hpp"
+#include "core/prefetch.hpp"
 
 namespace bgps::core {
 
@@ -31,6 +32,17 @@ class BgpStream {
     // Safety valve for tests/simulations: stop a live stream after this
     // many consecutive empty polls (0 = poll forever).
     size_t max_consecutive_polls = 0;
+    // Asynchronous prefetching decode stage (paper §3.1): number of
+    // overlapping-subsets decoded ahead of the consumer by a worker
+    // pool. 0 = decode synchronously on the consumer thread. Both paths
+    // emit the identical record sequence.
+    size_t prefetch_subsets = 0;
+    // Worker-pool size for the prefetch stage (ignored when
+    // prefetch_subsets == 0).
+    size_t decode_threads = 2;
+    // Invoked just before each dump file is opened, on whichever thread
+    // performs the decode. See FileOpenHook.
+    FileOpenHook file_open_hook;
   };
 
   BgpStream() = default;
@@ -68,6 +80,10 @@ class BgpStream {
   // Returns false when the stream has ended.
   bool Refill();
 
+  // Keeps the decode pipeline full: submits pending subsets until
+  // prefetch_subsets are in flight (no-op when prefetch is disabled).
+  void TopUpPrefetch();
+
   FilterSet filters_;
   DataInterface* data_interface_ = nullptr;
   Options options_;
@@ -77,6 +93,7 @@ class BgpStream {
   std::vector<std::vector<broker::DumpFileMeta>> pending_subsets_;
   size_t next_subset_ = 0;
   std::unique_ptr<MultiWayMerge> current_merge_;
+  std::unique_ptr<PrefetchDecoder> decoder_;
 
   size_t records_emitted_ = 0;
   size_t batches_fetched_ = 0;

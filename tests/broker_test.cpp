@@ -194,7 +194,9 @@ TEST_F(ArchiveIndexTest, LivePublicationFrontierPerTrack) {
     EXPECT_LE(f.publish_time, now);
     if (f.type == DumpType::Updates) saw_updates = true;
     // The unpublished RIBs must not be served.
-    if (f.type == DumpType::Rib) EXPECT_LE(f.publish_time, now);
+    if (f.type == DumpType::Rib) {
+      EXPECT_LE(f.publish_time, now);
+    }
   }
   EXPECT_TRUE(saw_updates);
 

@@ -38,7 +38,9 @@ TEST(Topology, GenerationInvariants) {
     EXPECT_FALSE(node.prefixes.empty()) << asn;
     EXPECT_FALSE(node.country.empty());
     // Stubs never have customers.
-    if (node.tier == AsTier::Stub) EXPECT_TRUE(node.customers.empty());
+    if (node.tier == AsTier::Stub) {
+      EXPECT_TRUE(node.customers.empty());
+    }
   }
   EXPECT_EQ(t1, 3u);
   EXPECT_EQ(transit, 10u);
@@ -348,7 +350,9 @@ TEST_F(WorldTest, RtbhBlackholesAtSupportingProvider) {
   // The /32 still propagates (no egress filtering), so sources whose best
   // path avoids the blackholing provider still deliver — unless the victim
   // is single-homed behind it.
-  if (topo_.node(victim).providers.size() > 1) EXPECT_GT(delivered, 0u);
+  if (topo_.node(victim).providers.size() > 1) {
+    EXPECT_GT(delivered, 0u);
+  }
 }
 
 TEST(Driver, BoundaryEventIncludedInRibAndNextUpdatesWindow) {

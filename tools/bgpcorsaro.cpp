@@ -1,8 +1,8 @@
 // bgpcorsaro — command-line BGPCorsaro runner (paper §6.1).
 //
 // Drives a plugin pipeline over an archive in regular time bins:
-//     bgpcorsaro -d ARCHIVE -w START,END -b 300 \
-//                -x pfxmonitor:193.206.0.0/16 -x moas -x rt
+//     bgpcorsaro -d ARCHIVE -w START,END -b 300 -x moas -x rt
+//     bgpcorsaro -d ARCHIVE -w START,END -x pfxmonitor:193.206.0.0/16
 // Each plugin prints its per-bin output; `rt` reports per-bin elem/diff
 // counts (the Fig. 9 quantities) plus final accuracy counters.
 #include <cstdio>

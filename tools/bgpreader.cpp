@@ -20,7 +20,9 @@ using namespace bgps;
 namespace {
 
 void Usage() {
-  std::fprintf(stderr, R"(usage: bgpreader -d ARCHIVE|-f FILE -w START[,END] [options]
+  // fputs, not fprintf: the usage text contains literal '%' characters
+  // (AS-path patterns) that must not be interpreted as conversions.
+  std::fputs(R"(usage: bgpreader -d ARCHIVE|-f FILE -w START[,END] [options]
 
 data source (one required):
   -d DIR        archive root (RouteViews/RIS-style layout, via the Broker)
@@ -45,7 +47,8 @@ output:
   -m              bgpdump -m compatible output
   -r              also print one line per record
   -n N            stop after N elems
-)");
+)",
+             stderr);
 }
 
 }  // namespace
