@@ -89,14 +89,36 @@ std::optional<Record> DumpReader::Next() {
   return out;
 }
 
+void AttachPrefetchedElems(Record& rec, const DumpDecodeOptions& opt) {
+  if (!opt.extract_elems) return;
+  if (opt.filters != nullptr) {
+    // Records the record-level filters will drop never reach Elems();
+    // don't pay for their decomposition.
+    if (!opt.filters->MatchesRecord(rec)) return;
+    rec.prefetched_elems = opt.filters->FilterElems(ExtractElems(rec));
+    return;
+  }
+  rec.prefetched_elems = ExtractElems(rec);
+}
+
 DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
-                           const FileOpenHook& hook) {
-  if (hook) hook(meta);
+                           const DumpDecodeOptions& opt) {
+  if (opt.file_open_hook) opt.file_open_hook(meta);
   DecodedDump out;
   out.meta = meta;
   DumpReader reader(meta);
-  while (auto rec = reader.Next()) out.records.push_back(std::move(*rec));
+  while (auto rec = reader.Next()) {
+    AttachPrefetchedElems(*rec, opt);
+    out.records.push_back(std::move(*rec));
+  }
   return out;
+}
+
+DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
+                           const FileOpenHook& hook) {
+  DumpDecodeOptions opt;
+  opt.file_open_hook = hook;
+  return DecodeDumpFile(meta, opt);
 }
 
 }  // namespace bgps::core

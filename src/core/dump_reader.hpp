@@ -12,7 +12,8 @@
 #include <functional>
 #include <memory>
 
-#include "core/elem.hpp"
+#include "core/filter.hpp"
+#include "core/record.hpp"
 #include "mrt/file.hpp"
 
 namespace bgps::core {
@@ -64,10 +65,35 @@ struct DecodedDump {
   std::vector<Record> records;
 };
 
-// Opens and fully decodes `meta` (calling `hook` first, if set). Produces
-// exactly the record sequence a DumpReader would stream, including the
-// Corrupted*/Unsupported records and Start/End positions.
+// How records are produced on a decoding thread — shared by the
+// whole-file (DecodeDumpFile) and chunked (PrefetchDecoder) paths.
+struct DumpDecodeOptions {
+  // Invoked just before the dump file is opened.
+  FileOpenHook file_open_hook;
+  // Pre-extract elems on the decoding thread and stash them in
+  // Record::prefetched_elems, so the consumer's Elems() call is a move.
+  bool extract_elems = false;
+  // Stream filters consulted during worker-side extraction (may be null
+  // = keep all elems): records the record-level filters will discard
+  // are skipped entirely, and the elem-level filters are applied to the
+  // rest. Must outlive the decode and must not be mutated while
+  // decoding runs; BgpStream guarantees both (filters are frozen at
+  // Start()).
+  const FilterSet* filters = nullptr;
+};
+
+// Runs worker-side elem extraction + filtering on one record in place,
+// per `opt`. No-op unless opt.extract_elems.
+void AttachPrefetchedElems(Record& rec, const DumpDecodeOptions& opt);
+
+// Opens and fully decodes `meta` (calling opt.file_open_hook first, if
+// set). Produces exactly the record sequence a DumpReader would stream,
+// including the Corrupted*/Unsupported records and Start/End positions.
 DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
-                           const FileOpenHook& hook = nullptr);
+                           const DumpDecodeOptions& opt = {});
+
+// Back-compat convenience overload (hook only).
+DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
+                           const FileOpenHook& hook);
 
 }  // namespace bgps::core

@@ -1,5 +1,7 @@
 #include "core/elem.hpp"
 
+#include "core/record.hpp"
+
 namespace bgps::core {
 
 const char* ElemTypeName(ElemType t) {

@@ -7,9 +7,17 @@
 // §3.3.3.
 #pragma once
 
-#include "core/record.hpp"
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+#include "util/time.hpp"
 
 namespace bgps::core {
+
+struct Record;  // core/record.hpp (which includes this header, not vice versa)
 
 enum class ElemType : uint8_t {
   RibEntry,      // route from a RIB dump

@@ -183,6 +183,16 @@ bool FilterSet::MatchesRecord(const Record& record) const {
          record.status != RecordStatus::Valid;
 }
 
+std::vector<Elem> FilterSet::FilterElems(std::vector<Elem> elems) const {
+  if (!HasElemFilters()) return elems;
+  std::vector<Elem> out;
+  out.reserve(elems.size());
+  for (auto& e : elems) {
+    if (MatchesElem(e)) out.push_back(std::move(e));
+  }
+  return out;
+}
+
 bool FilterSet::MatchesElem(const Elem& elem) const {
   if (!elem_types.empty() &&
       std::find(elem_types.begin(), elem_types.end(), elem.type) ==

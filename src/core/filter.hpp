@@ -7,6 +7,7 @@
 
 #include "bgp/community.hpp"
 #include "core/elem.hpp"
+#include "core/record.hpp"
 
 namespace bgps::core {
 
@@ -92,6 +93,13 @@ class FilterSet {
 
   // Elem-level check (all data filters).
   bool MatchesElem(const Elem& elem) const;
+
+  // Keeps the elems passing MatchesElem (everything if no elem-level
+  // filter is configured). The single filtering implementation shared
+  // by inline extraction (BgpStream::Elems) and worker-side extraction
+  // (AttachPrefetchedElems) — the pipeline equivalence guarantee
+  // depends on both using exactly this.
+  std::vector<Elem> FilterElems(std::vector<Elem> elems) const;
 
   // True if any elem-level filter is configured (lets hot paths skip
   // extraction when only meta filters are set).

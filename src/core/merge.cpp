@@ -68,6 +68,10 @@ class DecodedSource : public RecordSource {
 
 }  // namespace
 
+std::unique_ptr<RecordSource> MakeDecodedSource(DecodedDump dump) {
+  return std::make_unique<DecodedSource>(std::move(dump));
+}
+
 MultiWayMerge::MultiWayMerge(const std::vector<broker::DumpFileMeta>& files,
                              const FileOpenHook& hook) {
   sources_.reserve(files.size());
@@ -84,6 +88,12 @@ MultiWayMerge::MultiWayMerge(std::vector<DecodedDump> dumps) {
     sources_.push_back(std::make_unique<DecodedSource>(std::move(d)));
     Push(sources_.size() - 1);
   }
+}
+
+MultiWayMerge::MultiWayMerge(
+    std::vector<std::unique_ptr<RecordSource>> sources)
+    : sources_(std::move(sources)) {
+  for (size_t i = 0; i < sources_.size(); ++i) Push(i);
 }
 
 void MultiWayMerge::Push(size_t idx) {

@@ -33,6 +33,10 @@ class RecordSource {
   virtual std::optional<Record> Next() = 0;
 };
 
+// Wraps a fully-materialized DecodedDump as a RecordSource (the whole-file
+// output of the prefetch stage).
+std::unique_ptr<RecordSource> MakeDecodedSource(DecodedDump dump);
+
 // Multi-way merge over one subset: opens all files simultaneously and
 // repeatedly extracts the oldest record (Figure 3).
 class MultiWayMerge {
@@ -44,6 +48,12 @@ class MultiWayMerge {
 
   // Prefetched path: merges batches already decoded by worker threads.
   explicit MultiWayMerge(std::vector<DecodedDump> dumps);
+
+  // Generic path: merges any record sources (the prefetch stage hands
+  // back DecodedSources or live chunked sources in submitted-file order,
+  // so tie-breaks match the streaming path). May block in PeekTimestamp
+  // until each source has its first record available.
+  explicit MultiWayMerge(std::vector<std::unique_ptr<RecordSource>> sources);
 
   // Next record in timestamp order; nullopt when all files are drained.
   std::optional<Record> Next();

@@ -4,83 +4,280 @@
 
 namespace bgps::core {
 
+// Drains one ChunkedFile's bounded buffer as a RecordSource. The workers
+// refill the buffer (via State::active) while the consumer merges.
+class PrefetchDecoder::ChunkedSource : public RecordSource {
+ public:
+  ChunkedSource(std::shared_ptr<State> st, std::shared_ptr<ChunkedFile> cf)
+      : st_(std::move(st)), cf_(std::move(cf)) {}
+
+  ~ChunkedSource() override {
+    std::lock_guard<std::mutex> lock(st_->mu);
+    cf_->abandoned = true;
+    st_->buffered -= cf_->buffer.size();
+    cf_->buffer.clear();
+    if (!cf_->claimed) {
+      // No worker holds the reader; a claimed one cleans up on unclaim.
+      cf_->reader.reset();
+      cf_->done = true;
+    }
+    st_->work_cv.notify_all();
+  }
+
+  const broker::DumpFileMeta& meta() const override { return cf_->meta; }
+
+  std::optional<Timestamp> PeekTimestamp() override {
+    std::unique_lock<std::mutex> lock(st_->mu);
+    st_->chunk_cv.wait(lock,
+                       [&] { return !cf_->buffer.empty() || cf_->done; });
+    if (cf_->buffer.empty()) return std::nullopt;
+    return cf_->buffer.front().timestamp;
+  }
+
+  std::optional<Record> Next() override {
+    std::unique_lock<std::mutex> lock(st_->mu);
+    st_->chunk_cv.wait(lock,
+                       [&] { return !cf_->buffer.empty() || cf_->done; });
+    if (cf_->buffer.empty()) return std::nullopt;
+    Record rec = std::move(cf_->buffer.front());
+    cf_->buffer.pop_front();
+    --st_->buffered;
+    // A slot freed: the file is claimable again.
+    st_->work_cv.notify_all();
+    return rec;
+  }
+
+ private:
+  std::shared_ptr<State> st_;
+  std::shared_ptr<ChunkedFile> cf_;
+};
+
 PrefetchDecoder::PrefetchDecoder(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), state_(std::make_shared<State>()) {
+  state_->decode = options_.decode;
   size_t n = std::max<size_t>(1, options_.threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([st = state_] { WorkerLoop(st); });
   }
 }
 
 PrefetchDecoder::~PrefetchDecoder() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stopping = true;
   }
-  work_cv_.notify_all();
+  state_->work_cv.notify_all();
   for (auto& w : workers_) w.join();
+  // Truncate still-undone chunked files so sources that outlive the
+  // decoder drain their buffers and then end instead of hanging.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (auto& job : state_->jobs) {
+    for (auto& cf : job->chunks) cf->done = true;
+  }
+  for (auto& subset : state_->active) {
+    for (auto& cf : subset) cf->done = true;
+  }
+  state_->chunk_cv.notify_all();
 }
 
 void PrefetchDecoder::Submit(std::vector<broker::DumpFileMeta> subset) {
   auto job = std::make_shared<Job>();
-  job->dumps.resize(subset.size());
-  job->files = std::move(subset);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push_back(std::move(job));
+  if (options_.max_records_in_flight > 0) {
+    job->chunked = true;
+    size_t cap = std::max<size_t>(
+        1, options_.max_records_in_flight / std::max<size_t>(1, subset.size()));
+    job->chunks.reserve(subset.size());
+    for (auto& f : subset) {
+      auto cf = std::make_shared<ChunkedFile>();
+      cf->meta = std::move(f);
+      cf->capacity = cap;
+      job->chunks.push_back(std::move(cf));
+    }
+  } else {
+    job->dumps.resize(subset.size());
+    job->files = std::move(subset);
   }
-  work_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    PruneActiveLocked(*state_);
+    state_->jobs.push_back(std::move(job));
+  }
+  state_->work_cv.notify_all();
 }
 
 std::vector<DecodedDump> PrefetchDecoder::WaitNext() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    return !jobs_.empty() && jobs_.front()->decoded == jobs_.front()->files.size();
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done_cv.wait(lock, [this] {
+    return !state_->jobs.empty() && !state_->jobs.front()->chunked &&
+           state_->jobs.front()->decoded == state_->jobs.front()->files.size();
   });
-  auto job = jobs_.front();
-  jobs_.pop_front();
+  auto job = state_->jobs.front();
+  state_->jobs.pop_front();
   return std::move(job->dumps);
 }
 
+std::vector<std::unique_ptr<RecordSource>>
+PrefetchDecoder::WaitNextSources() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (state_->jobs.empty()) return {};
+  auto job = state_->jobs.front();
+  std::vector<std::unique_ptr<RecordSource>> out;
+  if (job->chunked) {
+    state_->jobs.pop_front();
+    state_->active.push_back(job->chunks);
+    PruneActiveLocked(*state_);
+    out.reserve(job->chunks.size());
+    for (auto& cf : job->chunks) {
+      out.push_back(std::make_unique<ChunkedSource>(state_, cf));
+    }
+    return out;
+  }
+  state_->done_cv.wait(
+      lock, [&] { return job->decoded == job->files.size(); });
+  state_->jobs.pop_front();
+  out.reserve(job->dumps.size());
+  for (auto& d : job->dumps) out.push_back(MakeDecodedSource(std::move(d)));
+  return out;
+}
+
 size_t PrefetchDecoder::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return jobs_.size();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->jobs.size();
+}
+
+size_t PrefetchDecoder::in_flight() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  size_t n = state_->jobs.size();
+  for (const auto& subset : state_->active) {
+    if (SubsetLive(subset)) ++n;
+  }
+  return n;
 }
 
 size_t PrefetchDecoder::files_decoded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return files_decoded_;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->files_decoded;
 }
 
-void PrefetchDecoder::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+size_t PrefetchDecoder::max_buffered_records() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->max_buffered;
+}
+
+bool PrefetchDecoder::SubsetLive(
+    const std::vector<std::shared_ptr<ChunkedFile>>& subset) {
+  // Buffered records count even after EOF: the prefetch_subsets memory
+  // bound must not admit an extra subset while buffers are still full.
+  for (const auto& cf : subset) {
+    if (!cf->done || !cf->buffer.empty()) return true;
+  }
+  return false;
+}
+
+void PrefetchDecoder::PruneActiveLocked(State& st) {
+  // Front-only pruning keeps consumption order simple.
+  while (!st.active.empty() && !SubsetLive(st.active.front())) {
+    st.active.pop_front();
+  }
+}
+
+void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
+                                  ChunkedFile& cf,
+                                  std::unique_lock<std::mutex>& lock) {
+  if (!cf.reader) {
+    broker::DumpFileMeta meta = cf.meta;
+    lock.unlock();
+    if (st->decode.file_open_hook) st->decode.file_open_hook(meta);
+    auto reader = std::make_unique<DumpReader>(std::move(meta));
+    lock.lock();
+    cf.reader = std::move(reader);
+  }
+  while (!st->stopping && !cf.abandoned && cf.buffer.size() < cf.capacity) {
+    lock.unlock();
+    std::optional<Record> rec = cf.reader->Next();
+    if (rec) AttachPrefetchedElems(*rec, st->decode);
+    lock.lock();
+    if (!rec) {
+      cf.done = true;
+      cf.reader.reset();  // release the file handle; nothing left to read
+      ++st->files_decoded;
+      break;
+    }
+    if (cf.abandoned) break;  // consumer is gone: drop the record
+    cf.buffer.push_back(std::move(*rec));
+    ++st->buffered;
+    st->max_buffered = std::max(st->max_buffered, st->buffered);
+    // Wake a consumer blocked on this file's first record right away
+    // instead of making it wait for a full buffer.
+    if (cf.buffer.size() == 1) st->chunk_cv.notify_all();
+  }
+  if (cf.abandoned) {
+    cf.reader.reset();
+    cf.done = true;
+  }
+  cf.claimed = false;
+  st->chunk_cv.notify_all();
+}
+
+void PrefetchDecoder::WorkerLoop(const std::shared_ptr<State>& st) {
+  std::unique_lock<std::mutex> lock(st->mu);
   while (true) {
     // Shutdown drops still-unclaimed work: the consumer is gone, so only
     // decodes already in flight are worth finishing.
-    if (stopping_) return;
-    // Claim the earliest unclaimed file across queued jobs (front first:
-    // the consumer is waiting on the oldest subset).
+    if (st->stopping) return;
+
+    // 1. Top up chunked buffers the consumer is actively merging — it
+    //    may be blocked on them right now.
+    ChunkedFile* fill = nullptr;
+    auto fillable = [](const ChunkedFile& cf) {
+      return !cf.claimed && !cf.done && !cf.abandoned &&
+             cf.buffer.size() < cf.capacity;
+    };
+    for (auto& subset : st->active) {
+      for (auto& cf : subset) {
+        if (fillable(*cf)) {
+          fill = cf.get();
+          break;
+        }
+      }
+      if (fill) break;
+    }
+    // 2. Then work ahead on queued subsets, oldest first.
     std::shared_ptr<Job> job;
     size_t idx = 0;
-    for (auto& j : jobs_) {
-      if (j->next_file < j->files.size()) {
-        job = j;
-        idx = job->next_file++;
-        break;
+    if (!fill) {
+      for (auto& j : st->jobs) {
+        if (j->chunked) {
+          for (auto& cf : j->chunks) {
+            if (fillable(*cf)) {
+              fill = cf.get();
+              break;
+            }
+          }
+        } else if (j->next_file < j->files.size()) {
+          job = j;
+          idx = job->next_file++;
+        }
+        if (fill || job) break;
       }
     }
-    if (!job) {
-      work_cv_.wait(lock);
+    if (fill) {
+      fill->claimed = true;
+      FillChunked(st, *fill, lock);
       continue;
     }
-    lock.unlock();
-    DecodedDump dump = DecodeDumpFile(job->files[idx], options_.file_open_hook);
-    lock.lock();
-    job->dumps[idx] = std::move(dump);
-    ++job->decoded;
-    ++files_decoded_;
-    if (job->decoded == job->files.size()) done_cv_.notify_all();
+    if (job) {
+      lock.unlock();
+      DecodedDump dump = DecodeDumpFile(job->files[idx], st->decode);
+      lock.lock();
+      job->dumps[idx] = std::move(dump);
+      ++job->decoded;
+      ++st->files_decoded;
+      if (job->decoded == job->files.size()) st->done_cv.notify_all();
+      continue;
+    }
+    st->work_cv.wait(lock);
   }
 }
 

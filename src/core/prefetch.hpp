@@ -9,35 +9,55 @@
 // PrefetchDecoder moves open+decode onto a small worker pool that runs
 // ahead of the consumer: while the application merges overlapping-subset
 // N, workers are already opening and decoding the files of subsets
-// N+1..N+depth into in-memory record batches (DecodedDump), handed back
-// through an order-preserving queue. BgpStream bounds how many subsets
-// are in flight (Options::prefetch_subsets), which bounds memory.
+// N+1..N+depth, handed back through an order-preserving queue. BgpStream
+// bounds how many subsets are in flight (Options::prefetch_subsets),
+// which bounds memory.
 //
-// Ordering guarantee: WaitNext() returns subsets in Submit() order, and
-// within a subset the DecodedDump vector preserves the submitted file
-// order, so a MultiWayMerge built from it breaks ties exactly like the
-// synchronous path and the two paths emit identical record sequences.
+// Two decode modes (Options::max_records_in_flight):
+//  * whole-file (0, default): each file is fully materialized into a
+//    DecodedDump before the subset is handed to the consumer. Lowest
+//    synchronization cost; memory is O(records per subset).
+//  * chunked (> 0): each file streams through a bounded per-file record
+//    buffer that workers keep topped up while the consumer merges, so a
+//    ~500-file RIB subset (paper §3.3.4) never holds more than
+//    max_records_in_flight records in RAM per in-flight subset.
+//
+// The workers can additionally pre-extract (and elem-filter) elems into
+// Record::prefetched_elems (Options::decode.extract_elems), moving the
+// §3.3.3 decomposition off the consumer thread too.
+//
+// Ordering guarantee: WaitNextSources() returns subsets in Submit()
+// order, and within a subset sources preserve the submitted file order,
+// so a MultiWayMerge built from them breaks ties exactly like the
+// synchronous path and all paths emit identical record sequences.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
-#include "core/dump_reader.hpp"
+#include "core/merge.hpp"
 
 namespace bgps::core {
 
 class PrefetchDecoder {
  public:
   struct Options {
-    size_t threads = 2;       // decode workers (clamped to >= 1)
-    FileOpenHook file_open_hook;  // runs on the worker thread per file
+    size_t threads = 2;        // decode workers (clamped to >= 1)
+    DumpDecodeOptions decode;  // open hook + worker-side elem extraction
+    // Chunked decode: cap on records buffered in RAM per in-flight
+    // subset, split evenly across its files (floor of one record per
+    // file). 0 = whole-file materialization.
+    size_t max_records_in_flight = 0;
   };
 
   explicit PrefetchDecoder(Options options);
   // Abandons still-unclaimed queued files (the consumer is gone), lets
-  // in-flight decodes finish, and joins the pool.
+  // in-flight decodes finish, and joins the pool. Chunked sources that
+  // outlive the decoder keep serving their buffered records, then end
+  // (truncated) — BgpStream never lets that happen.
   ~PrefetchDecoder();
 
   PrefetchDecoder(const PrefetchDecoder&) = delete;
@@ -49,32 +69,92 @@ class PrefetchDecoder {
 
   // Blocks until the oldest submitted subset is fully decoded and
   // returns it (FIFO: results come back in Submit order regardless of
-  // which worker finished first). Precondition: outstanding() > 0.
+  // which worker finished first). Whole-file mode only. Precondition:
+  // outstanding() > 0.
   std::vector<DecodedDump> WaitNext();
 
-  // Subsets submitted but not yet returned by WaitNext().
+  // Mode-independent hand-off: record sources for the oldest submitted
+  // subset, in file order. Whole-file mode blocks until the subset is
+  // fully decoded; chunked mode returns immediately with live sources
+  // the workers keep filling (their Peek/Next block until a record or
+  // end-of-file). Precondition: outstanding() > 0.
+  std::vector<std::unique_ptr<RecordSource>> WaitNextSources();
+
+  // Subsets submitted but not yet returned by WaitNext*().
   size_t outstanding() const;
+
+  // Subsets still holding decode resources: queued ones plus (chunked
+  // mode) handed-out subsets whose files are not fully drained yet.
+  // BgpStream bounds this by Options::prefetch_subsets.
+  size_t in_flight() const;
 
   // Dump files decoded so far (stats for tests/benches).
   size_t files_decoded() const;
 
+  // High watermark of records simultaneously buffered by chunked decode
+  // (0 in whole-file mode). Proves the memory bound in tests.
+  size_t max_buffered_records() const;
+
  private:
+  // One file streaming through a bounded buffer (chunked mode). All
+  // fields are guarded by State::mu except reader *while claimed*, which
+  // the claiming worker uses with the lock released.
+  struct ChunkedFile {
+    broker::DumpFileMeta meta;
+    size_t capacity = 1;
+    std::deque<Record> buffer;
+    std::unique_ptr<DumpReader> reader;  // created by the first filler
+    bool claimed = false;    // a worker is currently filling/decoding
+    bool done = false;       // reader exhausted (or truncated at shutdown)
+    bool abandoned = false;  // the consumer dropped the source
+  };
+
   struct Job {
+    bool chunked = false;
+    // Whole-file mode:
     std::vector<broker::DumpFileMeta> files;
     std::vector<DecodedDump> dumps;  // slot per file, filled by workers
     size_t next_file = 0;            // next index to claim
     size_t decoded = 0;              // slots filled
+    // Chunked mode:
+    std::vector<std::shared_ptr<ChunkedFile>> chunks;
   };
 
-  void WorkerLoop();
+  // Shared between the facade, the workers, and any ChunkedSources still
+  // held by a MultiWayMerge — shared_ptr-owned so sources stay valid no
+  // matter the destruction order.
+  struct State {
+    DumpDecodeOptions decode;
+    mutable std::mutex mu;
+    std::condition_variable work_cv;   // workers: claimable work may exist
+    std::condition_variable done_cv;   // consumer: front whole-file job done
+    std::condition_variable chunk_cv;  // consumer: chunked records/EOF ready
+    std::deque<std::shared_ptr<Job>> jobs;  // submission order, not handed out
+    // Chunked subsets handed to the consumer but still being filled.
+    std::deque<std::vector<std::shared_ptr<ChunkedFile>>> active;
+    size_t files_decoded = 0;
+    size_t buffered = 0;      // records currently in chunked buffers
+    size_t max_buffered = 0;  // high watermark of `buffered`
+    bool stopping = false;
+  };
+
+  class ChunkedSource;
+
+  static void WorkerLoop(const std::shared_ptr<State>& st);
+  // Fills `cf` (claimed by this worker) until full/EOF/abandoned/stop.
+  // Called and returns with `lock` held.
+  static void FillChunked(const std::shared_ptr<State>& st, ChunkedFile& cf,
+                          std::unique_lock<std::mutex>& lock);
+  // True while a handed-out subset still holds decode resources (any
+  // file not yet decoded AND drained). in_flight() counts live subsets
+  // toward the prefetch_subsets bound; PruneActiveLocked drops dead
+  // ones — both must use this one predicate.
+  static bool SubsetLive(const std::vector<std::shared_ptr<ChunkedFile>>& s);
+  // Drops handed-out subsets whose files are all drained or abandoned.
+  static void PruneActiveLocked(State& st);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: "a file may be claimable"
-  std::condition_variable done_cv_;  // consumer: "front job may be done"
-  std::deque<std::shared_ptr<Job>> jobs_;  // submission order
-  size_t files_decoded_ = 0;
-  bool stopping_ = false;
+  std::shared_ptr<State> state_;
   std::vector<std::thread> workers_;
 };
 

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "broker/archive.hpp"
+#include "core/elem.hpp"
 #include "mrt/mrt.hpp"
 
 namespace bgps::core {
@@ -46,6 +48,12 @@ struct Record {
   // Peer index table of the originating TABLE_DUMP_V2 file, shared by all
   // RIB records of that dump; needed to resolve (peer index -> VP).
   std::shared_ptr<const mrt::PeerIndexTable> peer_index;
+
+  // Elems extracted (and elem-filtered) ahead of time on a prefetch worker
+  // thread (Options::extract_elems_in_workers). nullopt = not extracted;
+  // an engaged empty vector means extraction ran and every elem was
+  // filtered out. BgpStream::Elems moves the contents out.
+  std::optional<std::vector<Elem>> prefetched_elems;
 };
 
 }  // namespace bgps::core

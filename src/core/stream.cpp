@@ -5,11 +5,28 @@
 
 namespace bgps::core {
 
+BgpStream::~BgpStream() {
+  // The merge may hold chunked sources backed by the decoder; drop it
+  // first, then the decoder joins its workers. The future (if any)
+  // blocks in its destructor until the background fetch returns.
+  current_merge_.reset();
+  decoder_.reset();
+}
+
 Status BgpStream::Start() {
   if (data_interface_ == nullptr)
     return InvalidArgument("no data interface configured");
   if (filters_.interval.start < 0)
     return InvalidArgument("interval start must be >= 0");
+  if (options_.prefetch_subsets == 0) {
+    if (options_.extract_elems_in_workers)
+      return InvalidArgument(
+          "extract_elems_in_workers requires prefetch_subsets > 0");
+    if (options_.max_records_in_flight > 0)
+      return InvalidArgument(
+          "max_records_in_flight requires prefetch_subsets > 0 (the "
+          "synchronous path already streams with bounded memory)");
+  }
   if (!options_.poll_wait) {
     options_.poll_wait = [] {
       std::this_thread::sleep_for(std::chrono::seconds(1));
@@ -18,7 +35,12 @@ Status BgpStream::Start() {
   if (options_.prefetch_subsets > 0 && !decoder_) {
     PrefetchDecoder::Options popt;
     popt.threads = options_.decode_threads;
-    popt.file_open_hook = options_.file_open_hook;
+    popt.decode.file_open_hook = options_.file_open_hook;
+    popt.decode.extract_elems = options_.extract_elems_in_workers;
+    // filters_ is frozen once reading starts, so the workers can read it
+    // without synchronization.
+    popt.decode.filters = &filters_;
+    popt.max_records_in_flight = options_.max_records_in_flight;
     decoder_ = std::make_unique<PrefetchDecoder>(std::move(popt));
   }
   started_ = true;
@@ -26,10 +48,38 @@ Status BgpStream::Start() {
   return OkStatus();
 }
 
+void BgpStream::StartBatchPrefetch() {
+  if (!options_.prefetch_batches || filters_.interval.live()) return;
+  if (next_batch_.valid()) return;  // one fetch in flight at a time
+  ++batches_prefetched_;
+  next_batch_ = std::async(std::launch::async,
+                           [this] { return data_interface_->NextBatch(filters_); });
+}
+
 void BgpStream::TopUpPrefetch() {
-  while (decoder_ && decoder_->outstanding() < options_.prefetch_subsets &&
-         next_subset_ < pending_subsets_.size()) {
-    decoder_->Submit(std::move(pending_subsets_[next_subset_++]));
+  while (decoder_ && decoder_->in_flight() < options_.prefetch_subsets) {
+    if (next_subset_ < pending_subsets_.size()) {
+      decoder_->Submit(std::move(pending_subsets_[next_subset_++]));
+      continue;
+    }
+    // Every subset of the current batch is submitted: harvest the next
+    // batch if its eager fetch already completed, so the workers roll
+    // straight into it without a broker-latency gap.
+    if (!next_batch_.valid() || deferred_batch_.has_value()) return;
+    if (next_batch_.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready)
+      return;
+    DataBatch batch = next_batch_.get();
+    ++batches_fetched_;
+    if (!batch.files.empty()) {
+      pending_subsets_ = GroupOverlapping(std::move(batch.files));
+      next_subset_ = 0;
+      StartBatchPrefetch();
+      continue;
+    }
+    // Terminal or retry batch: park it for Refill to act on.
+    deferred_batch_ = std::move(batch);
+    return;
   }
 }
 
@@ -40,11 +90,12 @@ bool BgpStream::Refill() {
     if (decoder_) {
       TopUpPrefetch();
       if (decoder_->outstanding() > 0) {
-        std::vector<DecodedDump> dumps = decoder_->WaitNext();
+        std::vector<std::unique_ptr<RecordSource>> sources =
+            decoder_->WaitNextSources();
         // Re-fill the slot just vacated before merging, so workers stay
         // busy while the consumer processes this subset.
         TopUpPrefetch();
-        current_merge_ = std::make_unique<MultiWayMerge>(std::move(dumps));
+        current_merge_ = std::make_unique<MultiWayMerge>(std::move(sources));
         ++subsets_merged_;
         max_open_files_ =
             std::max(max_open_files_, current_merge_->open_files());
@@ -57,12 +108,23 @@ bool BgpStream::Refill() {
       max_open_files_ = std::max(max_open_files_, current_merge_->open_files());
       return true;
     }
-    // 2. Pull the next batch from the data interface (client-pull model).
-    DataBatch batch = data_interface_->NextBatch(filters_);
-    ++batches_fetched_;
+    // 2. Pull the next batch from the data interface (client-pull model,
+    // possibly already fetched — or harvested — in the background).
+    DataBatch batch;
+    if (deferred_batch_.has_value()) {
+      batch = std::move(*deferred_batch_);
+      deferred_batch_.reset();
+    } else if (next_batch_.valid()) {
+      batch = next_batch_.get();
+      ++batches_fetched_;
+    } else {
+      batch = data_interface_->NextBatch(filters_);
+      ++batches_fetched_;
+    }
     if (!batch.files.empty()) {
       pending_subsets_ = GroupOverlapping(std::move(batch.files));
       next_subset_ = 0;
+      StartBatchPrefetch();
       continue;
     }
     if (batch.retry_later) {
@@ -101,15 +163,14 @@ std::optional<Record> BgpStream::NextRecord() {
   }
 }
 
-std::vector<Elem> BgpStream::Elems(const Record& record) const {
-  std::vector<Elem> elems = ExtractElems(record);
-  if (!filters_.HasElemFilters()) return elems;
-  std::vector<Elem> out;
-  out.reserve(elems.size());
-  for (auto& e : elems) {
-    if (filters_.MatchesElem(e)) out.push_back(std::move(e));
+std::vector<Elem> BgpStream::Elems(Record& record) const {
+  if (record.prefetched_elems.has_value()) {
+    // Extracted (and elem-filtered) ahead of time on a worker thread.
+    std::vector<Elem> out = std::move(*record.prefetched_elems);
+    record.prefetched_elems.reset();
+    return out;
   }
-  return out;
+  return filters_.FilterElems(ExtractElems(record));
 }
 
 }  // namespace bgps::core

@@ -16,6 +16,8 @@
 //   }
 #pragma once
 
+#include <future>
+
 #include "core/data_interface.hpp"
 #include "core/merge.hpp"
 #include "core/prefetch.hpp"
@@ -43,10 +45,35 @@ class BgpStream {
     // Invoked just before each dump file is opened, on whichever thread
     // performs the decode. See FileOpenHook.
     FileOpenHook file_open_hook;
+    // Cross-batch prefetch: while the current DataBatch is being
+    // consumed, fetch the next one from the DataInterface on a
+    // background thread so broker round-trips overlap with decode and
+    // merge. Ignored in live mode, which keeps strict client-pull
+    // semantics (§3.3.2: data is only retrieved when the user is ready
+    // to process it). At most one fetch is in flight, so DataInterface
+    // implementations never see concurrent calls.
+    bool prefetch_batches = false;
+    // Extract elems (and apply the elem-level filters) on the prefetch
+    // workers; Elems() then just moves the result out on the consumer
+    // thread. Requires prefetch_subsets > 0 (there are no workers
+    // otherwise); output is identical to inline extraction.
+    bool extract_elems_in_workers = false;
+    // Chunked decode: cap on records buffered in RAM per in-flight
+    // subset (split across its files, floor of one record per file)
+    // instead of materializing whole files — bounds memory for huge RIB
+    // subsets (§3.3.4, ~500 files). 0 = whole-file decode. Requires
+    // prefetch_subsets > 0; the synchronous path already streams with
+    // O(1) records per open file. Note the subset being merged counts
+    // toward prefetch_subsets while any of its files still decode, so
+    // prefetch_subsets >= 2 is needed to actually work ahead.
+    size_t max_records_in_flight = 0;
   };
 
   BgpStream() = default;
   explicit BgpStream(Options options) : options_(std::move(options)) {}
+  // Blocks until any in-flight background work (decode workers, a
+  // cross-batch fetch) has finished.
+  ~BgpStream();
 
   // --- configuration phase ---
   Status AddFilter(const std::string& key, const std::string& value) {
@@ -66,14 +93,24 @@ class BgpStream {
   // (historical exhaustion, or the live poll limit was hit).
   std::optional<Record> NextRecord();
 
-  // Elems of `record` passing the elem-level filters.
-  std::vector<Elem> Elems(const Record& record) const;
+  // Elems of `record` passing the elem-level filters. When the workers
+  // pre-extracted them (Options::extract_elems_in_workers) this is a
+  // move-out: the record's cached elems are consumed, so a second call
+  // on the same record falls back to inline extraction.
+  std::vector<Elem> Elems(Record& record) const;
 
-  // Stats (used by the sorting/throughput benches).
+  // Stats (used by the sorting/throughput benches and the tests).
   size_t records_emitted() const { return records_emitted_; }
   size_t batches_fetched() const { return batches_fetched_; }
   size_t subsets_merged() const { return subsets_merged_; }
   size_t max_open_files() const { return max_open_files_; }
+  // DataBatches fetched eagerly on the background thread.
+  size_t batches_prefetched() const { return batches_prefetched_; }
+  // High watermark of records buffered by chunked decode (0 unless
+  // max_records_in_flight > 0).
+  size_t max_records_buffered() const {
+    return decoder_ ? decoder_->max_buffered_records() : 0;
+  }
 
  private:
   // Ensures current_merge_ has data; pulls subsets/batches as needed.
@@ -81,8 +118,14 @@ class BgpStream {
   bool Refill();
 
   // Keeps the decode pipeline full: submits pending subsets until
-  // prefetch_subsets are in flight (no-op when prefetch is disabled).
+  // prefetch_subsets are in flight, harvesting an eagerly fetched next
+  // batch when the current one is fully submitted (no-op when prefetch
+  // is disabled).
   void TopUpPrefetch();
+
+  // Kicks off the background fetch of the next DataBatch if cross-batch
+  // prefetch applies (historical mode, none already in flight).
+  void StartBatchPrefetch();
 
   FilterSet filters_;
   DataInterface* data_interface_ = nullptr;
@@ -92,13 +135,22 @@ class BgpStream {
 
   std::vector<std::vector<broker::DumpFileMeta>> pending_subsets_;
   size_t next_subset_ = 0;
-  std::unique_ptr<MultiWayMerge> current_merge_;
+  // decoder_ is declared before current_merge_: the merge may hold live
+  // chunked sources backed by the decoder, so it must be destroyed
+  // first (members destruct in reverse declaration order).
   std::unique_ptr<PrefetchDecoder> decoder_;
+  std::unique_ptr<MultiWayMerge> current_merge_;
+  // Cross-batch prefetch: at most one eager NextBatch call in flight.
+  std::future<DataBatch> next_batch_;
+  // A harvested batch with no files (end-of-stream / retry) parked for
+  // Refill to act on.
+  std::optional<DataBatch> deferred_batch_;
 
   size_t records_emitted_ = 0;
   size_t batches_fetched_ = 0;
   size_t subsets_merged_ = 0;
   size_t max_open_files_ = 0;
+  size_t batches_prefetched_ = 0;
 };
 
 }  // namespace bgps::core

@@ -90,6 +90,96 @@ TEST(PrefetchDecoderTest, DestructorJoinsWithUnconsumedWork) {
   // hang or crash.
 }
 
+TEST(PrefetchDecoderTest, WholeFileInFlightMatchesOutstanding) {
+  PrefetchDecoder::Options opt;
+  opt.threads = 2;
+  PrefetchDecoder decoder(std::move(opt));
+  decoder.Submit(BogusSubset("a", 3));
+  decoder.Submit(BogusSubset("b", 2));
+  EXPECT_EQ(decoder.outstanding(), 2u);
+  EXPECT_EQ(decoder.in_flight(), 2u);
+  (void)decoder.WaitNext();
+  EXPECT_EQ(decoder.outstanding(), 1u);
+  EXPECT_EQ(decoder.in_flight(), 1u);  // whole-file: handed out = gone
+}
+
+TEST(PrefetchDecoderTest, ChunkedSourcesStreamInFileOrder) {
+  PrefetchDecoder::Options opt;
+  opt.threads = 3;
+  opt.max_records_in_flight = 2;  // 5 files -> 1 buffered record per file
+  PrefetchDecoder decoder(std::move(opt));
+  decoder.Submit(BogusSubset("a", 5));
+  EXPECT_EQ(decoder.outstanding(), 1u);
+
+  auto sources = decoder.WaitNextSources();
+  ASSERT_EQ(sources.size(), 5u);
+  EXPECT_EQ(decoder.outstanding(), 0u);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(sources[i]->meta().collector, "a-" + std::to_string(i));
+    ASSERT_TRUE(sources[i]->PeekTimestamp().has_value());
+    auto rec = sources[i]->Next();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->status, RecordStatus::CorruptedDump);
+    EXPECT_EQ(rec->collector, "a-" + std::to_string(i));
+    EXPECT_EQ(sources[i]->Next(), std::nullopt);  // one record per bogus file
+  }
+  // Drained: the subset no longer holds decode resources.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (decoder.in_flight() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(decoder.in_flight(), 0u);
+  EXPECT_EQ(decoder.files_decoded(), 5u);
+  EXPECT_GT(decoder.max_buffered_records(), 0u);
+  EXPECT_LE(decoder.max_buffered_records(), 5u);  // 1-slot buffer per file
+}
+
+TEST(PrefetchDecoderTest, ChunkedInFlightCountsActiveSubsets) {
+  PrefetchDecoder::Options opt;
+  opt.threads = 2;
+  opt.max_records_in_flight = 8;
+  PrefetchDecoder decoder(std::move(opt));
+  decoder.Submit(BogusSubset("x", 2));
+  decoder.Submit(BogusSubset("y", 2));
+  EXPECT_EQ(decoder.in_flight(), 2u);
+
+  auto sources = decoder.WaitNextSources();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(decoder.outstanding(), 1u);
+  // Handed out but not yet drained: still holds decode resources.
+  EXPECT_EQ(decoder.in_flight(), 2u);
+  for (auto& s : sources) {
+    while (s->Next()) {
+    }
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (decoder.in_flight() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(decoder.in_flight(), 1u);  // only the queued subset remains
+}
+
+TEST(PrefetchDecoderTest, ChunkedSourcesSurviveDecoderDestruction) {
+  std::vector<std::unique_ptr<RecordSource>> sources;
+  {
+    PrefetchDecoder::Options opt;
+    opt.threads = 2;
+    opt.max_records_in_flight = 8;
+    PrefetchDecoder decoder(std::move(opt));
+    decoder.Submit(BogusSubset("gone", 3));
+    sources = decoder.WaitNextSources();
+    // Give workers a chance to buffer; either way the sources must not
+    // hang after the decoder (and its workers) are gone.
+  }
+  for (auto& s : sources) {
+    while (auto rec = s->Next()) {
+      EXPECT_EQ(rec->status, RecordStatus::CorruptedDump);
+    }
+  }
+}
+
 class PrefetchStreamTest : public ::testing::Test {
  protected:
   void SetUp() override {
