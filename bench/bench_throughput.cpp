@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <random>
@@ -19,6 +20,7 @@
 #include "core/stream.hpp"
 #include "mrt/file.hpp"
 #include "mrt/mrt.hpp"
+#include "pool/stream_pool.hpp"
 #include "util/patricia.hpp"
 
 using namespace bgps;
@@ -335,6 +337,108 @@ BGPS_STREAM_BENCH(BM_StreamSync);
 BGPS_STREAM_BENCH(BM_StreamPrefetch);
 BGPS_STREAM_BENCH(BM_StreamCrossBatchExtract);
 BGPS_STREAM_BENCH(BM_StreamFullPipeline);
+
+// --- Multi-tenant: shared StreamPool vs private per-stream pipelines ------
+//
+// Four concurrent streams, each consuming a disjoint quarter of the
+// archive (2 subsets / 8 files) on its own consumer thread, with the
+// same open/batch latency emulation as the single-stream pair:
+//   BM_MultiTenantPrivatePools  4 streams × (1 decode thread + a
+//                               private 128-record chunked budget) —
+//                               the pre-runtime-layer shape, 4 threads
+//                               and 4 budgets total.
+//   BM_MultiTenantSharedPool    one StreamPool: 4 shared Executor
+//                               workers + one 512-record MemoryGovernor
+//                               budget across all tenants.
+// Counters: wall-clock records/s and the peak number of records
+// buffered (governor watermark for the pool; summed per-stream
+// watermarks for the private shape — an *upper bound* that the
+// governor turns into a hard guarantee).
+
+constexpr int kTenantCount = 4;
+
+std::vector<broker::DumpFileMeta> TenantSlice(int tenant) {
+  const auto& files = GetThroughputArchive();
+  size_t per_tenant = files.size() / kTenantCount;
+  return {files.begin() + long(size_t(tenant) * per_tenant),
+          files.begin() + long(size_t(tenant + 1) * per_tenant)};
+}
+
+void RunMultiTenantBench(benchmark::State& state, bool shared_pool) {
+  auto open_latency = std::chrono::microseconds(state.range(0));
+  auto batch_latency = std::chrono::microseconds(state.range(1));
+  size_t records = 0;
+  size_t peak_buffered = 0;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    std::unique_ptr<StreamPool> pool;
+    if (shared_pool) {
+      auto created =
+          StreamPool::Create({.threads = 4, .record_budget = 512});
+      if (!created.ok()) std::abort();
+      pool = std::move(*created);
+    }
+    std::atomic<size_t> run_records{0};
+    std::atomic<size_t> private_peak{0};
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kTenantCount; ++t) {
+      consumers.emplace_back([&, t] {
+        BatchedDataInterface di(TenantSlice(t), kBenchFilesPerSubset,
+                                batch_latency);
+        core::BgpStream::Options opt;
+        opt.prefetch_subsets = 3;
+        opt.extract_elems_in_workers = true;
+        if (!shared_pool) {
+          opt.decode_threads = 1;
+          opt.max_records_in_flight = 512 / kTenantCount;
+        }
+        if (open_latency.count() > 0) {
+          opt.file_open_hook = [open_latency](const broker::DumpFileMeta&) {
+            std::this_thread::sleep_for(open_latency);
+          };
+        }
+        std::unique_ptr<core::BgpStream> stream =
+            pool ? pool->CreateStream(std::move(opt))
+                 : std::make_unique<core::BgpStream>(std::move(opt));
+        stream->SetInterval(0, 4102444800);
+        stream->SetDataInterface(&di);
+        if (!stream->Start().ok()) std::abort();
+        size_t mine = 0;
+        while (auto rec = stream->NextRecord()) {
+          ++mine;
+          for (const auto& e : stream->Elems(*rec)) {
+            benchmark::DoNotOptimize(e.time);
+          }
+        }
+        run_records += mine;
+        private_peak += stream->max_records_buffered();
+      });
+    }
+    for (auto& c : consumers) c.join();
+    records += run_records.load();
+    peak_buffered = std::max(
+        peak_buffered,
+        pool ? pool->max_records_in_use() : private_peak.load());
+  }
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  state.SetItemsProcessed(int64_t(records));
+  state.counters["records_per_sec_wall"] =
+      wall_seconds > 0 ? double(records) / wall_seconds : 0.0;
+  state.counters["peak_records_buffered"] = double(peak_buffered);
+}
+
+void BM_MultiTenantPrivatePools(benchmark::State& state) {
+  RunMultiTenantBench(state, /*shared_pool=*/false);
+}
+
+void BM_MultiTenantSharedPool(benchmark::State& state) {
+  RunMultiTenantBench(state, /*shared_pool=*/true);
+}
+
+BGPS_STREAM_BENCH(BM_MultiTenantPrivatePools);
+BGPS_STREAM_BENCH(BM_MultiTenantSharedPool);
 
 #undef BGPS_STREAM_BENCH
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two trees of google-benchmark JSON results and flag regressions.
+
+Usage:
+    bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
+                  [--fail-on-regress]
+
+Result files are matched by basename anywhere under each directory (CI
+artifacts nest them one level deep). For every benchmark present in
+both, the wall-time (`real_time`) delta is reported as a markdown table
+suitable for $GITHUB_STEP_SUMMARY; benchmarks slower than the threshold
+additionally emit `::warning::` annotations. Exits 0 unless
+--fail-on-regress is given and a regression was found, so the job
+annotates rather than gates by default (single-run CI timings are
+noisy).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+TIME_UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """{benchmark name -> real_time in ns} from one result file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1)
+        out[b["name"]] = b["real_time"] * scale
+    return out
+
+
+def find_results(root):
+    """{basename -> path} of every .json under root (first wins)."""
+    out = {}
+    for p in sorted(pathlib.Path(root).rglob("*.json")):
+        out.setdefault(p.name, p)
+    return out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative wall-time slowdown that counts as a "
+                         "regression (default 0.15 = +15%%)")
+    ap.add_argument("--fail-on-regress", action="store_true")
+    args = ap.parse_args()
+
+    base_files = find_results(args.baseline)
+    curr_files = find_results(args.current)
+    if not base_files:
+        print("### Benchmark diff\n")
+        print("No baseline results found — first run, or the previous "
+              "artifact expired. Nothing to compare.")
+        return 0
+    common = sorted(set(base_files) & set(curr_files))
+    if not common:
+        print("### Benchmark diff\n")
+        print("Baseline and current runs share no result files.")
+        return 0
+
+    regressions = []
+    print("### Benchmark diff (wall time vs previous run)\n")
+    print("| Benchmark | Baseline | Current | Delta |")
+    print("|---|---:|---:|---:|")
+    for name in common:
+        base = load_benchmarks(base_files[name])
+        curr = load_benchmarks(curr_files[name])
+        for bench in sorted(set(base) & set(curr)):
+            b, c = base[bench], curr[bench]
+            if b <= 0:
+                continue
+            delta = (c - b) / b
+            mark = ""
+            if delta > args.threshold:
+                mark = " ⚠️"
+                regressions.append((bench, delta))
+            print(f"| `{bench}` | {fmt_ns(b)} | {fmt_ns(c)} "
+                  f"| {delta:+.1%}{mark} |")
+    print()
+    if regressions:
+        print(f"**{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}.**")
+        for bench, delta in regressions:
+            # GitHub annotation, shown on the workflow run page.
+            print(f"::warning title=Benchmark regression::{bench} is "
+                  f"{delta:+.1%} slower than the previous run",
+                  file=sys.stderr)
+    else:
+        print(f"No benchmark regressed more than {args.threshold:.0%}.")
+    return 1 if (regressions and args.fail_on_regress) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

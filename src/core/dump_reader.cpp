@@ -89,16 +89,19 @@ std::optional<Record> DumpReader::Next() {
   return out;
 }
 
-void AttachPrefetchedElems(Record& rec, const DumpDecodeOptions& opt) {
+void AttachPrefetchedElems(Record& rec, const DumpDecodeOptions& opt,
+                           ElemArena* arena) {
   if (!opt.extract_elems) return;
-  if (opt.filters != nullptr) {
-    // Records the record-level filters will drop never reach Elems();
-    // don't pay for their decomposition.
-    if (!opt.filters->MatchesRecord(rec)) return;
-    rec.prefetched_elems = opt.filters->FilterElems(ExtractElems(rec));
-    return;
-  }
-  rec.prefetched_elems = ExtractElems(rec);
+  // Records the record-level filters will drop never reach Elems();
+  // don't pay for their decomposition.
+  if (opt.filters != nullptr && !opt.filters->MatchesRecord(rec)) return;
+  std::vector<Elem> elems = arena ? arena->NewVector() : std::vector<Elem>();
+  ExtractElemsInto(rec, elems);
+  // Note the pre-filter count: that is what NewVector's reserve must
+  // cover, since extraction happens before the elem filters prune.
+  if (arena) arena->Note(elems.size());
+  if (opt.filters != nullptr) opt.filters->FilterElemsInPlace(elems);
+  rec.prefetched_elems = std::move(elems);
 }
 
 DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
@@ -107,8 +110,9 @@ DecodedDump DecodeDumpFile(const broker::DumpFileMeta& meta,
   DecodedDump out;
   out.meta = meta;
   DumpReader reader(meta);
+  ElemArena arena;
   while (auto rec = reader.Next()) {
-    AttachPrefetchedElems(*rec, opt);
+    AttachPrefetchedElems(*rec, opt, &arena);
     out.records.push_back(std::move(*rec));
   }
   return out;

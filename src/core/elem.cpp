@@ -16,12 +16,17 @@ const char* ElemTypeName(ElemType t) {
 
 std::vector<Elem> ExtractElems(const Record& record) {
   std::vector<Elem> out;
-  if (record.status != RecordStatus::Valid) return out;
+  ExtractElemsInto(record, out);
+  return out;
+}
+
+void ExtractElemsInto(const Record& record, std::vector<Elem>& out) {
+  if (record.status != RecordStatus::Valid) return;
   const mrt::PeerIndexTable* peer_index = record.peer_index.get();
 
   if (record.msg.is_rib()) {
     const auto& rib = std::get<mrt::RibPrefix>(record.msg.body);
-    if (peer_index == nullptr) return out;  // PIT lost: cannot attribute VPs
+    if (peer_index == nullptr) return;  // PIT lost: cannot attribute VPs
     for (const auto& entry : rib.entries) {
       if (entry.peer_index >= peer_index->peers.size()) continue;
       const auto& peer = peer_index->peers[entry.peer_index];
@@ -40,12 +45,12 @@ std::vector<Elem> ExtractElems(const Record& record) {
       }
       out.push_back(std::move(e));
     }
-    return out;
+    return;
   }
 
   if (record.msg.is_message()) {
     const auto& msg = std::get<mrt::Bgp4mpMessage>(record.msg.body);
-    if (msg.message_type != bgp::MessageType::Update) return out;
+    if (msg.message_type != bgp::MessageType::Update) return;
     const auto& upd = msg.update;
 
     Elem base;
@@ -87,7 +92,7 @@ std::vector<Elem> ExtractElems(const Record& record) {
         out.push_back(std::move(e));
       }
     }
-    return out;
+    return;
   }
 
   if (record.msg.is_state_change()) {
@@ -100,11 +105,10 @@ std::vector<Elem> ExtractElems(const Record& record) {
     e.old_state = sc.old_state;
     e.new_state = sc.new_state;
     out.push_back(std::move(e));
-    return out;
+    return;
   }
 
   // PeerIndexTable records carry no routing elements.
-  return out;
 }
 
 }  // namespace bgps::core

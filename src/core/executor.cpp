@@ -1,0 +1,134 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace bgps::core {
+
+// One tenant's strictly-FIFO queue. Guarded by SharedState::mu.
+struct Executor::Tenant::Queue {
+  std::deque<std::function<void()>> tasks;
+  size_t running = 0;  // tasks claimed by workers, not yet finished
+  bool closed = false;
+  std::condition_variable idle_cv;  // Tenant dtor waits for running == 0
+};
+
+// Shared between the Executor facade, the workers, and every Tenant —
+// shared_ptr-owned so tenants stay valid no matter destruction order.
+struct Executor::Tenant::SharedState {
+  mutable std::mutex mu;
+  std::condition_variable work_cv;  // workers: a task may be claimable
+  std::vector<std::shared_ptr<Queue>> queues;  // registered tenants
+  size_t rr = 0;  // round-robin cursor into `queues`
+  size_t tasks_run = 0;
+  bool stopping = false;
+};
+
+Executor::Executor(Options options)
+    : threads_(options.threads),
+      state_(std::make_shared<Tenant::SharedState>()) {
+  workers_.reserve(threads_);
+  for (size_t i = 0; i < threads_; ++i) {
+    workers_.emplace_back([st = state_] { WorkerLoop(st); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stopping = true;
+  }
+  state_->work_cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
+  std::unique_lock<std::mutex> lock(st->mu);
+  while (true) {
+    if (st->stopping) return;
+    // One task per tenant visit, scanning round-robin from the cursor:
+    // a tenant with a deep queue advances one task per full rotation,
+    // exactly like every other tenant.
+    std::shared_ptr<Tenant::Queue> claimed;
+    size_t n = st->queues.size();
+    for (size_t i = 0; i < n; ++i) {
+      auto& q = st->queues[(st->rr + i) % n];
+      if (!q->tasks.empty()) {
+        claimed = q;
+        st->rr = (st->rr + i + 1) % n;
+        break;
+      }
+    }
+    if (!claimed) {
+      st->work_cv.wait(lock);
+      continue;
+    }
+    std::function<void()> task = std::move(claimed->tasks.front());
+    claimed->tasks.pop_front();
+    ++claimed->running;
+    lock.unlock();
+    task();
+    lock.lock();
+    --claimed->running;
+    ++st->tasks_run;
+    if (claimed->closed && claimed->running == 0) {
+      claimed->idle_cv.notify_all();
+    }
+  }
+}
+
+std::unique_ptr<Executor::Tenant> Executor::CreateTenant() {
+  auto queue = std::make_shared<Tenant::Queue>();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->queues.push_back(queue);
+  }
+  return std::unique_ptr<Tenant>(new Tenant(state_, std::move(queue)));
+}
+
+Executor::Tenant::~Tenant() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  queue_->closed = true;
+  queue_->tasks.clear();
+  queue_->idle_cv.wait(lock, [this] { return queue_->running == 0; });
+  auto& qs = state_->queues;
+  qs.erase(std::remove(qs.begin(), qs.end(), queue_), qs.end());
+  if (state_->rr >= qs.size()) state_->rr = 0;
+}
+
+void Executor::Tenant::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (queue_->closed) return;
+    queue_->tasks.push_back(std::move(task));
+  }
+  state_->work_cv.notify_one();
+}
+
+void Executor::Tenant::SubmitUrgent(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (queue_->closed) return;
+    queue_->tasks.push_front(std::move(task));
+  }
+  state_->work_cv.notify_one();
+}
+
+size_t Executor::Tenant::queued() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return queue_->tasks.size();
+}
+
+size_t Executor::tasks_run() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->tasks_run;
+}
+
+size_t Executor::tenants() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->queues.size();
+}
+
+}  // namespace bgps::core

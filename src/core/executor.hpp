@@ -1,0 +1,99 @@
+// Process-wide decode executor (runtime layer).
+//
+// The paper positions BGPStream as a framework many concurrent consumers
+// run on top of: monitoring plugins, timely analyses, live dashboards.
+// Before this layer existed every BgpStream spun up a private worker
+// pool, so N tenants meant N× threads regardless of how many cores the
+// host actually has. Executor is the process-shareable replacement: one
+// fixed pool of workers serving any number of *tenants*, each with its
+// own strictly-FIFO submission queue.
+//
+// Scheduling is deliberately work-stealing-free: workers dispatch
+// round-robin across tenant queues, taking one task per visit, so a
+// heavy tenant (a stream decoding a ~500-file RIB window) cannot starve
+// a light one (a live monitor decoding one updates file a minute).
+// Within a tenant, tasks run in submission order — the property the
+// prefetch stage's ordering guarantee is built on. SubmitUrgent jumps a
+// task to the front of its own queue (used for refills the consumer is
+// blocked on); it never jumps ahead of other tenants.
+//
+// Lifecycle: tenants may come and go freely (streams attach on Start,
+// detach on destruction). Destroying a Tenant discards its queued tasks
+// and blocks until its running ones finish. Destroying the Executor
+// joins the workers after their current task; tenants may outlive the
+// Executor (their queues simply never drain).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace bgps::core {
+
+class Executor {
+ public:
+  struct Options {
+    // Worker threads. 0 constructs an executor that runs nothing —
+    // useful only as a validation target (BgpStream::Start rejects it).
+    size_t threads = 2;
+  };
+
+  explicit Executor(Options options);
+  // Joins the workers after their current task; still-queued tasks are
+  // discarded. Tenants may outlive the Executor.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // One tenant = one strictly-FIFO submission queue, scheduled
+  // round-robin against all other tenants. Obtained from CreateTenant.
+  class Tenant {
+   public:
+    // Discards still-queued tasks and blocks until this tenant's
+    // running tasks finish; then detaches from the executor.
+    ~Tenant();
+
+    Tenant(const Tenant&) = delete;
+    Tenant& operator=(const Tenant&) = delete;
+
+    // Enqueues at the back of this tenant's queue. Never blocks.
+    void Submit(std::function<void()> task);
+    // Enqueues at the *front* of this tenant's queue: the next task a
+    // worker takes from this tenant. For work the consumer is blocked
+    // on (chunked-buffer refills). Does not preempt other tenants.
+    void SubmitUrgent(std::function<void()> task);
+
+    // Tasks queued but not yet claimed by a worker.
+    size_t queued() const;
+
+   private:
+    friend class Executor;
+    struct Queue;
+    struct SharedState;
+    Tenant(std::shared_ptr<SharedState> state, std::shared_ptr<Queue> queue)
+        : state_(std::move(state)), queue_(std::move(queue)) {}
+
+    std::shared_ptr<SharedState> state_;
+    std::shared_ptr<Queue> queue_;
+  };
+
+  // Registers a new tenant queue. Thread-safe.
+  std::unique_ptr<Tenant> CreateTenant();
+
+  size_t threads() const { return threads_; }
+  // Tasks completed so far, across all tenants (stats for tests).
+  size_t tasks_run() const;
+  // Currently registered tenants (stats for tests).
+  size_t tenants() const;
+
+ private:
+  static void WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st);
+
+  size_t threads_;
+  std::shared_ptr<Tenant::SharedState> state_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bgps::core

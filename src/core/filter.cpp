@@ -184,13 +184,15 @@ bool FilterSet::MatchesRecord(const Record& record) const {
 }
 
 std::vector<Elem> FilterSet::FilterElems(std::vector<Elem> elems) const {
-  if (!HasElemFilters()) return elems;
-  std::vector<Elem> out;
-  out.reserve(elems.size());
-  for (auto& e : elems) {
-    if (MatchesElem(e)) out.push_back(std::move(e));
-  }
-  return out;
+  FilterElemsInPlace(elems);
+  return elems;
+}
+
+void FilterSet::FilterElemsInPlace(std::vector<Elem>& elems) const {
+  if (!HasElemFilters()) return;
+  elems.erase(std::remove_if(elems.begin(), elems.end(),
+                             [this](const Elem& e) { return !MatchesElem(e); }),
+              elems.end());
 }
 
 bool FilterSet::MatchesElem(const Elem& elem) const {

@@ -101,6 +101,11 @@ class FilterSet {
   // depends on both using exactly this.
   std::vector<Elem> FilterElems(std::vector<Elem> elems) const;
 
+  // In-place variant (same predicate): erases the elems failing
+  // MatchesElem without allocating a second vector — the decode workers
+  // filter arena-primed vectors with this.
+  void FilterElemsInPlace(std::vector<Elem>& elems) const;
+
   // True if any elem-level filter is configured (lets hot paths skip
   // extraction when only meta filters are set).
   bool HasElemFilters() const {

@@ -1,0 +1,63 @@
+#include "core/governor.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace bgps::core {
+
+void MemoryGovernor::GrantLocked() {
+  while (!waiters_.empty() && in_use_ + waiters_.front()->n <= capacity_) {
+    Waiter* w = waiters_.front();
+    waiters_.pop_front();
+    in_use_ += w->n;
+    max_in_use_ = std::max(max_in_use_, in_use_);
+    w->granted = true;
+    w->cv.notify_one();
+  }
+}
+
+Status MemoryGovernor::Acquire(size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (n > capacity_) {
+    return InvalidArgument("MemoryGovernor: demand of " + std::to_string(n) +
+                           " records exceeds the budget of " +
+                           std::to_string(capacity_));
+  }
+  Waiter w;
+  w.n = n;
+  waiters_.push_back(&w);
+  GrantLocked();
+  w.cv.wait(lock, [&w] { return w.granted; });
+  return OkStatus();
+}
+
+bool MemoryGovernor::TryAcquire(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!waiters_.empty() || in_use_ + n > capacity_) return false;
+  in_use_ += n;
+  max_in_use_ = std::max(max_in_use_, in_use_);
+  return true;
+}
+
+void MemoryGovernor::Release(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_use_ -= std::min(n, in_use_);
+  GrantLocked();
+}
+
+size_t MemoryGovernor::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+size_t MemoryGovernor::max_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_in_use_;
+}
+
+size_t MemoryGovernor::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+}  // namespace bgps::core

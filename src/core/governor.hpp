@@ -1,0 +1,87 @@
+// Global record-budget ledger (runtime layer).
+//
+// Chunked decode bounds how many records sit in RAM, but the PR-2
+// implementation split one per-stream bound evenly across a subset's
+// files — each stream (and each in-flight subset) budgeted for its own
+// worst case, so N tenants meant N× worst-case memory. MemoryGovernor
+// replaces the even split with demand-driven leases against one hard
+// process-wide cap: a slot is charged when a record is buffered and
+// released when the consumer drains it, wherever in the process that
+// happens.
+//
+// Fairness: blocked Acquire() demands are served strictly FIFO — a
+// large demand (the floor reservation for a ~500-file RIB subset)
+// cannot be starved by a stream of small ones, because later demands
+// (and TryAcquire) never barge past the head of the queue.
+//
+// Deadlock discipline (how the decode pipeline uses this):
+//  * Floor slots — one per file of a subset, acquired *before* the
+//    subset is submitted for decode — guarantee every file can always
+//    buffer at least one record, which is exactly what MultiWayMerge
+//    needs to assemble its heap. The acquire happens on the consumer
+//    thread, either opportunistically (TryAcquire, to work ahead) or
+//    blocking (Acquire, only when the stream holds no undrained
+//    buffers, so the capacity it waits for is always releasable by
+//    other tenants).
+//  * Extra slots — records beyond a file's first — are only ever taken
+//    with TryAcquire from worker tasks, which therefore never block the
+//    shared Executor.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/result.hpp"
+
+namespace bgps::core {
+
+class MemoryGovernor {
+ public:
+  // `capacity` is the hard cap on slots (buffered records) simultaneously
+  // leased across every stream and subset sharing this governor.
+  explicit MemoryGovernor(size_t capacity) : capacity_(capacity) {}
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Blocks until `n` slots are granted. Demands are served strictly in
+  // arrival order (fair FIFO wakeup, no barging). Error (and no grant)
+  // if n exceeds the capacity outright — it could never be satisfied.
+  Status Acquire(size_t n);
+
+  // Non-blocking: grants only when `n` slots are free AND no earlier
+  // Acquire() demand is waiting (no barging past the queue).
+  bool TryAcquire(size_t n);
+
+  // Returns `n` slots to the pool and wakes eligible waiters in order.
+  void Release(size_t n);
+
+  // Slots currently leased.
+  size_t in_use() const;
+  // High watermark of in_use() — proves the hard cap in tests.
+  size_t max_in_use() const;
+  // Blocked Acquire() demands (stats for tests).
+  size_t waiting() const;
+
+ private:
+  struct Waiter {
+    size_t n;
+    bool granted = false;
+    std::condition_variable cv;
+  };
+
+  // Grants queued demands head-of-line-first while capacity allows.
+  // Caller holds mu_.
+  void GrantLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Waiter*> waiters_;  // FIFO; entries live on Acquire stacks
+  size_t in_use_ = 0;
+  size_t max_in_use_ = 0;
+};
+
+}  // namespace bgps::core

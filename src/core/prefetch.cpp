@@ -4,8 +4,8 @@
 
 namespace bgps::core {
 
-// Drains one ChunkedFile's bounded buffer as a RecordSource. The workers
-// refill the buffer (via State::active) while the consumer merges.
+// Drains one ChunkedFile's bounded buffer as a RecordSource. The decode
+// tasks refill the buffer (via State::active) while the consumer merges.
 class PrefetchDecoder::ChunkedSource : public RecordSource {
  public:
   ChunkedSource(std::shared_ptr<State> st, std::shared_ptr<ChunkedFile> cf)
@@ -16,12 +16,12 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
     cf_->abandoned = true;
     st_->buffered -= cf_->buffer.size();
     cf_->buffer.clear();
+    ReleaseSlotsLocked(*st_, *cf_);
     if (!cf_->claimed) {
-      // No worker holds the reader; a claimed one cleans up on unclaim.
+      // No task holds the reader; a claimed one cleans up on unclaim.
       cf_->reader.reset();
       cf_->done = true;
     }
-    st_->work_cv.notify_all();
   }
 
   const broker::DumpFileMeta& meta() const override { return cf_->meta; }
@@ -42,8 +42,14 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
     Record rec = std::move(cf_->buffer.front());
     cf_->buffer.pop_front();
     --st_->buffered;
-    // A slot freed: the file is claimable again.
-    st_->work_cv.notify_all();
+    // Return the drained slot(s) to the global budget (keeping the
+    // file's floor until it completes). Top the buffer back up once it
+    // is half drained — urgent, since the merge heap will come back
+    // for this file — rather than queueing a task per pop.
+    ReleaseSlotsLocked(*st_, *cf_);
+    if (cf_->buffer.size() * 2 <= cf_->capacity) {
+      ScheduleFill(st_, cf_, /*urgent=*/true);
+    }
     return rec;
   }
 
@@ -52,31 +58,59 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
   std::shared_ptr<ChunkedFile> cf_;
 };
 
+void PrefetchDecoder::ScheduleFill(const std::shared_ptr<State>& st,
+                                   const std::shared_ptr<ChunkedFile>& cf,
+                                   bool urgent) {
+  if (st->stopping || st->tenant == nullptr) return;
+  if (cf->claimed || cf->done || cf->abandoned) return;
+  cf->claimed = true;
+  auto task = [st, cf] { FillChunked(st, cf); };
+  if (urgent) {
+    st->tenant->SubmitUrgent(std::move(task));
+  } else {
+    st->tenant->Submit(std::move(task));
+  }
+}
+
 PrefetchDecoder::PrefetchDecoder(Options options)
     : options_(std::move(options)), state_(std::make_shared<State>()) {
   state_->decode = options_.decode;
-  size_t n = std::max<size_t>(1, options_.threads);
-  workers_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([st = state_] { WorkerLoop(st); });
+  state_->governor = options_.governor;
+  executor_ = options_.executor;
+  if (!executor_) {
+    Executor::Options eopt;
+    eopt.threads = std::max<size_t>(1, options_.threads);
+    executor_ = std::make_shared<Executor>(eopt);
   }
+  tenant_ = executor_->CreateTenant();
+  state_->tenant = tenant_.get();
 }
 
 PrefetchDecoder::~PrefetchDecoder() {
   {
+    // Stop fill loops early and stop refill scheduling; queued tasks
+    // are discarded by the tenant below, running ones finish.
     std::lock_guard<std::mutex> lock(state_->mu);
     state_->stopping = true;
+    state_->tenant = nullptr;
   }
-  state_->work_cv.notify_all();
-  for (auto& w : workers_) w.join();
+  tenant_.reset();
   // Truncate still-undone chunked files so sources that outlive the
-  // decoder drain their buffers and then end instead of hanging.
+  // decoder drain their buffers and then end instead of hanging, and
+  // hand every governor slot back to the global budget.
   std::lock_guard<std::mutex> lock(state_->mu);
+  auto truncate = [this](ChunkedFile& cf) {
+    cf.done = true;
+    if (state_->governor && cf.slots > 0) {
+      state_->governor->Release(cf.slots);
+      cf.slots = 0;
+    }
+  };
   for (auto& job : state_->jobs) {
-    for (auto& cf : job->chunks) cf->done = true;
+    for (auto& cf : job->chunks) truncate(*cf);
   }
   for (auto& subset : state_->active) {
-    for (auto& cf : subset) cf->done = true;
+    for (auto& cf : subset) truncate(*cf);
   }
   state_->chunk_cv.notify_all();
 }
@@ -92,18 +126,33 @@ void PrefetchDecoder::Submit(std::vector<broker::DumpFileMeta> subset) {
       auto cf = std::make_shared<ChunkedFile>();
       cf->meta = std::move(f);
       cf->capacity = cap;
+      // The caller acquired one floor slot per file (see Options::
+      // governor contract); the decoder owns them from here on.
+      if (options_.governor) cf->slots = 1;
       job->chunks.push_back(std::move(cf));
     }
   } else {
     job->dumps.resize(subset.size());
     job->files = std::move(subset);
   }
-  {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    PruneActiveLocked(*state_);
-    state_->jobs.push_back(std::move(job));
+  std::lock_guard<std::mutex> lock(state_->mu);
+  PruneActiveLocked(*state_);
+  state_->jobs.push_back(job);
+  if (job->chunked) {
+    for (auto& cf : job->chunks) ScheduleFill(state_, cf, /*urgent=*/false);
+    return;
   }
-  state_->work_cv.notify_all();
+  for (size_t idx = 0; idx < job->files.size(); ++idx) {
+    if (state_->tenant == nullptr) break;
+    state_->tenant->Submit([st = state_, job, idx] {
+      DecodedDump dump = DecodeDumpFile(job->files[idx], st->decode);
+      std::lock_guard<std::mutex> lock(st->mu);
+      job->dumps[idx] = std::move(dump);
+      ++job->decoded;
+      ++st->files_decoded;
+      if (job->decoded == job->files.size()) st->done_cv.notify_all();
+    });
+  }
 }
 
 std::vector<DecodedDump> PrefetchDecoder::WaitNext() {
@@ -182,10 +231,28 @@ void PrefetchDecoder::PruneActiveLocked(State& st) {
   }
 }
 
+void PrefetchDecoder::ReleaseSlotsLocked(State& st, ChunkedFile& cf) {
+  if (!st.governor || cf.slots == 0) return;
+  // A completed-and-drained (or abandoned) file needs nothing; a live
+  // one needs one slot per buffered record (plus one for a record the
+  // fill task is decoding right now) and its floor.
+  size_t target;
+  if (cf.abandoned || (cf.done && cf.buffer.empty())) {
+    target = 0;
+  } else {
+    target = std::max<size_t>(cf.done ? 0 : 1, cf.buffer.size() + cf.decoding);
+  }
+  if (cf.slots > target) {
+    st.governor->Release(cf.slots - target);
+    cf.slots = target;
+  }
+}
+
 void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
-                                  ChunkedFile& cf,
-                                  std::unique_lock<std::mutex>& lock) {
-  if (!cf.reader) {
+                                  const std::shared_ptr<ChunkedFile>& cfp) {
+  ChunkedFile& cf = *cfp;
+  std::unique_lock<std::mutex> lock(st->mu);
+  if (!cf.reader && !cf.done && !cf.abandoned && !st->stopping) {
     broker::DumpFileMeta meta = cf.meta;
     lock.unlock();
     if (st->decode.file_open_hook) st->decode.file_open_hook(meta);
@@ -193,11 +260,25 @@ void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
     lock.lock();
     cf.reader = std::move(reader);
   }
-  while (!st->stopping && !cf.abandoned && cf.buffer.size() < cf.capacity) {
+  while (!st->stopping && !cf.abandoned && !cf.done &&
+         cf.buffer.size() < cf.capacity) {
+    // Lease a slot for the next record *before* decoding it. The first
+    // record rides on the file's floor slot; extras are opportunistic
+    // (TryAcquire never blocks the shared Executor) — when the global
+    // budget is spent, stop filling; consumer pops re-schedule us.
+    if (st->governor && cf.buffer.size() + 1 > cf.slots) {
+      if (!st->governor->TryAcquire(1)) break;
+      ++cf.slots;
+    }
+    cf.decoding = 1;  // the lease above covers the record decoded next
     lock.unlock();
     std::optional<Record> rec = cf.reader->Next();
-    if (rec) AttachPrefetchedElems(*rec, st->decode);
+    if (rec) AttachPrefetchedElems(*rec, st->decode, &cf.arena);
     lock.lock();
+    // Holding the lock through the push below: no pop can interleave
+    // between clearing the in-flight mark and the slot becoming a
+    // buffered record's.
+    cf.decoding = 0;
     if (!rec) {
       cf.done = true;
       cf.reader.reset();  // release the file handle; nothing left to read
@@ -216,69 +297,11 @@ void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
     cf.reader.reset();
     cf.done = true;
   }
+  // Hand back any slot leased for a record that never materialized
+  // (EOF, denied push, shutdown) — and everything, once dead.
+  ReleaseSlotsLocked(*st, cf);
   cf.claimed = false;
   st->chunk_cv.notify_all();
-}
-
-void PrefetchDecoder::WorkerLoop(const std::shared_ptr<State>& st) {
-  std::unique_lock<std::mutex> lock(st->mu);
-  while (true) {
-    // Shutdown drops still-unclaimed work: the consumer is gone, so only
-    // decodes already in flight are worth finishing.
-    if (st->stopping) return;
-
-    // 1. Top up chunked buffers the consumer is actively merging — it
-    //    may be blocked on them right now.
-    ChunkedFile* fill = nullptr;
-    auto fillable = [](const ChunkedFile& cf) {
-      return !cf.claimed && !cf.done && !cf.abandoned &&
-             cf.buffer.size() < cf.capacity;
-    };
-    for (auto& subset : st->active) {
-      for (auto& cf : subset) {
-        if (fillable(*cf)) {
-          fill = cf.get();
-          break;
-        }
-      }
-      if (fill) break;
-    }
-    // 2. Then work ahead on queued subsets, oldest first.
-    std::shared_ptr<Job> job;
-    size_t idx = 0;
-    if (!fill) {
-      for (auto& j : st->jobs) {
-        if (j->chunked) {
-          for (auto& cf : j->chunks) {
-            if (fillable(*cf)) {
-              fill = cf.get();
-              break;
-            }
-          }
-        } else if (j->next_file < j->files.size()) {
-          job = j;
-          idx = job->next_file++;
-        }
-        if (fill || job) break;
-      }
-    }
-    if (fill) {
-      fill->claimed = true;
-      FillChunked(st, *fill, lock);
-      continue;
-    }
-    if (job) {
-      lock.unlock();
-      DecodedDump dump = DecodeDumpFile(job->files[idx], st->decode);
-      lock.lock();
-      job->dumps[idx] = std::move(dump);
-      ++job->decoded;
-      ++st->files_decoded;
-      if (job->decoded == job->files.size()) st->done_cv.notify_all();
-      continue;
-    }
-    st->work_cv.wait(lock);
-  }
 }
 
 }  // namespace bgps::core

@@ -6,23 +6,37 @@
 // of retrieval latency (in the paper's deployment the dumps stream over
 // HTTP from the RouteViews / RIPE RIS archives) stalls the consumer.
 //
-// PrefetchDecoder moves open+decode onto a small worker pool that runs
-// ahead of the consumer: while the application merges overlapping-subset
-// N, workers are already opening and decoding the files of subsets
-// N+1..N+depth, handed back through an order-preserving queue. BgpStream
-// bounds how many subsets are in flight (Options::prefetch_subsets),
-// which bounds memory.
+// PrefetchDecoder schedules open+decode as tasks on a core::Executor
+// that run ahead of the consumer: while the application merges
+// overlapping-subset N, decode tasks are already opening and decoding
+// the files of subsets N+1..N+depth, handed back through an
+// order-preserving queue. BgpStream bounds how many subsets are in
+// flight (Options::prefetch_subsets), which bounds memory.
+//
+// The decoder is one *tenant* of its Executor. By default it creates a
+// private Executor (Options::threads workers) and behaves exactly like
+// a dedicated pool; inject a shared Executor (Options::executor, via
+// bgps::StreamPool) and many concurrent streams decode on one
+// process-wide pool, each with a FIFO queue dispatched round-robin so a
+// heavy stream cannot starve the others.
 //
 // Two decode modes (Options::max_records_in_flight):
 //  * whole-file (0, default): each file is fully materialized into a
 //    DecodedDump before the subset is handed to the consumer. Lowest
 //    synchronization cost; memory is O(records per subset).
 //  * chunked (> 0): each file streams through a bounded per-file record
-//    buffer that workers keep topped up while the consumer merges, so a
-//    ~500-file RIB subset (paper §3.3.4) never holds more than
+//    buffer that decode tasks keep topped up while the consumer merges,
+//    so a ~500-file RIB subset (paper §3.3.4) never holds more than
 //    max_records_in_flight records in RAM per in-flight subset.
 //
-// The workers can additionally pre-extract (and elem-filter) elems into
+// Chunked buffering can additionally be governed by a process-wide
+// MemoryGovernor (Options::governor): each buffered record then leases
+// one slot from the global budget — a floor slot per file (acquired by
+// the caller before Submit, ownership passes to the decoder) plus
+// demand-driven extras the fill tasks TryAcquire (never blocking the
+// shared Executor). Slots release as the consumer drains.
+//
+// The decode tasks can also pre-extract (and elem-filter) elems into
 // Record::prefetched_elems (Options::decode.extract_elems), moving the
 // §3.3.3 decomposition off the consumer thread too.
 //
@@ -36,8 +50,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 
+#include "core/executor.hpp"
+#include "core/governor.hpp"
 #include "core/merge.hpp"
 
 namespace bgps::core {
@@ -45,7 +60,17 @@ namespace bgps::core {
 class PrefetchDecoder {
  public:
   struct Options {
-    size_t threads = 2;        // decode workers (clamped to >= 1)
+    // Private-executor size (clamped to >= 1). Ignored when a shared
+    // executor is injected below.
+    size_t threads = 2;
+    // Shared process-wide decode pool (see bgps::StreamPool). Null =
+    // create a private Executor with `threads` workers.
+    std::shared_ptr<Executor> executor;
+    // Global record-budget ledger for chunked buffers. Null = only the
+    // per-subset split below bounds memory. Contract: when set, the
+    // caller must Acquire(subset.size()) floor slots before each
+    // chunked Submit; the decoder takes ownership and releases them.
+    std::shared_ptr<MemoryGovernor> governor;
     DumpDecodeOptions decode;  // open hook + worker-side elem extraction
     // Chunked decode: cap on records buffered in RAM per in-flight
     // subset, split evenly across its files (floor of one record per
@@ -55,7 +80,8 @@ class PrefetchDecoder {
 
   explicit PrefetchDecoder(Options options);
   // Abandons still-unclaimed queued files (the consumer is gone), lets
-  // in-flight decodes finish, and joins the pool. Chunked sources that
+  // in-flight decodes finish, and releases the decoder's tenant queue
+  // (and any governor slots it still holds). Chunked sources that
   // outlive the decoder keep serving their buffered records, then end
   // (truncated) — BgpStream never lets that happen.
   ~PrefetchDecoder();
@@ -69,15 +95,15 @@ class PrefetchDecoder {
 
   // Blocks until the oldest submitted subset is fully decoded and
   // returns it (FIFO: results come back in Submit order regardless of
-  // which worker finished first). Whole-file mode only. Precondition:
+  // which task finished first). Whole-file mode only. Precondition:
   // outstanding() > 0.
   std::vector<DecodedDump> WaitNext();
 
   // Mode-independent hand-off: record sources for the oldest submitted
   // subset, in file order. Whole-file mode blocks until the subset is
   // fully decoded; chunked mode returns immediately with live sources
-  // the workers keep filling (their Peek/Next block until a record or
-  // end-of-file). Precondition: outstanding() > 0.
+  // the decode tasks keep filling (their Peek/Next block until a record
+  // or end-of-file). Precondition: outstanding() > 0.
   std::vector<std::unique_ptr<RecordSource>> WaitNextSources();
 
   // Subsets submitted but not yet returned by WaitNext*().
@@ -97,14 +123,20 @@ class PrefetchDecoder {
 
  private:
   // One file streaming through a bounded buffer (chunked mode). All
-  // fields are guarded by State::mu except reader *while claimed*, which
-  // the claiming worker uses with the lock released.
+  // fields are guarded by State::mu except reader and arena *while
+  // claimed*, which the claiming task uses with the lock released.
   struct ChunkedFile {
     broker::DumpFileMeta meta;
     size_t capacity = 1;
     std::deque<Record> buffer;
     std::unique_ptr<DumpReader> reader;  // created by the first filler
-    bool claimed = false;    // a worker is currently filling/decoding
+    ElemArena arena;         // primes prefetched_elems reserves
+    size_t slots = 0;        // governor slots held (floor + extras)
+    // 1 while the fill task decodes a record with the lock released and
+    // a slot already leased for it; keeps concurrent consumer pops from
+    // releasing that in-flight lease (ReleaseSlotsLocked counts it).
+    size_t decoding = 0;
+    bool claimed = false;    // a fill task is queued or running
     bool done = false;       // reader exhausted (or truncated at shutdown)
     bool abandoned = false;  // the consumer dropped the source
   };
@@ -113,22 +145,24 @@ class PrefetchDecoder {
     bool chunked = false;
     // Whole-file mode:
     std::vector<broker::DumpFileMeta> files;
-    std::vector<DecodedDump> dumps;  // slot per file, filled by workers
-    size_t next_file = 0;            // next index to claim
+    std::vector<DecodedDump> dumps;  // slot per file, filled by tasks
     size_t decoded = 0;              // slots filled
     // Chunked mode:
     std::vector<std::shared_ptr<ChunkedFile>> chunks;
   };
 
-  // Shared between the facade, the workers, and any ChunkedSources still
-  // held by a MultiWayMerge — shared_ptr-owned so sources stay valid no
-  // matter the destruction order.
+  // Shared between the facade, the decode tasks, and any ChunkedSources
+  // still held by a MultiWayMerge — shared_ptr-owned so sources stay
+  // valid no matter the destruction order.
   struct State {
     DumpDecodeOptions decode;
+    std::shared_ptr<MemoryGovernor> governor;
     mutable std::mutex mu;
-    std::condition_variable work_cv;   // workers: claimable work may exist
     std::condition_variable done_cv;   // consumer: front whole-file job done
     std::condition_variable chunk_cv;  // consumer: chunked records/EOF ready
+    // Refill scheduling target; nulled (under mu) before the decoder
+    // destroys it, so late refill requests are safely dropped.
+    Executor::Tenant* tenant = nullptr;
     std::deque<std::shared_ptr<Job>> jobs;  // submission order, not handed out
     // Chunked subsets handed to the consumer but still being filled.
     std::deque<std::vector<std::shared_ptr<ChunkedFile>>> active;
@@ -140,11 +174,20 @@ class PrefetchDecoder {
 
   class ChunkedSource;
 
-  static void WorkerLoop(const std::shared_ptr<State>& st);
-  // Fills `cf` (claimed by this worker) until full/EOF/abandoned/stop.
-  // Called and returns with `lock` held.
-  static void FillChunked(const std::shared_ptr<State>& st, ChunkedFile& cf,
-                          std::unique_lock<std::mutex>& lock);
+  // Fills `cf` (claimed by the running task) until full/EOF/denied-
+  // lease/abandoned/stop. Runs as an Executor task.
+  static void FillChunked(const std::shared_ptr<State>& st,
+                          const std::shared_ptr<ChunkedFile>& cf);
+  // Queues a fill task for `cf` on the decoder's tenant if it can make
+  // progress and none is queued or running. Caller holds State::mu.
+  // `urgent` puts the task at the front of the tenant queue (the
+  // consumer may be blocked on this very file).
+  static void ScheduleFill(const std::shared_ptr<State>& st,
+                           const std::shared_ptr<ChunkedFile>& cf,
+                           bool urgent);
+  // Releases cf's governor slots down to what its buffer still needs.
+  // Caller holds State::mu.
+  static void ReleaseSlotsLocked(State& st, ChunkedFile& cf);
   // True while a handed-out subset still holds decode resources (any
   // file not yet decoded AND drained). in_flight() counts live subsets
   // toward the prefetch_subsets bound; PruneActiveLocked drops dead
@@ -155,7 +198,10 @@ class PrefetchDecoder {
 
   Options options_;
   std::shared_ptr<State> state_;
-  std::vector<std::thread> workers_;
+  // Private pool when no shared executor was injected. Declared before
+  // tenant_ so the tenant detaches first (members destruct in reverse).
+  std::shared_ptr<Executor> executor_;
+  std::unique_ptr<Executor::Tenant> tenant_;
 };
 
 }  // namespace bgps::core

@@ -26,6 +26,25 @@ Status BgpStream::Start() {
       return InvalidArgument(
           "max_records_in_flight requires prefetch_subsets > 0 (the "
           "synchronous path already streams with bounded memory)");
+    if (options_.executor)
+      return InvalidArgument(
+          "Options::executor requires prefetch_subsets > 0 (the "
+          "synchronous path never decodes off-thread)");
+    if (options_.governor)
+      return InvalidArgument("Options::governor requires prefetch_subsets > 0");
+  }
+  if (options_.executor && options_.executor->threads() == 0)
+    return InvalidArgument(
+        "Options::executor has no worker threads (decode tasks would "
+        "never run)");
+  if (options_.governor) {
+    if (options_.max_records_in_flight == 0)
+      return InvalidArgument(
+          "Options::governor requires max_records_in_flight > 0 (the "
+          "governor leases chunked-decode buffer slots)");
+    if (options_.governor->capacity() == 0)
+      return InvalidArgument(
+          "Options::governor budget must be > 0 records");
   }
   if (!options_.poll_wait) {
     options_.poll_wait = [] {
@@ -35,6 +54,8 @@ Status BgpStream::Start() {
   if (options_.prefetch_subsets > 0 && !decoder_) {
     PrefetchDecoder::Options popt;
     popt.threads = options_.decode_threads;
+    popt.executor = options_.executor;
+    popt.governor = options_.governor;
     popt.decode.file_open_hook = options_.file_open_hook;
     popt.decode.extract_elems = options_.extract_elems_in_workers;
     // filters_ is frozen once reading starts, so the workers can read it
@@ -45,6 +66,7 @@ Status BgpStream::Start() {
   }
   started_ = true;
   ended_ = false;
+  status_ = OkStatus();
   return OkStatus();
 }
 
@@ -56,9 +78,37 @@ void BgpStream::StartBatchPrefetch() {
                            [this] { return data_interface_->NextBatch(filters_); });
 }
 
+bool BgpStream::AcquireSubsetFloors(size_t files, bool may_block) {
+  if (!options_.governor || options_.max_records_in_flight == 0) return true;
+  MemoryGovernor& gov = *options_.governor;
+  if (files > gov.capacity()) {
+    status_ = InvalidArgument(
+        "memory governor budget (" + std::to_string(gov.capacity()) +
+        " records) is smaller than the subset file count (" +
+        std::to_string(files) +
+        " files); chunked decode needs one buffered record per file");
+    return false;
+  }
+  if (!may_block) return gov.TryAcquire(files);
+  Status st = gov.Acquire(files);
+  if (!st.ok()) {
+    status_ = st;
+    return false;
+  }
+  return true;
+}
+
 void BgpStream::TopUpPrefetch() {
   while (decoder_ && decoder_->in_flight() < options_.prefetch_subsets) {
     if (next_subset_ < pending_subsets_.size()) {
+      // Opportunistic work-ahead: when the shared budget cannot cover
+      // this subset's floor slots right now, just stop topping up —
+      // Refill falls back to a fair blocking wait once it has nothing
+      // else to do.
+      if (!AcquireSubsetFloors(pending_subsets_[next_subset_].size(),
+                               /*may_block=*/false)) {
+        return;
+      }
       decoder_->Submit(std::move(pending_subsets_[next_subset_++]));
       continue;
     }
@@ -89,6 +139,19 @@ bool BgpStream::Refill() {
     // 1. Drain remaining subsets of the current batch.
     if (decoder_) {
       TopUpPrefetch();
+      if (!status_.ok()) return false;
+      if (decoder_->outstanding() == 0 &&
+          next_subset_ < pending_subsets_.size()) {
+        // Work is pending but the shared governor's budget is spent on
+        // other tenants. We hold no undrained buffers here (everything
+        // handed out was fully merged), so a fair blocking wait is
+        // safe: the capacity we wait for is releasable without us.
+        if (!AcquireSubsetFloors(pending_subsets_[next_subset_].size(),
+                                 /*may_block=*/true)) {
+          return false;
+        }
+        decoder_->Submit(std::move(pending_subsets_[next_subset_++]));
+      }
       if (decoder_->outstanding() > 0) {
         std::vector<std::unique_ptr<RecordSource>> sources =
             decoder_->WaitNextSources();

@@ -67,6 +67,20 @@ class BgpStream {
     // toward prefetch_subsets while any of its files still decode, so
     // prefetch_subsets >= 2 is needed to actually work ahead.
     size_t max_records_in_flight = 0;
+    // Shared decode pool (runtime layer): run this stream's decode
+    // tasks on a process-wide Executor instead of a private pool of
+    // decode_threads workers. The stream gets its own FIFO tenant
+    // queue, dispatched round-robin against every other tenant.
+    // Injected by bgps::StreamPool; null = private pool (the PR-2
+    // behavior, byte-for-byte).
+    std::shared_ptr<Executor> executor;
+    // Global record-budget ledger (runtime layer): chunked buffers
+    // lease slots from this process-wide governor instead of budgeting
+    // independently, so the *sum* of records buffered across all
+    // streams sharing it stays under one hard cap. Requires
+    // prefetch_subsets > 0 and max_records_in_flight > 0. Injected by
+    // bgps::StreamPool; null = per-stream bound only.
+    std::shared_ptr<MemoryGovernor> governor;
   };
 
   BgpStream() = default;
@@ -90,8 +104,14 @@ class BgpStream {
   Status Start();
 
   // Next record passing the record-level filters. nullopt = end of stream
-  // (historical exhaustion, or the live poll limit was hit).
+  // (historical exhaustion, the live poll limit, or a runtime error —
+  // check status() to distinguish).
   std::optional<Record> NextRecord();
+
+  // OK while the stream is healthy (including normal end-of-stream);
+  // non-OK when the stream terminated abnormally, e.g. the shared
+  // memory governor's budget is smaller than a subset's file count.
+  const Status& status() const { return status_; }
 
   // Elems of `record` passing the elem-level filters. When the workers
   // pre-extracted them (Options::extract_elems_in_workers) this is a
@@ -120,8 +140,18 @@ class BgpStream {
   // Keeps the decode pipeline full: submits pending subsets until
   // prefetch_subsets are in flight, harvesting an eagerly fetched next
   // batch when the current one is fully submitted (no-op when prefetch
-  // is disabled).
+  // is disabled). Stops early (without error) when the shared memory
+  // governor cannot currently cover a subset's floor slots.
   void TopUpPrefetch();
+
+  // Acquires one governor floor slot per file of `subset` before it may
+  // be submitted for chunked decode (no-op without a governor).
+  // may_block=false is the opportunistic work-ahead path (TryAcquire);
+  // may_block=true waits FIFO-fair — only safe when this stream holds
+  // no undrained buffers, i.e. Refill with nothing outstanding. Returns
+  // false when the slots were not acquired; sets status_ on a demand
+  // that can never be satisfied (subset larger than the whole budget).
+  bool AcquireSubsetFloors(size_t files, bool may_block);
 
   // Kicks off the background fetch of the next DataBatch if cross-batch
   // prefetch applies (historical mode, none already in flight).
@@ -132,6 +162,7 @@ class BgpStream {
   Options options_;
   bool started_ = false;
   bool ended_ = false;
+  Status status_;  // non-OK only on abnormal termination
 
   std::vector<std::vector<broker::DumpFileMeta>> pending_subsets_;
   size_t next_subset_ = 0;

@@ -1,0 +1,40 @@
+#include "pool/stream_pool.hpp"
+
+namespace bgps {
+
+StreamPool::StreamPool(Options options) : options_(options) {
+  core::Executor::Options eopt;
+  eopt.threads = options_.threads;
+  executor_ = std::make_shared<core::Executor>(eopt);
+  governor_ = std::make_shared<core::MemoryGovernor>(options_.record_budget);
+}
+
+Result<std::unique_ptr<StreamPool>> StreamPool::Create(Options options) {
+  if (options.threads == 0)
+    return InvalidArgument("StreamPool requires threads > 0");
+  if (options.record_budget == 0)
+    return InvalidArgument("StreamPool requires record_budget > 0");
+  if (options.prefetch_subsets == 0)
+    return InvalidArgument(
+        "StreamPool requires prefetch_subsets > 0 (vended streams decode "
+        "on the shared pool)");
+  return std::unique_ptr<StreamPool>(new StreamPool(options));
+}
+
+std::unique_ptr<core::BgpStream> StreamPool::CreateStream(
+    core::BgpStream::Options options) {
+  options.executor = executor_;
+  options.governor = governor_;
+  if (options.prefetch_subsets == 0) {
+    options.prefetch_subsets = options_.prefetch_subsets;
+  }
+  if (options.max_records_in_flight == 0) {
+    options.max_records_in_flight = options_.max_records_in_flight > 0
+                                        ? options_.max_records_in_flight
+                                        : options_.record_budget;
+  }
+  streams_created_.fetch_add(1);
+  return std::make_unique<core::BgpStream>(std::move(options));
+}
+
+}  // namespace bgps

@@ -1,0 +1,89 @@
+// StreamPool — the multi-tenant service layer (runtime layer).
+//
+// The paper positions BGPStream as a framework that many concurrent
+// consumers run on top of: monitoring plugins, timely analyses, live
+// dashboards (§4–6). With per-stream pipelines, N tenants means N×
+// decode threads and N× worst-case buffer memory. A StreamPool owns the
+// two shared resources instead — one core::Executor (fixed worker pool,
+// per-tenant FIFO queues, round-robin dispatch) and one
+// core::MemoryGovernor (hard process-wide cap on buffered records,
+// demand-driven leases) — and vends BgpStream handles wired to them.
+//
+//   auto pool = bgps::StreamPool::Create({.threads = 4,
+//                                         .record_budget = 4096});
+//   auto monitor = (*pool)->CreateStream();   // tenant 1
+//   auto dashboard = (*pool)->CreateStream(); // tenant 2 ... tenant K
+//   // configure + Start() + NextRecord() each handle as usual,
+//   // from any thread (one thread per stream).
+//
+// Every vended stream emits exactly the record/elem sequence it would
+// with a private pipeline — the pool only changes *where* decode work
+// runs and *who* accounts the buffers. Streams may outlive the pool
+// (they share ownership of the Executor/Governor), but the intended
+// shape is pool-owns-lifetime.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "core/stream.hpp"
+
+namespace bgps {
+
+class StreamPool {
+ public:
+  struct Options {
+    // Shared decode workers serving every vended stream.
+    size_t threads = 4;
+    // Hard cap on chunked-decode records buffered in RAM across all
+    // vended streams together (the MemoryGovernor capacity).
+    size_t record_budget = 4096;
+    // Defaults applied by CreateStream when the caller's own options
+    // leave the knobs unset (0):
+    size_t prefetch_subsets = 3;       // decode-ahead depth per stream
+    size_t max_records_in_flight = 0;  // per-subset split; 0 = record_budget
+  };
+
+  // Validates the options; error on a zero thread count, budget, or
+  // prefetch depth (a pool of never-running streams).
+  static Result<std::unique_ptr<StreamPool>> Create(Options options);
+
+  StreamPool(const StreamPool&) = delete;
+  StreamPool& operator=(const StreamPool&) = delete;
+
+  // Vends a stream wired to the shared Executor and MemoryGovernor.
+  // `options` may pre-set any BgpStream knob; executor/governor are
+  // overwritten with the pool's, and prefetch_subsets /
+  // max_records_in_flight fall back to the pool defaults when 0. The
+  // handle is configured, started, and consumed exactly like a
+  // standalone BgpStream; destroying it detaches the tenant.
+  // Thread-safe.
+  std::unique_ptr<core::BgpStream> CreateStream(
+      core::BgpStream::Options options = {}) ;
+
+  const std::shared_ptr<core::Executor>& executor() const {
+    return executor_;
+  }
+  const std::shared_ptr<core::MemoryGovernor>& governor() const {
+    return governor_;
+  }
+
+  size_t threads() const { return options_.threads; }
+  size_t record_budget() const { return options_.record_budget; }
+  // Streams vended so far (not necessarily still alive).
+  size_t streams_created() const { return streams_created_.load(); }
+  // Governor passthroughs: the live and high-watermark counts of
+  // buffered records across all tenants.
+  size_t records_in_use() const { return governor_->in_use(); }
+  size_t max_records_in_use() const { return governor_->max_in_use(); }
+
+ private:
+  explicit StreamPool(Options options);
+
+  Options options_;
+  std::shared_ptr<core::Executor> executor_;
+  std::shared_ptr<core::MemoryGovernor> governor_;
+  std::atomic<size_t> streams_created_{0};
+};
+
+}  // namespace bgps

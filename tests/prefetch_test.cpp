@@ -161,6 +161,70 @@ TEST(PrefetchDecoderTest, ChunkedInFlightCountsActiveSubsets) {
   EXPECT_EQ(decoder.in_flight(), 1u);  // only the queued subset remains
 }
 
+TEST(PrefetchDecoderTest, SharedExecutorDecodersKeepFifoOrder) {
+  // Two decoders as tenants of one executor: each still returns its own
+  // subsets in its own Submit order.
+  auto executor = std::make_shared<Executor>(Executor::Options{.threads = 2});
+  PrefetchDecoder::Options opt_a;
+  opt_a.executor = executor;
+  PrefetchDecoder::Options opt_b;
+  opt_b.executor = executor;
+  PrefetchDecoder a(std::move(opt_a));
+  PrefetchDecoder b(std::move(opt_b));
+  a.Submit(BogusSubset("a1", 3));
+  b.Submit(BogusSubset("b1", 2));
+  a.Submit(BogusSubset("a2", 1));
+  EXPECT_EQ(a.WaitNext()[0].meta.collector, "a1-0");
+  EXPECT_EQ(b.WaitNext()[0].meta.collector, "b1-0");
+  EXPECT_EQ(a.WaitNext()[0].meta.collector, "a2-0");
+  EXPECT_EQ(executor->tenants(), 2u);
+}
+
+TEST(PrefetchDecoderTest, ChunkedGovernorLedgerBalancesOnDrain) {
+  auto governor = std::make_shared<MemoryGovernor>(8);
+  PrefetchDecoder::Options opt;
+  opt.threads = 2;
+  opt.max_records_in_flight = 8;
+  opt.governor = governor;
+  PrefetchDecoder decoder(std::move(opt));
+
+  // Per the Options::governor contract the caller acquires one floor
+  // slot per file before a chunked Submit.
+  ASSERT_TRUE(governor->TryAcquire(3));
+  decoder.Submit(BogusSubset("gov", 3));
+  auto sources = decoder.WaitNextSources();
+  ASSERT_EQ(sources.size(), 3u);
+  for (auto& s : sources) {
+    while (s->Next()) {
+    }
+  }
+  // Fully decoded and drained: every slot (floors + extras) returns to
+  // the global budget.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (governor->in_use() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(governor->in_use(), 0u);
+  EXPECT_GT(governor->max_in_use(), 0u);
+  EXPECT_LE(governor->max_in_use(), 8u);
+}
+
+TEST(PrefetchDecoderTest, ChunkedGovernorLedgerBalancesOnDestruction) {
+  auto governor = std::make_shared<MemoryGovernor>(8);
+  {
+    PrefetchDecoder::Options opt;
+    opt.threads = 2;
+    opt.max_records_in_flight = 8;
+    opt.governor = governor;
+    PrefetchDecoder decoder(std::move(opt));
+    ASSERT_TRUE(governor->TryAcquire(4));
+    decoder.Submit(BogusSubset("dropped", 4));
+    // Destroyed with the subset undrained (possibly still filling).
+  }
+  EXPECT_EQ(governor->in_use(), 0u);
+}
+
 TEST(PrefetchDecoderTest, ChunkedSourcesSurviveDecoderDestruction) {
   std::vector<std::unique_ptr<RecordSource>> sources;
   {

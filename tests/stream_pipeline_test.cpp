@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 #include <tuple>
 
 #include "core/stream.hpp"
 #include "mrt/file.hpp"
+#include "pool/stream_pool.hpp"
 #include "tests/sim_fixture.hpp"
 
 namespace bgps::core {
@@ -64,22 +66,29 @@ class PipelineEquivalenceTest : public ::testing::Test {
 
   // Streams the whole archive through a broker with a small response
   // window so multiple DataBatches flow (exercising batch boundaries).
+  // When `pool` is given the stream is vended from it (the shared
+  // decode runtime) instead of running a private pipeline.
   StreamRun Run(BgpStream::Options options,
                 const std::vector<std::pair<std::string, std::string>>&
-                    filters = {}) {
+                    filters = {},
+                bgps::StreamPool* pool = nullptr) {
     broker::Broker::Options bopt;
     bopt.clock = [] { return Timestamp(4102444800); };
     bopt.window = 900;  // 1-hour archive -> ~4 batches
     broker::Broker broker(root_, bopt);
     BrokerDataInterface di(&broker);
-    BgpStream stream(std::move(options));
+    std::unique_ptr<BgpStream> stream =
+        pool ? pool->CreateStream(std::move(options))
+             : std::make_unique<BgpStream>(std::move(options));
     for (const auto& [k, v] : filters) {
-      EXPECT_TRUE(stream.AddFilter(k, v).ok()) << k << " " << v;
+      EXPECT_TRUE(stream->AddFilter(k, v).ok()) << k << " " << v;
     }
-    stream.SetInterval(start_, end_);
-    stream.SetDataInterface(&di);
-    EXPECT_TRUE(stream.Start().ok());
-    return Drain(stream);
+    stream->SetInterval(start_, end_);
+    stream->SetDataInterface(&di);
+    EXPECT_TRUE(stream->Start().ok());
+    StreamRun run = Drain(*stream);
+    EXPECT_TRUE(stream->status().ok());
+    return run;
   }
 
   std::string root_;
@@ -133,6 +142,37 @@ TEST_F(PipelineEquivalenceTest, AllConfigurationsEmitIdenticalStreams) {
     EXPECT_EQ(run.subsets, sync.subsets) << c.name;
     EXPECT_EQ(run.max_open, sync.max_open) << c.name;
   }
+}
+
+TEST_F(PipelineEquivalenceTest, SharedStreamPoolEmitsIdenticalStreams) {
+  StreamRun sync = Run({});
+  ASSERT_GT(sync.records.size(), 100u);
+
+  // K = 3 concurrent tenants on one 4-thread Executor + one governor,
+  // all streaming the same archive: each must reproduce the synchronous
+  // fingerprint exactly.
+  auto pool = bgps::StreamPool::Create({.threads = 4, .record_budget = 256});
+  ASSERT_TRUE(pool.ok());
+  constexpr int kTenants = 3;
+  std::vector<StreamRun> runs(kTenants);
+  {
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kTenants; ++t) {
+      consumers.emplace_back([&, t] {
+        BgpStream::Options opt;
+        opt.prefetch_batches = true;
+        opt.extract_elems_in_workers = true;
+        runs[size_t(t)] = Run(std::move(opt), {}, pool->get());
+      });
+    }
+    for (auto& c : consumers) c.join();
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(runs[size_t(t)].records, sync.records) << "tenant " << t;
+    EXPECT_EQ(runs[size_t(t)].elems, sync.elems) << "tenant " << t;
+    EXPECT_EQ(runs[size_t(t)].subsets, sync.subsets) << "tenant " << t;
+  }
+  EXPECT_LE((*pool)->max_records_in_use(), 256u);
 }
 
 TEST_F(PipelineEquivalenceTest, WorkerSideFilteringMatchesInlineFiltering) {
@@ -248,6 +288,78 @@ TEST(PipelineOptionsTest, WorkerKnobsRequirePrefetch) {
     stream.SetInterval(0, 100);
     stream.SetDataInterface(&di);
     EXPECT_FALSE(stream.Start().ok());
+  }
+}
+
+// Start() validation of the runtime-layer injection knobs, with the
+// exact diagnostics users will see.
+TEST(PipelineOptionsTest, RuntimeLayerKnobCombosFailStartExactly) {
+  NeverReadyInterface di;
+  auto start_status = [&di](BgpStream::Options opt) {
+    BgpStream stream(std::move(opt));
+    stream.SetInterval(0, 100);
+    stream.SetDataInterface(&di);
+    return stream.Start();
+  };
+  {
+    // Executor without prefetch: there are no decode tasks to share.
+    BgpStream::Options opt;
+    opt.executor = std::make_shared<Executor>(Executor::Options{});
+    Status st = start_status(std::move(opt));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(),
+              "Options::executor requires prefetch_subsets > 0 (the "
+              "synchronous path never decodes off-thread)");
+  }
+  {
+    // Zero-thread executor: tasks would queue forever.
+    BgpStream::Options opt;
+    opt.prefetch_subsets = 2;
+    opt.executor = std::make_shared<Executor>(Executor::Options{.threads = 0});
+    Status st = start_status(std::move(opt));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(),
+              "Options::executor has no worker threads (decode tasks would "
+              "never run)");
+  }
+  {
+    // Governor without prefetch.
+    BgpStream::Options opt;
+    opt.governor = std::make_shared<MemoryGovernor>(64);
+    Status st = start_status(std::move(opt));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(),
+              "Options::governor requires prefetch_subsets > 0");
+  }
+  {
+    // Governor without chunked decode: nothing would ever lease slots.
+    BgpStream::Options opt;
+    opt.prefetch_subsets = 2;
+    opt.governor = std::make_shared<MemoryGovernor>(64);
+    Status st = start_status(std::move(opt));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(),
+              "Options::governor requires max_records_in_flight > 0 (the "
+              "governor leases chunked-decode buffer slots)");
+  }
+  {
+    // A zero-record budget could never cover any subset's floor slots.
+    BgpStream::Options opt;
+    opt.prefetch_subsets = 2;
+    opt.max_records_in_flight = 64;
+    opt.governor = std::make_shared<MemoryGovernor>(0);
+    Status st = start_status(std::move(opt));
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(), "Options::governor budget must be > 0 records");
+  }
+  {
+    // And the happy path with both injected starts fine.
+    BgpStream::Options opt;
+    opt.prefetch_subsets = 2;
+    opt.max_records_in_flight = 64;
+    opt.executor = std::make_shared<Executor>(Executor::Options{.threads = 2});
+    opt.governor = std::make_shared<MemoryGovernor>(64);
+    EXPECT_TRUE(start_status(std::move(opt)).ok());
   }
 }
 

@@ -1,0 +1,309 @@
+// Tests of the multi-tenant StreamPool service layer: K concurrent
+// streams over disjoint archives on one shared Executor must produce
+// exactly the per-stream record/elem sequences K private pipelines
+// produce, while the MemoryGovernor keeps the *total* records buffered
+// across all tenants under one hard budget.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+#include <tuple>
+
+#include "mrt/file.hpp"
+#include "pool/stream_pool.hpp"
+
+namespace bgps {
+namespace {
+
+using broker::DumpFileMeta;
+using broker::DumpType;
+using core::BgpStream;
+
+using RecordFp = std::tuple<Timestamp, std::string, int, int, int>;
+using ElemFp = std::tuple<int, Timestamp, uint32_t, std::string, std::string>;
+
+struct StreamRun {
+  std::vector<RecordFp> records;
+  std::vector<ElemFp> elems;
+  size_t max_records_buffered = 0;
+  Status status;
+};
+
+StreamRun Drain(BgpStream& stream) {
+  StreamRun out;
+  while (auto rec = stream.NextRecord()) {
+    out.records.emplace_back(rec->timestamp, rec->collector,
+                             int(rec->dump_type), int(rec->status),
+                             int(rec->position));
+    for (const auto& e : stream.Elems(*rec)) {
+      out.elems.emplace_back(int(e.type), e.time, e.peer_asn,
+                             e.has_prefix() ? e.prefix.ToString() : "-",
+                             e.as_path.ToString());
+    }
+  }
+  out.max_records_buffered = stream.max_records_buffered();
+  out.status = stream.status();
+  return out;
+}
+
+// Hands the whole file set to the stream in one batch, then ends.
+class VectorDataInterface : public core::DataInterface {
+ public:
+  explicit VectorDataInterface(std::vector<DumpFileMeta> files)
+      : files_(std::move(files)) {}
+  core::DataBatch NextBatch(const core::FilterSet&) override {
+    core::DataBatch batch;
+    if (!served_) {
+      batch.files = files_;
+      served_ = true;
+    } else {
+      batch.end_of_stream = true;
+    }
+    return batch;
+  }
+
+ private:
+  std::vector<DumpFileMeta> files_;
+  bool served_ = false;
+};
+
+// One tenant's archive: `files` fully-overlapping updates dumps (so
+// they form a single subset), each with `records_per_file` records.
+// Tenants get distinct ASNs/prefix bytes so a cross-tenant mixup cannot
+// fingerprint equal.
+std::vector<DumpFileMeta> WriteTenantArchive(const std::string& dir,
+                                             int tenant, int files,
+                                             int records_per_file) {
+  std::filesystem::create_directories(dir);
+  std::vector<DumpFileMeta> out;
+  for (int f = 0; f < files; ++f) {
+    Timestamp start = 1458000000 + Timestamp(tenant) * 100000 + f;
+    std::string path = (std::filesystem::path(dir) /
+                        (std::to_string(tenant) + "_" + std::to_string(f) +
+                         ".mrt")).string();
+    mrt::MrtFileWriter w;
+    EXPECT_TRUE(w.Open(path).ok());
+    for (int i = 0; i < records_per_file; ++i) {
+      mrt::Bgp4mpMessage m;
+      m.peer_asn = bgp::Asn(65000 + tenant * 100 + f);
+      m.local_asn = 64512;
+      m.peer_address = IpAddress::V4(10, uint8_t(tenant), uint8_t(f), 1);
+      m.local_address = IpAddress::V4(192, 0, 2, 1);
+      m.update.attrs.as_path = bgp::AsPath::Sequence(
+          {bgp::Asn(65000 + tenant * 100 + f), 3356, 15169});
+      m.update.attrs.next_hop = IpAddress::V4(10, uint8_t(tenant), 0, 1);
+      m.update.announced.push_back(
+          Prefix(IpAddress::V4(uint32_t(tenant + 1) << 24 | uint32_t(i) << 8),
+                 24));
+      EXPECT_TRUE(
+          w.Write(mrt::EncodeBgp4mpUpdate(start + Timestamp(i) * 5, m)).ok());
+    }
+    EXPECT_TRUE(w.Close().ok());
+
+    DumpFileMeta meta;
+    meta.project = "pool";
+    meta.collector = "t" + std::to_string(tenant) + "c" + std::to_string(f);
+    meta.type = DumpType::Updates;
+    meta.start = start;
+    meta.duration = 3600;
+    meta.path = path;
+    out.push_back(std::move(meta));
+  }
+  return out;
+}
+
+class StreamPoolTest : public ::testing::Test {
+ protected:
+  static constexpr int kTenants = 4;
+  static constexpr int kFilesPerTenant = 6;
+  static constexpr int kRecordsPerFile = 50;
+
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("bgps_stream_pool_" + std::to_string(::getpid()))).string();
+    for (int t = 0; t < kTenants; ++t) {
+      archives_.push_back(
+          WriteTenantArchive(dir_, t, kFilesPerTenant, kRecordsPerFile));
+    }
+    ASSERT_FALSE(HasFatalFailure());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  // Drains tenant `t`'s archive through `stream`.
+  StreamRun RunTenant(int t, std::unique_ptr<BgpStream> stream) {
+    VectorDataInterface di(archives_[size_t(t)]);
+    stream->SetInterval(0, 4102444800);
+    stream->SetDataInterface(&di);
+    EXPECT_TRUE(stream->Start().ok());
+    return Drain(*stream);
+  }
+
+  // The reference: a private per-stream pipeline (PR-2 shape).
+  StreamRun RunPrivate(int t) {
+    BgpStream::Options opt;
+    opt.prefetch_subsets = 2;
+    opt.decode_threads = 1;
+    opt.extract_elems_in_workers = true;
+    opt.max_records_in_flight = 64;
+    return RunTenant(t, std::make_unique<BgpStream>(std::move(opt)));
+  }
+
+  std::string dir_;
+  std::vector<std::vector<DumpFileMeta>> archives_;
+};
+
+TEST_F(StreamPoolTest, SharedPoolStreamsMatchPrivatePipelines) {
+  StreamPool::Options popt;
+  popt.threads = 4;
+  popt.record_budget = 256;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  for (int t = 0; t < 3; ++t) {  // K = 3 sequential tenants, one pool
+    StreamRun expect = RunPrivate(t);
+    ASSERT_EQ(expect.records.size(),
+              size_t(kFilesPerTenant) * kRecordsPerFile);
+
+    BgpStream::Options opt;
+    opt.extract_elems_in_workers = true;
+    StreamRun got = RunTenant(t, (*pool)->CreateStream(std::move(opt)));
+    EXPECT_EQ(got.records, expect.records) << "tenant " << t;
+    EXPECT_EQ(got.elems, expect.elems) << "tenant " << t;
+    EXPECT_TRUE(got.status.ok());
+  }
+  EXPECT_EQ((*pool)->streams_created(), 3u);
+  EXPECT_LE((*pool)->max_records_in_use(), 256u);
+}
+
+TEST_F(StreamPoolTest, ConcurrentTenantsMatchPrivatePipelinesOnOnePool) {
+  // K = 4 streams over disjoint archives, one 4-thread Executor, one
+  // global budget — the acceptance scenario.
+  std::vector<StreamRun> expect;
+  for (int t = 0; t < kTenants; ++t) expect.push_back(RunPrivate(t));
+
+  StreamPool::Options popt;
+  popt.threads = 4;
+  popt.record_budget = 128;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  std::vector<StreamRun> got(kTenants);
+  {
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kTenants; ++t) {
+      consumers.emplace_back([&, t] {
+        BgpStream::Options opt;
+        opt.extract_elems_in_workers = true;
+        got[size_t(t)] = RunTenant(t, (*pool)->CreateStream(std::move(opt)));
+      });
+    }
+    for (auto& c : consumers) c.join();
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(got[size_t(t)].records, expect[size_t(t)].records)
+        << "tenant " << t;
+    EXPECT_EQ(got[size_t(t)].elems, expect[size_t(t)].elems)
+        << "tenant " << t;
+    EXPECT_TRUE(got[size_t(t)].status.ok()) << "tenant " << t;
+  }
+  // The governor's watermark proves the *global* bound held while all
+  // four tenants buffered concurrently.
+  EXPECT_GT((*pool)->max_records_in_use(), 0u);
+  EXPECT_LE((*pool)->max_records_in_use(), 128u);
+}
+
+TEST_F(StreamPoolTest, GlobalBudgetBoundsBufferedRecordsUnderStress) {
+  // A budget far below the tenants' combined appetite: every tenant's
+  // subset wants kFilesPerTenant floors plus extras, and per-stream
+  // max_records_in_flight (= budget by default) would allow 4× the
+  // budget if the governor did not exist. Every stream must still
+  // terminate with its full output.
+  constexpr size_t kBudget = 40;
+  StreamPool::Options popt;
+  popt.threads = 3;
+  popt.record_budget = kBudget;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  std::vector<StreamRun> got(kTenants);
+  {
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kTenants; ++t) {
+      consumers.emplace_back([&, t] {
+        got[size_t(t)] = RunTenant(t, (*pool)->CreateStream());
+      });
+    }
+    for (auto& c : consumers) c.join();
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(got[size_t(t)].records.size(),
+              size_t(kFilesPerTenant) * kRecordsPerFile)
+        << "tenant " << t;
+    EXPECT_TRUE(got[size_t(t)].status.ok()) << "tenant " << t;
+  }
+  EXPECT_GT((*pool)->max_records_in_use(), 0u);
+  EXPECT_LE((*pool)->max_records_in_use(), kBudget);
+  // Everything was drained and released: the ledger balances to zero.
+  EXPECT_EQ((*pool)->records_in_use(), 0u);
+}
+
+TEST_F(StreamPoolTest, VendedStreamDefaultsComeFromThePool) {
+  StreamPool::Options popt;
+  popt.threads = 2;
+  popt.record_budget = 96;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+  StreamRun run = RunTenant(0, (*pool)->CreateStream());
+  EXPECT_EQ(run.records.size(), size_t(kFilesPerTenant) * kRecordsPerFile);
+  // Chunked decode was on (pool default: budget-bounded buffers).
+  EXPECT_GT(run.max_records_buffered, 0u);
+  EXPECT_LE(run.max_records_buffered, 96u);
+}
+
+TEST_F(StreamPoolTest, BudgetSmallerThanSubsetFileCountFailsTheStream) {
+  // 6 files in the subset, budget 3: chunked decode needs one buffered
+  // record per file to merge, so the stream must terminate with the
+  // exact diagnostic instead of deadlocking.
+  StreamPool::Options popt;
+  popt.threads = 2;
+  popt.record_budget = 3;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+  StreamRun run = RunTenant(0, (*pool)->CreateStream());
+  EXPECT_TRUE(run.records.empty());
+  EXPECT_EQ(run.status.code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(run.status.message(),
+            "memory governor budget (3 records) is smaller than the subset "
+            "file count (6 files); chunked decode needs one buffered record "
+            "per file");
+}
+
+TEST(StreamPoolCreateTest, RejectsZeroKnobsWithExactMessages) {
+  {
+    auto pool = StreamPool::Create({.threads = 0});
+    ASSERT_FALSE(pool.ok());
+    EXPECT_EQ(pool.status().message(), "StreamPool requires threads > 0");
+  }
+  {
+    auto pool = StreamPool::Create({.threads = 2, .record_budget = 0});
+    ASSERT_FALSE(pool.ok());
+    EXPECT_EQ(pool.status().message(),
+              "StreamPool requires record_budget > 0");
+  }
+  {
+    auto pool = StreamPool::Create(
+        {.threads = 2, .record_budget = 64, .prefetch_subsets = 0});
+    ASSERT_FALSE(pool.ok());
+    EXPECT_EQ(pool.status().message(),
+              "StreamPool requires prefetch_subsets > 0 (vended streams "
+              "decode on the shared pool)");
+  }
+}
+
+}  // namespace
+}  // namespace bgps

@@ -8,11 +8,17 @@
 //     bgpreader -d <archive> -w 1463011200 -t updates -k 192.0.0.0/8
 // (the data source is a directory here instead of the hosted broker; an
 // omitted window end means live mode, §3.3.1).
+//
+// --pool-threads / --pool-budget route the stream through a
+// bgps::StreamPool — the same shared decode runtime a multi-tenant
+// service would use — instead of a private synchronous pipeline.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/stream.hpp"
+#include "pool/stream_pool.hpp"
 #include "reader/ascii.hpp"
 
 using namespace bgps;
@@ -43,6 +49,12 @@ elem filters (repeatable):
   -i 4|6          IP version
   -e TYPE         elemtype: ribs|announcements|withdrawals|peerstates
 
+performance (shared decode runtime):
+  --pool-threads N  decode through a StreamPool with N shared workers
+                    (the multi-tenant runtime; implies prefetching)
+  --pool-budget N   global cap on records buffered in RAM by chunked
+                    decode (default 4096; implies --pool-threads 4)
+
 output:
   -m              bgpdump -m compatible output
   -r              also print one line per record
@@ -55,10 +67,11 @@ output:
 
 int main(int argc, char** argv) {
   std::string archive, file;
-  core::BgpStream stream;
+  std::vector<std::pair<std::string, std::string>> filters;
   reader::BgpReaderOptions out_options;
   bool have_window = false;
   Timestamp start = 0, end = kLiveEnd;
+  size_t pool_threads = 0, pool_budget = 0;
 
   auto fail = [&](const std::string& msg) {
     std::fprintf(stderr, "bgpreader: %s\n", msg.c_str());
@@ -72,7 +85,6 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    Status st = OkStatus();
     if (arg == "-d") {
       const char* v = need_value();
       if (!v) return fail("-d needs a directory");
@@ -93,47 +105,57 @@ int main(int argc, char** argv) {
     } else if (arg == "-t") {
       const char* v = need_value();
       if (!v) return fail("-t needs a type");
-      st = stream.AddFilter("type", v);
+      filters.emplace_back("type", v);
     } else if (arg == "-P") {
       const char* v = need_value();
       if (!v) return fail("-P needs a project");
-      st = stream.AddFilter("project", v);
+      filters.emplace_back("project", v);
     } else if (arg == "-c") {
       const char* v = need_value();
       if (!v) return fail("-c needs a collector");
-      st = stream.AddFilter("collector", v);
+      filters.emplace_back("collector", v);
     } else if (arg == "-k") {
       const char* v = need_value();
       if (!v) return fail("-k needs a prefix");
-      st = stream.AddFilter("prefix", std::string("any ") + v);
+      filters.emplace_back("prefix", std::string("any ") + v);
     } else if (arg == "-K") {
       const char* v = need_value();
       if (!v) return fail("-K needs MODE,PREFIX");
       std::string s = v;
       size_t comma = s.find(',');
       if (comma == std::string::npos) return fail("-K needs MODE,PREFIX");
-      st = stream.AddFilter("prefix", s.substr(0, comma) + " " +
-                                          s.substr(comma + 1));
+      filters.emplace_back("prefix",
+                           s.substr(0, comma) + " " + s.substr(comma + 1));
     } else if (arg == "-j") {
       const char* v = need_value();
       if (!v) return fail("-j needs an ASN");
-      st = stream.AddFilter("peer", v);
+      filters.emplace_back("peer", v);
     } else if (arg == "-y") {
       const char* v = need_value();
       if (!v) return fail("-y needs a community");
-      st = stream.AddFilter("community", v);
+      filters.emplace_back("community", v);
     } else if (arg == "-A") {
       const char* v = need_value();
       if (!v) return fail("-A needs a pattern");
-      st = stream.AddFilter("aspath", v);
+      filters.emplace_back("aspath", v);
     } else if (arg == "-i") {
       const char* v = need_value();
       if (!v) return fail("-i needs 4 or 6");
-      st = stream.AddFilter("ipversion", v);
+      filters.emplace_back("ipversion", v);
     } else if (arg == "-e") {
       const char* v = need_value();
       if (!v) return fail("-e needs an elemtype");
-      st = stream.AddFilter("elemtype", v);
+      filters.emplace_back("elemtype", v);
+    } else if (arg == "--pool-threads") {
+      const char* v = need_value();
+      if (!v) return fail("--pool-threads needs a count");
+      pool_threads = size_t(std::strtoull(v, nullptr, 10));
+      if (pool_threads == 0) return fail("--pool-threads must be > 0");
+    } else if (arg == "--pool-budget") {
+      const char* v = need_value();
+      if (!v) return fail("--pool-budget needs a record count");
+      pool_budget = size_t(std::strtoull(v, nullptr, 10));
+      if (pool_budget == 0) return fail("--pool-budget must be > 0");
     } else if (arg == "-m") {
       out_options.format = reader::OutputFormat::Bgpdump;
     } else if (arg == "-r") {
@@ -148,33 +170,58 @@ int main(int argc, char** argv) {
     } else {
       return fail("unknown option " + arg);
     }
-    if (!st.ok()) return fail(st.ToString());
   }
 
   if (archive.empty() == file.empty())
     return fail("exactly one of -d / -f is required");
   if (!have_window && file.empty()) return fail("-w is required with -d");
 
+  // The shared decode runtime: either pool flag routes the stream
+  // through a StreamPool (threads default 4, budget default 4096).
+  std::unique_ptr<StreamPool> pool;
+  std::unique_ptr<core::BgpStream> stream;
+  if (pool_threads > 0 || pool_budget > 0) {
+    StreamPool::Options popt;
+    if (pool_threads > 0) popt.threads = pool_threads;
+    if (pool_budget > 0) popt.record_budget = pool_budget;
+    auto created = StreamPool::Create(popt);
+    if (!created.ok()) return fail(created.status().ToString());
+    pool = std::move(*created);
+    stream = pool->CreateStream();
+  } else {
+    stream = std::make_unique<core::BgpStream>();
+  }
+
+  for (const auto& [key, value] : filters) {
+    if (Status st = stream->AddFilter(key, value); !st.ok())
+      return fail(st.ToString());
+  }
+
   std::unique_ptr<broker::Broker> broker;
   std::unique_ptr<core::DataInterface> di;
   if (!archive.empty()) {
     broker = std::make_unique<broker::Broker>(archive);
     di = std::make_unique<core::BrokerDataInterface>(broker.get());
-    stream.SetInterval(start, end);
+    stream->SetInterval(start, end);
   } else {
     di = std::make_unique<core::SingleFileInterface>(file,
                                                      core::DumpType::Updates);
     if (have_window) {
-      stream.SetInterval(start, end == kLiveEnd ? 4102444800 : end);
+      stream->SetInterval(start, end == kLiveEnd ? 4102444800 : end);
     } else {
-      stream.SetInterval(0, 4102444800);
+      stream->SetInterval(0, 4102444800);
     }
   }
-  stream.SetDataInterface(di.get());
-  if (Status st = stream.Start(); !st.ok()) return fail(st.ToString());
+  stream->SetDataInterface(di.get());
+  if (Status st = stream->Start(); !st.ok()) return fail(st.ToString());
 
-  size_t printed = reader::RunBgpReader(stream, std::cout, out_options);
+  size_t printed = reader::RunBgpReader(*stream, std::cout, out_options);
+  if (!stream->status().ok()) {
+    std::fprintf(stderr, "bgpreader: stream error: %s\n",
+                 stream->status().ToString().c_str());
+    return 1;
+  }
   std::fprintf(stderr, "bgpreader: %zu elems from %zu records\n", printed,
-               stream.records_emitted());
+               stream->records_emitted());
   return 0;
 }
