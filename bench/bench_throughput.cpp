@@ -440,6 +440,116 @@ void BM_MultiTenantSharedPool(benchmark::State& state) {
 BGPS_STREAM_BENCH(BM_MultiTenantPrivatePools);
 BGPS_STREAM_BENCH(BM_MultiTenantSharedPool);
 
+// --- Weighted tenant scheduling: live monitor vs batch backfills ----------
+//
+// The §3.3 framing: a live monitor must never wait behind batch
+// backfills. Tenant 0 plays the live consumer, tenants 1–3 are
+// backfills, all sharing one 2-worker pool (scarce workers make the
+// dispatcher the bottleneck, which is exactly what weights arbitrate):
+//   BM_MultiTenantEqualWeights   every tenant weight 1 (PR-3 dispatch)
+//   BM_MultiTenantWeightedLive   tenant 0 weight 4
+// Counters: the live tenant's own completion wall time (the number the
+// weights exist to improve), the slowest tenant's, and an
+// order-independent fingerprint of the pool's total output — identical
+// between the variants, proving weights change *when* work runs, not
+// *what* is emitted.
+
+uint64_t RecordFingerprint(const core::Record& rec) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over identity fields
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(uint64_t(rec.timestamp));
+  for (char c : rec.collector) mix(uint8_t(c));
+  mix(uint64_t(rec.dump_type));
+  return h;
+}
+
+void RunWeightedTenantBench(benchmark::State& state, size_t live_weight) {
+  auto open_latency = std::chrono::microseconds(state.range(0));
+  auto batch_latency = std::chrono::microseconds(state.range(1));
+  size_t records = 0;
+  double live_ms_total = 0, slowest_ms_total = 0;
+  uint64_t checksum = 0;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto created = StreamPool::Create({.threads = 2, .record_budget = 512});
+    if (!created.ok()) std::abort();
+    std::unique_ptr<StreamPool> pool = std::move(*created);
+    std::atomic<size_t> run_records{0};
+    std::atomic<uint64_t> run_checksum{0};
+    std::vector<double> tenant_ms(kTenantCount);
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kTenantCount; ++t) {
+      consumers.emplace_back([&, t] {
+        BatchedDataInterface di(TenantSlice(t), kBenchFilesPerSubset,
+                                batch_latency);
+        core::BgpStream::Options opt;
+        opt.prefetch_subsets = 3;
+        opt.extract_elems_in_workers = true;
+        if (open_latency.count() > 0) {
+          opt.file_open_hook = [open_latency](const broker::DumpFileMeta&) {
+            std::this_thread::sleep_for(open_latency);
+          };
+        }
+        StreamPool::TenantOptions topt;
+        topt.weight = t == 0 ? live_weight : 1;
+        topt.name = t == 0 ? "live" : "backfill-" + std::to_string(t);
+        std::unique_ptr<core::BgpStream> stream =
+            pool->CreateStream(std::move(opt), std::move(topt));
+        stream->SetInterval(0, 4102444800);
+        stream->SetDataInterface(&di);
+        if (!stream->Start().ok()) std::abort();
+        auto t0 = std::chrono::steady_clock::now();
+        size_t mine = 0;
+        uint64_t fp = 0;  // XOR: order-independent across tenants
+        while (auto rec = stream->NextRecord()) {
+          ++mine;
+          fp ^= RecordFingerprint(*rec);
+          for (const auto& e : stream->Elems(*rec)) {
+            benchmark::DoNotOptimize(e.time);
+          }
+        }
+        tenant_ms[size_t(t)] = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        run_records += mine;
+        run_checksum ^= fp;
+      });
+    }
+    for (auto& c : consumers) c.join();
+    records += run_records.load();
+    checksum = run_checksum.load();  // same every iteration by construction
+    live_ms_total += tenant_ms[0];
+    slowest_ms_total += *std::max_element(tenant_ms.begin(), tenant_ms.end());
+  }
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  double iters = double(state.iterations());
+  state.SetItemsProcessed(int64_t(records));
+  state.counters["records_per_sec_wall"] =
+      wall_seconds > 0 ? double(records) / wall_seconds : 0.0;
+  state.counters["live_tenant_wall_ms"] = live_ms_total / iters;
+  state.counters["slowest_tenant_wall_ms"] = slowest_ms_total / iters;
+  // Exactly representable in a double (48 bits); equal between the
+  // equal-weight and weighted variants ⇔ identical total pool output.
+  state.counters["output_fingerprint"] =
+      double(checksum & ((uint64_t(1) << 48) - 1));
+}
+
+void BM_MultiTenantEqualWeights(benchmark::State& state) {
+  RunWeightedTenantBench(state, /*live_weight=*/1);
+}
+
+void BM_MultiTenantWeightedLive(benchmark::State& state) {
+  RunWeightedTenantBench(state, /*live_weight=*/4);
+}
+
+BGPS_STREAM_BENCH(BM_MultiTenantEqualWeights);
+BGPS_STREAM_BENCH(BM_MultiTenantWeightedLive);
+
 #undef BGPS_STREAM_BENCH
 
 }  // namespace

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
-"""Compare two trees of google-benchmark JSON results and flag regressions.
+"""Compare benchmark JSON results against a rolling baseline window.
 
 Usage:
     bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
                   [--fail-on-regress]
 
-Result files are matched by basename anywhere under each directory (CI
-artifacts nest them one level deep). For every benchmark present in
-both, the wall-time (`real_time`) delta is reported as a markdown table
-suitable for $GITHUB_STEP_SUMMARY; benchmarks slower than the threshold
-additionally emit `::warning::` annotations. Exits 0 unless
+BASELINE_DIR may hold results from *several* previous main-branch runs
+(CI downloads the last N artifacts into per-run subdirectories); every
+file with the same basename contributes one sample, and the baseline
+value per benchmark is the **median across those runs** — single CI
+runs are far too noisy to diff against directly. CURRENT_DIR holds this
+run's results, matched by basename anywhere under the directory.
+
+For every benchmark present in both, the wall-time (`real_time`) delta
+vs the rolling median is reported as a markdown table suitable for
+$GITHUB_STEP_SUMMARY; benchmarks slower than the threshold additionally
+emit `::warning::` annotations. Benchmarks (or result files) present on
+only one side are *skipped with a note* — renames and newly added
+benches must not crash the diff or silently vanish. Exits 0 unless
 --fail-on-regress is given and a regression was found, so the job
-annotates rather than gates by default (single-run CI timings are
-noisy).
+annotates rather than gates by default.
 """
 
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 
 TIME_UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -25,22 +33,29 @@ TIME_UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 def load_benchmarks(path):
     """{benchmark name -> real_time in ns} from one result file."""
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None  # unreadable/corrupt sample: the caller notes it
     out = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
+        name = b.get("name")
+        time = b.get("real_time")
+        if name is None or not isinstance(time, (int, float)):
+            continue  # malformed entry: skip rather than crash
         scale = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1)
-        out[b["name"]] = b["real_time"] * scale
+        out[name] = time * scale
     return out
 
 
 def find_results(root):
-    """{basename -> path} of every .json under root (first wins)."""
+    """{basename -> [paths]} of every .json under root, all samples."""
     out = {}
     for p in sorted(pathlib.Path(root).rglob("*.json")):
-        out.setdefault(p.name, p)
+        out.setdefault(p.name, []).append(p)
     return out
 
 
@@ -56,8 +71,9 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.15,
-                    help="relative wall-time slowdown that counts as a "
-                         "regression (default 0.15 = +15%%)")
+                    help="relative wall-time slowdown vs the rolling "
+                         "median that counts as a regression "
+                         "(default 0.15 = +15%%)")
     ap.add_argument("--fail-on-regress", action="store_true")
     args = ap.parse_args()
 
@@ -65,43 +81,93 @@ def main():
     curr_files = find_results(args.current)
     if not base_files:
         print("### Benchmark diff\n")
-        print("No baseline results found — first run, or the previous "
+        print("No baseline results found — first run, or every previous "
               "artifact expired. Nothing to compare.")
         return 0
-    common = sorted(set(base_files) & set(curr_files))
-    if not common:
-        print("### Benchmark diff\n")
-        print("Baseline and current runs share no result files.")
-        return 0
 
+    notes = []
+    for name in sorted(set(curr_files) - set(base_files)):
+        notes.append(f"`{name}`: new result file, no baseline — skipped.")
+    for name in sorted(set(base_files) - set(curr_files)):
+        notes.append(f"`{name}`: baseline-only result file (removed or "
+                     "renamed bench binary?) — skipped.")
+
+    common = sorted(set(base_files) & set(curr_files))
     regressions = []
-    print("### Benchmark diff (wall time vs previous run)\n")
-    print("| Benchmark | Baseline | Current | Delta |")
-    print("|---|---:|---:|---:|")
+    rows = []
     for name in common:
-        base = load_benchmarks(base_files[name])
-        curr = load_benchmarks(curr_files[name])
-        for bench in sorted(set(base) & set(curr)):
-            b, c = base[bench], curr[bench]
-            if b <= 0:
+        # Rolling median per benchmark across every baseline run that
+        # has it (an old run predating a new benchmark simply
+        # contributes no sample for it).
+        samples = {}
+        usable_runs = 0
+        for path in base_files[name]:
+            loaded = load_benchmarks(path)
+            if loaded is None:
+                notes.append(f"`{path}`: unreadable baseline sample — "
+                             "skipped.")
                 continue
-            delta = (c - b) / b
+            usable_runs += 1
+            for bench, t in loaded.items():
+                samples.setdefault(bench, []).append(t)
+        if len(curr_files[name]) > 1:
+            extras = ", ".join(str(p) for p in curr_files[name][1:])
+            notes.append(f"`{name}`: {len(curr_files[name])} current files "
+                         f"share this basename; comparing the first, "
+                         f"ignoring {extras}.")
+        curr = load_benchmarks(curr_files[name][0])
+        if curr is None:
+            notes.append(f"`{curr_files[name][0]}`: unreadable current "
+                         "results — skipped.")
+            continue
+        if usable_runs == 0:
+            notes.append(f"`{name}`: no usable baseline sample — skipped.")
+            continue
+
+        for bench in sorted(set(curr) - set(samples)):
+            notes.append(f"`{bench}`: new benchmark, no baseline sample "
+                         "— skipped.")
+        for bench in sorted(set(samples) - set(curr)):
+            notes.append(f"`{bench}`: baseline-only benchmark (removed or "
+                         "renamed?) — skipped.")
+        for bench in sorted(set(samples) & set(curr)):
+            base = statistics.median(samples[bench])
+            c = curr[bench]
+            if base <= 0:
+                notes.append(f"`{bench}`: non-positive baseline median "
+                             "— skipped.")
+                continue
+            delta = (c - base) / base
             mark = ""
             if delta > args.threshold:
                 mark = " ⚠️"
                 regressions.append((bench, delta))
-            print(f"| `{bench}` | {fmt_ns(b)} | {fmt_ns(c)} "
-                  f"| {delta:+.1%}{mark} |")
-    print()
+            rows.append(f"| `{bench}` | {fmt_ns(base)} ({len(samples[bench])}"
+                        f" runs) | {fmt_ns(c)} | {delta:+.1%}{mark} |")
+
+    print("### Benchmark diff (wall time vs rolling baseline median)\n")
+    if rows:
+        print("| Benchmark | Baseline median | Current | Delta |")
+        print("|---|---:|---:|---:|")
+        for row in rows:
+            print(row)
+        print()
+    else:
+        print("Baseline and current runs share no comparable benchmarks.\n")
+    if notes:
+        print("**Skipped (with reasons):**\n")
+        for note in notes:
+            print(f"- {note}")
+        print()
     if regressions:
         print(f"**{len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%}.**")
+              f"{args.threshold:.0%} vs the rolling median.**")
         for bench, delta in regressions:
             # GitHub annotation, shown on the workflow run page.
             print(f"::warning title=Benchmark regression::{bench} is "
-                  f"{delta:+.1%} slower than the previous run",
+                  f"{delta:+.1%} slower than the rolling baseline median",
                   file=sys.stderr)
-    else:
+    elif rows:
         print(f"No benchmark regressed more than {args.threshold:.0%}.")
     return 1 if (regressions and args.fail_on_regress) else 0
 

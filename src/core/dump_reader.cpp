@@ -65,6 +65,51 @@ std::optional<Timestamp> DumpReader::PeekTimestamp() {
   return lookahead_->timestamp;
 }
 
+size_t DumpReader::Skip(size_t n) {
+  size_t skipped = 0;
+  while (skipped < n && !done_) {
+    if (lookahead_) {
+      lookahead_.reset();
+      started_ = true;
+      ++skipped;
+      continue;
+    }
+    // Mirror Produce()'s record cadence without the BGP decode.
+    if (open_failed_) {
+      if (emitted_open_failure_) {
+        done_ = true;
+        break;
+      }
+      emitted_open_failure_ = true;  // the single CorruptedDump record
+      started_ = true;
+      ++skipped;
+      continue;
+    }
+    auto raw = reader_.Next();
+    if (!raw.ok()) {
+      if (raw.status().code() == StatusCode::EndOfStream) {
+        done_ = true;
+        break;
+      }
+      started_ = true;  // the one CorruptedDump record framing yields
+      ++skipped;
+      continue;
+    }
+    if (raw->type == uint16_t(mrt::MrtType::TableDumpV2) &&
+        raw->subtype == uint16_t(mrt::TableDumpV2Subtype::PeerIndexTable)) {
+      // RIB records after the skip still need the table to decompose.
+      auto msg = mrt::DecodeRecord(*raw);
+      if (msg.ok() && msg->is_peer_index()) {
+        peer_index_ = std::make_shared<mrt::PeerIndexTable>(
+            std::get<mrt::PeerIndexTable>(msg->body));
+      }
+    }
+    started_ = true;
+    ++skipped;
+  }
+  return skipped;
+}
+
 std::optional<Record> DumpReader::Next() {
   if (done_) return std::nullopt;
   if (!lookahead_) {

@@ -39,6 +39,16 @@ class DumpReader {
   // Next record, or nullopt when the dump is exhausted.
   std::optional<Record> Next();
 
+  // Skips the next `n` records without decoding their BGP payloads —
+  // the resume path of idle-tenant reclaim, where the consumer already
+  // saw them. Each raw framing unit counts as one record, exactly
+  // Next()'s cadence (including the CorruptedDump / CorruptedRecord /
+  // Unsupported and open-failure records), and PEER_INDEX_TABLE
+  // records are still ingested so RIB decomposition after the skip
+  // sees its table. Returns how many were skipped; < n means the dump
+  // ended early.
+  size_t Skip(size_t n);
+
   // Peer index table seen in this file (RIB dumps), for elem extraction.
   const mrt::PeerIndexTable* peer_index() const { return peer_index_.get(); }
 

@@ -1,18 +1,47 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 
 namespace bgps::core {
 
-// One tenant's strictly-FIFO queue. Guarded by SharedState::mu.
+namespace {
+// How often an otherwise-idle worker ticks the round clock so
+// idle-reclaim still fires when the whole pool is stalled (e.g. every
+// consumer paused with full buffers). Only used while at least one
+// reclaim policy is registered.
+constexpr std::chrono::milliseconds kIdleRoundTick{20};
+}  // namespace
+
+// One tenant's strictly-FIFO queue. Guarded by SharedState::mu except
+// the atomics, which NoteActivity writes lock-free from consumer
+// threads.
 struct Executor::Tenant::Queue {
   std::deque<std::function<void()>> tasks;
   size_t running = 0;  // tasks claimed by workers, not yet finished
   bool closed = false;
   std::condition_variable idle_cv;  // Tenant dtor waits for running == 0
+
+  // Deficit-weighted round-robin: a visit of the dispatch cursor lets
+  // the tenant drain up to `weight` tasks. `credit` is the remainder of
+  // the current visit; it is only nonzero while the cursor is parked on
+  // this queue.
+  size_t weight = 1;
+  size_t credit = 0;
+
+  size_t tasks_run = 0;  // per-tenant completion counter (stats)
+
+  // Idle-reclaim policy (SetIdleReclaim). `last_activity` is the round
+  // of the last NoteActivity; `reclaim_fired` keeps the callback from
+  // re-firing until activity re-arms it.
+  size_t idle_rounds = 0;  // 0 = no policy
+  std::function<void()> reclaim_cb;
+  std::atomic<size_t> last_activity{0};
+  std::atomic<bool> reclaim_fired{false};
 };
 
 // Shared between the Executor facade, the workers, and every Tenant —
@@ -23,6 +52,12 @@ struct Executor::Tenant::SharedState {
   std::vector<std::shared_ptr<Queue>> queues;  // registered tenants
   size_t rr = 0;  // round-robin cursor into `queues`
   size_t tasks_run = 0;
+  size_t reclaim_policies = 0;  // queues with an idle-reclaim policy
+  std::atomic<size_t> rounds{0};  // completed dispatch-cursor rotations
+  // Last idle round tick: N idle workers wake every kIdleRoundTick,
+  // but only one of them may advance the clock per interval, so the
+  // idle tick rate is independent of the thread count.
+  std::chrono::steady_clock::time_point last_idle_tick{};
   bool stopping = false;
 };
 
@@ -45,44 +80,137 @@ Executor::~Executor() {
 }
 
 void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
+  // Due reclaim callbacks are collected under the lock and invoked with
+  // it released (they take the callback owner's locks).
+  std::vector<std::function<void()>> due_reclaims;
+  auto collect_due_reclaims = [&st, &due_reclaims] {
+    if (st->reclaim_policies == 0) return;  // keep the hot path scan-free
+    size_t now = st->rounds.load(std::memory_order_relaxed);
+    for (auto& q : st->queues) {
+      if (q->closed || q->idle_rounds == 0 || !q->reclaim_cb) continue;
+      if (q->reclaim_fired.load(std::memory_order_relaxed)) continue;
+      size_t last = q->last_activity.load(std::memory_order_relaxed);
+      if (now >= last && now - last >= q->idle_rounds) {
+        q->reclaim_fired.store(true, std::memory_order_relaxed);
+        due_reclaims.push_back(q->reclaim_cb);
+      }
+    }
+  };
+
+  // Invokes the collected callbacks with the lock released (they take
+  // the callback owners' locks), then clears the batch.
+  auto run_due_reclaims_unlocked = [&due_reclaims] {
+    for (auto& cb : due_reclaims) cb();
+    due_reclaims.clear();
+  };
+  auto drain_due_reclaims = [&](std::unique_lock<std::mutex>& lk) {
+    if (due_reclaims.empty()) return;
+    lk.unlock();
+    run_due_reclaims_unlocked();
+    lk.lock();
+  };
+  // True while some policy is armed and could still come due — the only
+  // state the idle round tick exists for. Once every policy has fired,
+  // workers fall back to an untimed wait (no periodic wakeups in an
+  // idle process); NoteActivity re-arms and pokes work_cv.
+  auto any_armed_reclaim = [&st] {
+    for (const auto& q : st->queues) {
+      if (!q->closed && q->idle_rounds > 0 && q->reclaim_cb &&
+          !q->reclaim_fired.load(std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   std::unique_lock<std::mutex> lock(st->mu);
   while (true) {
     if (st->stopping) return;
-    // One task per tenant visit, scanning round-robin from the cursor:
-    // a tenant with a deep queue advances one task per full rotation,
-    // exactly like every other tenant.
+    // Deficit-weighted round-robin from the cursor: a tenant with tasks
+    // drains up to `weight` of them per visit (the cursor parks on it
+    // until the visit's credit or queue is exhausted), then the cursor
+    // moves on. Empty queues are skipped and their visit ends.
     std::shared_ptr<Tenant::Queue> claimed;
     size_t n = st->queues.size();
+    bool wrapped = false;
     for (size_t i = 0; i < n; ++i) {
-      auto& q = st->queues[(st->rr + i) % n];
-      if (!q->tasks.empty()) {
-        claimed = q;
-        st->rr = (st->rr + i + 1) % n;
-        break;
+      size_t idx = (st->rr + i) % n;
+      auto& q = st->queues[idx];
+      if (q->tasks.empty()) {
+        q->credit = 0;  // skipped: any in-progress visit is over
+        continue;
       }
+      if (st->rr + i >= n) wrapped = true;  // the scan passed the end
+      if (q->credit == 0) {
+        q->credit = std::max<size_t>(1, q->weight);  // a new visit begins
+      }
+      claimed = q;
+      --q->credit;
+      if (q->credit > 0 && q->tasks.size() > 1) {
+        st->rr = idx;  // park: the visit continues with the next claim
+      } else {
+        q->credit = 0;
+        st->rr = (idx + 1) % n;
+        if (idx + 1 == n) wrapped = true;  // advanced past the end
+      }
+      break;
+    }
+    if (wrapped) {
+      st->rounds.fetch_add(1, std::memory_order_relaxed);
+      collect_due_reclaims();
     }
     if (!claimed) {
-      st->work_cv.wait(lock);
+      if (!due_reclaims.empty()) {
+        drain_due_reclaims(lock);
+        continue;
+      }
+      if (st->reclaim_policies > 0 && any_armed_reclaim()) {
+        // Tick the round clock while idle so a fully-stalled pool
+        // (every consumer paused on full buffers) still reclaims. Only
+        // the first worker to wake in each interval advances the clock
+        // — otherwise the tick rate would scale with the thread count
+        // and idle_reclaim_rounds would mean different wall times on
+        // different pools.
+        if (st->work_cv.wait_for(lock, kIdleRoundTick) ==
+            std::cv_status::timeout) {
+          auto now = std::chrono::steady_clock::now();
+          if (now - st->last_idle_tick >= kIdleRoundTick) {
+            st->last_idle_tick = now;
+            st->rounds.fetch_add(1, std::memory_order_relaxed);
+            collect_due_reclaims();
+            drain_due_reclaims(lock);
+          }
+        }
+      } else {
+        st->work_cv.wait(lock);
+      }
       continue;
     }
     std::function<void()> task = std::move(claimed->tasks.front());
     claimed->tasks.pop_front();
     ++claimed->running;
     lock.unlock();
+    run_due_reclaims_unlocked();
     task();
     lock.lock();
     --claimed->running;
     ++st->tasks_run;
+    ++claimed->tasks_run;
     if (claimed->closed && claimed->running == 0) {
       claimed->idle_cv.notify_all();
     }
   }
 }
 
-std::unique_ptr<Executor::Tenant> Executor::CreateTenant() {
+std::unique_ptr<Executor::Tenant> Executor::CreateTenant(
+    TenantOptions options) {
   auto queue = std::make_shared<Tenant::Queue>();
+  queue->weight = std::max<size_t>(1, options.weight);
   {
     std::lock_guard<std::mutex> lock(state_->mu);
+    queue->last_activity.store(
+        state_->rounds.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     state_->queues.push_back(queue);
   }
   return std::unique_ptr<Tenant>(new Tenant(state_, std::move(queue)));
@@ -92,6 +220,11 @@ Executor::Tenant::~Tenant() {
   std::unique_lock<std::mutex> lock(state_->mu);
   queue_->closed = true;
   queue_->tasks.clear();
+  if (queue_->idle_rounds > 0) {
+    queue_->idle_rounds = 0;
+    queue_->reclaim_cb = nullptr;
+    --state_->reclaim_policies;
+  }
   queue_->idle_cv.wait(lock, [this] { return queue_->running == 0; });
   auto& qs = state_->queues;
   qs.erase(std::remove(qs.begin(), qs.end(), queue_), qs.end());
@@ -116,9 +249,54 @@ void Executor::Tenant::SubmitUrgent(std::function<void()> task) {
   state_->work_cv.notify_one();
 }
 
+void Executor::Tenant::SetWeight(size_t weight) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  queue_->weight = std::max<size_t>(1, weight);
+}
+
+size_t Executor::Tenant::weight() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return queue_->weight;
+}
+
+void Executor::Tenant::SetIdleReclaim(size_t idle_rounds,
+                                      std::function<void()> callback) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    bool had = queue_->idle_rounds > 0;
+    bool has = idle_rounds > 0 && callback != nullptr;
+    queue_->idle_rounds = has ? idle_rounds : 0;
+    queue_->reclaim_cb = has ? std::move(callback) : nullptr;
+    queue_->last_activity.store(
+        state_->rounds.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    queue_->reclaim_fired.store(false, std::memory_order_relaxed);
+    if (has && !had) ++state_->reclaim_policies;
+    if (!has && had) --state_->reclaim_policies;
+  }
+  // Wake waiting workers so they switch to the timed idle tick.
+  state_->work_cv.notify_all();
+}
+
+void Executor::Tenant::NoteActivity() {
+  queue_->last_activity.store(
+      state_->rounds.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  if (queue_->reclaim_fired.exchange(false, std::memory_order_relaxed)) {
+    // Re-armed after a fire: idle workers may have dropped to an
+    // untimed wait; wake one so the round tick resumes.
+    state_->work_cv.notify_one();
+  }
+}
+
 size_t Executor::Tenant::queued() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return queue_->tasks.size();
+}
+
+size_t Executor::Tenant::tasks_run() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return queue_->tasks_run;
 }
 
 size_t Executor::tasks_run() const {
@@ -129,6 +307,10 @@ size_t Executor::tasks_run() const {
 size_t Executor::tenants() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->queues.size();
+}
+
+size_t Executor::dispatch_rounds() const {
+  return state_->rounds.load(std::memory_order_relaxed);
 }
 
 }  // namespace bgps::core

@@ -9,13 +9,25 @@
 // own strictly-FIFO submission queue.
 //
 // Scheduling is deliberately work-stealing-free: workers dispatch
-// round-robin across tenant queues, taking one task per visit, so a
-// heavy tenant (a stream decoding a ~500-file RIB window) cannot starve
-// a light one (a live monitor decoding one updates file a minute).
-// Within a tenant, tasks run in submission order — the property the
-// prefetch stage's ordering guarantee is built on. SubmitUrgent jumps a
-// task to the front of its own queue (used for refills the consumer is
-// blocked on); it never jumps ahead of other tenants.
+// round-robin across tenant queues in deficit-weighted fashion — each
+// *visit* of the rotating cursor lets a tenant drain up to `weight`
+// tasks before the cursor moves on, so a weight-4 live monitor drains
+// ~4 tasks for every task of a weight-1 backfill, while a heavy tenant
+// (a stream decoding a ~500-file RIB window) still cannot starve a
+// light one entirely (every tenant is visited every rotation). Weight
+// changes take effect at the tenant's next visit. Within a tenant,
+// tasks run in submission order — the property the prefetch stage's
+// ordering guarantee is built on. SubmitUrgent jumps a task to the
+// front of its own queue (used for refills the consumer is blocked on);
+// it never jumps ahead of other tenants.
+//
+// Idle-tenant reclaim support: a tenant may register a reclaim policy
+// (SetIdleReclaim) — when NoteActivity has not been called for
+// `idle_rounds` dispatch rounds, the executor invokes the callback once
+// (outside its own lock) so the owner can shed buffered state. Rounds
+// advance as the dispatch cursor completes rotations; when the pool has
+// no runnable work but reclaim policies exist, workers tick rounds on a
+// slow timer so a fully-stalled pool still reclaims.
 //
 // Lifecycle: tenants may come and go freely (streams attach on Start,
 // detach on destruction). Destroying a Tenant discards its queued tasks
@@ -39,6 +51,13 @@ class Executor {
     size_t threads = 2;
   };
 
+  // Per-tenant scheduling parameters (see CreateTenant).
+  struct TenantOptions {
+    // Tasks this tenant may drain per dispatch visit, relative to other
+    // tenants (deficit-weighted round-robin). Clamped to >= 1.
+    size_t weight = 1;
+  };
+
   explicit Executor(Options options);
   // Joins the workers after their current task; still-queued tasks are
   // discarded. Tenants may outlive the Executor.
@@ -48,7 +67,8 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   // One tenant = one strictly-FIFO submission queue, scheduled
-  // round-robin against all other tenants. Obtained from CreateTenant.
+  // deficit-weighted round-robin against all other tenants. Obtained
+  // from CreateTenant.
   class Tenant {
    public:
     // Discards still-queued tasks and blocks until this tenant's
@@ -65,8 +85,26 @@ class Executor {
     // on (chunked-buffer refills). Does not preempt other tenants.
     void SubmitUrgent(std::function<void()> task);
 
+    // Updates the scheduling weight (clamped to >= 1). Takes effect at
+    // the tenant's next dispatch visit. Thread-safe.
+    void SetWeight(size_t weight);
+    size_t weight() const;
+
+    // Registers the idle-reclaim policy: when NoteActivity has not been
+    // called for `idle_rounds` dispatch rounds, `callback` is invoked
+    // once from a worker thread (with no executor lock held). The
+    // policy re-arms on the next NoteActivity. idle_rounds == 0 or a
+    // null callback clears the policy.
+    void SetIdleReclaim(size_t idle_rounds, std::function<void()> callback);
+    // Marks the tenant live (typically: its consumer drained a record),
+    // resetting the idle clock and re-arming a fired reclaim policy.
+    // Lock-free; safe from any thread.
+    void NoteActivity();
+
     // Tasks queued but not yet claimed by a worker.
     size_t queued() const;
+    // Tasks completed for this tenant (stats).
+    size_t tasks_run() const;
 
    private:
     friend class Executor;
@@ -79,14 +117,23 @@ class Executor {
     std::shared_ptr<Queue> queue_;
   };
 
-  // Registers a new tenant queue. Thread-safe.
-  std::unique_ptr<Tenant> CreateTenant();
+  // Registers a new tenant queue. Thread-safe. (Two overloads instead
+  // of a `= {}` default argument: TenantOptions' member initializers
+  // are not parsed yet at this point of the enclosing class.)
+  std::unique_ptr<Tenant> CreateTenant(TenantOptions options);
+  std::unique_ptr<Tenant> CreateTenant() {
+    return CreateTenant(TenantOptions{});
+  }
 
   size_t threads() const { return threads_; }
   // Tasks completed so far, across all tenants (stats for tests).
   size_t tasks_run() const;
   // Currently registered tenants (stats for tests).
   size_t tenants() const;
+  // Completed rotations of the dispatch cursor over the tenant set —
+  // the clock idle-reclaim thresholds are measured in. Also ticks
+  // slowly while the pool is idle if any reclaim policy is registered.
+  size_t dispatch_rounds() const;
 
  private:
   static void WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st);

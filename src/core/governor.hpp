@@ -14,6 +14,18 @@
 // cannot be starved by a stream of small ones, because later demands
 // (and TryAcquire) never barge past the head of the queue.
 //
+// Accounting discipline: releasing more slots than are currently
+// leased is a double-release bug in the caller, not a condition to
+// paper over — it would silently inflate the budget for everyone. The
+// first over-release *poisons* the ledger: the exact diagnostic is
+// latched (health()), every blocked Acquire wakes with it, and all
+// further acquires fail, so the bug surfaces at BgpStream::status()
+// instead of as unbounded memory growth.
+//
+// Zero-demand grants: Acquire(0) and TryAcquire(0) are unconditional
+// no-ops — a zero-record MRT file must never block behind a full
+// budget or a waiter queue.
+//
 // Deadlock discipline (how the decode pipeline uses this):
 //  * Floor slots — one per file of a subset, acquired *before* the
 //    subset is submitted for decode — guarantee every file can always
@@ -38,6 +50,14 @@ namespace bgps::core {
 
 class MemoryGovernor {
  public:
+  // Lock-consistent stats snapshot (one mutex acquisition).
+  struct Stats {
+    size_t capacity = 0;
+    size_t in_use = 0;
+    size_t max_in_use = 0;
+    size_t waiting = 0;
+  };
+
   // `capacity` is the hard cap on slots (buffered records) simultaneously
   // leased across every stream and subset sharing this governor.
   explicit MemoryGovernor(size_t capacity) : capacity_(capacity) {}
@@ -48,16 +68,24 @@ class MemoryGovernor {
   size_t capacity() const { return capacity_; }
 
   // Blocks until `n` slots are granted. Demands are served strictly in
-  // arrival order (fair FIFO wakeup, no barging). Error (and no grant)
-  // if n exceeds the capacity outright — it could never be satisfied.
+  // arrival order (fair FIFO wakeup, no barging). n == 0 is granted
+  // unconditionally, without queueing. Error (and no grant) if n
+  // exceeds the capacity outright — it could never be satisfied — or
+  // if the ledger is poisoned (see health()).
   Status Acquire(size_t n);
 
   // Non-blocking: grants only when `n` slots are free AND no earlier
-  // Acquire() demand is waiting (no barging past the queue).
+  // Acquire() demand is waiting (no barging past the queue). n == 0 is
+  // granted unconditionally. False on a poisoned ledger.
   bool TryAcquire(size_t n);
 
   // Returns `n` slots to the pool and wakes eligible waiters in order.
+  // Releasing more than is leased poisons the ledger (see health()).
   void Release(size_t n);
+
+  // OK while the ledger is consistent; after an over-release it carries
+  // the exact double-release diagnostic, permanently.
+  Status health() const;
 
   // Slots currently leased.
   size_t in_use() const;
@@ -65,6 +93,7 @@ class MemoryGovernor {
   size_t max_in_use() const;
   // Blocked Acquire() demands (stats for tests).
   size_t waiting() const;
+  Stats snapshot() const;
 
  private:
   struct Waiter {
@@ -82,6 +111,7 @@ class MemoryGovernor {
   std::deque<Waiter*> waiters_;  // FIFO; entries live on Acquire stacks
   size_t in_use_ = 0;
   size_t max_in_use_ = 0;
+  Status health_;  // latched by the first over-release
 };
 
 }  // namespace bgps::core

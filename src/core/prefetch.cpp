@@ -28,20 +28,21 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
 
   std::optional<Timestamp> PeekTimestamp() override {
     std::unique_lock<std::mutex> lock(st_->mu);
-    st_->chunk_cv.wait(lock,
-                       [&] { return !cf_->buffer.empty() || cf_->done; });
+    WaitForRecordLocked(lock);
     if (cf_->buffer.empty()) return std::nullopt;
     return cf_->buffer.front().timestamp;
   }
 
   std::optional<Record> Next() override {
     std::unique_lock<std::mutex> lock(st_->mu);
-    st_->chunk_cv.wait(lock,
-                       [&] { return !cf_->buffer.empty() || cf_->done; });
+    WaitForRecordLocked(lock);
     if (cf_->buffer.empty()) return std::nullopt;
     Record rec = std::move(cf_->buffer.front());
     cf_->buffer.pop_front();
     --st_->buffered;
+    ++cf_->consumed;
+    // The consumer is draining: reset the tenant's idle-reclaim clock.
+    if (st_->tenant != nullptr) st_->tenant->NoteActivity();
     // Return the drained slot(s) to the global budget (keeping the
     // file's floor until it completes). Top the buffer back up once it
     // is half drained — urgent, since the merge heap will come back
@@ -54,6 +55,18 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
   }
 
  private:
+  // Blocks until the file has a buffered record or has truly ended,
+  // (re)scheduling a fill whenever none is queued or running — the
+  // normal pop path schedules refills, but after an idle reclaim (or a
+  // reclaim racing this very wait) the buffer is empty with no task in
+  // flight, and this urgent submit is what re-decodes it.
+  void WaitForRecordLocked(std::unique_lock<std::mutex>& lock) {
+    while (cf_->buffer.empty() && !cf_->done) {
+      if (!cf_->claimed) ScheduleFill(st_, cf_, /*urgent=*/true);
+      st_->chunk_cv.wait(lock);
+    }
+  }
+
   std::shared_ptr<State> st_;
   std::shared_ptr<ChunkedFile> cf_;
 };
@@ -82,8 +95,14 @@ PrefetchDecoder::PrefetchDecoder(Options options)
     eopt.threads = std::max<size_t>(1, options_.threads);
     executor_ = std::make_shared<Executor>(eopt);
   }
-  tenant_ = executor_->CreateTenant();
+  tenant_ = executor_->CreateTenant(
+      {.weight = std::max<size_t>(1, options_.tenant_weight)});
   state_->tenant = tenant_.get();
+  if (options_.idle_reclaim_rounds > 0 && options_.max_records_in_flight > 0) {
+    // Invoked by a worker with no executor lock held; takes State::mu.
+    tenant_->SetIdleReclaim(options_.idle_reclaim_rounds,
+                            [st = state_] { ReclaimIdle(st); });
+  }
 }
 
 PrefetchDecoder::~PrefetchDecoder() {
@@ -214,6 +233,24 @@ size_t PrefetchDecoder::max_buffered_records() const {
   return state_->max_buffered;
 }
 
+size_t PrefetchDecoder::buffered_records() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->buffered;
+}
+
+size_t PrefetchDecoder::reclaims() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reclaims;
+}
+
+size_t PrefetchDecoder::queued_tasks() const {
+  return tenant_ ? tenant_->queued() : 0;
+}
+
+size_t PrefetchDecoder::tenant_tasks_run() const {
+  return tenant_ ? tenant_->tasks_run() : 0;
+}
+
 bool PrefetchDecoder::SubsetLive(
     const std::vector<std::shared_ptr<ChunkedFile>>& subset) {
   // Buffered records count even after EOF: the prefetch_subsets memory
@@ -229,6 +266,52 @@ void PrefetchDecoder::PruneActiveLocked(State& st) {
   while (!st.active.empty() && !SubsetLive(st.active.front())) {
     st.active.pop_front();
   }
+}
+
+void PrefetchDecoder::ReclaimIdle(const std::shared_ptr<State>& st) {
+  std::lock_guard<std::mutex> lock(st->mu);
+  if (st->stopping) return;
+  // Files with a fill task queued/running are left alone (the task
+  // holds the reader with the lock released, and may buffer more
+  // records right after this pass). The executor's reclaim policy is
+  // one-shot until the consumer's next NoteActivity, so when any such
+  // file is skipped we reset the idle clock ourselves — another pass
+  // fires idle_reclaim_rounds later and catches it, instead of the
+  // tenant pinning those buffers until the consumer resumes.
+  bool skipped_busy = false;
+  auto reclaim_subset =
+      [&](const std::vector<std::shared_ptr<ChunkedFile>>& subset) {
+        for (const auto& cf : subset) {
+          if (cf->abandoned) continue;
+          if (cf->claimed) {
+            skipped_busy = true;
+            continue;
+          }
+          // Quiescent = no fill task in flight and records parked in
+          // the buffer.
+          if (cf->buffer.empty()) continue;
+          st->buffered -= cf->buffer.size();
+          cf->buffer.clear();
+          cf->reader.reset();  // position is lost; resume re-opens + skips
+          if (cf->done) {
+            // The records still owed to the consumer must be re-decoded,
+            // so the file is no longer "decoded".
+            cf->done = false;
+            if (st->files_decoded > 0) --st->files_decoded;
+          }
+          cf->reclaimed = true;
+          ++st->reclaims;
+          // Releases everything above the one-per-file floor slot. The
+          // floor stays leased so the resume fill can always buffer the
+          // first re-decoded record without a (deniable) TryAcquire.
+          ReleaseSlotsLocked(*st, *cf);
+        }
+      };
+  for (const auto& job : st->jobs) {
+    if (job->chunked) reclaim_subset(job->chunks);
+  }
+  for (const auto& subset : st->active) reclaim_subset(subset);
+  if (skipped_busy && st->tenant != nullptr) st->tenant->NoteActivity();
 }
 
 void PrefetchDecoder::ReleaseSlotsLocked(State& st, ChunkedFile& cf) {
@@ -254,11 +337,24 @@ void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
   std::unique_lock<std::mutex> lock(st->mu);
   if (!cf.reader && !cf.done && !cf.abandoned && !st->stopping) {
     broker::DumpFileMeta meta = cf.meta;
+    // Resuming after an idle reclaim: re-open from the start and skip
+    // the records the consumer already drained, so the re-decoded
+    // stream continues exactly where the dropped buffer left off.
+    size_t skip = cf.reclaimed ? cf.consumed : 0;
     lock.unlock();
     if (st->decode.file_open_hook) st->decode.file_open_hook(meta);
     auto reader = std::make_unique<DumpReader>(std::move(meta));
+    // Skip() counts raw framing units without re-decoding the BGP
+    // payloads the consumer already saw; < skip ⇔ the file shrank.
+    bool exhausted = reader->Skip(skip) < skip;
     lock.lock();
-    cf.reader = std::move(reader);
+    cf.reclaimed = false;
+    if (exhausted) {
+      cf.done = true;
+      ++st->files_decoded;
+    } else {
+      cf.reader = std::move(reader);
+    }
   }
   while (!st->stopping && !cf.abandoned && !cf.done &&
          cf.buffer.size() < cf.capacity) {

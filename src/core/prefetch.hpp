@@ -40,6 +40,19 @@
 // Record::prefetched_elems (Options::decode.extract_elems), moving the
 // §3.3.3 decomposition off the consumer thread too.
 //
+// Idle-tenant reclaim (Options::idle_reclaim_rounds): a paused consumer
+// would otherwise park its chunked buffers — and their governor leases
+// — indefinitely, shrinking the shared budget for every other tenant.
+// With a reclaim threshold set, once the consumer has not drained a
+// record for that many executor dispatch rounds, the decoder drops all
+// buffered-but-undrained chunked records, releases their extra governor
+// leases (each file keeps its one floor slot so resume can never
+// deadlock), and remembers how many records the consumer already saw.
+// When the consumer resumes, the next fill task — scheduled via
+// SubmitUrgent because the consumer is blocked on it — re-opens the
+// file, skips the already-consumed records, and re-decodes, so the
+// emitted sequence is identical to a never-reclaimed run.
+//
 // Ordering guarantee: WaitNextSources() returns subsets in Submit()
 // order, and within a subset sources preserve the submitted file order,
 // so a MultiWayMerge built from them breaks ties exactly like the
@@ -76,6 +89,14 @@ class PrefetchDecoder {
     // subset, split evenly across its files (floor of one record per
     // file). 0 = whole-file materialization.
     size_t max_records_in_flight = 0;
+    // Scheduling weight of this decoder's tenant queue: tasks drained
+    // per dispatch visit relative to other tenants (clamped to >= 1).
+    size_t tenant_weight = 1;
+    // Idle-tenant reclaim: when the consumer has not drained a record
+    // for this many executor dispatch rounds, drop the chunked buffers
+    // (keeping one governor floor slot per file) and re-decode on
+    // resume. 0 = never reclaim. Chunked mode only.
+    size_t idle_reclaim_rounds = 0;
   };
 
   explicit PrefetchDecoder(Options options);
@@ -121,6 +142,20 @@ class PrefetchDecoder {
   // (0 in whole-file mode). Proves the memory bound in tests.
   size_t max_buffered_records() const;
 
+  // Records currently sitting in chunked buffers (0 in whole-file
+  // mode). Stats for StreamPool introspection.
+  size_t buffered_records() const;
+
+  // Chunked files whose undrained buffers were dropped by idle-tenant
+  // reclaim so far (each is re-decoded on resume).
+  size_t reclaims() const;
+
+  // Decode tasks queued on this decoder's tenant but not yet claimed.
+  size_t queued_tasks() const;
+
+  // Decode tasks completed for this decoder's tenant.
+  size_t tenant_tasks_run() const;
+
  private:
   // One file streaming through a bounded buffer (chunked mode). All
   // fields are guarded by State::mu except reader and arena *while
@@ -136,9 +171,15 @@ class PrefetchDecoder {
     // a slot already leased for it; keeps concurrent consumer pops from
     // releasing that in-flight lease (ReleaseSlotsLocked counts it).
     size_t decoding = 0;
+    // Records the consumer has popped from this file so far. After a
+    // reclaim, the refill re-opens the file and skips this many.
+    size_t consumed = 0;
     bool claimed = false;    // a fill task is queued or running
     bool done = false;       // reader exhausted (or truncated at shutdown)
     bool abandoned = false;  // the consumer dropped the source
+    // Idle reclaim dropped this file's buffer; the next fill must
+    // re-open the reader and skip `consumed` records first.
+    bool reclaimed = false;
   };
 
   struct Job {
@@ -169,6 +210,7 @@ class PrefetchDecoder {
     size_t files_decoded = 0;
     size_t buffered = 0;      // records currently in chunked buffers
     size_t max_buffered = 0;  // high watermark of `buffered`
+    size_t reclaims = 0;      // chunked files reclaimed while idle
     bool stopping = false;
   };
 
@@ -195,6 +237,11 @@ class PrefetchDecoder {
   static bool SubsetLive(const std::vector<std::shared_ptr<ChunkedFile>>& s);
   // Drops handed-out subsets whose files are all drained or abandoned.
   static void PruneActiveLocked(State& st);
+  // Idle-tenant reclaim pass (invoked by the Executor with no executor
+  // lock held): drops every quiescent chunked file's buffered records,
+  // releases their extra governor leases (floors are kept), and marks
+  // the files for skip-ahead re-decode on resume.
+  static void ReclaimIdle(const std::shared_ptr<State>& st);
 
   Options options_;
   std::shared_ptr<State> state_;

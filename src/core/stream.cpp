@@ -9,6 +9,7 @@ BgpStream::~BgpStream() {
   // The merge may hold chunked sources backed by the decoder; drop it
   // first, then the decoder joins its workers. The future (if any)
   // blocks in its destructor until the background fetch returns.
+  decoder_for_stats_.store(nullptr, std::memory_order_release);
   current_merge_.reset();
   decoder_.reset();
 }
@@ -46,6 +47,14 @@ Status BgpStream::Start() {
       return InvalidArgument(
           "Options::governor budget must be > 0 records");
   }
+  if (options_.tenant_weight == 0)
+    return InvalidArgument(
+        "Options::tenant_weight must be >= 1 (a zero-weight tenant "
+        "would never be dispatched)");
+  if (options_.idle_reclaim_rounds > 0 && options_.max_records_in_flight == 0)
+    return InvalidArgument(
+        "Options::idle_reclaim_rounds requires max_records_in_flight > 0 "
+        "(only chunked-decode buffers can be reclaimed)");
   if (!options_.poll_wait) {
     options_.poll_wait = [] {
       std::this_thread::sleep_for(std::chrono::seconds(1));
@@ -62,7 +71,10 @@ Status BgpStream::Start() {
     // without synchronization.
     popt.decode.filters = &filters_;
     popt.max_records_in_flight = options_.max_records_in_flight;
+    popt.tenant_weight = options_.tenant_weight;
+    popt.idle_reclaim_rounds = options_.idle_reclaim_rounds;
     decoder_ = std::make_unique<PrefetchDecoder>(std::move(popt));
+    decoder_for_stats_.store(decoder_.get(), std::memory_order_release);
   }
   started_ = true;
   ended_ = false;
@@ -136,6 +148,15 @@ void BgpStream::TopUpPrefetch() {
 bool BgpStream::Refill() {
   size_t consecutive_polls = 0;
   while (true) {
+    // A poisoned governor ledger (double-release accounting bug) can
+    // never grant again; surface the latched diagnostic instead of
+    // blocking forever in the fair Acquire below.
+    if (options_.governor) {
+      if (Status h = options_.governor->health(); !h.ok()) {
+        status_ = h;
+        return false;
+      }
+    }
     // 1. Drain remaining subsets of the current batch.
     if (decoder_) {
       TopUpPrefetch();
@@ -224,6 +245,23 @@ std::optional<Record> BgpStream::NextRecord() {
     ++records_emitted_;
     return rec;
   }
+}
+
+BgpStream::RuntimeStats BgpStream::stats() const {
+  RuntimeStats out;
+  out.records_emitted = records_emitted_.load();
+  // Not decoder_ itself: a sampler thread may call this while the
+  // consumer thread is inside Start(); the atomic is only published
+  // once the decoder is fully constructed.
+  if (PrefetchDecoder* d =
+          decoder_for_stats_.load(std::memory_order_acquire)) {
+    out.queue_depth = d->queued_tasks();
+    out.tasks_executed = d->tenant_tasks_run();
+    out.files_decoded = d->files_decoded();
+    out.records_buffered = d->buffered_records();
+    out.reclaims = d->reclaims();
+  }
+  return out;
 }
 
 std::vector<Elem> BgpStream::Elems(Record& record) const {

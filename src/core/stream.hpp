@@ -16,6 +16,7 @@
 //   }
 #pragma once
 
+#include <atomic>
 #include <future>
 
 #include "core/data_interface.hpp"
@@ -81,13 +82,47 @@ class BgpStream {
     // prefetch_subsets > 0 and max_records_in_flight > 0. Injected by
     // bgps::StreamPool; null = per-stream bound only.
     std::shared_ptr<MemoryGovernor> governor;
+    // Scheduling weight of this stream's executor tenant: decode tasks
+    // drained per dispatch visit relative to other tenants (a weight-4
+    // live monitor drains ~4 tasks per visit of a weight-1 backfill).
+    // Must be >= 1; meaningful with a shared executor. Injected by
+    // bgps::StreamPool::CreateStream's TenantOptions.
+    size_t tenant_weight = 1;
+    // Idle-tenant reclaim: when this stream's consumer has not drained
+    // a record for this many executor dispatch rounds, its chunked
+    // buffers are dropped (governor leases released down to one floor
+    // slot per file) and re-decoded on resume — so a paused consumer
+    // cannot pin the shared budget. Requires max_records_in_flight > 0.
+    // 0 = never reclaim. Output is identical either way.
+    size_t idle_reclaim_rounds = 0;
+  };
+
+  // Runtime introspection snapshot (see stats()). Each field is read
+  // under its owning component's lock, so every value is internally
+  // consistent; fields from different components may be skewed by
+  // in-flight work.
+  struct RuntimeStats {
+    size_t records_emitted = 0;
+    // Decode tasks queued on this stream's tenant, not yet claimed.
+    size_t queue_depth = 0;
+    // Decode tasks completed for this stream's tenant.
+    size_t tasks_executed = 0;
+    // Dump files fully decoded (a reclaimed file counts again when its
+    // re-decode completes).
+    size_t files_decoded = 0;
+    // Records currently buffered by chunked decode.
+    size_t records_buffered = 0;
+    // Chunked files whose buffers idle-reclaim dropped so far.
+    size_t reclaims = 0;
   };
 
   BgpStream() = default;
   explicit BgpStream(Options options) : options_(std::move(options)) {}
   // Blocks until any in-flight background work (decode workers, a
-  // cross-batch fetch) has finished.
-  ~BgpStream();
+  // cross-batch fetch) has finished. Virtual so pool-vended handles
+  // (which deregister from the pool's stats registry) destroy cleanly
+  // through a BgpStream pointer.
+  virtual ~BgpStream();
 
   // --- configuration phase ---
   Status AddFilter(const std::string& key, const std::string& value) {
@@ -120,7 +155,7 @@ class BgpStream {
   std::vector<Elem> Elems(Record& record) const;
 
   // Stats (used by the sorting/throughput benches and the tests).
-  size_t records_emitted() const { return records_emitted_; }
+  size_t records_emitted() const { return records_emitted_.load(); }
   size_t batches_fetched() const { return batches_fetched_; }
   size_t subsets_merged() const { return subsets_merged_; }
   size_t max_open_files() const { return max_open_files_; }
@@ -131,6 +166,13 @@ class BgpStream {
   size_t max_records_buffered() const {
     return decoder_ ? decoder_->max_buffered_records() : 0;
   }
+
+  // Runtime introspection: queue depth, tasks executed, files decoded,
+  // records buffered, reclaims. All zeros without a prefetch decoder
+  // (including while Start() is still constructing it — the snapshot
+  // is safe from any thread at any time, racing Start() included).
+  // StreamPool::Stats() aggregates this per tenant.
+  RuntimeStats stats() const;
 
  private:
   // Ensures current_merge_ has data; pulls subsets/batches as needed.
@@ -170,6 +212,11 @@ class BgpStream {
   // chunked sources backed by the decoder, so it must be destroyed
   // first (members destruct in reverse declaration order).
   std::unique_ptr<PrefetchDecoder> decoder_;
+  // Published (release) only after the decoder is fully constructed,
+  // cleared before it is destroyed: stats() may race Start() from a
+  // StreamPool::Stats() sampler thread, and reading decoder_ itself
+  // there would be a data race.
+  std::atomic<PrefetchDecoder*> decoder_for_stats_{nullptr};
   std::unique_ptr<MultiWayMerge> current_merge_;
   // Cross-batch prefetch: at most one eager NextBatch call in flight.
   std::future<DataBatch> next_batch_;
@@ -177,7 +224,9 @@ class BgpStream {
   // Refill to act on.
   std::optional<DataBatch> deferred_batch_;
 
-  size_t records_emitted_ = 0;
+  // Atomic: stats() may be read from another thread (StreamPool
+  // introspection) while the consumer thread emits.
+  std::atomic<size_t> records_emitted_{0};
   size_t batches_fetched_ = 0;
   size_t subsets_merged_ = 0;
   size_t max_open_files_ = 0;

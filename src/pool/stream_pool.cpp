@@ -1,12 +1,65 @@
 #include "pool/stream_pool.hpp"
 
+#include <algorithm>
+#include <mutex>
+
 namespace bgps {
+
+namespace pool_internal {
+
+// Live vended streams. Shared by the pool and every vended handle so
+// Stats() works no matter which side is destroyed first.
+struct TenantRegistry {
+  struct Entry {
+    const core::BgpStream* stream;
+    std::string name;
+    size_t weight;
+  };
+
+  std::mutex mu;
+  std::vector<Entry> entries;
+
+  void Add(const core::BgpStream* stream, std::string name, size_t weight) {
+    std::lock_guard<std::mutex> lock(mu);
+    entries.push_back({stream, std::move(name), weight});
+  }
+  void Remove(const core::BgpStream* stream) {
+    std::lock_guard<std::mutex> lock(mu);
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [stream](const Entry& e) {
+                                   return e.stream == stream;
+                                 }),
+                  entries.end());
+  }
+};
+
+namespace {
+
+// A vended handle: a plain BgpStream that additionally deregisters
+// from the pool's stats registry on destruction — *before* ~BgpStream
+// joins the decode work, so Stats() never reads a dying stream.
+class PooledStream final : public core::BgpStream {
+ public:
+  PooledStream(core::BgpStream::Options options,
+               std::shared_ptr<TenantRegistry> registry)
+      : core::BgpStream(std::move(options)), registry_(std::move(registry)) {}
+
+  ~PooledStream() override { registry_->Remove(this); }
+
+ private:
+  std::shared_ptr<TenantRegistry> registry_;
+};
+
+}  // namespace
+
+}  // namespace pool_internal
 
 StreamPool::StreamPool(Options options) : options_(options) {
   core::Executor::Options eopt;
   eopt.threads = options_.threads;
   executor_ = std::make_shared<core::Executor>(eopt);
   governor_ = std::make_shared<core::MemoryGovernor>(options_.record_budget);
+  registry_ = std::make_shared<pool_internal::TenantRegistry>();
 }
 
 Result<std::unique_ptr<StreamPool>> StreamPool::Create(Options options) {
@@ -22,7 +75,7 @@ Result<std::unique_ptr<StreamPool>> StreamPool::Create(Options options) {
 }
 
 std::unique_ptr<core::BgpStream> StreamPool::CreateStream(
-    core::BgpStream::Options options) {
+    core::BgpStream::Options options, TenantOptions tenant) {
   options.executor = executor_;
   options.governor = governor_;
   if (options.prefetch_subsets == 0) {
@@ -33,8 +86,34 @@ std::unique_ptr<core::BgpStream> StreamPool::CreateStream(
                                         ? options_.max_records_in_flight
                                         : options_.record_budget;
   }
-  streams_created_.fetch_add(1);
-  return std::make_unique<core::BgpStream>(std::move(options));
+  options.tenant_weight = tenant.weight;
+  options.idle_reclaim_rounds =
+      tenant.idle_reclaim_rounds.value_or(options_.idle_reclaim_rounds);
+  size_t ordinal = streams_created_.fetch_add(1) + 1;
+  std::string name = tenant.name.empty()
+                         ? "tenant-" + std::to_string(ordinal)
+                         : std::move(tenant.name);
+  auto stream = std::make_unique<pool_internal::PooledStream>(
+      std::move(options), registry_);
+  registry_->Add(stream.get(), std::move(name), tenant.weight);
+  return stream;
+}
+
+StreamPool::Snapshot StreamPool::Stats() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    snap.tenants.reserve(registry_->entries.size());
+    for (const auto& entry : registry_->entries) {
+      snap.tenants.push_back(
+          {entry.name, entry.weight, entry.stream->stats()});
+    }
+  }
+  snap.governor = governor_->snapshot();
+  snap.executor = {executor_->threads(), executor_->tasks_run(),
+                   executor_->dispatch_rounds(), executor_->tenants()};
+  snap.streams_created = streams_created_.load();
+  return snap;
 }
 
 }  // namespace bgps

@@ -106,6 +106,122 @@ TEST(ExecutorTest, RoundRobinDispatchInterleavesTenants) {
   EXPECT_LT(log.IndexOf("l0"), log.IndexOf("l1"));
 }
 
+TEST(ExecutorTest, WeightedTenantDrainsProportionallyPerVisit) {
+  // Deficit-weighted round-robin: a weight-4 tenant drains ~4 tasks per
+  // visit of a weight-1 tenant. With one worker and both queues loaded
+  // before the gate opens, the interleave is deterministic up to visit
+  // boundaries: before the light tenant's k-th task completes, the
+  // heavy tenant must have completed ~4(k+1) tasks (tolerance ±4, one
+  // visit).
+  Executor ex({.threads = 1});
+  auto gate_tenant = ex.CreateTenant();
+  auto heavy = ex.CreateTenant({.weight = 4});
+  auto light = ex.CreateTenant();  // weight 1
+  EXPECT_EQ(heavy->weight(), 4u);
+  EXPECT_EQ(light->weight(), 1u);
+  CompletionLog log;
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  gate_tenant->Submit([opened] { opened.wait(); });
+
+  constexpr int kHeavy = 32, kLight = 8;
+  for (int i = 0; i < kHeavy; ++i) {
+    heavy->Submit([&log, i] { log.Note("h" + std::to_string(i)); });
+  }
+  for (int i = 0; i < kLight; ++i) {
+    light->Submit([&log, i] { log.Note("l" + std::to_string(i)); });
+  }
+  gate.set_value();
+  ASSERT_TRUE(
+      WaitFor([&] { return ex.tasks_run() == 1 + kHeavy + kLight; }));
+
+  std::vector<std::string> order = log.Get();
+  for (int k = 0; k < kLight; ++k) {
+    size_t pos = log.IndexOf("l" + std::to_string(k));
+    ASSERT_NE(pos, size_t(-1));
+    size_t heavies_before = 0;
+    for (size_t i = 0; i < pos; ++i) {
+      if (order[i][0] == 'h') ++heavies_before;
+    }
+    size_t want = size_t(4 * (k + 1));  // one full heavy visit per light task
+    EXPECT_GE(heavies_before + 4, want) << "light task " << k;
+    EXPECT_LE(heavies_before, want + 4) << "light task " << k;
+  }
+  // Per-tenant completion counters match.
+  EXPECT_EQ(heavy->tasks_run(), size_t(kHeavy));
+  EXPECT_EQ(light->tasks_run(), size_t(kLight));
+  EXPECT_EQ(gate_tenant->tasks_run(), 1u);
+}
+
+TEST(ExecutorTest, SetWeightTakesEffectAtTheNextVisit) {
+  // Re-weighting mid-flight: queue tasks under weight 1, bump to 3 —
+  // tasks submitted after the bump drain 3-per-visit against a
+  // competitor.
+  Executor ex({.threads = 1});
+  auto gate_tenant = ex.CreateTenant();
+  auto a = ex.CreateTenant();
+  auto b = ex.CreateTenant();
+  CompletionLog log;
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  gate_tenant->Submit([opened] { opened.wait(); });
+
+  a->SetWeight(3);
+  EXPECT_EQ(a->weight(), 3u);
+  for (int i = 0; i < 9; ++i) {
+    a->Submit([&log, i] { log.Note("a" + std::to_string(i)); });
+  }
+  for (int i = 0; i < 3; ++i) {
+    b->Submit([&log, i] { log.Note("b" + std::to_string(i)); });
+  }
+  gate.set_value();
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 13; }));
+  // b0 cannot run before a's first full 3-task visit completed.
+  EXPECT_GE(log.IndexOf("b0"), 3u);
+  // And round-robin still guarantees b finishes well before a's flood.
+  EXPECT_LT(log.IndexOf("b2"), 12u);
+}
+
+TEST(ExecutorTest, DispatchRoundsAdvanceWithRotations) {
+  Executor ex({.threads = 1});
+  auto tenant = ex.CreateTenant();
+  size_t before = ex.dispatch_rounds();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    tenant->Submit([&ran] { ++ran; });
+  }
+  ASSERT_TRUE(WaitFor([&] { return ran.load() == 16; }));
+  // A single weight-1 tenant forces a full rotation per task.
+  EXPECT_GE(ex.dispatch_rounds(), before + 16);
+}
+
+TEST(ExecutorTest, IdleReclaimFiresAfterThresholdAndRearmsOnActivity) {
+  Executor ex({.threads = 2});
+  auto busy = ex.CreateTenant();
+  auto idle = ex.CreateTenant();
+  std::atomic<int> reclaimed{0};
+  idle->SetIdleReclaim(3, [&reclaimed] { ++reclaimed; });
+
+  // Other tenants' dispatch (or the idle tick) advances the round
+  // clock; after >= 3 rounds without NoteActivity the callback fires —
+  // exactly once until activity re-arms it.
+  for (int i = 0; i < 64; ++i) busy->Submit([] {});
+  ASSERT_TRUE(WaitFor([&] { return reclaimed.load() == 1; }));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(reclaimed.load(), 1);  // does not re-fire while still idle
+
+  idle->NoteActivity();  // re-arm
+  ASSERT_TRUE(WaitFor([&] { return reclaimed.load() == 2; }));
+
+  // Clearing the policy stops further fires.
+  idle->SetIdleReclaim(0, nullptr);
+  int at_clear = reclaimed.load();
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(reclaimed.load(), at_clear);
+}
+
 TEST(ExecutorTest, SubmitUrgentJumpsItsOwnQueueOnly) {
   Executor ex({.threads = 1});
   auto gate_tenant = ex.CreateTenant();

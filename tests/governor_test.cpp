@@ -116,6 +116,81 @@ TEST(MemoryGovernorTest, DemandBeyondCapacityIsAnError) {
   gov.Release(4);
 }
 
+TEST(MemoryGovernorTest, OverReleasePoisonsTheLedgerWithExactDiagnostic) {
+  // Releasing more than is leased is a double-release bug in the
+  // caller. Clamping would silently inflate the budget; instead the
+  // ledger poisons with the exact diagnostic and refuses all further
+  // grants.
+  MemoryGovernor gov(8);
+  ASSERT_TRUE(gov.TryAcquire(3));
+  EXPECT_TRUE(gov.health().ok());
+  gov.Release(5);  // only 3 leased
+  Status h = gov.health();
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(h.message(),
+            "MemoryGovernor: released 5 slots but only 3 are leased "
+            "(double release)");
+  EXPECT_FALSE(gov.TryAcquire(1));
+  Status acq = gov.Acquire(1);
+  ASSERT_FALSE(acq.ok());
+  EXPECT_EQ(acq.message(), h.message());
+  // The diagnostic is latched: a later (otherwise valid) release does
+  // not clear it or corrupt the evidence further.
+  gov.Release(1);
+  EXPECT_EQ(gov.health().message(), h.message());
+}
+
+TEST(MemoryGovernorTest, OverReleaseWakesBlockedWaitersWithTheError) {
+  MemoryGovernor gov(4);
+  ASSERT_TRUE(gov.TryAcquire(4));
+  std::atomic<bool> failed{false};
+  std::thread waiter([&] {
+    Status st = gov.Acquire(2);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("double release"), std::string::npos);
+    failed = true;
+  });
+  ASSERT_TRUE(WaitFor([&] { return gov.waiting() == 1; }));
+  gov.Release(5);  // 5 > 4: poison — the waiter must not block forever
+  waiter.join();
+  EXPECT_TRUE(failed.load());
+  EXPECT_EQ(gov.waiting(), 0u);
+}
+
+TEST(MemoryGovernorTest, ZeroDemandIsAnUnconditionalNoOpGrant) {
+  // A zero-record MRT file must never block behind a full budget or an
+  // earlier waiter: Acquire(0) does not enqueue, TryAcquire(0) does not
+  // fail, and neither changes the ledger.
+  MemoryGovernor gov(2);
+  ASSERT_TRUE(gov.TryAcquire(2));  // budget exhausted
+  std::thread waiter([&] { EXPECT_TRUE(gov.Acquire(1).ok()); });
+  ASSERT_TRUE(WaitFor([&] { return gov.waiting() == 1; }));
+
+  EXPECT_TRUE(gov.TryAcquire(0));
+  EXPECT_TRUE(gov.Acquire(0).ok());
+  EXPECT_EQ(gov.waiting(), 1u);  // the zero demands never queued
+  EXPECT_EQ(gov.in_use(), 2u);   // and never touched the ledger
+
+  gov.Release(2);
+  waiter.join();
+  gov.Release(1);
+  EXPECT_EQ(gov.in_use(), 0u);
+  EXPECT_TRUE(gov.health().ok());
+}
+
+TEST(MemoryGovernorTest, SnapshotIsLockConsistent) {
+  MemoryGovernor gov(10);
+  ASSERT_TRUE(gov.TryAcquire(7));
+  gov.Release(3);
+  MemoryGovernor::Stats s = gov.snapshot();
+  EXPECT_EQ(s.capacity, 10u);
+  EXPECT_EQ(s.in_use, 4u);
+  EXPECT_EQ(s.max_in_use, 7u);
+  EXPECT_EQ(s.waiting, 0u);
+  gov.Release(4);
+}
+
 TEST(MemoryGovernorTest, WatermarkTracksPeakNotCurrent) {
   MemoryGovernor gov(10);
   ASSERT_TRUE(gov.TryAcquire(7));

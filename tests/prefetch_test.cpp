@@ -3,12 +3,16 @@
 // synchronous and prefetched paths.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "core/prefetch.hpp"
 #include "core/stream.hpp"
+#include "mrt/file.hpp"
 #include "tests/sim_fixture.hpp"
 
 namespace bgps::core {
@@ -33,6 +37,99 @@ std::vector<DumpFileMeta> BogusSubset(const std::string& tag, size_t n) {
     files.push_back(f);
   }
   return files;
+}
+
+// DumpReader::Skip — the idle-reclaim resume path — must count exactly
+// Next()'s record cadence and keep the PEER_INDEX_TABLE alive, so a
+// post-skip RIB record still decomposes into per-VP elems.
+TEST(DumpReaderSkipTest, SkipMatchesNextCadenceAcrossARibDump) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("bgps_skip_test_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  std::string path = (dir / "rib.mrt").string();
+  constexpr int kRibRecords = 12;
+  {
+    mrt::MrtFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    mrt::PeerIndexTable pit;
+    pit.collector_bgp_id = 0x0a000001;
+    mrt::PeerEntry pe;
+    pe.bgp_id = 0x0a000002;
+    pe.address = IpAddress::V4(10, 0, 0, 2);
+    pe.asn = 65001;
+    pit.peers.push_back(pe);
+    ASSERT_TRUE(w.Write(mrt::EncodePeerIndexTable(1458000000, pit)).ok());
+    for (int i = 0; i < kRibRecords; ++i) {
+      mrt::RibPrefix rib;
+      rib.sequence = uint32_t(i);
+      rib.prefix = Prefix(IpAddress::V4(uint32_t(20 + i) << 24), 16);
+      mrt::RibEntry e;
+      e.peer_index = 0;
+      e.originated_time = 1458000000;
+      e.attrs.as_path = bgp::AsPath::Sequence({65001, 15169});
+      e.attrs.next_hop = IpAddress::V4(10, 0, 0, 2);
+      rib.entries.push_back(std::move(e));
+      ASSERT_TRUE(
+          w.Write(mrt::EncodeRibPrefix(1458000000, rib, IpFamily::V4)).ok());
+    }
+    ASSERT_TRUE(w.Close().ok());
+  }
+  DumpFileMeta meta;
+  meta.project = "test";
+  meta.collector = "rib";
+  meta.type = DumpType::Rib;
+  meta.start = 1458000000;
+  meta.duration = 300;
+  meta.path = path;
+
+  // Baseline: the full Next() sequence, with per-record elem counts.
+  struct Fp {
+    int position;
+    int status;
+    size_t elems;
+    std::string first_prefix;
+  };
+  std::vector<Fp> all;
+  {
+    DumpReader reader(meta);
+    while (auto rec = reader.Next()) {
+      auto elems = ExtractElems(*rec);
+      all.push_back({int(rec->position), int(rec->status), elems.size(),
+                     elems.empty() ? "" : elems[0].prefix.ToString()});
+    }
+  }
+  constexpr size_t kTotal = 1 + kRibRecords;  // peer index + RIBs
+  ASSERT_EQ(all.size(), kTotal);
+
+  for (size_t skip : {size_t(0), size_t(1), size_t(5), kTotal, kTotal + 3}) {
+    DumpReader reader(meta);
+    EXPECT_EQ(reader.Skip(skip), std::min(skip, kTotal)) << "skip " << skip;
+    std::vector<Fp> rest;
+    while (auto rec = reader.Next()) {
+      // The peer index must have been ingested during the skip: RIB
+      // records after it still extract their per-VP elems.
+      auto elems = ExtractElems(*rec);
+      rest.push_back({int(rec->position), int(rec->status), elems.size(),
+                      elems.empty() ? "" : elems[0].prefix.ToString()});
+    }
+    ASSERT_EQ(rest.size(), kTotal - std::min(skip, kTotal)) << "skip " << skip;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      EXPECT_EQ(rest[i].status, all[skip + i].status) << skip << "/" << i;
+      EXPECT_EQ(rest[i].elems, all[skip + i].elems) << skip << "/" << i;
+      EXPECT_EQ(rest[i].first_prefix, all[skip + i].first_prefix)
+          << skip << "/" << i;
+      if (skip > 0) {
+        // Records after a skip are never re-marked Start; End survives.
+        EXPECT_NE(rest[i].position, int(DumpPosition::Start))
+            << skip << "/" << i;
+      } else {
+        EXPECT_EQ(rest[i].position, all[i].position) << i;
+      }
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 TEST(PrefetchDecoderTest, ReturnsSubsetsInSubmitOrderWithFileOrderKept) {

@@ -7,6 +7,8 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 #include <tuple>
@@ -281,6 +283,286 @@ TEST_F(StreamPoolTest, BudgetSmallerThanSubsetFileCountFailsTheStream) {
             "memory governor budget (3 records) is smaller than the subset "
             "file count (6 files); chunked decode needs one buffered record "
             "per file");
+}
+
+TEST_F(StreamPoolTest, WeightedTenantsMatchPrivatePipelinesAndShowInStats) {
+  // A weight-4 "live" tenant sharing the pool with a weight-1 backfill:
+  // scheduling weight changes *when* decode tasks run, never *what* the
+  // streams emit.
+  StreamRun expect0 = RunPrivate(0);
+  StreamRun expect1 = RunPrivate(1);
+
+  StreamPool::Options popt;
+  popt.threads = 2;
+  popt.record_budget = 128;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  BgpStream::Options opt;
+  opt.extract_elems_in_workers = true;
+  auto live = (*pool)->CreateStream(opt, {.weight = 4, .name = "live"});
+  auto backfill =
+      (*pool)->CreateStream(opt, {.weight = 1, .name = "backfill"});
+
+  StreamRun got0, got1;
+  {
+    std::vector<std::thread> consumers;
+    consumers.emplace_back([&] {
+      VectorDataInterface di(archives_[0]);
+      live->SetInterval(0, 4102444800);
+      live->SetDataInterface(&di);
+      EXPECT_TRUE(live->Start().ok());
+      got0 = Drain(*live);
+    });
+    consumers.emplace_back([&] {
+      VectorDataInterface di(archives_[1]);
+      backfill->SetInterval(0, 4102444800);
+      backfill->SetDataInterface(&di);
+      EXPECT_TRUE(backfill->Start().ok());
+      got1 = Drain(*backfill);
+    });
+    for (auto& c : consumers) c.join();
+  }
+  EXPECT_EQ(got0.records, expect0.records);
+  EXPECT_EQ(got0.elems, expect0.elems);
+  EXPECT_EQ(got1.records, expect1.records);
+  EXPECT_EQ(got1.elems, expect1.elems);
+
+  // The Stats() snapshot names and weights the live tenants, and their
+  // emitted/decoded counters reflect the finished drains.
+  StreamPool::Snapshot snap = (*pool)->Stats();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  EXPECT_EQ(snap.tenants[0].name, "live");
+  EXPECT_EQ(snap.tenants[0].weight, 4u);
+  EXPECT_EQ(snap.tenants[1].name, "backfill");
+  EXPECT_EQ(snap.tenants[1].weight, 1u);
+  for (const auto& t : snap.tenants) {
+    EXPECT_EQ(t.stats.records_emitted,
+              size_t(kFilesPerTenant) * kRecordsPerFile)
+        << t.name;
+    EXPECT_GE(t.stats.files_decoded, size_t(kFilesPerTenant)) << t.name;
+    EXPECT_GT(t.stats.tasks_executed, 0u) << t.name;
+    EXPECT_EQ(t.stats.records_buffered, 0u) << t.name;  // fully drained
+  }
+  EXPECT_EQ(snap.executor.threads, 2u);
+  EXPECT_GT(snap.executor.tasks_run, 0u);
+  EXPECT_GT(snap.executor.dispatch_rounds, 0u);
+  EXPECT_EQ(snap.governor.capacity, 128u);
+  EXPECT_LE(snap.governor.max_in_use, 128u);
+  EXPECT_EQ(snap.streams_created, 2u);
+
+  // Destroyed streams drop out of the snapshot.
+  live.reset();
+  backfill.reset();
+  snap = (*pool)->Stats();
+  EXPECT_TRUE(snap.tenants.empty());
+  EXPECT_EQ(snap.streams_created, 2u);
+}
+
+TEST_F(StreamPoolTest, IdleTenantReclaimReleasesBudgetAndPreservesOutput) {
+  StreamRun expect = RunPrivate(0);
+
+  StreamPool::Options popt;
+  popt.threads = 2;
+  popt.record_budget = 64;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  BgpStream::Options opt;
+  opt.extract_elems_in_workers = true;
+  auto stream = (*pool)->CreateStream(
+      opt, {.weight = 1, .name = "victim", .idle_reclaim_rounds = 25});
+  VectorDataInterface di(archives_[0]);
+  stream->SetInterval(0, 4102444800);
+  stream->SetDataInterface(&di);
+  ASSERT_TRUE(stream->Start().ok());
+
+  // Drain part of the archive, then pause the consumer with the decode
+  // pipeline loaded.
+  StreamRun got;
+  constexpr size_t kBeforePause = 40;
+  for (size_t i = 0; i < kBeforePause; ++i) {
+    auto rec = stream->NextRecord();
+    ASSERT_TRUE(rec.has_value());
+    got.records.emplace_back(rec->timestamp, rec->collector,
+                             int(rec->dump_type), int(rec->status),
+                             int(rec->position));
+    for (const auto& e : stream->Elems(*rec)) {
+      got.elems.emplace_back(int(e.type), e.time, e.peer_asn,
+                             e.has_prefix() ? e.prefix.ToString() : "-",
+                             e.as_path.ToString());
+    }
+  }
+
+  // The workers fill the buffers while the consumer is paused...
+  auto deadline_ok = [&](auto pred) {
+    auto until = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > until) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  };
+  ASSERT_TRUE(
+      deadline_ok([&] { return stream->stats().records_buffered >= 20; }));
+  size_t in_use_before = (*pool)->records_in_use();
+  ASSERT_GE(in_use_before, 20u);
+
+  // ...until the idle threshold elapses and reclaim drops them,
+  // releasing the governor leases down to the per-file floors. The
+  // round clock keeps ticking even though no other tenant runs.
+  ASSERT_TRUE(deadline_ok([&] { return stream->stats().reclaims > 0; }));
+  ASSERT_TRUE(
+      deadline_ok([&] { return stream->stats().records_buffered == 0; }));
+  ASSERT_TRUE(deadline_ok(
+      [&] { return (*pool)->records_in_use() < in_use_before; }));
+  EXPECT_LE((*pool)->records_in_use(),
+            size_t(kFilesPerTenant));  // floors only
+
+  // Resume: the dropped records are re-decoded (SubmitUrgent) and the
+  // full output is identical to the never-reclaimed private run.
+  while (auto rec = stream->NextRecord()) {
+    got.records.emplace_back(rec->timestamp, rec->collector,
+                             int(rec->dump_type), int(rec->status),
+                             int(rec->position));
+    for (const auto& e : stream->Elems(*rec)) {
+      got.elems.emplace_back(int(e.type), e.time, e.peer_asn,
+                             e.has_prefix() ? e.prefix.ToString() : "-",
+                             e.as_path.ToString());
+    }
+  }
+  EXPECT_TRUE(stream->status().ok());
+  EXPECT_EQ(got.records, expect.records);
+  EXPECT_EQ(got.elems, expect.elems);
+  EXPECT_GT(stream->stats().reclaims, 0u);
+}
+
+TEST_F(StreamPoolTest, StatsSnapshotInvariantsHoldUnderConcurrentStreams) {
+  // 4 tenants stream concurrently while a sampler hammers Stats():
+  // every snapshot must satisfy the ledger and scheduling invariants.
+  constexpr size_t kBudget = 96;
+  StreamPool::Options popt;
+  popt.threads = 4;
+  popt.record_budget = kBudget;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  std::atomic<bool> done{false};
+  std::thread sampler([&] {
+    size_t prev_tasks = 0, prev_rounds = 0, snapshots = 0;
+    while (!done.load()) {
+      StreamPool::Snapshot s = (*pool)->Stats();
+      ++snapshots;
+      EXPECT_EQ(s.governor.capacity, kBudget);
+      EXPECT_LE(s.governor.in_use, kBudget);
+      EXPECT_LE(s.governor.max_in_use, kBudget);
+      EXPECT_LE(s.tenants.size(), size_t(kTenants));
+      for (const auto& t : s.tenants) {
+        EXPECT_LE(t.stats.records_buffered, kBudget) << t.name;
+        EXPECT_LE(t.stats.records_emitted,
+                  size_t(kFilesPerTenant) * kRecordsPerFile)
+            << t.name;
+        EXPECT_EQ(t.weight, 1u + (t.name == "t0" ? 3u : 0u)) << t.name;
+      }
+      EXPECT_EQ(s.executor.threads, 4u);
+      EXPECT_GE(s.executor.tasks_run, prev_tasks);       // monotonic
+      EXPECT_GE(s.executor.dispatch_rounds, prev_rounds);  // monotonic
+      prev_tasks = s.executor.tasks_run;
+      prev_rounds = s.executor.dispatch_rounds;
+    }
+    EXPECT_GT(snapshots, 0u);
+  });
+
+  std::vector<StreamRun> got(kTenants);
+  {
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kTenants; ++t) {
+      consumers.emplace_back([&, t] {
+        BgpStream::Options opt;
+        opt.extract_elems_in_workers = true;
+        StreamPool::TenantOptions topt;
+        topt.weight = t == 0 ? 4 : 1;
+        topt.name = "t" + std::to_string(t);
+        got[size_t(t)] =
+            RunTenant(t, (*pool)->CreateStream(opt, std::move(topt)));
+      });
+    }
+    for (auto& c : consumers) c.join();
+  }
+  done = true;
+  sampler.join();
+
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(got[size_t(t)].records.size(),
+              size_t(kFilesPerTenant) * kRecordsPerFile)
+        << "tenant " << t;
+    EXPECT_TRUE(got[size_t(t)].status.ok()) << "tenant " << t;
+  }
+  // Quiesced: every tenant gone, ledger balanced.
+  StreamPool::Snapshot end = (*pool)->Stats();
+  EXPECT_TRUE(end.tenants.empty());
+  EXPECT_EQ(end.governor.in_use, 0u);
+  EXPECT_EQ(end.executor.tenants, 0u);
+  EXPECT_EQ(end.streams_created, size_t(kTenants));
+}
+
+TEST_F(StreamPoolTest, GovernorOverReleaseSurfacesThroughStreamStatus) {
+  StreamPool::Options popt;
+  popt.threads = 2;
+  popt.record_budget = 64;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+
+  auto stream = (*pool)->CreateStream();
+  VectorDataInterface di(archives_[0]);
+  stream->SetInterval(0, 4102444800);
+  stream->SetDataInterface(&di);
+  ASSERT_TRUE(stream->Start().ok());
+  ASSERT_TRUE(stream->NextRecord().has_value());
+
+  // Simulate a double-release accounting bug: far more slots than are
+  // leased. The stream must terminate with the governor's latched
+  // diagnostic instead of hanging or quietly inflating the budget.
+  (*pool)->governor()->Release(100000);
+  while (stream->NextRecord()) {
+  }
+  EXPECT_FALSE(stream->status().ok());
+  EXPECT_NE(stream->status().message().find("double release"),
+            std::string::npos);
+  EXPECT_FALSE((*pool)->governor()->health().ok());
+}
+
+TEST_F(StreamPoolTest, StartRejectsBadTenantKnobsWithExactMessages) {
+  StreamPool::Options popt;
+  popt.threads = 2;
+  popt.record_budget = 64;
+  auto pool = StreamPool::Create(popt);
+  ASSERT_TRUE(pool.ok());
+  {
+    auto stream = (*pool)->CreateStream({}, {.weight = 0});
+    VectorDataInterface di(archives_[0]);
+    stream->SetInterval(0, 4102444800);
+    stream->SetDataInterface(&di);
+    Status st = stream->Start();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(),
+              "Options::tenant_weight must be >= 1 (a zero-weight tenant "
+              "would never be dispatched)");
+  }
+  {
+    BgpStream::Options opt;
+    opt.prefetch_subsets = 2;
+    opt.idle_reclaim_rounds = 10;  // whole-file mode: nothing to reclaim
+    BgpStream stream(std::move(opt));
+    VectorDataInterface di(archives_[0]);
+    stream.SetInterval(0, 4102444800);
+    stream.SetDataInterface(&di);
+    Status st = stream.Start();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(),
+              "Options::idle_reclaim_rounds requires max_records_in_flight "
+              "> 0 (only chunked-decode buffers can be reclaimed)");
+  }
 }
 
 TEST(StreamPoolCreateTest, RejectsZeroKnobsWithExactMessages) {

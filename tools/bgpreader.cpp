@@ -9,12 +9,18 @@
 // (the data source is a directory here instead of the hosted broker; an
 // omitted window end means live mode, §3.3.1).
 //
-// --pool-threads / --pool-budget route the stream through a
-// bgps::StreamPool — the same shared decode runtime a multi-tenant
-// service would use — instead of a private synchronous pipeline.
+// --pool-threads routes the stream through a bgps::StreamPool — the
+// same shared decode runtime a multi-tenant service would use — instead
+// of a private synchronous pipeline; --pool-budget / --pool-weight /
+// --pool-stats-interval tune and introspect it (and require
+// --pool-threads: they have no meaning without the pool).
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/stream.hpp"
@@ -49,11 +55,18 @@ elem filters (repeatable):
   -i 4|6          IP version
   -e TYPE         elemtype: ribs|announcements|withdrawals|peerstates
 
-performance (shared decode runtime):
-  --pool-threads N  decode through a StreamPool with N shared workers
-                    (the multi-tenant runtime; implies prefetching)
-  --pool-budget N   global cap on records buffered in RAM by chunked
-                    decode (default 4096; implies --pool-threads 4)
+performance (shared decode runtime; all but --pool-threads require it):
+  --pool-threads N         decode through a StreamPool with N shared
+                           workers (the multi-tenant runtime; implies
+                           prefetching)
+  --pool-budget N          global cap on records buffered in RAM by
+                           chunked decode (default 4096)
+  --pool-weight N          scheduling weight of this stream's tenant
+                           queue (default 1; higher = more decode tasks
+                           per dispatch visit)
+  --pool-stats-interval S  dump a StreamPool stats snapshot to stderr
+                           every S seconds (fractions allowed) and once
+                           at the end
 
 output:
   -m              bgpdump -m compatible output
@@ -61,6 +74,27 @@ output:
   -n N            stop after N elems
 )",
              stderr);
+}
+
+// One stats snapshot, as stderr lines prefixed "[pool]".
+void DumpPoolStats(const StreamPool& pool) {
+  StreamPool::Snapshot snap = pool.Stats();
+  std::fprintf(stderr,
+               "[pool] executor threads=%zu tasks_run=%zu rounds=%zu | "
+               "governor in_use=%zu/%zu max=%zu waiting=%zu | streams=%zu\n",
+               snap.executor.threads, snap.executor.tasks_run,
+               snap.executor.dispatch_rounds, snap.governor.in_use,
+               snap.governor.capacity, snap.governor.max_in_use,
+               snap.governor.waiting, snap.streams_created);
+  for (const auto& t : snap.tenants) {
+    std::fprintf(stderr,
+                 "[pool]   tenant %s weight=%zu queue=%zu tasks=%zu "
+                 "files=%zu buffered=%zu emitted=%zu reclaims=%zu\n",
+                 t.name.c_str(), t.weight, t.stats.queue_depth,
+                 t.stats.tasks_executed, t.stats.files_decoded,
+                 t.stats.records_buffered, t.stats.records_emitted,
+                 t.stats.reclaims);
+  }
 }
 
 }  // namespace
@@ -71,7 +105,8 @@ int main(int argc, char** argv) {
   reader::BgpReaderOptions out_options;
   bool have_window = false;
   Timestamp start = 0, end = kLiveEnd;
-  size_t pool_threads = 0, pool_budget = 0;
+  size_t pool_threads = 0, pool_budget = 0, pool_weight = 0;
+  double pool_stats_interval = 0.0;
 
   auto fail = [&](const std::string& msg) {
     std::fprintf(stderr, "bgpreader: %s\n", msg.c_str());
@@ -156,6 +191,17 @@ int main(int argc, char** argv) {
       if (!v) return fail("--pool-budget needs a record count");
       pool_budget = size_t(std::strtoull(v, nullptr, 10));
       if (pool_budget == 0) return fail("--pool-budget must be > 0");
+    } else if (arg == "--pool-weight") {
+      const char* v = need_value();
+      if (!v) return fail("--pool-weight needs a weight");
+      pool_weight = size_t(std::strtoull(v, nullptr, 10));
+      if (pool_weight == 0) return fail("--pool-weight must be >= 1");
+    } else if (arg == "--pool-stats-interval") {
+      const char* v = need_value();
+      if (!v) return fail("--pool-stats-interval needs seconds");
+      pool_stats_interval = std::strtod(v, nullptr);
+      if (pool_stats_interval <= 0.0)
+        return fail("--pool-stats-interval must be > 0 seconds");
     } else if (arg == "-m") {
       out_options.format = reader::OutputFormat::Bgpdump;
     } else if (arg == "-r") {
@@ -172,22 +218,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The pool tuning/introspection flags are meaningless without the
+  // shared decode runtime — fail loudly rather than silently running a
+  // private pipeline the flags never touch.
+  if (pool_threads == 0) {
+    if (pool_budget > 0)
+      return fail("--pool-budget requires --pool-threads (the shared "
+                  "decode runtime is enabled by --pool-threads N)");
+    if (pool_weight > 0)
+      return fail("--pool-weight requires --pool-threads (the shared "
+                  "decode runtime is enabled by --pool-threads N)");
+    if (pool_stats_interval > 0.0)
+      return fail("--pool-stats-interval requires --pool-threads (the "
+                  "shared decode runtime is enabled by --pool-threads N)");
+  }
+
   if (archive.empty() == file.empty())
     return fail("exactly one of -d / -f is required");
   if (!have_window && file.empty()) return fail("-w is required with -d");
 
-  // The shared decode runtime: either pool flag routes the stream
-  // through a StreamPool (threads default 4, budget default 4096).
+  // The shared decode runtime: --pool-threads routes the stream through
+  // a StreamPool (budget default 4096, weight default 1).
   std::unique_ptr<StreamPool> pool;
   std::unique_ptr<core::BgpStream> stream;
-  if (pool_threads > 0 || pool_budget > 0) {
+  if (pool_threads > 0) {
     StreamPool::Options popt;
-    if (pool_threads > 0) popt.threads = pool_threads;
+    popt.threads = pool_threads;
     if (pool_budget > 0) popt.record_budget = pool_budget;
     auto created = StreamPool::Create(popt);
     if (!created.ok()) return fail(created.status().ToString());
     pool = std::move(*created);
-    stream = pool->CreateStream();
+    StreamPool::TenantOptions topt;
+    topt.weight = pool_weight > 0 ? pool_weight : 1;
+    topt.name = "cli";
+    stream = pool->CreateStream({}, std::move(topt));
   } else {
     stream = std::make_unique<core::BgpStream>();
   }
@@ -215,7 +279,33 @@ int main(int argc, char** argv) {
   stream->SetDataInterface(di.get());
   if (Status st = stream->Start(); !st.ok()) return fail(st.ToString());
 
+  // Periodic introspection dump while the stream runs.
+  std::thread stats_thread;
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_done = false;
+  if (pool && pool_stats_interval > 0.0) {
+    auto interval = std::chrono::duration<double>(pool_stats_interval);
+    stats_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stats_mu);
+      while (!stats_cv.wait_for(lock, interval, [&] { return stats_done; })) {
+        DumpPoolStats(*pool);
+      }
+    });
+  }
+
   size_t printed = reader::RunBgpReader(*stream, std::cout, out_options);
+
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats_done = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+    DumpPoolStats(*pool);  // final snapshot after the drain
+  }
+
   if (!stream->status().ok()) {
     std::fprintf(stderr, "bgpreader: stream error: %s\n",
                  stream->status().ToString().c_str());
