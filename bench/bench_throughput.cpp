@@ -550,6 +550,136 @@ void BM_MultiTenantWeightedLive(benchmark::State& state) {
 BGPS_STREAM_BENCH(BM_MultiTenantEqualWeights);
 BGPS_STREAM_BENCH(BM_MultiTenantWeightedLive);
 
+// --- Deadline-class dispatch: per-record latency of live tenants ----------
+//
+// Seven same-weight (weight-8) "live" monitors + one weight-1 backfill
+// share a scarce 2-worker pool with a tight record budget (frequent
+// urgent refills — the scheduling interaction deadlines exist to
+// arbitrate). Weighted round-robin alone serves a blocked live
+// consumer's refill only when the cursor reaches its queue, i.e. after
+// up to a full rotation of other tenants' multi-task visits; with the
+// tenants in one deadline class, each class claim takes the
+// earliest-enqueued head (urgent stamps first), so a live consumer's
+// wait tracks enqueue order:
+//   BM_MultiTenantWeightedOnlyLive  weight-8 live tenants, no deadlines
+//   BM_MultiTenantDeadlineLive      same weights, deadline class on
+// Counters: p95/p50 of the live tenants' per-NextRecord wall latency
+// (the number deadline dispatch improves), plus the same
+// order-independent output fingerprint — identical between variants.
+
+void RunDeadlineTenantBench(benchmark::State& state, bool deadline) {
+  // 7 live tenants + 1 backfill, each over one 4-file subset (an
+  // eighth of the archive): a long dispatch rotation is exactly where
+  // cursor order and enqueue order diverge.
+  constexpr int kDeadlineTenants = 8;
+  constexpr int kLiveTenants = 7;
+  auto open_latency = std::chrono::microseconds(state.range(0));
+  auto batch_latency = std::chrono::microseconds(state.range(1));
+  size_t records = 0;
+  uint64_t checksum = 0;
+  std::mutex lat_mu;
+  std::vector<double> live_pop_ms;  // all live tenants, all iterations
+  auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    // A deliberately tight budget: a handful of buffered records per
+    // file keeps every live consumer on the urgent-refill path, so pop
+    // latency is dominated by dispatch order — the variable under test.
+    auto created = StreamPool::Create({.threads = 2, .record_budget = 64});
+    if (!created.ok()) std::abort();
+    std::unique_ptr<StreamPool> pool = std::move(*created);
+    std::atomic<size_t> run_records{0};
+    std::atomic<uint64_t> run_checksum{0};
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kDeadlineTenants; ++t) {
+      consumers.emplace_back([&, t] {
+        bool live = t < kLiveTenants;
+        const auto& files = GetThroughputArchive();
+        size_t per_tenant = files.size() / kDeadlineTenants;
+        std::vector<broker::DumpFileMeta> slice(
+            files.begin() + long(size_t(t) * per_tenant),
+            files.begin() + long(size_t(t + 1) * per_tenant));
+        BatchedDataInterface di(std::move(slice), kBenchFilesPerSubset,
+                                batch_latency);
+        core::BgpStream::Options opt;
+        opt.prefetch_subsets = 2;
+        opt.extract_elems_in_workers = true;
+        if (open_latency.count() > 0) {
+          opt.file_open_hook = [open_latency](const broker::DumpFileMeta&) {
+            std::this_thread::sleep_for(open_latency);
+          };
+        }
+        StreamPool::TenantOptions topt;
+        topt.weight = live ? 8 : 1;
+        topt.deadline = live && deadline;
+        topt.name = live ? "live-" + std::to_string(t)
+                         : "backfill-" + std::to_string(t);
+        std::unique_ptr<core::BgpStream> stream =
+            pool->CreateStream(std::move(opt), std::move(topt));
+        stream->SetInterval(0, 4102444800);
+        stream->SetDataInterface(&di);
+        if (!stream->Start().ok()) std::abort();
+        size_t mine = 0;
+        uint64_t fp = 0;  // XOR: order-independent across tenants
+        std::vector<double> my_pops;
+        while (true) {
+          auto t0 = std::chrono::steady_clock::now();
+          auto rec = stream->NextRecord();
+          if (!rec) break;
+          if (live) {
+            my_pops.push_back(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+          }
+          ++mine;
+          fp ^= RecordFingerprint(*rec);
+          for (const auto& e : stream->Elems(*rec)) {
+            benchmark::DoNotOptimize(e.time);
+          }
+        }
+        run_records += mine;
+        run_checksum ^= fp;
+        if (live) {
+          std::lock_guard<std::mutex> lock(lat_mu);
+          live_pop_ms.insert(live_pop_ms.end(), my_pops.begin(),
+                             my_pops.end());
+        }
+      });
+    }
+    for (auto& c : consumers) c.join();
+    records += run_records.load();
+    checksum = run_checksum.load();  // same every iteration by construction
+  }
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  state.SetItemsProcessed(int64_t(records));
+  state.counters["records_per_sec_wall"] =
+      wall_seconds > 0 ? double(records) / wall_seconds : 0.0;
+  std::sort(live_pop_ms.begin(), live_pop_ms.end());
+  auto pct = [&live_pop_ms](double p) {
+    if (live_pop_ms.empty()) return 0.0;
+    size_t idx = std::min(live_pop_ms.size() - 1,
+                          size_t(p * double(live_pop_ms.size())));
+    return live_pop_ms[idx];
+  };
+  state.counters["live_pop_p50_ms"] = pct(0.50);
+  state.counters["live_pop_p95_ms"] = pct(0.95);
+  state.counters["live_pop_p99_ms"] = pct(0.99);
+  state.counters["output_fingerprint"] =
+      double(checksum & ((uint64_t(1) << 48) - 1));
+}
+
+void BM_MultiTenantWeightedOnlyLive(benchmark::State& state) {
+  RunDeadlineTenantBench(state, /*deadline=*/false);
+}
+
+void BM_MultiTenantDeadlineLive(benchmark::State& state) {
+  RunDeadlineTenantBench(state, /*deadline=*/true);
+}
+
+BGPS_STREAM_BENCH(BM_MultiTenantWeightedOnlyLive);
+BGPS_STREAM_BENCH(BM_MultiTenantDeadlineLive);
+
 #undef BGPS_STREAM_BENCH
 
 }  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docs consistency checks, run by the CI `docs` job.
+
+1. Intra-repo markdown links: every relative link target in the repo's
+   markdown files (README.md, docs/*.md, ROADMAP.md, ...) must exist.
+   External (http/https/mailto) links and pure #anchors are skipped;
+   a `path#anchor` link is checked for `path` only.
+2. bgpreader pool flags: every `--pool-*` flag mentioned in the docs
+   must appear in the tool's usage text (tools/bgpreader.cpp), so the
+   operator guide can never drift ahead of (or behind) the CLI.
+
+Exit code 0 = clean; 1 = problems (each printed as its own line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+MARKDOWN_FILES = sorted(
+    p
+    for p in (
+        list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    )
+    if ".claude" not in p.parts
+)
+
+# [text](target) — excluding images' src handled identically; ignore
+# targets with a scheme and bare anchors.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+POOL_FLAG_RE = re.compile(r"--pool-[a-z][a-z-]*")
+
+
+def check_links() -> list[str]:
+    problems = []
+    for md in MARKDOWN_FILES:
+        for m in LINK_RE.finditer(md.read_text(encoding="utf-8")):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            if target.startswith("#"):  # same-file anchor
+                continue
+            path = target.split("#", 1)[0]
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_pool_flags() -> list[str]:
+    # Only the Usage() help text counts — a flag merely parsed (or
+    # mentioned in an error message) but missing from --help must not
+    # whitelist doc references.
+    source = (REPO / "tools" / "bgpreader.cpp").read_text(encoding="utf-8")
+    m = re.search(r'R"\((.*?)\)"', source, re.DOTALL)
+    if not m:
+        return ["tools/bgpreader.cpp: usage raw-string literal not found"]
+    known = set(POOL_FLAG_RE.findall(m.group(1)))
+    problems = []
+    for md in MARKDOWN_FILES:
+        # ROADMAP/CHANGES may legitimately propose flags that do not
+        # exist yet; the user-facing docs may not.
+        if md.name in ("ROADMAP.md", "CHANGES.md", "ISSUE.md"):
+            continue
+        for flag in sorted(set(POOL_FLAG_RE.findall(md.read_text()))):
+            if flag not in known:
+                problems.append(
+                    f"{md.relative_to(REPO)}: flag {flag} not in "
+                    "bgpreader usage text"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_pool_flags()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} docs problem(s)")
+        return 1
+    print(
+        f"docs OK: {len(MARKDOWN_FILES)} markdown files, links and "
+        "bgpreader --pool-* flags consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

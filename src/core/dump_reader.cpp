@@ -7,6 +7,30 @@ DumpReader::DumpReader(broker::DumpFileMeta meta) : meta_(std::move(meta)) {
   if (!st.ok()) open_failed_ = true;
 }
 
+DumpReader::DumpReader(broker::DumpFileMeta meta, const Checkpoint& resume)
+    : meta_(std::move(meta)) {
+  // Precondition: resume.valid (see the header). The sole caller —
+  // FillChunked's reclaim resume — branches to the plain constructor
+  // plus Skip() itself for checkpoints with no byte position.
+  // O(1): land directly on the checkpointed frame. The records in
+  // front of it are never read again.
+  Status st = reader_.Open(meta_.path, resume.byte_offset);
+  if (!st.ok()) {
+    if (resume.index > 0) {
+      // The dump vanished mid-stream (archive rotation): end silently,
+      // matching the Skip-fallback path (skipped < consumed ⇒
+      // exhausted) instead of injecting a CorruptedDump record into a
+      // sequence whose open already succeeded once.
+      done_ = true;
+    } else {
+      open_failed_ = true;  // nothing consumed yet: behave like a fresh open
+    }
+  }
+  peer_index_ = resume.peer_index;
+  produced_ = resume.index;
+  started_ = resume.index > 0;
+}
+
 Record DumpReader::MakeRecord() const {
   Record rec;
   rec.project = meta_.project;
@@ -18,9 +42,16 @@ Record DumpReader::MakeRecord() const {
 }
 
 std::optional<Record> DumpReader::Produce() {
+  // Capture the record's resume point before framing moves the file
+  // position: its byte offset, index, and the peer-index table in
+  // effect before it (re-producing a PEER_INDEX_TABLE record from its
+  // own checkpoint simply re-ingests the same table).
+  lookahead_cp_ = {/*valid=*/!open_failed_, reader_.offset(), produced_,
+                   peer_index_};
   if (open_failed_) {
     if (emitted_open_failure_) return std::nullopt;
     emitted_open_failure_ = true;
+    ++produced_;
     Record rec = MakeRecord();
     rec.status = RecordStatus::CorruptedDump;
     return rec;
@@ -30,11 +61,13 @@ std::optional<Record> DumpReader::Produce() {
     if (raw.status().code() == StatusCode::EndOfStream) return std::nullopt;
     // Framing broke: emit one CorruptedDump record; reader will then report
     // EndOfStream (no resync possible in MRT).
+    ++produced_;
     Record rec = MakeRecord();
     rec.status = RecordStatus::CorruptedDump;
     return rec;
   }
 
+  ++produced_;
   Record rec = MakeRecord();
   rec.timestamp = raw->timestamp;
   auto msg = mrt::DecodeRecord(*raw);
@@ -82,6 +115,7 @@ size_t DumpReader::Skip(size_t n) {
       }
       emitted_open_failure_ = true;  // the single CorruptedDump record
       started_ = true;
+      ++produced_;
       ++skipped;
       continue;
     }
@@ -92,6 +126,7 @@ size_t DumpReader::Skip(size_t n) {
         break;
       }
       started_ = true;  // the one CorruptedDump record framing yields
+      ++produced_;
       ++skipped;
       continue;
     }
@@ -105,6 +140,7 @@ size_t DumpReader::Skip(size_t n) {
       }
     }
     started_ = true;
+    ++produced_;
     ++skipped;
   }
   return skipped;
@@ -120,6 +156,7 @@ std::optional<Record> DumpReader::Next() {
     }
   }
   Record out = std::move(*lookahead_);
+  last_cp_ = lookahead_cp_;  // before Produce overwrites it
   lookahead_ = Produce();
   if (!started_) {
     out.position = DumpPosition::Start;

@@ -5,23 +5,36 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
 
 namespace bgps::core {
 
 namespace {
-// How often an otherwise-idle worker ticks the round clock so
-// idle-reclaim still fires when the whole pool is stalled (e.g. every
-// consumer paused with full buffers). Only used while at least one
-// reclaim policy is registered.
-constexpr std::chrono::milliseconds kIdleRoundTick{20};
+// Enqueue stamps order deadline-class dispatch. Urgent submissions take
+// the low band so every urgent task sorts ahead of every normal one;
+// within a band, earlier submissions sort first.
+constexpr uint64_t kNormalBand = uint64_t(1) << 63;
+
+// Reclaim marks age at most once per this interval, however many
+// contention signals arrive in it — so N waiters parking at once (or
+// several hooks fanning one event out) cannot collapse a tenant's
+// idle_rounds patience window. Matches the governor's re-signal
+// cadence: under stall, patience ≈ idle_rounds × this interval. A
+// clock *read* only — the executor still never wakes on a timer.
+constexpr std::chrono::milliseconds kReclaimAgeStep{10};
 }  // namespace
 
 // One tenant's strictly-FIFO queue. Guarded by SharedState::mu except
 // the atomics, which NoteActivity writes lock-free from consumer
 // threads.
 struct Executor::Tenant::Queue {
-  std::deque<std::function<void()>> tasks;
+  struct Task {
+    std::function<void()> fn;
+    uint64_t seq = 0;  // enqueue stamp (see kNormalBand)
+  };
+
+  std::deque<Task> tasks;
   size_t running = 0;  // tasks claimed by workers, not yet finished
   bool closed = false;
   std::condition_variable idle_cv;  // Tenant dtor waits for running == 0
@@ -32,6 +45,9 @@ struct Executor::Tenant::Queue {
   // this queue.
   size_t weight = 1;
   size_t credit = 0;
+  // Member of the deadline class of `weight`: visits claim the
+  // earliest-stamped head across the class, not this queue's own head.
+  bool deadline = false;
 
   size_t tasks_run = 0;  // per-tenant completion counter (stats)
 
@@ -42,6 +58,21 @@ struct Executor::Tenant::Queue {
   std::function<void()> reclaim_cb;
   std::atomic<size_t> last_activity{0};
   std::atomic<bool> reclaim_fired{false};
+  // Monotonic NoteActivity counter — unlike last_activity (a round
+  // stamp, frozen while the pool stalls) this distinguishes "popped
+  // between two contention signals" from "paused", which is what the
+  // waiter-driven mark/confirm reclaim keys on.
+  std::atomic<uint64_t> activity_seq{0};
+  // Mark/confirm state for RequestReclaimTick (guarded by mu): a first
+  // signal snapshots activity_seq; each later signal that still finds
+  // the snapshot unchanged ages the mark by one. The tenant only
+  // becomes reclaimable once the mark's age reaches idle_rounds — the
+  // contention re-signals stand in for dispatch rounds while the pool
+  // is stalled, so the configured patience is honored in both clock
+  // domains. Any activity resets the mark.
+  bool reclaim_marked = false;
+  uint64_t reclaim_mark_seq = 0;
+  size_t reclaim_mark_age = 0;
 };
 
 // Shared between the Executor facade, the workers, and every Tenant —
@@ -51,14 +82,27 @@ struct Executor::Tenant::SharedState {
   std::condition_variable work_cv;  // workers: a task may be claimable
   std::vector<std::shared_ptr<Queue>> queues;  // registered tenants
   size_t rr = 0;  // round-robin cursor into `queues`
+  uint64_t next_seq = 1;  // enqueue-stamp counter (both bands)
   size_t tasks_run = 0;
   size_t reclaim_policies = 0;  // queues with an idle-reclaim policy
   std::atomic<size_t> rounds{0};  // completed dispatch-cursor rotations
-  // Last idle round tick: N idle workers wake every kIdleRoundTick,
-  // but only one of them may advance the clock per interval, so the
-  // idle tick rate is independent of the thread count.
-  std::chrono::steady_clock::time_point last_idle_tick{};
+  // RequestReclaimTick was called: an idle worker should run a
+  // mark/confirm reclaim pass (see process_reclaim_tick).
+  bool reclaim_tick_requested = false;
+  // Last time a reclaim pass aged the marks (rate limit, see
+  // kReclaimAgeStep).
+  std::chrono::steady_clock::time_point last_reclaim_age_step{};
   bool stopping = false;
+
+  // Flags a reclaim mark/confirm pass and wakes a worker to run it
+  // (Executor::RequestReclaimTick).
+  void RequestReclaimTick() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reclaim_tick_requested = true;
+    }
+    work_cv.notify_one();
+  }
 };
 
 Executor::Executor(Options options)
@@ -109,27 +153,74 @@ void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
     run_due_reclaims_unlocked();
     lk.lock();
   };
-  // True while some policy is armed and could still come due — the only
-  // state the idle round tick exists for. Once every policy has fired,
-  // workers fall back to an untimed wait (no periodic wakeups in an
-  // idle process); NoteActivity re-arms and pokes work_cv.
-  auto any_armed_reclaim = [&st] {
+
+  // The waiter-driven reclaim trigger, mark/confirm. A reclaim-tick
+  // signal (a governor contention hook firing) *marks* each armed
+  // tenant by snapshotting its NoteActivity
+  // counter; every later signal that finds the counter unchanged ages
+  // the mark by one, and once a mark's age reaches the tenant's
+  // idle_rounds the tenant may fire — the stalest eligible one (argmin
+  // of last_activity + idle_rounds) per signal. The contention
+  // re-signals (a blocked governor Acquire re-fires its hooks on a
+  // short interval while it waits) thus stand in for dispatch rounds
+  // while the pool is stalled: idle_rounds means "this many ticks of
+  // whichever clock is running", exactly the role the removed 20 ms
+  // idle timer played. Consequences: an actively-draining tenant —
+  // however slow — resets its mark on every pop and is never reclaimed
+  // by contention; a paused one yields after ~idle_rounds re-signals;
+  // a lone stale signal can only mark, never fire. The round clock
+  // itself is untouched (purely dispatch-driven), so no other tenant's
+  // threshold is collaterally crossed. Caller holds the lock; appends
+  // to due_reclaims and returns whether a tenant fired.
+  auto process_reclaim_tick = [&st, &due_reclaims] {
+    if (st->reclaim_policies == 0) return false;  // nothing to mark or fire
+    // Age at most once per kReclaimAgeStep, no matter how many signals
+    // a contention burst (several waiters parking at once, fanned-out
+    // hooks) delivers: patience must mean wall-bounded intervals of
+    // sustained contention, not a signal count an Acquire storm can
+    // inflate.
+    auto now = std::chrono::steady_clock::now();
+    bool age_step = now - st->last_reclaim_age_step >= kReclaimAgeStep;
+    if (age_step) st->last_reclaim_age_step = now;
+    std::shared_ptr<Tenant::Queue> pick;
+    size_t pick_deadline = std::numeric_limits<size_t>::max();
     for (const auto& q : st->queues) {
-      if (!q->closed && q->idle_rounds > 0 && q->reclaim_cb &&
-          !q->reclaim_fired.load(std::memory_order_relaxed)) {
-        return true;
+      if (q->closed || q->idle_rounds == 0 || !q->reclaim_cb) continue;
+      if (q->reclaim_fired.load(std::memory_order_relaxed)) continue;
+      size_t seq = q->activity_seq.load(std::memory_order_relaxed);
+      if (!q->reclaim_marked || q->reclaim_mark_seq != seq) {
+        // Unmarked, or active since the mark: (re)mark — the
+        // inactivity window restarts from this signal.
+        q->reclaim_marked = true;
+        q->reclaim_mark_seq = seq;
+        q->reclaim_mark_age = 0;
+        continue;
+      }
+      if (age_step) ++q->reclaim_mark_age;
+      if (q->reclaim_mark_age < q->idle_rounds) continue;  // patience not met
+      size_t deadline =
+          q->last_activity.load(std::memory_order_relaxed) + q->idle_rounds;
+      if (deadline < pick_deadline) {
+        pick_deadline = deadline;
+        pick = q;
       }
     }
-    return false;
+    if (!pick) return false;
+    pick->reclaim_fired.store(true, std::memory_order_relaxed);
+    pick->reclaim_marked = false;
+    due_reclaims.push_back(pick->reclaim_cb);
+    return true;
   };
 
   std::unique_lock<std::mutex> lock(st->mu);
   while (true) {
     if (st->stopping) return;
     // Deficit-weighted round-robin from the cursor: a tenant with tasks
-    // drains up to `weight` of them per visit (the cursor parks on it
-    // until the visit's credit or queue is exhausted), then the cursor
-    // moves on. Empty queues are skipped and their visit ends.
+    // anchors a visit draining up to `weight` of them (the cursor parks
+    // on it until the visit's credit or work runs out), then the cursor
+    // moves on. Empty queues are skipped and their visit ends. Deadline
+    // anchors widen each claim to the earliest-stamped head across
+    // every same-weight deadline queue.
     std::shared_ptr<Tenant::Queue> claimed;
     size_t n = st->queues.size();
     bool wrapped = false;
@@ -144,9 +235,24 @@ void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
       if (q->credit == 0) {
         q->credit = std::max<size_t>(1, q->weight);  // a new visit begins
       }
-      claimed = q;
+      // This claim's pool of candidate tasks: the anchor's own queue,
+      // or — for a deadline anchor — its whole weight class, drained
+      // earliest-deadline-first.
+      std::shared_ptr<Tenant::Queue> pick = q;
+      size_t pool_tasks = q->tasks.size();
+      if (q->deadline) {
+        pool_tasks = 0;
+        for (const auto& c : st->queues) {
+          if (!c->deadline || c->weight != q->weight || c->tasks.empty()) {
+            continue;
+          }
+          pool_tasks += c->tasks.size();
+          if (c->tasks.front().seq < pick->tasks.front().seq) pick = c;
+        }
+      }
+      claimed = pick;
       --q->credit;
-      if (q->credit > 0 && q->tasks.size() > 1) {
+      if (q->credit > 0 && pool_tasks > 1) {
         st->rr = idx;  // park: the visit continues with the next claim
       } else {
         q->credit = 0;
@@ -164,29 +270,19 @@ void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
         drain_due_reclaims(lock);
         continue;
       }
-      if (st->reclaim_policies > 0 && any_armed_reclaim()) {
-        // Tick the round clock while idle so a fully-stalled pool
-        // (every consumer paused on full buffers) still reclaims. Only
-        // the first worker to wake in each interval advances the clock
-        // — otherwise the tick rate would scale with the thread count
-        // and idle_reclaim_rounds would mean different wall times on
-        // different pools.
-        if (st->work_cv.wait_for(lock, kIdleRoundTick) ==
-            std::cv_status::timeout) {
-          auto now = std::chrono::steady_clock::now();
-          if (now - st->last_idle_tick >= kIdleRoundTick) {
-            st->last_idle_tick = now;
-            st->rounds.fetch_add(1, std::memory_order_relaxed);
-            collect_due_reclaims();
-            drain_due_reclaims(lock);
-          }
-        }
-      } else {
-        st->work_cv.wait(lock);
+      if (st->reclaim_tick_requested) {
+        // A governor waiter (or a reclaim retry) needs memory while the
+        // pool is stalled: mark on the first signal, reclaim the
+        // stalest confirmed-idle tenant on a later one —
+        // contention-proportional, no idle-pool timer.
+        st->reclaim_tick_requested = false;
+        if (process_reclaim_tick()) drain_due_reclaims(lock);
+        continue;
       }
+      st->work_cv.wait(lock);
       continue;
     }
-    std::function<void()> task = std::move(claimed->tasks.front());
+    std::function<void()> task = std::move(claimed->tasks.front().fn);
     claimed->tasks.pop_front();
     ++claimed->running;
     lock.unlock();
@@ -206,6 +302,7 @@ std::unique_ptr<Executor::Tenant> Executor::CreateTenant(
     TenantOptions options) {
   auto queue = std::make_shared<Tenant::Queue>();
   queue->weight = std::max<size_t>(1, options.weight);
+  queue->deadline = options.deadline;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     queue->last_activity.store(
@@ -235,7 +332,8 @@ void Executor::Tenant::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (queue_->closed) return;
-    queue_->tasks.push_back(std::move(task));
+    queue_->tasks.push_back(
+        {std::move(task), kNormalBand | state_->next_seq++});
   }
   state_->work_cv.notify_one();
 }
@@ -244,7 +342,13 @@ void Executor::Tenant::SubmitUrgent(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (queue_->closed) return;
-    queue_->tasks.push_front(std::move(task));
+    // Behind earlier urgent tasks, ahead of every normal one — FIFO
+    // within the band, so the queue front is always the tenant's
+    // oldest urgent stamp (what deadline-class EDF compares).
+    auto it = std::find_if(
+        queue_->tasks.begin(), queue_->tasks.end(),
+        [](const Queue::Task& t) { return (t.seq & kNormalBand) != 0; });
+    queue_->tasks.insert(it, {std::move(task), state_->next_seq++});
   }
   state_->work_cv.notify_one();
 }
@@ -259,6 +363,12 @@ size_t Executor::Tenant::weight() const {
   return queue_->weight;
 }
 
+bool Executor::Tenant::deadline() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return queue_->deadline;
+}
+
+
 void Executor::Tenant::SetIdleReclaim(size_t idle_rounds,
                                       std::function<void()> callback) {
   {
@@ -271,22 +381,18 @@ void Executor::Tenant::SetIdleReclaim(size_t idle_rounds,
         state_->rounds.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
     queue_->reclaim_fired.store(false, std::memory_order_relaxed);
+    queue_->reclaim_marked = false;
     if (has && !had) ++state_->reclaim_policies;
     if (!has && had) --state_->reclaim_policies;
   }
-  // Wake waiting workers so they switch to the timed idle tick.
-  state_->work_cv.notify_all();
 }
 
 void Executor::Tenant::NoteActivity() {
   queue_->last_activity.store(
       state_->rounds.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
-  if (queue_->reclaim_fired.exchange(false, std::memory_order_relaxed)) {
-    // Re-armed after a fire: idle workers may have dropped to an
-    // untimed wait; wake one so the round tick resumes.
-    state_->work_cv.notify_one();
-  }
+  queue_->activity_seq.fetch_add(1, std::memory_order_relaxed);
+  queue_->reclaim_fired.store(false, std::memory_order_relaxed);
 }
 
 size_t Executor::Tenant::queued() const {
@@ -312,5 +418,7 @@ size_t Executor::tenants() const {
 size_t Executor::dispatch_rounds() const {
   return state_->rounds.load(std::memory_order_relaxed);
 }
+
+void Executor::RequestReclaimTick() { state_->RequestReclaimTick(); }
 
 }  // namespace bgps::core

@@ -17,17 +17,36 @@
 // light one entirely (every tenant is visited every rotation). Weight
 // changes take effect at the tenant's next visit. Within a tenant,
 // tasks run in submission order — the property the prefetch stage's
-// ordering guarantee is built on. SubmitUrgent jumps a task to the
-// front of its own queue (used for refills the consumer is blocked on);
-// it never jumps ahead of other tenants.
+// ordering guarantee is built on. SubmitUrgent jumps a task ahead of
+// its tenant's normal submissions — FIFO among urgent ones (used for
+// refills the consumer is blocked on); it never jumps ahead of other
+// tenants.
+//
+// Deadline classes: tenants created with TenantOptions::deadline form
+// one class per weight value. Every task carries an enqueue stamp
+// (urgent submissions stamp ahead of all normal ones); when the cursor
+// visits a deadline tenant, each claim of that visit takes the
+// earliest-stamped head across every same-weight deadline tenant
+// instead of the anchor's own head. Per-tenant FIFO is untouched
+// (claims always pop a queue's front), so output sequences are
+// identical — earliest-deadline-first only changes *when* each live
+// tenant's next task runs, bounding a blocked live consumer's wait by
+// the number of older same-class tasks instead of the cursor distance.
 //
 // Idle-tenant reclaim support: a tenant may register a reclaim policy
 // (SetIdleReclaim) — when NoteActivity has not been called for
 // `idle_rounds` dispatch rounds, the executor invokes the callback once
 // (outside its own lock) so the owner can shed buffered state. Rounds
-// advance as the dispatch cursor completes rotations; when the pool has
-// no runnable work but reclaim policies exist, workers tick rounds on a
-// slow timer so a fully-stalled pool still reclaims.
+// advance as the dispatch cursor completes rotations, so a busy pool
+// crosses thresholds in proportion to the work it dispatches. A
+// fully-stalled pool has no idle timer: reclaim there is waiter-driven
+// — RequestReclaimTick() (fired by a MemoryGovernor contention hook
+// while an Acquire is blocked) marks armed tenants and, once a
+// tenant shows no activity across ~idle_rounds consecutive signals,
+// fires the *stalest* such tenant — one per signal, the signals
+// standing in for dispatch rounds. Reclaim latency therefore scales
+// with budget contention, not wall-clock, and a tenant that is
+// actively draining is never reclaimed by contention.
 //
 // Lifecycle: tenants may come and go freely (streams attach on Start,
 // detach on destruction). Destroying a Tenant discards its queued tasks
@@ -56,6 +75,12 @@ class Executor {
     // Tasks this tenant may drain per dispatch visit, relative to other
     // tenants (deficit-weighted round-robin). Clamped to >= 1.
     size_t weight = 1;
+    // Joins the deadline class of this tenant's weight: visits to any
+    // class member claim the earliest-enqueued head across the whole
+    // class (earliest-deadline-first) instead of the visited queue's
+    // own head. For live tenants whose latency should track enqueue
+    // order, not cursor position. Fixed at creation.
+    bool deadline = false;
   };
 
   explicit Executor(Options options);
@@ -80,15 +105,21 @@ class Executor {
 
     // Enqueues at the back of this tenant's queue. Never blocks.
     void Submit(std::function<void()> task);
-    // Enqueues at the *front* of this tenant's queue: the next task a
-    // worker takes from this tenant. For work the consumer is blocked
-    // on (chunked-buffer refills). Does not preempt other tenants.
+    // Enqueues ahead of every normally-submitted task of this tenant,
+    // behind its earlier urgent ones (FIFO within the urgent band).
+    // For work the consumer is blocked on (chunked-buffer refills).
+    // Does not preempt other tenants.
     void SubmitUrgent(std::function<void()> task);
 
     // Updates the scheduling weight (clamped to >= 1). Takes effect at
-    // the tenant's next dispatch visit. Thread-safe.
+    // the tenant's next dispatch visit. For a deadline tenant this also
+    // moves it to the new weight's deadline class. Thread-safe.
     void SetWeight(size_t weight);
     size_t weight() const;
+    // Whether this tenant dispatches earliest-deadline-first within its
+    // weight class (fixed at CreateTenant).
+    bool deadline() const;
+
 
     // Registers the idle-reclaim policy: when NoteActivity has not been
     // called for `idle_rounds` dispatch rounds, `callback` is invoked
@@ -131,9 +162,29 @@ class Executor {
   // Currently registered tenants (stats for tests).
   size_t tenants() const;
   // Completed rotations of the dispatch cursor over the tenant set —
-  // the clock idle-reclaim thresholds are measured in. Also ticks
-  // slowly while the pool is idle if any reclaim policy is registered.
+  // the clock idle-reclaim thresholds are measured in. Advances only
+  // with dispatched work.
   size_t dispatch_rounds() const;
+
+  // The waiter-driven reclaim trigger, mark/confirm. A processed
+  // signal *marks* each armed tenant by snapshotting its NoteActivity
+  // counter; every later signal that finds the counter unchanged ages
+  // the mark by one, and once a mark's age reaches the tenant's
+  // idle_rounds the tenant may fire — the stalest eligible one (min
+  // last-activity + idle_rounds), exactly one per signal. Contention
+  // signals thus stand in for dispatch rounds while the pool is
+  // stalled: the configured patience is honored in both clock domains.
+  // An actively-draining tenant — however slow — resets its mark on
+  // every pop and is never reclaimed by contention; a paused one
+  // yields after ~idle_rounds signals; a lone stale signal (contention
+  // long gone) can only mark, never fire. The round clock is
+  // untouched. No-op while every policy is unarmed or fired.
+  // Wired by bgps::StreamPool to MemoryGovernor::AddContentionHook,
+  // whose blocked Acquires re-signal on a short interval — so a
+  // starving waiter always delivers the confirming signal, and keeps
+  // peeling off next-stalest tenants until it is granted. Thread-safe;
+  // never blocks.
+  void RequestReclaimTick();
 
  private:
   static void WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st);

@@ -41,8 +41,12 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "util/result.hpp"
 
@@ -83,6 +87,33 @@ class MemoryGovernor {
   // Releasing more than is leased poisons the ledger (see health()).
   void Release(size_t n);
 
+  // Registers a contention hook, invoked (with the governor lock
+  // released) while a blocked Acquire() demand exists that the current
+  // capacity cannot grant: once when the demand parks, then on a short
+  // re-signal interval for as long as it stays blocked. This is the
+  // waiter-driven reclaim trigger's signal — StreamPool and any
+  // PrefetchDecoder with a reclaim policy wire it to
+  // Executor::RequestReclaimTick(), whose mark/confirm protocol fires
+  // a tenant only after ~idle_rounds uncontested aging intervals (so
+  // the re-signals stand in for dispatch rounds while the pool is
+  // stalled, and a lone transient signal can never reclaim anything).
+  // The re-signal cost is borne entirely by the blocked waiter; an
+  // uncontended process never wakes. A hook returns whether it is
+  // still alive; returning false removes it (capture weak_ptrs to
+  // anything shorter-lived than the governor and expire with them).
+  // Not fired by TryAcquire denials or Releases: opportunistic probes
+  // and routine pops are not distress. Returns a handle for
+  // RemoveContentionHook (0 for a null hook).
+  uint64_t AddContentionHook(std::function<bool()> hook);
+
+  // Deregisters a hook by its AddContentionHook handle. Owners whose
+  // governor may never contend (so the self-prune on fire never runs)
+  // call this from their destructor to keep the hook list bounded
+  // under stream churn; a copy of the hook already being fired may
+  // still run once more, so hooks must stay safely callable (weak_ptr
+  // captures) regardless.
+  void RemoveContentionHook(uint64_t id);
+
   // OK while the ledger is consistent; after an over-release it carries
   // the exact double-release diagnostic, permanently.
   Status health() const;
@@ -106,9 +137,16 @@ class MemoryGovernor {
   // Caller holds mu_.
   void GrantLocked();
 
+  // Fires the registered hooks and prunes the ones that report
+  // themselves dead. Must be called with mu_ NOT held (hooks take the
+  // executor's lock).
+  void FireContentionHooks();
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::deque<Waiter*> waiters_;  // FIFO; entries live on Acquire stacks
+  std::vector<std::pair<uint64_t, std::function<bool()>>> contention_hooks_;
+  uint64_t next_hook_id_ = 1;
   size_t in_use_ = 0;
   size_t max_in_use_ = 0;
   Status health_;  // latched by the first over-release

@@ -16,6 +16,7 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
     cf_->abandoned = true;
     st_->buffered -= cf_->buffer.size();
     cf_->buffer.clear();
+    cf_->buffer_cps.clear();
     ReleaseSlotsLocked(*st_, *cf_);
     if (!cf_->claimed) {
       // No task holds the reader; a claimed one cleans up on unclaim.
@@ -39,6 +40,7 @@ class PrefetchDecoder::ChunkedSource : public RecordSource {
     if (cf_->buffer.empty()) return std::nullopt;
     Record rec = std::move(cf_->buffer.front());
     cf_->buffer.pop_front();
+    cf_->buffer_cps.pop_front();
     --st_->buffered;
     ++cf_->consumed;
     // The consumer is draining: reset the tenant's idle-reclaim clock.
@@ -96,16 +98,40 @@ PrefetchDecoder::PrefetchDecoder(Options options)
     executor_ = std::make_shared<Executor>(eopt);
   }
   tenant_ = executor_->CreateTenant(
-      {.weight = std::max<size_t>(1, options_.tenant_weight)});
+      {.weight = std::max<size_t>(1, options_.tenant_weight),
+       .deadline = options_.tenant_deadline});
   state_->tenant = tenant_.get();
   if (options_.idle_reclaim_rounds > 0 && options_.max_records_in_flight > 0) {
     // Invoked by a worker with no executor lock held; takes State::mu.
     tenant_->SetIdleReclaim(options_.idle_reclaim_rounds,
                             [st = state_] { ReclaimIdle(st); });
+    if (options_.governor) {
+      // Wire the waiter-driven reclaim trigger ourselves, so the
+      // executor+governor embedding works without a StreamPool (which
+      // also wires one — duplicates are harmless: RequestReclaimTick
+      // coalesces, and mark aging is wall-rate-limited). Aliveness is
+      // keyed to this decoder's State (the executor may be shared and
+      // long-lived), so stream churn self-prunes from the governor.
+      contention_hook_id_ = options_.governor->AddContentionHook(
+          [st = std::weak_ptr<State>(state_),
+           ex = std::weak_ptr<Executor>(executor_)] {
+            if (st.expired()) return false;
+            auto e = ex.lock();
+            if (e) e->RequestReclaimTick();
+            return e != nullptr;
+          });
+    }
   }
 }
 
 PrefetchDecoder::~PrefetchDecoder() {
+  // Deregister the contention hook eagerly: on a never-contended
+  // governor the self-prune-on-fire would otherwise never run, and
+  // stream churn would grow the hook list. (A fire already in flight
+  // may still call its copy once; the weak captures make that a no-op.)
+  if (contention_hook_id_ != 0) {
+    options_.governor->RemoveContentionHook(contention_hook_id_);
+  }
   {
     // Stop fill loops early and stop refill scheduling; queued tasks
     // are discarded by the tenant below, running ones finish.
@@ -243,6 +269,16 @@ size_t PrefetchDecoder::reclaims() const {
   return state_->reclaims;
 }
 
+size_t PrefetchDecoder::seek_resumes() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->seek_resumes;
+}
+
+size_t PrefetchDecoder::skip_resumes() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->skip_resumes;
+}
+
 size_t PrefetchDecoder::queued_tasks() const {
   return tenant_ ? tenant_->queued() : 0;
 }
@@ -290,9 +326,14 @@ void PrefetchDecoder::ReclaimIdle(const std::shared_ptr<State>& st) {
           // Quiescent = no fill task in flight and records parked in
           // the buffer.
           if (cf->buffer.empty()) continue;
+          // The front buffered record is exactly where resume must
+          // restart: remember its checkpoint so the refill seeks there
+          // in O(1) instead of re-framing `consumed` records.
+          cf->resume_cp = cf->buffer_cps.front();
           st->buffered -= cf->buffer.size();
           cf->buffer.clear();
-          cf->reader.reset();  // position is lost; resume re-opens + skips
+          cf->buffer_cps.clear();
+          cf->reader.reset();  // position is lost; resume_cp restores it
           if (cf->done) {
             // The records still owed to the consumer must be re-decoded,
             // so the file is no longer "decoded".
@@ -311,6 +352,10 @@ void PrefetchDecoder::ReclaimIdle(const std::shared_ptr<State>& st) {
     if (job->chunked) reclaim_subset(job->chunks);
   }
   for (const auto& subset : st->active) reclaim_subset(subset);
+  // No explicit retry is needed for the skipped files: the contention
+  // that fired this pass keeps re-signalling while it stays blocked
+  // (and a busy pool's round clock keeps advancing), so the next pass
+  // catches them once their fills unclaim.
   if (skipped_busy && st->tenant != nullptr) st->tenant->NoteActivity();
 }
 
@@ -337,18 +382,32 @@ void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
   std::unique_lock<std::mutex> lock(st->mu);
   if (!cf.reader && !cf.done && !cf.abandoned && !st->stopping) {
     broker::DumpFileMeta meta = cf.meta;
-    // Resuming after an idle reclaim: re-open from the start and skip
-    // the records the consumer already drained, so the re-decoded
-    // stream continues exactly where the dropped buffer left off.
-    size_t skip = cf.reclaimed ? cf.consumed : 0;
+    bool resuming = cf.reclaimed;
+    DumpReader::Checkpoint resume_cp = cf.resume_cp;
+    size_t skip = resuming ? cf.consumed : 0;
     lock.unlock();
     if (st->decode.file_open_hook) st->decode.file_open_hook(meta);
-    auto reader = std::make_unique<DumpReader>(std::move(meta));
-    // Skip() counts raw framing units without re-decoding the BGP
-    // payloads the consumer already saw; < skip ⇔ the file shrank.
-    bool exhausted = reader->Skip(skip) < skip;
+    std::unique_ptr<DumpReader> reader;
+    bool exhausted = false;
+    if (resuming && resume_cp.valid) {
+      // Resuming after an idle reclaim: seek straight to the first
+      // dropped record's checkpoint — O(1), the consumed prefix is
+      // never read again.
+      reader = std::make_unique<DumpReader>(std::move(meta), resume_cp);
+    } else {
+      // Fresh file, or a reclaimed record with no byte position (the
+      // synthesized open-failure record): re-open from the start and
+      // Skip() the records the consumer already drained. Skip counts
+      // raw framing units without re-decoding the BGP payloads;
+      // < skip ⇔ the file shrank.
+      reader = std::make_unique<DumpReader>(std::move(meta));
+      exhausted = reader->Skip(skip) < skip;
+    }
     lock.lock();
     cf.reclaimed = false;
+    if (resuming) {
+      ++(resume_cp.valid ? st->seek_resumes : st->skip_resumes);
+    }
     if (exhausted) {
       cf.done = true;
       ++st->files_decoded;
@@ -383,6 +442,7 @@ void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
     }
     if (cf.abandoned) break;  // consumer is gone: drop the record
     cf.buffer.push_back(std::move(*rec));
+    cf.buffer_cps.push_back(cf.reader->last_checkpoint());
     ++st->buffered;
     st->max_buffered = std::max(st->max_buffered, st->buffered);
     // Wake a consumer blocked on this file's first record right away

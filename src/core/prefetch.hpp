@@ -47,11 +47,14 @@
 // record for that many executor dispatch rounds, the decoder drops all
 // buffered-but-undrained chunked records, releases their extra governor
 // leases (each file keeps its one floor slot so resume can never
-// deadlock), and remembers how many records the consumer already saw.
-// When the consumer resumes, the next fill task — scheduled via
-// SubmitUrgent because the consumer is blocked on it — re-opens the
-// file, skips the already-consumed records, and re-decodes, so the
-// emitted sequence is identical to a never-reclaimed run.
+// deadlock), and stores the DumpReader::Checkpoint of the first dropped
+// record. When the consumer resumes, the next fill task — scheduled via
+// SubmitUrgent because the consumer is blocked on it — reconstructs the
+// reader straight at that checkpoint (an O(1) seek; only records the
+// checkpoint cannot cover, e.g. an open-failure file, fall back to the
+// O(consumed) re-open + Skip path), so the emitted sequence is
+// identical to a never-reclaimed run without re-reading the consumed
+// prefix of a large dump.
 //
 // Ordering guarantee: WaitNextSources() returns subsets in Submit()
 // order, and within a subset sources preserve the submitted file order,
@@ -92,6 +95,11 @@ class PrefetchDecoder {
     // Scheduling weight of this decoder's tenant queue: tasks drained
     // per dispatch visit relative to other tenants (clamped to >= 1).
     size_t tenant_weight = 1;
+    // Join the executor's deadline class for this weight: decode tasks
+    // drain earliest-enqueued-first across every same-weight deadline
+    // tenant, so a live consumer's wait tracks enqueue order instead of
+    // cursor position. See Executor::TenantOptions::deadline.
+    bool tenant_deadline = false;
     // Idle-tenant reclaim: when the consumer has not drained a record
     // for this many executor dispatch rounds, drop the chunked buffers
     // (keeping one governor floor slot per file) and re-decode on
@@ -150,6 +158,15 @@ class PrefetchDecoder {
   // reclaim so far (each is re-decoded on resume).
   size_t reclaims() const;
 
+  // Reclaimed files resumed by seeking straight to the stored
+  // checkpoint (O(1) — no re-read of the consumed prefix).
+  size_t seek_resumes() const;
+
+  // Reclaimed files resumed by the fallback re-open + Skip(consumed)
+  // path (only files whose records carry no byte position, e.g. an
+  // open-failure record). The large-file resume test pins this at 0.
+  size_t skip_resumes() const;
+
   // Decode tasks queued on this decoder's tenant but not yet claimed.
   size_t queued_tasks() const;
 
@@ -164,6 +181,9 @@ class PrefetchDecoder {
     broker::DumpFileMeta meta;
     size_t capacity = 1;
     std::deque<Record> buffer;
+    // Resume point of each buffered record, in lockstep with `buffer`:
+    // the front entry is where a reclaim's resume must restart.
+    std::deque<DumpReader::Checkpoint> buffer_cps;
     std::unique_ptr<DumpReader> reader;  // created by the first filler
     ElemArena arena;         // primes prefetched_elems reserves
     size_t slots = 0;        // governor slots held (floor + extras)
@@ -171,14 +191,17 @@ class PrefetchDecoder {
     // a slot already leased for it; keeps concurrent consumer pops from
     // releasing that in-flight lease (ReleaseSlotsLocked counts it).
     size_t decoding = 0;
-    // Records the consumer has popped from this file so far. After a
-    // reclaim, the refill re-opens the file and skips this many.
+    // Records the consumer has popped from this file so far (the
+    // Skip-fallback resume count; also an invariant check on resume_cp).
     size_t consumed = 0;
+    // Where the reclaimed buffer's first record lives, for the O(1)
+    // seek resume (valid ⇔ the record had a byte position).
+    DumpReader::Checkpoint resume_cp;
     bool claimed = false;    // a fill task is queued or running
     bool done = false;       // reader exhausted (or truncated at shutdown)
     bool abandoned = false;  // the consumer dropped the source
     // Idle reclaim dropped this file's buffer; the next fill must
-    // re-open the reader and skip `consumed` records first.
+    // reconstruct the reader at resume_cp (or re-open + Skip) first.
     bool reclaimed = false;
   };
 
@@ -211,6 +234,8 @@ class PrefetchDecoder {
     size_t buffered = 0;      // records currently in chunked buffers
     size_t max_buffered = 0;  // high watermark of `buffered`
     size_t reclaims = 0;      // chunked files reclaimed while idle
+    size_t seek_resumes = 0;  // reclaim resumes via checkpoint seek
+    size_t skip_resumes = 0;  // reclaim resumes via re-open + Skip
     bool stopping = false;
   };
 
@@ -245,6 +270,9 @@ class PrefetchDecoder {
 
   Options options_;
   std::shared_ptr<State> state_;
+  // Handle of the governor contention hook this decoder registered
+  // (0 = none); removed eagerly in the destructor.
+  uint64_t contention_hook_id_ = 0;
   // Private pool when no shared executor was injected. Declared before
   // tenant_ so the tenant detaches first (members destruct in reverse).
   std::shared_ptr<Executor> executor_;

@@ -72,6 +72,7 @@ Status BgpStream::Start() {
     popt.decode.filters = &filters_;
     popt.max_records_in_flight = options_.max_records_in_flight;
     popt.tenant_weight = options_.tenant_weight;
+    popt.tenant_deadline = options_.tenant_deadline;
     popt.idle_reclaim_rounds = options_.idle_reclaim_rounds;
     decoder_ = std::make_unique<PrefetchDecoder>(std::move(popt));
     decoder_for_stats_.store(decoder_.get(), std::memory_order_release);

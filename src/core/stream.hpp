@@ -88,6 +88,13 @@ class BgpStream {
     // Must be >= 1; meaningful with a shared executor. Injected by
     // bgps::StreamPool::CreateStream's TenantOptions.
     size_t tenant_weight = 1;
+    // Deadline-class membership: this stream's decode tasks dispatch
+    // earliest-enqueued-first across every same-weight deadline tenant
+    // of the shared executor, so a live consumer's refill wait tracks
+    // enqueue order instead of round-robin cursor position. Emitted
+    // sequences are identical either way (per-tenant FIFO is
+    // untouched). Injected by StreamPool's TenantOptions::deadline.
+    bool tenant_deadline = false;
     // Idle-tenant reclaim: when this stream's consumer has not drained
     // a record for this many executor dispatch rounds, its chunked
     // buffers are dropped (governor leases released down to one floor

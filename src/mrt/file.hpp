@@ -21,6 +21,11 @@ class MrtFileReader {
   MrtFileReader() = default;
 
   Status Open(const std::string& path);
+  // Opens and seeks straight to `offset` — a byte position previously
+  // read from offset(), i.e. a record-frame boundary. The O(1) resume
+  // path of idle-tenant reclaim: re-framing continues mid-file without
+  // re-reading the prefix. An offset past EOF just yields EndOfStream.
+  Status Open(const std::string& path, uint64_t offset);
   bool is_open() const { return file_.is_open(); }
   const std::string& path() const { return path_; }
 
@@ -31,11 +36,17 @@ class MrtFileReader {
   // Total records framed so far (for stats / tests).
   size_t records_read() const { return records_read_; }
 
+  // Byte position of the next frame Next() will read — stable across
+  // EOF, so it can be captured per record and handed back to
+  // Open(path, offset) later.
+  uint64_t offset() const { return offset_; }
+
  private:
   std::string path_;
   std::ifstream file_;
   bool corrupt_ = false;
   size_t records_read_ = 0;
+  uint64_t offset_ = 0;
 };
 
 class MrtFileWriter {

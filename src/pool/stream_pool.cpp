@@ -14,14 +14,16 @@ struct TenantRegistry {
     const core::BgpStream* stream;
     std::string name;
     size_t weight;
+    bool deadline;
   };
 
   std::mutex mu;
   std::vector<Entry> entries;
 
-  void Add(const core::BgpStream* stream, std::string name, size_t weight) {
+  void Add(const core::BgpStream* stream, std::string name, size_t weight,
+           bool deadline) {
     std::lock_guard<std::mutex> lock(mu);
-    entries.push_back({stream, std::move(name), weight});
+    entries.push_back({stream, std::move(name), weight, deadline});
   }
   void Remove(const core::BgpStream* stream) {
     std::lock_guard<std::mutex> lock(mu);
@@ -60,6 +62,10 @@ StreamPool::StreamPool(Options options) : options_(options) {
   executor_ = std::make_shared<core::Executor>(eopt);
   governor_ = std::make_shared<core::MemoryGovernor>(options_.record_budget);
   registry_ = std::make_shared<pool_internal::TenantRegistry>();
+  // No contention-hook wiring here: each reclaim-enabled vended
+  // stream's PrefetchDecoder registers (and on destruction removes)
+  // its own governor hook, so a pool whose streams never enable
+  // reclaim keeps blocked Acquires on the untimed no-poll path.
 }
 
 Result<std::unique_ptr<StreamPool>> StreamPool::Create(Options options) {
@@ -87,6 +93,7 @@ std::unique_ptr<core::BgpStream> StreamPool::CreateStream(
                                         : options_.record_budget;
   }
   options.tenant_weight = tenant.weight;
+  options.tenant_deadline = tenant.deadline;
   options.idle_reclaim_rounds =
       tenant.idle_reclaim_rounds.value_or(options_.idle_reclaim_rounds);
   size_t ordinal = streams_created_.fetch_add(1) + 1;
@@ -95,7 +102,8 @@ std::unique_ptr<core::BgpStream> StreamPool::CreateStream(
                          : std::move(tenant.name);
   auto stream = std::make_unique<pool_internal::PooledStream>(
       std::move(options), registry_);
-  registry_->Add(stream.get(), std::move(name), tenant.weight);
+  registry_->Add(stream.get(), std::move(name), tenant.weight,
+                 tenant.deadline);
   return stream;
 }
 
@@ -105,8 +113,8 @@ StreamPool::Snapshot StreamPool::Stats() const {
     std::lock_guard<std::mutex> lock(registry_->mu);
     snap.tenants.reserve(registry_->entries.size());
     for (const auto& entry : registry_->entries) {
-      snap.tenants.push_back(
-          {entry.name, entry.weight, entry.stream->stats()});
+      snap.tenants.push_back({entry.name, entry.weight, entry.deadline,
+                              entry.stream->stats()});
     }
   }
   snap.governor = governor_->snapshot();

@@ -70,6 +70,12 @@ class StreamPool {
     // relative to other tenants (deficit-weighted round-robin). Must be
     // >= 1 — a vended stream's Start() rejects 0 with an exact message.
     size_t weight = 1;
+    // Deadline-class dispatch: this tenant's decode tasks drain
+    // earliest-enqueued-first across every same-weight deadline tenant,
+    // instead of strict cursor order — for live monitors whose record
+    // latency should track load, not round-robin position. Output is
+    // identical either way.
+    bool deadline = false;
     // Display name in Stats(); empty = "tenant-<n>".
     std::string name;
     // Per-tenant override of Options::idle_reclaim_rounds (nullopt =
@@ -84,6 +90,7 @@ class StreamPool {
     struct Tenant {
       std::string name;
       size_t weight = 0;
+      bool deadline = false;
       // queue_depth, tasks_executed, files_decoded, records_buffered,
       // records_emitted, reclaims.
       core::BgpStream::RuntimeStats stats;

@@ -204,22 +204,204 @@ TEST(ExecutorTest, IdleReclaimFiresAfterThresholdAndRearmsOnActivity) {
   std::atomic<int> reclaimed{0};
   idle->SetIdleReclaim(3, [&reclaimed] { ++reclaimed; });
 
-  // Other tenants' dispatch (or the idle tick) advances the round
-  // clock; after >= 3 rounds without NoteActivity the callback fires —
-  // exactly once until activity re-arms it.
+  // Other tenants' dispatch advances the round clock; after >= 3 rounds
+  // without NoteActivity the callback fires — exactly once until
+  // activity re-arms it.
   for (int i = 0; i < 64; ++i) busy->Submit([] {});
   ASSERT_TRUE(WaitFor([&] { return reclaimed.load() == 1; }));
   std::this_thread::sleep_for(100ms);
   EXPECT_EQ(reclaimed.load(), 1);  // does not re-fire while still idle
 
-  idle->NoteActivity();  // re-arm
+  idle->NoteActivity();  // re-arm; more dispatch crosses the threshold again
+  for (int i = 0; i < 64; ++i) busy->Submit([] {});
   ASSERT_TRUE(WaitFor([&] { return reclaimed.load() == 2; }));
 
   // Clearing the policy stops further fires.
   idle->SetIdleReclaim(0, nullptr);
   int at_clear = reclaimed.load();
-  std::this_thread::sleep_for(100ms);
+  for (int i = 0; i < 64; ++i) busy->Submit([] {});
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() >= 192; }));
   EXPECT_EQ(reclaimed.load(), at_clear);
+}
+
+TEST(ExecutorTest, ReclaimTickSignalsFireStalestTenantAfterItsPatience) {
+  // The waiter-driven trigger: with the pool fully stalled, rounds do
+  // not advance on their own (no timer), so armed policies stay
+  // dormant. Contention signals (RequestReclaimTick) stand in for
+  // dispatch rounds: a tenant fires only after ~idle_rounds
+  // consecutive signals without activity — the smaller-patience tenant
+  // first, one tenant per signal, round clock untouched. A lone signal
+  // can only mark, never fire.
+  Executor ex({.threads = 1});
+  auto stale = ex.CreateTenant();
+  auto fresh = ex.CreateTenant();
+  std::atomic<int> stale_reclaims{0};
+  std::atomic<int> fresh_reclaims{0};
+  stale->SetIdleReclaim(25, [&stale_reclaims] { ++stale_reclaims; });
+  fresh->SetIdleReclaim(60, [&fresh_reclaims] { ++fresh_reclaims; });
+
+  // Stalled pool: nothing fires without tick requests, and one request
+  // alone only marks.
+  size_t rounds_before = ex.dispatch_rounds();
+  ex.RequestReclaimTick();
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(stale_reclaims.load(), 0);
+  EXPECT_EQ(fresh_reclaims.load(), 0);
+
+  // Repeated signals (what a blocked governor Acquire delivers in
+  // production) cross the smaller patience first; the round clock
+  // stays put throughout.
+  auto signal_until = [&ex](auto fired) {
+    auto until = std::chrono::steady_clock::now() + 10s;
+    while (!fired()) {
+      if (std::chrono::steady_clock::now() > until) return false;
+      ex.RequestReclaimTick();
+      std::this_thread::sleep_for(1ms);
+    }
+    return true;
+  };
+  ASSERT_TRUE(signal_until([&] { return stale_reclaims.load() == 1; }));
+  EXPECT_EQ(ex.dispatch_rounds(), rounds_before);
+  EXPECT_EQ(fresh_reclaims.load(), 0);  // patience 60 not yet met
+
+  // Further signals eventually peel off the higher-patience tenant too.
+  ASSERT_TRUE(signal_until([&] { return fresh_reclaims.load() == 1; }));
+  EXPECT_EQ(stale_reclaims.load(), 1);  // still one-shot until re-armed
+
+  // With every policy fired, further requests are no-ops.
+  ex.RequestReclaimTick();
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(stale_reclaims.load(), 1);
+  EXPECT_EQ(fresh_reclaims.load(), 1);
+}
+
+TEST(ExecutorTest, ReclaimTickNeverFiresTenantsActiveBetweenSignals) {
+  // The mark/confirm protocol's point: a tenant that keeps draining
+  // (NoteActivity between signals) resets its inactivity window and is
+  // never reclaimed by contention — even with a far smaller patience —
+  // while a genuinely idle one yields; once the active tenant stops,
+  // it yields too.
+  Executor ex({.threads = 1});
+  auto stale = ex.CreateTenant();
+  auto active = ex.CreateTenant();
+  std::atomic<int> stale_reclaims{0};
+  std::atomic<int> active_reclaims{0};
+  stale->SetIdleReclaim(25, [&stale_reclaims] { ++stale_reclaims; });
+  active->SetIdleReclaim(5, [&active_reclaims] { ++active_reclaims; });
+
+  // Keep `active` draining across the whole signal storm: its mark can
+  // never age 5 signals, so the idle `stale` tenant yields first
+  // despite needing 5× the patience.
+  auto until = std::chrono::steady_clock::now() + 10s;
+  while (stale_reclaims.load() == 0 &&
+         std::chrono::steady_clock::now() < until) {
+    active->NoteActivity();
+    ex.RequestReclaimTick();
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(stale_reclaims.load(), 1);
+  EXPECT_EQ(active_reclaims.load(), 0);
+
+  // Once `active` stops draining, its patience window can finally
+  // elapse and it yields as well.
+  while (active_reclaims.load() == 0 &&
+         std::chrono::steady_clock::now() < until) {
+    ex.RequestReclaimTick();
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(active_reclaims.load(), 1);
+  EXPECT_EQ(stale_reclaims.load(), 1);
+}
+
+TEST(ExecutorTest, DeadlineClassDrainsEarliestEnqueuedFirst) {
+  // Three same-weight deadline tenants plus a non-deadline bystander.
+  // Within the class, claims follow global enqueue order regardless of
+  // which queue the cursor anchors on; the bystander keeps plain
+  // round-robin; per-tenant FIFO holds everywhere.
+  Executor ex({.threads = 1});
+  auto gate_tenant = ex.CreateTenant();
+  auto a = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto b = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto c = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto plain = ex.CreateTenant();  // weight 1, no deadline
+  CompletionLog log;
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  gate_tenant->Submit([opened] { opened.wait(); });
+
+  // Enqueue out of cursor order: c first, then b, then a.
+  c->Submit([&log] { log.Note("c0"); });
+  c->Submit([&log] { log.Note("c1"); });
+  b->Submit([&log] { log.Note("b0"); });
+  a->Submit([&log] { log.Note("a0"); });
+  a->Submit([&log] { log.Note("a1"); });
+  plain->Submit([&log] { log.Note("p0"); });
+  gate.set_value();
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 7; }));
+
+  // EDF across the class: enqueue order c0 c1 b0 a0 a1 — even though
+  // the cursor visits a's queue first.
+  EXPECT_LT(log.IndexOf("c0"), log.IndexOf("c1"));
+  EXPECT_LT(log.IndexOf("c1"), log.IndexOf("b0"));
+  EXPECT_LT(log.IndexOf("b0"), log.IndexOf("a0"));
+  EXPECT_LT(log.IndexOf("a0"), log.IndexOf("a1"));
+}
+
+TEST(ExecutorTest, DeadlineClassesSplitByWeight) {
+  // Deadline tenants of different weights are different classes: a
+  // weight-1 deadline tenant's older task does not jump into a
+  // weight-2 class visit.
+  Executor ex({.threads = 1});
+  auto gate_tenant = ex.CreateTenant();
+  auto w2a = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto w2b = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto w1 = ex.CreateTenant({.weight = 1, .deadline = true});
+  CompletionLog log;
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  gate_tenant->Submit([opened] { opened.wait(); });
+
+  w1->Submit([&log] { log.Note("w1-0"); });    // oldest stamp overall
+  w2b->Submit([&log] { log.Note("w2b-0"); });
+  w2a->Submit([&log] { log.Note("w2a-0"); });
+  gate.set_value();
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 4; }));
+
+  // The cursor reaches w2a first; its class = {w2a, w2b}, whose oldest
+  // head is w2b's — w1's older task belongs to another class and waits
+  // for its own visit.
+  EXPECT_LT(log.IndexOf("w2b-0"), log.IndexOf("w2a-0"));
+  EXPECT_LT(log.IndexOf("w2b-0"), log.IndexOf("w1-0"));
+}
+
+TEST(ExecutorTest, DeadlineUrgentTasksLeadTheClass) {
+  // Urgent submissions stamp ahead of every normal one, so a blocked
+  // consumer's refill is the class's next claim even from the youngest
+  // queue.
+  Executor ex({.threads = 1});
+  auto gate_tenant = ex.CreateTenant();
+  auto a = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto b = ex.CreateTenant({.weight = 2, .deadline = true});
+  CompletionLog log;
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  gate_tenant->Submit([opened] { opened.wait(); });
+
+  a->Submit([&log] { log.Note("a0"); });
+  a->Submit([&log] { log.Note("a1"); });
+  b->Submit([&log] { log.Note("b0"); });
+  b->SubmitUrgent([&log] { log.Note("b-urgent"); });
+  gate.set_value();
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 5; }));
+
+  // b-urgent outranks a0 despite a0's older normal stamp; b's own FIFO
+  // then resumes (urgent still precedes b0 in its own queue).
+  EXPECT_EQ(log.IndexOf("b-urgent"), 0u);
+  EXPECT_LT(log.IndexOf("a0"), log.IndexOf("a1"));
+  EXPECT_LT(log.IndexOf("b-urgent"), log.IndexOf("b0"));
 }
 
 TEST(ExecutorTest, SubmitUrgentJumpsItsOwnQueueOnly) {
@@ -234,11 +416,15 @@ TEST(ExecutorTest, SubmitUrgentJumpsItsOwnQueueOnly) {
 
   tenant->Submit([&log] { log.Note("a"); });
   tenant->Submit([&log] { log.Note("b"); });
-  tenant->SubmitUrgent([&log] { log.Note("urgent"); });
+  tenant->SubmitUrgent([&log] { log.Note("urgent1"); });
+  tenant->SubmitUrgent([&log] { log.Note("urgent2"); });
   gate.set_value();
-  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 4; }));
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 5; }));
+  // The urgent band precedes every normal task and is FIFO within
+  // itself — the queue front is always the oldest urgent stamp, which
+  // is what deadline-class dispatch compares across tenants.
   EXPECT_EQ(log.Get(),
-            (std::vector<std::string>{"urgent", "a", "b"}));
+            (std::vector<std::string>{"urgent1", "urgent2", "a", "b"}));
 }
 
 TEST(ExecutorTest, TenantDtorDiscardsQueuedAndWaitsForRunning) {

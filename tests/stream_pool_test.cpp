@@ -408,19 +408,36 @@ TEST_F(StreamPoolTest, IdleTenantReclaimReleasesBudgetAndPreservesOutput) {
   size_t in_use_before = (*pool)->records_in_use();
   ASSERT_GE(in_use_before, 20u);
 
-  // ...until the idle threshold elapses and reclaim drops them,
-  // releasing the governor leases down to the per-file floors. The
-  // round clock keeps ticking even though no other tenant runs.
+  // ...and they stay parked: with no budget contention, the
+  // waiter-driven clock never moves, so no reclaim fires no matter how
+  // long the consumer stays away.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(stream->stats().reclaims, 0u);
+  EXPECT_GE((*pool)->records_in_use(), 20u);
+
+  // The moment another demand blocks on the governor, the contention
+  // hook jumps the executor's round clock to the victim's reclaim
+  // deadline: its buffers drop and the leases release down to the
+  // per-file floors — which is exactly what lets the blocked demand
+  // proceed. Reclaim latency tracks contention, not wall time.
+  std::thread rival([&] {
+    Status st = (*pool)->governor()->Acquire(64 - kFilesPerTenant);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    (*pool)->governor()->Release(64 - kFilesPerTenant);
+  });
   ASSERT_TRUE(deadline_ok([&] { return stream->stats().reclaims > 0; }));
   ASSERT_TRUE(
       deadline_ok([&] { return stream->stats().records_buffered == 0; }));
   ASSERT_TRUE(deadline_ok(
       [&] { return (*pool)->records_in_use() < in_use_before; }));
+  rival.join();
   EXPECT_LE((*pool)->records_in_use(),
             size_t(kFilesPerTenant));  // floors only
 
-  // Resume: the dropped records are re-decoded (SubmitUrgent) and the
-  // full output is identical to the never-reclaimed private run.
+  // Resume: the dropped records are re-decoded from the stored byte
+  // checkpoints (SubmitUrgent + O(1) seek, no re-read of the consumed
+  // prefix) and the full output is identical to the never-reclaimed
+  // private run.
   while (auto rec = stream->NextRecord()) {
     got.records.emplace_back(rec->timestamp, rec->collector,
                              int(rec->dump_type), int(rec->status),

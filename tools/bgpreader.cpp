@@ -12,8 +12,9 @@
 // --pool-threads routes the stream through a bgps::StreamPool — the
 // same shared decode runtime a multi-tenant service would use — instead
 // of a private synchronous pipeline; --pool-budget / --pool-weight /
-// --pool-stats-interval tune and introspect it (and require
-// --pool-threads: they have no meaning without the pool).
+// --pool-deadline / --pool-stats-interval / --pool-stats-json tune and
+// introspect it (and require --pool-threads: they have no meaning
+// without the pool).
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -64,9 +65,17 @@ performance (shared decode runtime; all but --pool-threads require it):
   --pool-weight N          scheduling weight of this stream's tenant
                            queue (default 1; higher = more decode tasks
                            per dispatch visit)
+  --pool-deadline          join the deadline class of this weight:
+                           decode tasks dispatch earliest-enqueued-first
+                           across same-weight deadline tenants (live
+                           monitors; output is identical either way)
   --pool-stats-interval S  dump a StreamPool stats snapshot to stderr
                            every S seconds (fractions allowed) and once
                            at the end
+  --pool-stats-json        emit stats snapshots as one JSON object per
+                           line (machine-scrapable) instead of the
+                           human-readable [pool] lines; also dumps a
+                           final snapshot even without an interval
 
 output:
   -m              bgpdump -m compatible output
@@ -76,9 +85,66 @@ output:
              stderr);
 }
 
-// One stats snapshot, as stderr lines prefixed "[pool]".
-void DumpPoolStats(const StreamPool& pool) {
+// Minimal JSON string escaping (quotes, backslashes, control chars) for
+// tenant names in the --pool-stats-json output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One stats snapshot: human-readable stderr lines prefixed "[pool]", or
+// (json) exactly one JSON object per snapshot on one line — the
+// machine-scrapable form documented in docs/OPERATIONS.md.
+void DumpPoolStats(const StreamPool& pool, bool json) {
   StreamPool::Snapshot snap = pool.Stats();
+  if (json) {
+    std::string out;
+    out += "{\"executor\":{\"threads\":" +
+           std::to_string(snap.executor.threads) +
+           ",\"tasks_run\":" + std::to_string(snap.executor.tasks_run) +
+           ",\"dispatch_rounds\":" +
+           std::to_string(snap.executor.dispatch_rounds) +
+           ",\"tenants\":" + std::to_string(snap.executor.tenants) + "}";
+    out += ",\"governor\":{\"capacity\":" +
+           std::to_string(snap.governor.capacity) +
+           ",\"in_use\":" + std::to_string(snap.governor.in_use) +
+           ",\"max_in_use\":" + std::to_string(snap.governor.max_in_use) +
+           ",\"waiting\":" + std::to_string(snap.governor.waiting) + "}";
+    out += ",\"streams_created\":" + std::to_string(snap.streams_created);
+    out += ",\"tenants\":[";
+    for (size_t i = 0; i < snap.tenants.size(); ++i) {
+      const auto& t = snap.tenants[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + JsonEscape(t.name) + "\"";
+      out += ",\"weight\":" + std::to_string(t.weight);
+      out += std::string(",\"deadline\":") + (t.deadline ? "true" : "false");
+      out += ",\"queue_depth\":" + std::to_string(t.stats.queue_depth);
+      out += ",\"tasks_executed\":" + std::to_string(t.stats.tasks_executed);
+      out += ",\"files_decoded\":" + std::to_string(t.stats.files_decoded);
+      out +=
+          ",\"records_buffered\":" + std::to_string(t.stats.records_buffered);
+      out += ",\"records_emitted\":" + std::to_string(t.stats.records_emitted);
+      out += ",\"reclaims\":" + std::to_string(t.stats.reclaims) + "}";
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), stderr);
+    return;
+  }
   std::fprintf(stderr,
                "[pool] executor threads=%zu tasks_run=%zu rounds=%zu | "
                "governor in_use=%zu/%zu max=%zu waiting=%zu | streams=%zu\n",
@@ -88,12 +154,12 @@ void DumpPoolStats(const StreamPool& pool) {
                snap.governor.waiting, snap.streams_created);
   for (const auto& t : snap.tenants) {
     std::fprintf(stderr,
-                 "[pool]   tenant %s weight=%zu queue=%zu tasks=%zu "
+                 "[pool]   tenant %s weight=%zu%s queue=%zu tasks=%zu "
                  "files=%zu buffered=%zu emitted=%zu reclaims=%zu\n",
-                 t.name.c_str(), t.weight, t.stats.queue_depth,
-                 t.stats.tasks_executed, t.stats.files_decoded,
-                 t.stats.records_buffered, t.stats.records_emitted,
-                 t.stats.reclaims);
+                 t.name.c_str(), t.weight, t.deadline ? " deadline" : "",
+                 t.stats.queue_depth, t.stats.tasks_executed,
+                 t.stats.files_decoded, t.stats.records_buffered,
+                 t.stats.records_emitted, t.stats.reclaims);
   }
 }
 
@@ -106,6 +172,7 @@ int main(int argc, char** argv) {
   bool have_window = false;
   Timestamp start = 0, end = kLiveEnd;
   size_t pool_threads = 0, pool_budget = 0, pool_weight = 0;
+  bool pool_deadline = false, pool_stats_json = false;
   double pool_stats_interval = 0.0;
 
   auto fail = [&](const std::string& msg) {
@@ -196,6 +263,10 @@ int main(int argc, char** argv) {
       if (!v) return fail("--pool-weight needs a weight");
       pool_weight = size_t(std::strtoull(v, nullptr, 10));
       if (pool_weight == 0) return fail("--pool-weight must be >= 1");
+    } else if (arg == "--pool-deadline") {
+      pool_deadline = true;
+    } else if (arg == "--pool-stats-json") {
+      pool_stats_json = true;
     } else if (arg == "--pool-stats-interval") {
       const char* v = need_value();
       if (!v) return fail("--pool-stats-interval needs seconds");
@@ -228,9 +299,15 @@ int main(int argc, char** argv) {
     if (pool_weight > 0)
       return fail("--pool-weight requires --pool-threads (the shared "
                   "decode runtime is enabled by --pool-threads N)");
+    if (pool_deadline)
+      return fail("--pool-deadline requires --pool-threads (the shared "
+                  "decode runtime is enabled by --pool-threads N)");
     if (pool_stats_interval > 0.0)
       return fail("--pool-stats-interval requires --pool-threads (the "
                   "shared decode runtime is enabled by --pool-threads N)");
+    if (pool_stats_json)
+      return fail("--pool-stats-json requires --pool-threads (the shared "
+                  "decode runtime is enabled by --pool-threads N)");
   }
 
   if (archive.empty() == file.empty())
@@ -250,6 +327,7 @@ int main(int argc, char** argv) {
     pool = std::move(*created);
     StreamPool::TenantOptions topt;
     topt.weight = pool_weight > 0 ? pool_weight : 1;
+    topt.deadline = pool_deadline;
     topt.name = "cli";
     stream = pool->CreateStream({}, std::move(topt));
   } else {
@@ -289,7 +367,7 @@ int main(int argc, char** argv) {
     stats_thread = std::thread([&] {
       std::unique_lock<std::mutex> lock(stats_mu);
       while (!stats_cv.wait_for(lock, interval, [&] { return stats_done; })) {
-        DumpPoolStats(*pool);
+        DumpPoolStats(*pool, pool_stats_json);
       }
     });
   }
@@ -303,7 +381,11 @@ int main(int argc, char** argv) {
     }
     stats_cv.notify_all();
     stats_thread.join();
-    DumpPoolStats(*pool);  // final snapshot after the drain
+    DumpPoolStats(*pool, pool_stats_json);  // final snapshot after the drain
+  } else if (pool && pool_stats_json) {
+    // --pool-stats-json without an interval: one final snapshot, so a
+    // scraper always gets exactly one object per run.
+    DumpPoolStats(*pool, /*json=*/true);
   }
 
   if (!stream->status().ok()) {
