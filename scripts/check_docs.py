@@ -8,11 +8,20 @@
 2. bgpreader pool flags: every `--pool-*` flag mentioned in the docs
    must appear in the tool's usage text (tools/bgpreader.cpp), so the
    operator guide can never drift ahead of (or behind) the CLI.
+3. Built-binary help drift: if a built bgpreader can be found (argv[1],
+   $BGPREADER, or build*/bgpreader), run `bgpreader --help` and diff
+   its output against the usage raw-string in the source. Check 2
+   reads the *source*, so a stale binary (or a build that somehow
+   diverges from the tree) would otherwise pass silently; skipped with
+   a notice when no binary exists (e.g. docs-only CI).
 
 Exit code 0 = clean; 1 = problems (each printed as its own line).
 """
 
+import difflib
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -74,16 +83,58 @@ def check_pool_flags() -> list[str]:
     return problems
 
 
+def find_bgpreader() -> Path | None:
+    if len(sys.argv) > 1:
+        return Path(sys.argv[1])
+    env = os.environ.get("BGPREADER")
+    if env:
+        return Path(env)
+    candidates = sorted(REPO.glob("build*/bgpreader"))
+    return candidates[0] if candidates else None
+
+
+def check_help_text() -> list[str]:
+    binary = find_bgpreader()
+    if binary is None or not binary.exists():
+        print("check_help_text: no built bgpreader found, skipping "
+              "(pass a path, set $BGPREADER, or build into build*/)")
+        return []
+    source = (REPO / "tools" / "bgpreader.cpp").read_text(encoding="utf-8")
+    m = re.search(r'R"\((.*?)\)"', source, re.DOTALL)
+    if not m:
+        return ["tools/bgpreader.cpp: usage raw-string literal not found"]
+    expected = m.group(1)
+    try:
+        proc = subprocess.run(
+            [str(binary), "--help"], capture_output=True, text=True,
+            timeout=60,
+        )
+    except OSError as e:
+        return [f"{binary}: failed to run --help: {e}"]
+    if proc.returncode != 0:
+        return [f"{binary}: --help exited {proc.returncode}"]
+    got = proc.stderr  # Usage() writes to stderr
+    if got == expected:
+        return []
+    diff = difflib.unified_diff(
+        expected.splitlines(), got.splitlines(),
+        fromfile="tools/bgpreader.cpp (usage raw-string)",
+        tofile=f"{binary} --help", lineterm="",
+    )
+    return [f"{binary}: --help output drifted from the source usage "
+            "text (stale build?)"] + list(diff)
+
+
 def main() -> int:
-    problems = check_links() + check_pool_flags()
+    problems = check_links() + check_pool_flags() + check_help_text()
     for p in problems:
         print(p)
     if problems:
         print(f"{len(problems)} docs problem(s)")
         return 1
     print(
-        f"docs OK: {len(MARKDOWN_FILES)} markdown files, links and "
-        "bgpreader --pool-* flags consistent"
+        f"docs OK: {len(MARKDOWN_FILES)} markdown files, links, "
+        "bgpreader --pool-* flags and --help text consistent"
     )
     return 0
 

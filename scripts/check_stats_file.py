@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CLI contract check for bgpreader --pool-stats-file.
+
+The flag exists so a scraper never has to pick JSON out of interleaved
+diagnostics: the stats file must contain *only* well-formed one-object-
+per-line JSON snapshots (executor / governor / tenants sections
+present), while stderr keeps carrying the human-readable diagnostics
+and no JSON at all.
+
+Usage: check_stats_file.py /path/to/bgpreader
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_stats_file.py /path/to/bgpreader", file=sys.stderr)
+        return 2
+    bgpreader = sys.argv[1]
+    fd, path = tempfile.mkstemp(prefix="bgps_stats_", suffix=".jsonl")
+    os.close(fd)
+    errors = []
+    try:
+        proc = subprocess.run(
+            [
+                bgpreader,
+                "-f",
+                os.devnull,
+                "--pool-threads",
+                "2",
+                "--pool-stats-interval",
+                "0.05",
+                "--pool-stats-file",
+                path,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            errors.append(
+                f"bgpreader exited {proc.returncode}; stderr: {proc.stderr!r}"
+            )
+        if "elems from" not in proc.stderr:
+            errors.append(
+                "stderr lost the closing diagnostics line "
+                f"('... elems from ... records'): {proc.stderr!r}"
+            )
+        if "{" in proc.stderr:
+            errors.append(
+                "stderr carries JSON although --pool-stats-file redirected "
+                f"the snapshots: {proc.stderr!r}"
+            )
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        if not lines:
+            errors.append("stats file is empty (the final snapshot is missing)")
+        for i, line in enumerate(lines):
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"stats file line {i + 1} is not JSON ({e}): "
+                              f"{line!r}")
+                continue
+            if not isinstance(snap, dict):
+                errors.append(f"stats file line {i + 1} is not an object")
+                continue
+            for key in ("executor", "governor", "tenants"):
+                if key not in snap:
+                    errors.append(
+                        f"stats file line {i + 1} lacks the '{key}' section"
+                    )
+    finally:
+        os.unlink(path)
+
+    for e in errors:
+        print(f"check_stats_file: {e}", file=sys.stderr)
+    if not errors:
+        print(f"check_stats_file: OK ({len(lines)} snapshot(s), "
+              "stderr clean)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

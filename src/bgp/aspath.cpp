@@ -9,8 +9,12 @@ namespace bgps::bgp {
 
 AsPath AsPath::Sequence(std::vector<Asn> asns) {
   AsPath p;
-  if (!asns.empty())
-    p.segments_.push_back({SegmentType::AsSequence, std::move(asns)});
+  if (!asns.empty()) {
+    AsPathSegment seg{SegmentType::AsSequence, {}};
+    seg.asns.reserve(asns.size());
+    for (Asn a : asns) seg.asns.push_back(a);
+    p.segments_.push_back(std::move(seg));
+  }
   return p;
 }
 
@@ -94,7 +98,7 @@ std::vector<Asn> AsPath::origin_set() const {
     if (last.asns.empty()) return {};
     return {last.asns.back()};
   }
-  return last.asns;
+  return {last.asns.begin(), last.asns.end()};
 }
 
 bool AsPath::contains(Asn asn) const {

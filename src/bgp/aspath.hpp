@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/result.hpp"
+#include "util/smallvec.hpp"
 
 namespace bgps::bgp {
 
@@ -19,18 +20,27 @@ using Asn = uint32_t;
 
 enum class SegmentType : uint8_t { AsSet = 1, AsSequence = 2 };
 
+// Inline capacities sized from real tables: observed AS paths are ~4
+// hops on average and almost always a single AS_SEQUENCE (RFC 4271
+// route selection penalizes long paths), so a typical decoded path costs
+// zero heap allocations.
+using AsnVec = SmallVec<Asn, 8>;
+
 struct AsPathSegment {
   SegmentType type = SegmentType::AsSequence;
-  std::vector<Asn> asns;
+  AsnVec asns;
 
   bool operator==(const AsPathSegment&) const = default;
 };
 
+using SegmentVec = SmallVec<AsPathSegment, 2>;
+
 class AsPath {
  public:
   AsPath() = default;
-  explicit AsPath(std::vector<AsPathSegment> segments)
-      : segments_(std::move(segments)) {}
+  explicit AsPath(std::vector<AsPathSegment> segments) {
+    for (auto& seg : segments) segments_.push_back(std::move(seg));
+  }
 
   // Builds a pure AS_SEQUENCE path (the common case).
   static AsPath Sequence(std::vector<Asn> asns);
@@ -39,7 +49,7 @@ class AsPath {
   // rendered "{a,b,c}". Inverse of ToString().
   static Result<AsPath> Parse(const std::string& text);
 
-  const std::vector<AsPathSegment>& segments() const { return segments_; }
+  const SegmentVec& segments() const { return segments_; }
   bool empty() const { return segments_.empty(); }
 
   void append_segment(AsPathSegment seg) { segments_.push_back(std::move(seg)); }
@@ -72,7 +82,7 @@ class AsPath {
   bool operator==(const AsPath&) const = default;
 
  private:
-  std::vector<AsPathSegment> segments_;
+  SegmentVec segments_;
 };
 
 }  // namespace bgps::bgp

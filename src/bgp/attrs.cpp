@@ -43,7 +43,7 @@ Bytes EncodeAsPathBody(const AsPath& path, AsnEncoding enc) {
 }
 
 Result<AsPath> DecodeAsPathBody(BufReader r, AsnEncoding enc) {
-  std::vector<AsPathSegment> segments;
+  AsPath path;
   while (!r.empty()) {
     BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
     if (type != uint8_t(SegmentType::AsSet) &&
@@ -61,9 +61,9 @@ Result<AsPath> DecodeAsPathBody(BufReader r, AsnEncoding enc) {
         seg.asns.push_back(a);
       }
     }
-    segments.push_back(std::move(seg));
+    path.append_segment(std::move(seg));
   }
-  return AsPath(std::move(segments));
+  return path;
 }
 
 void WriteIpBytes(BufWriter& w, const IpAddress& a) {
@@ -94,7 +94,9 @@ Result<Prefix> DecodeNlriPrefix(BufReader& r, IpFamily family) {
   const int maxlen = family == IpFamily::V4 ? 32 : 128;
   if (len > maxlen) return CorruptError("NLRI length " + std::to_string(len));
   size_t nbytes = (size_t(len) + 7) / 8;
-  BGPS_ASSIGN_OR_RETURN(Bytes b, r.bytes(nbytes));
+  // view, not bytes: NLRI runs decode once per prefix on the hot path,
+  // and the copied-out form would be the last per-record allocation.
+  BGPS_ASSIGN_OR_RETURN(auto b, r.view(nbytes));
   std::array<uint8_t, 16> arr{};
   std::copy(b.begin(), b.end(), arr.begin());
   IpAddress addr = family == IpFamily::V4
@@ -172,7 +174,8 @@ Bytes EncodePathAttributes(const PathAttributes& attrs, AsnEncoding enc) {
 }
 
 Result<PathAttributes> DecodePathAttributes(BufReader& r, size_t len,
-                                            AsnEncoding enc) {
+                                            AsnEncoding enc,
+                                            AttrDecodeCtx* ctx) {
   BGPS_ASSIGN_OR_RETURN(BufReader block, r.sub(len));
   PathAttributes attrs;
   while (!block.empty()) {
@@ -186,7 +189,10 @@ Result<PathAttributes> DecodePathAttributes(BufReader& r, size_t len,
       BGPS_ASSIGN_OR_RETURN(uint8_t l, block.u8());
       alen = l;
     }
-    BGPS_ASSIGN_OR_RETURN(BufReader body, block.sub(alen));
+    // view + reader instead of sub(): the AS_PATH intern cache keys on
+    // the raw attribute bytes.
+    BGPS_ASSIGN_OR_RETURN(auto body_bytes, block.view(alen));
+    BufReader body(body_bytes);
     switch (AttrType(type)) {
       case AttrType::Origin: {
         BGPS_ASSIGN_OR_RETURN(uint8_t o, body.u8());
@@ -195,7 +201,19 @@ Result<PathAttributes> DecodePathAttributes(BufReader& r, size_t len,
         break;
       }
       case AttrType::AsPath: {
-        BGPS_ASSIGN_OR_RETURN(attrs.as_path, DecodeAsPathBody(body, enc));
+        AsPathCache* cache = ctx ? ctx->aspath_cache : nullptr;
+        if (cache) {
+          std::string_view key(reinterpret_cast<const char*>(body_bytes.data()),
+                               body_bytes.size());
+          if (const AsPath* hit = cache->Find(key, enc)) {
+            attrs.as_path = *hit;
+          } else {
+            BGPS_ASSIGN_OR_RETURN(AsPath p, DecodeAsPathBody(body, enc));
+            attrs.as_path = *cache->Insert(key, enc, std::move(p));
+          }
+        } else {
+          BGPS_ASSIGN_OR_RETURN(attrs.as_path, DecodeAsPathBody(body, enc));
+        }
         break;
       }
       case AttrType::NextHop: {

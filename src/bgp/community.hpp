@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/result.hpp"
+#include "util/smallvec.hpp"
 
 namespace bgps::bgp {
 
@@ -37,7 +38,9 @@ class Community {
   uint32_t raw_ = 0;
 };
 
-using Communities = std::vector<Community>;
+// Inline capacity 8: real updates carry a handful of communities, so the
+// list lives inside the attribute block with no heap allocation.
+using Communities = SmallVec<Community, 8>;
 
 std::string CommunitiesToString(const Communities& cs);
 

@@ -44,7 +44,8 @@ Result<std::pair<MessageType, size_t>> DecodeBgpHeader(BufReader& r) {
   return std::make_pair(MessageType(type), size_t(len) - kBgpHeaderSize);
 }
 
-Result<UpdateMessage> DecodeUpdate(BufReader& r, AsnEncoding enc) {
+Result<UpdateMessage> DecodeUpdate(BufReader& r, AsnEncoding enc,
+                                   AttrDecodeCtx* ctx) {
   BGPS_ASSIGN_OR_RETURN(auto header, DecodeBgpHeader(r));
   auto [type, body_len] = header;
   if (type != MessageType::Update) return CorruptError("not an UPDATE");
@@ -61,7 +62,7 @@ Result<UpdateMessage> DecodeUpdate(BufReader& r, AsnEncoding enc) {
   BGPS_ASSIGN_OR_RETURN(uint16_t attr_len, body.u16());
   if (attr_len > 0) {
     BGPS_ASSIGN_OR_RETURN(update.attrs,
-                          DecodePathAttributes(body, attr_len, enc));
+                          DecodePathAttributes(body, attr_len, enc, ctx));
   }
 
   while (!body.empty()) {

@@ -13,9 +13,9 @@ inline constexpr size_t kBgpHeaderSize = 19;
 inline constexpr size_t kBgpMaxMessageSize = 4096;
 
 struct UpdateMessage {
-  std::vector<Prefix> withdrawn;      // IPv4 withdrawals
+  PrefixVec withdrawn;                // IPv4 withdrawals
   PathAttributes attrs;               // may be empty for pure withdrawals
-  std::vector<Prefix> announced;      // IPv4 NLRI
+  PrefixVec announced;                // IPv4 NLRI
 
   bool operator==(const UpdateMessage&) const = default;
 };
@@ -23,8 +23,10 @@ struct UpdateMessage {
 // Encodes a complete BGP message (header + body).
 Bytes EncodeUpdate(const UpdateMessage& update, AsnEncoding enc);
 
-// Decodes a complete BGP message; requires type == UPDATE.
-Result<UpdateMessage> DecodeUpdate(BufReader& r, AsnEncoding enc);
+// Decodes a complete BGP message; requires type == UPDATE. `ctx`, when
+// given, is forwarded to the attribute decoder (AS-path intern cache).
+Result<UpdateMessage> DecodeUpdate(BufReader& r, AsnEncoding enc,
+                                   AttrDecodeCtx* ctx = nullptr);
 
 // Reads and validates a BGP header, returning (type, body length).
 Result<std::pair<MessageType, size_t>> DecodeBgpHeader(BufReader& r);

@@ -3,12 +3,18 @@
 namespace bgps::core {
 
 DumpReader::DumpReader(broker::DumpFileMeta meta) : meta_(std::move(meta)) {
+  // Intern once per dump: every record then stamps provenance with a
+  // pointer copy instead of a per-record string copy.
+  project_ = meta_.project;
+  collector_ = meta_.collector;
   Status st = reader_.Open(meta_.path);
   if (!st.ok()) open_failed_ = true;
 }
 
 DumpReader::DumpReader(broker::DumpFileMeta meta, const Checkpoint& resume)
     : meta_(std::move(meta)) {
+  project_ = meta_.project;
+  collector_ = meta_.collector;
   // Precondition: resume.valid (see the header). The sole caller —
   // FillChunked's reclaim resume — branches to the plain constructor
   // plus Skip() itself for checkpoints with no byte position.
@@ -33,8 +39,8 @@ DumpReader::DumpReader(broker::DumpFileMeta meta, const Checkpoint& resume)
 
 Record DumpReader::MakeRecord() const {
   Record rec;
-  rec.project = meta_.project;
-  rec.collector = meta_.collector;
+  rec.project = project_;
+  rec.collector = collector_;
   rec.dump_type = meta_.type;
   rec.dump_time = meta_.start;
   rec.timestamp = meta_.start;
@@ -70,7 +76,7 @@ std::optional<Record> DumpReader::Produce() {
   ++produced_;
   Record rec = MakeRecord();
   rec.timestamp = raw->timestamp;
-  auto msg = mrt::DecodeRecord(*raw);
+  auto msg = mrt::DecodeRecord(*raw, &decode_ctx_);
   if (!msg.ok()) {
     rec.status = msg.status().code() == StatusCode::Unsupported
                      ? RecordStatus::Unsupported

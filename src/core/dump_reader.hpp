@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/arena.hpp"
 #include "core/filter.hpp"
 #include "core/record.hpp"
 #include "mrt/file.hpp"
@@ -88,6 +89,10 @@ class DumpReader {
   // Peer index table seen in this file (RIB dumps), for elem extraction.
   const mrt::PeerIndexTable* peer_index() const { return peer_index_.get(); }
 
+  // Per-dump AS-path intern cache stats (tests/benches: hit rate shows
+  // how much path decode work the arena pipeline elides).
+  const bgp::AsPathCache& aspath_cache() const { return aspath_cache_; }
+
  private:
   // Produces the next record from the file, ignoring lookahead.
   std::optional<Record> Produce();
@@ -95,6 +100,15 @@ class DumpReader {
 
   broker::DumpFileMeta meta_;
   mrt::MrtFileReader reader_;
+  // Decode arena, the AS-path intern cache it backs, and the interned
+  // provenance strings — all per dump, all freed together when the
+  // reader (and therefore the dump) is done. Records never point into
+  // the arena; they carry self-contained values (see core/arena.hpp).
+  Arena arena_;
+  bgp::AsPathCache aspath_cache_{&arena_};
+  bgp::AttrDecodeCtx decode_ctx_{&aspath_cache_};
+  InternedString project_;
+  InternedString collector_;
   std::shared_ptr<const mrt::PeerIndexTable> peer_index_;
   std::optional<Record> lookahead_;
   Checkpoint lookahead_cp_;  // resume point of the lookahead record

@@ -7,6 +7,7 @@
 #include <deque>
 #include <limits>
 #include <mutex>
+#include <unordered_map>
 
 namespace bgps::core {
 
@@ -81,27 +82,98 @@ struct Executor::Tenant::SharedState {
   mutable std::mutex mu;
   std::condition_variable work_cv;  // workers: a task may be claimable
   std::vector<std::shared_ptr<Queue>> queues;  // registered tenants
+  // Deadline tenants, keyed by weight (= class). Maintained by
+  // CreateTenant / SetWeight / ~Tenant so a deadline claim scans only
+  // its own class members — O(class) — instead of rescanning every
+  // registered queue under the dispatch lock (O(tenants), which made
+  // each claim of a small live class pay for every backfill tenant in
+  // the process).
+  std::unordered_map<size_t, std::vector<std::shared_ptr<Queue>>>
+      deadline_classes;
   size_t rr = 0;  // round-robin cursor into `queues`
   uint64_t next_seq = 1;  // enqueue-stamp counter (both bands)
   size_t tasks_run = 0;
   size_t reclaim_policies = 0;  // queues with an idle-reclaim policy
   std::atomic<size_t> rounds{0};  // completed dispatch-cursor rotations
-  // RequestReclaimTick was called: an idle worker should run a
-  // mark/confirm reclaim pass (see process_reclaim_tick).
-  bool reclaim_tick_requested = false;
   // Last time a reclaim pass aged the marks (rate limit, see
   // kReclaimAgeStep).
   std::chrono::steady_clock::time_point last_reclaim_age_step{};
   bool stopping = false;
 
-  // Flags a reclaim mark/confirm pass and wakes a worker to run it
-  // (Executor::RequestReclaimTick).
+  // Caller holds mu.
+  void AddToClassLocked(const std::shared_ptr<Queue>& q) {
+    deadline_classes[q->weight].push_back(q);
+  }
+
+  // Caller holds mu.
+  void RemoveFromClassLocked(const std::shared_ptr<Queue>& q) {
+    auto it = deadline_classes.find(q->weight);
+    if (it == deadline_classes.end()) return;
+    auto& members = it->second;
+    members.erase(std::remove(members.begin(), members.end(), q),
+                  members.end());
+    if (members.empty()) deadline_classes.erase(it);
+  }
+
+  // The waiter-driven reclaim trigger's mark/confirm pass (see the
+  // header comment on Executor::RequestReclaimTick). Caller holds mu;
+  // due callbacks are appended for the caller to invoke with the lock
+  // released. Returns whether a tenant fired.
+  bool ProcessReclaimTickLocked(std::vector<std::function<void()>>& due) {
+    if (reclaim_policies == 0) return false;  // nothing to mark or fire
+    // Age at most once per kReclaimAgeStep, no matter how many signals
+    // a contention burst (several waiters parking at once, fanned-out
+    // hooks) delivers: patience must mean wall-bounded intervals of
+    // sustained contention, not a signal count an Acquire storm can
+    // inflate.
+    auto now = std::chrono::steady_clock::now();
+    bool age_step = now - last_reclaim_age_step >= kReclaimAgeStep;
+    if (age_step) last_reclaim_age_step = now;
+    std::shared_ptr<Queue> pick;
+    size_t pick_deadline = std::numeric_limits<size_t>::max();
+    for (const auto& q : queues) {
+      if (q->closed || q->idle_rounds == 0 || !q->reclaim_cb) continue;
+      if (q->reclaim_fired.load(std::memory_order_relaxed)) continue;
+      size_t seq = q->activity_seq.load(std::memory_order_relaxed);
+      if (!q->reclaim_marked || q->reclaim_mark_seq != seq) {
+        // Unmarked, or active since the mark: (re)mark — the
+        // inactivity window restarts from this signal.
+        q->reclaim_marked = true;
+        q->reclaim_mark_seq = seq;
+        q->reclaim_mark_age = 0;
+        continue;
+      }
+      if (age_step) ++q->reclaim_mark_age;
+      if (q->reclaim_mark_age < q->idle_rounds) continue;  // patience not met
+      size_t deadline =
+          q->last_activity.load(std::memory_order_relaxed) + q->idle_rounds;
+      if (deadline < pick_deadline) {
+        pick_deadline = deadline;
+        pick = q;
+      }
+    }
+    if (!pick) return false;
+    pick->reclaim_fired.store(true, std::memory_order_relaxed);
+    pick->reclaim_marked = false;
+    due.push_back(pick->reclaim_cb);
+    return true;
+  }
+
+  // Runs a mark/confirm pass inline on the signaling thread
+  // (Executor::RequestReclaimTick). Inline — not deferred to an idle
+  // worker — because the signal's whole purpose is to free budget for
+  // a *blocked* Acquire: when every worker is itself parked in such an
+  // Acquire (a reclaimed file's floor re-acquisition), there is no
+  // idle worker left to defer to, and the waiter's own re-signal must
+  // be able to peel the stalest tenant loose.
   void RequestReclaimTick() {
+    std::vector<std::function<void()>> due;
     {
       std::lock_guard<std::mutex> lock(mu);
-      reclaim_tick_requested = true;
+      ProcessReclaimTickLocked(due);
     }
-    work_cv.notify_one();
+    // Callbacks take their owners' locks: invoke with mu released.
+    for (auto& cb : due) cb();
   }
 };
 
@@ -154,64 +226,6 @@ void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
     lk.lock();
   };
 
-  // The waiter-driven reclaim trigger, mark/confirm. A reclaim-tick
-  // signal (a governor contention hook firing) *marks* each armed
-  // tenant by snapshotting its NoteActivity
-  // counter; every later signal that finds the counter unchanged ages
-  // the mark by one, and once a mark's age reaches the tenant's
-  // idle_rounds the tenant may fire — the stalest eligible one (argmin
-  // of last_activity + idle_rounds) per signal. The contention
-  // re-signals (a blocked governor Acquire re-fires its hooks on a
-  // short interval while it waits) thus stand in for dispatch rounds
-  // while the pool is stalled: idle_rounds means "this many ticks of
-  // whichever clock is running", exactly the role the removed 20 ms
-  // idle timer played. Consequences: an actively-draining tenant —
-  // however slow — resets its mark on every pop and is never reclaimed
-  // by contention; a paused one yields after ~idle_rounds re-signals;
-  // a lone stale signal can only mark, never fire. The round clock
-  // itself is untouched (purely dispatch-driven), so no other tenant's
-  // threshold is collaterally crossed. Caller holds the lock; appends
-  // to due_reclaims and returns whether a tenant fired.
-  auto process_reclaim_tick = [&st, &due_reclaims] {
-    if (st->reclaim_policies == 0) return false;  // nothing to mark or fire
-    // Age at most once per kReclaimAgeStep, no matter how many signals
-    // a contention burst (several waiters parking at once, fanned-out
-    // hooks) delivers: patience must mean wall-bounded intervals of
-    // sustained contention, not a signal count an Acquire storm can
-    // inflate.
-    auto now = std::chrono::steady_clock::now();
-    bool age_step = now - st->last_reclaim_age_step >= kReclaimAgeStep;
-    if (age_step) st->last_reclaim_age_step = now;
-    std::shared_ptr<Tenant::Queue> pick;
-    size_t pick_deadline = std::numeric_limits<size_t>::max();
-    for (const auto& q : st->queues) {
-      if (q->closed || q->idle_rounds == 0 || !q->reclaim_cb) continue;
-      if (q->reclaim_fired.load(std::memory_order_relaxed)) continue;
-      size_t seq = q->activity_seq.load(std::memory_order_relaxed);
-      if (!q->reclaim_marked || q->reclaim_mark_seq != seq) {
-        // Unmarked, or active since the mark: (re)mark — the
-        // inactivity window restarts from this signal.
-        q->reclaim_marked = true;
-        q->reclaim_mark_seq = seq;
-        q->reclaim_mark_age = 0;
-        continue;
-      }
-      if (age_step) ++q->reclaim_mark_age;
-      if (q->reclaim_mark_age < q->idle_rounds) continue;  // patience not met
-      size_t deadline =
-          q->last_activity.load(std::memory_order_relaxed) + q->idle_rounds;
-      if (deadline < pick_deadline) {
-        pick_deadline = deadline;
-        pick = q;
-      }
-    }
-    if (!pick) return false;
-    pick->reclaim_fired.store(true, std::memory_order_relaxed);
-    pick->reclaim_marked = false;
-    due_reclaims.push_back(pick->reclaim_cb);
-    return true;
-  };
-
   std::unique_lock<std::mutex> lock(st->mu);
   while (true) {
     if (st->stopping) return;
@@ -241,13 +255,17 @@ void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
       std::shared_ptr<Tenant::Queue> pick = q;
       size_t pool_tasks = q->tasks.size();
       if (q->deadline) {
+        // O(class): the per-weight registry lists exactly the class's
+        // members — the claim no longer rescans every registered queue
+        // under the dispatch lock.
         pool_tasks = 0;
-        for (const auto& c : st->queues) {
-          if (!c->deadline || c->weight != q->weight || c->tasks.empty()) {
-            continue;
+        auto cls = st->deadline_classes.find(q->weight);
+        if (cls != st->deadline_classes.end()) {
+          for (const auto& c : cls->second) {
+            if (c->tasks.empty()) continue;
+            pool_tasks += c->tasks.size();
+            if (c->tasks.front().seq < pick->tasks.front().seq) pick = c;
           }
-          pool_tasks += c->tasks.size();
-          if (c->tasks.front().seq < pick->tasks.front().seq) pick = c;
         }
       }
       claimed = pick;
@@ -268,15 +286,6 @@ void Executor::WorkerLoop(const std::shared_ptr<Tenant::SharedState>& st) {
     if (!claimed) {
       if (!due_reclaims.empty()) {
         drain_due_reclaims(lock);
-        continue;
-      }
-      if (st->reclaim_tick_requested) {
-        // A governor waiter (or a reclaim retry) needs memory while the
-        // pool is stalled: mark on the first signal, reclaim the
-        // stalest confirmed-idle tenant on a later one —
-        // contention-proportional, no idle-pool timer.
-        st->reclaim_tick_requested = false;
-        if (process_reclaim_tick()) drain_due_reclaims(lock);
         continue;
       }
       st->work_cv.wait(lock);
@@ -309,6 +318,7 @@ std::unique_ptr<Executor::Tenant> Executor::CreateTenant(
         state_->rounds.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
     state_->queues.push_back(queue);
+    if (queue->deadline) state_->AddToClassLocked(queue);
   }
   return std::unique_ptr<Tenant>(new Tenant(state_, std::move(queue)));
 }
@@ -317,6 +327,7 @@ Executor::Tenant::~Tenant() {
   std::unique_lock<std::mutex> lock(state_->mu);
   queue_->closed = true;
   queue_->tasks.clear();
+  if (queue_->deadline) state_->RemoveFromClassLocked(queue_);
   if (queue_->idle_rounds > 0) {
     queue_->idle_rounds = 0;
     queue_->reclaim_cb = nullptr;
@@ -355,7 +366,13 @@ void Executor::Tenant::SubmitUrgent(std::function<void()> task) {
 
 void Executor::Tenant::SetWeight(size_t weight) {
   std::lock_guard<std::mutex> lock(state_->mu);
-  queue_->weight = std::max<size_t>(1, weight);
+  size_t clamped = std::max<size_t>(1, weight);
+  if (clamped == queue_->weight) return;
+  // A deadline tenant changes class with its weight: keep the per-class
+  // registry in lockstep so dispatch claims stay O(class).
+  if (queue_->deadline) state_->RemoveFromClassLocked(queue_);
+  queue_->weight = clamped;
+  if (queue_->deadline) state_->AddToClassLocked(queue_);
 }
 
 size_t Executor::Tenant::weight() const {

@@ -32,6 +32,10 @@
 // identical — earliest-deadline-first only changes *when* each live
 // tenant's next task runs, bounding a blocked live consumer's wait by
 // the number of older same-class tasks instead of the cursor distance.
+// Class members are kept in a per-weight registry (maintained by
+// CreateTenant / SetWeight / Tenant destruction), so each claim scans
+// only its own class — O(class members) under the dispatch lock, not
+// O(all registered tenants).
 //
 // Idle-tenant reclaim support: a tenant may register a reclaim policy
 // (SetIdleReclaim) — when NoteActivity has not been called for
@@ -44,9 +48,11 @@
 // while an Acquire is blocked) marks armed tenants and, once a
 // tenant shows no activity across ~idle_rounds consecutive signals,
 // fires the *stalest* such tenant — one per signal, the signals
-// standing in for dispatch rounds. Reclaim latency therefore scales
-// with budget contention, not wall-clock, and a tenant that is
-// actively draining is never reclaimed by contention.
+// standing in for dispatch rounds. The pass runs inline on the
+// signaling thread (not deferred to an idle worker), so it works even
+// when every worker is itself blocked in an Acquire. Reclaim latency
+// therefore scales with budget contention, not wall-clock, and a
+// tenant that is actively draining is never reclaimed by contention.
 //
 // Lifecycle: tenants may come and go freely (streams attach on Start,
 // detach on destruction). Destroying a Tenant discards its queued tasks
@@ -182,8 +188,15 @@ class Executor {
   // Wired by bgps::StreamPool to MemoryGovernor::AddContentionHook,
   // whose blocked Acquires re-signal on a short interval — so a
   // starving waiter always delivers the confirming signal, and keeps
-  // peeling off next-stalest tenants until it is granted. Thread-safe;
-  // never blocks.
+  // peeling off next-stalest tenants until it is granted. The pass
+  // (and any due reclaim callback) runs inline on the calling thread
+  // with no executor lock held across the callbacks — never deferred
+  // to a worker, because a pool whose workers are all parked in
+  // governor Acquires (a reclaimed file re-acquiring its floor) has no
+  // idle worker to defer to, and the blocked waiter's own re-signal
+  // must still be able to free budget. Callers must therefore hold no
+  // lock that a reclaim callback (PrefetchDecoder::ReclaimIdle) takes.
+  // Thread-safe; never blocks on work.
   void RequestReclaimTick();
 
  private:

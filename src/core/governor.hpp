@@ -36,8 +36,17 @@
 //    buffers, so the capacity it waits for is always releasable by
 //    other tenants).
 //  * Extra slots — records beyond a file's first — are only ever taken
-//    with TryAcquire from worker tasks, which therefore never block the
-//    shared Executor.
+//    with TryAcquire from worker tasks, so steady-state decode never
+//    blocks the shared Executor.
+//  * The one worker-side blocking Acquire is the floor re-acquire when
+//    a fully-reclaimed file resumes (idle reclaim returns *all* of a
+//    parked tenant's slots, floors included, so a reclaimed-and-never-
+//    resumed tenant pins nothing). That Acquire(1) queues FIFO behind
+//    earlier demands, and it cannot deadlock even with every worker
+//    blocked in it: a blocked demand's contention re-signals run
+//    reclaim mark/confirm passes inline on the signaling thread
+//    (Executor::RequestReclaimTick), so budget parked on other idle
+//    tenants is peeled loose without needing a free worker.
 #pragma once
 
 #include <condition_variable>

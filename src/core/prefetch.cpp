@@ -79,7 +79,10 @@ void PrefetchDecoder::ScheduleFill(const std::shared_ptr<State>& st,
   if (st->stopping || st->tenant == nullptr) return;
   if (cf->claimed || cf->done || cf->abandoned) return;
   cf->claimed = true;
-  auto task = [st, cf] { FillChunked(st, cf); };
+  // The task remembers its band: when an open-only leg re-submits the
+  // decode burst (see FillChunked), the continuation stays in the band
+  // the fill was scheduled in.
+  auto task = [st, cf, urgent] { FillChunked(st, cf, urgent); };
   if (urgent) {
     st->tenant->SubmitUrgent(std::move(task));
   } else {
@@ -342,10 +345,19 @@ void PrefetchDecoder::ReclaimIdle(const std::shared_ptr<State>& st) {
           }
           cf->reclaimed = true;
           ++st->reclaims;
-          // Releases everything above the one-per-file floor slot. The
-          // floor stays leased so the resume fill can always buffer the
-          // first re-decoded record without a (deniable) TryAcquire.
+          // Full release: the floor slot goes back to the budget too.
+          // Keeping it (the pre-fix behavior) leaked one slot per file
+          // of every reclaimed-and-never-resumed tenant — a dead
+          // stream's floors stayed leased forever, silently shrinking
+          // the shared budget. The resume fill re-acquires its floor
+          // through the governor's fair FIFO Acquire instead (see
+          // FillChunked), which can never be starved and whose blocked
+          // wait runs reclaim passes inline.
           ReleaseSlotsLocked(*st, *cf);
+          if (st->governor && cf->slots > 0) {
+            st->governor->Release(cf->slots);
+            cf->slots = 0;
+          }
         }
       };
   for (const auto& job : st->jobs) {
@@ -377,43 +389,89 @@ void PrefetchDecoder::ReleaseSlotsLocked(State& st, ChunkedFile& cf) {
 }
 
 void PrefetchDecoder::FillChunked(const std::shared_ptr<State>& st,
-                                  const std::shared_ptr<ChunkedFile>& cfp) {
+                                  const std::shared_ptr<ChunkedFile>& cfp,
+                                  bool urgent) {
   ChunkedFile& cf = *cfp;
   std::unique_lock<std::mutex> lock(st->mu);
+  bool opened = false;
   if (!cf.reader && !cf.done && !cf.abandoned && !st->stopping) {
+    opened = true;
     broker::DumpFileMeta meta = cf.meta;
     bool resuming = cf.reclaimed;
     DumpReader::Checkpoint resume_cp = cf.resume_cp;
     size_t skip = resuming ? cf.consumed : 0;
+    // A full-release reclaim returned this file's floor slot to the
+    // global budget (slots == 0 happens no other way: fresh files own
+    // their floor from Submit). Re-acquire it through the governor's
+    // fair FIFO Acquire before re-opening — the demand queues behind
+    // earlier blocked demands instead of barging via TryAcquire, and
+    // while it waits its contention re-signals run reclaim passes
+    // inline (see Executor::RequestReclaimTick), so budget parked on
+    // other idle tenants is peeled loose even when every worker is
+    // blocked here.
+    bool need_floor = st->governor != nullptr && cf.slots == 0;
     lock.unlock();
-    if (st->decode.file_open_hook) st->decode.file_open_hook(meta);
+    bool floor_acquired = false;
+    if (need_floor) floor_acquired = st->governor->Acquire(1).ok();
     std::unique_ptr<DumpReader> reader;
     bool exhausted = false;
-    if (resuming && resume_cp.valid) {
-      // Resuming after an idle reclaim: seek straight to the first
-      // dropped record's checkpoint — O(1), the consumed prefix is
-      // never read again.
-      reader = std::make_unique<DumpReader>(std::move(meta), resume_cp);
+    if (need_floor && !floor_acquired) {
+      // A 1-slot demand only fails on a poisoned ledger (double-release
+      // accounting bug): end the file like a shutdown truncation; the
+      // stream surfaces the latched governor health as its status.
+      exhausted = false;
     } else {
-      // Fresh file, or a reclaimed record with no byte position (the
-      // synthesized open-failure record): re-open from the start and
-      // Skip() the records the consumer already drained. Skip counts
-      // raw framing units without re-decoding the BGP payloads;
-      // < skip ⇔ the file shrank.
-      reader = std::make_unique<DumpReader>(std::move(meta));
-      exhausted = reader->Skip(skip) < skip;
+      if (st->decode.file_open_hook) st->decode.file_open_hook(meta);
+      if (resuming && resume_cp.valid) {
+        // Resuming after an idle reclaim: seek straight to the first
+        // dropped record's checkpoint — O(1), the consumed prefix is
+        // never read again.
+        reader = std::make_unique<DumpReader>(std::move(meta), resume_cp);
+      } else {
+        // Fresh file, or a reclaimed record with no byte position (the
+        // synthesized open-failure record): re-open from the start and
+        // Skip() the records the consumer already drained. Skip counts
+        // raw framing units without re-decoding the BGP payloads;
+        // < skip ⇔ the file shrank.
+        reader = std::make_unique<DumpReader>(std::move(meta));
+        exhausted = reader->Skip(skip) < skip;
+      }
     }
     lock.lock();
     cf.reclaimed = false;
-    if (resuming) {
-      ++(resume_cp.valid ? st->seek_resumes : st->skip_resumes);
-    }
-    if (exhausted) {
-      cf.done = true;
-      ++st->files_decoded;
+    if (floor_acquired) ++cf.slots;  // recorded under the lock it is read
+    if (need_floor && !floor_acquired) {
+      cf.done = true;  // poisoned governor: truncate, never hang
     } else {
-      cf.reader = std::move(reader);
+      if (resuming) {
+        ++(resume_cp.valid ? st->seek_resumes : st->skip_resumes);
+      }
+      if (exhausted) {
+        cf.done = true;
+        ++st->files_decoded;
+      } else {
+        cf.reader = std::move(reader);
+      }
     }
+  }
+  // Deadline-class head-of-line fix: the open above (archive-latency
+  // bound — in the paper's deployment an HTTP fetch) and the decode
+  // burst below (CPU bound, up to `capacity` records) used to run as
+  // one task, so every same-class tenant's queued open waited behind
+  // whole bursts p99-style. Hand the burst back to the scheduler as
+  // its own task in the same band instead: the worker is released
+  // after the open, and EDF claims interleave other tenants' opens
+  // ahead of this file's burst. cf stays claimed — the continuation
+  // task is the claim's next leg, so no duplicate fill can schedule.
+  if (opened && !st->stopping && !cf.abandoned && !cf.done &&
+      st->tenant != nullptr) {
+    auto task = [st, cfp, urgent] { FillChunked(st, cfp, urgent); };
+    if (urgent) {
+      st->tenant->SubmitUrgent(std::move(task));
+    } else {
+      st->tenant->Submit(std::move(task));
+    }
+    return;
   }
   while (!st->stopping && !cf.abandoned && !cf.done &&
          cf.buffer.size() < cf.capacity) {

@@ -45,16 +45,21 @@
 // — indefinitely, shrinking the shared budget for every other tenant.
 // With a reclaim threshold set, once the consumer has not drained a
 // record for that many executor dispatch rounds, the decoder drops all
-// buffered-but-undrained chunked records, releases their extra governor
-// leases (each file keeps its one floor slot so resume can never
-// deadlock), and stores the DumpReader::Checkpoint of the first dropped
+// buffered-but-undrained chunked records, releases *every* governor
+// lease they held — extras and the per-file floor slots alike, so a
+// reclaimed tenant that never resumes drains its governor footprint to
+// zero — and stores the DumpReader::Checkpoint of the first dropped
 // record. When the consumer resumes, the next fill task — scheduled via
-// SubmitUrgent because the consumer is blocked on it — reconstructs the
-// reader straight at that checkpoint (an O(1) seek; only records the
-// checkpoint cannot cover, e.g. an open-failure file, fall back to the
-// O(consumed) re-open + Skip path), so the emitted sequence is
-// identical to a never-reclaimed run without re-reading the consumed
-// prefix of a large dump.
+// SubmitUrgent because the consumer is blocked on it — first re-acquires
+// the file's floor through the governor's fair FIFO Acquire (the blocked
+// demand's contention re-signals run reclaim passes inline, so budget
+// parked on other idle tenants is freed even when every worker is
+// blocked in such an Acquire), then reconstructs the reader straight at
+// that checkpoint (an O(1) seek; only records the checkpoint cannot
+// cover, e.g. an open-failure file, fall back to the O(consumed)
+// re-open + Skip path), so the emitted sequence is identical to a
+// never-reclaimed run without re-reading the consumed prefix of a
+// large dump.
 //
 // Ordering guarantee: WaitNextSources() returns subsets in Submit()
 // order, and within a subset sources preserve the submitted file order,
@@ -242,9 +247,15 @@ class PrefetchDecoder {
   class ChunkedSource;
 
   // Fills `cf` (claimed by the running task) until full/EOF/denied-
-  // lease/abandoned/stop. Runs as an Executor task.
+  // lease/abandoned/stop. Runs as an Executor task. When the file is
+  // not open yet, the task only performs the open (plus any reclaim
+  // resume seek and floor re-acquisition) and re-submits the decode
+  // burst as a separate task in the same band (`urgent`), so queued
+  // opens of other deadline-class tenants never wait behind a whole
+  // decode burst.
   static void FillChunked(const std::shared_ptr<State>& st,
-                          const std::shared_ptr<ChunkedFile>& cf);
+                          const std::shared_ptr<ChunkedFile>& cf,
+                          bool urgent);
   // Queues a fill task for `cf` on the decoder's tenant if it can make
   // progress and none is queued or running. Caller holds State::mu.
   // `urgent` puts the task at the front of the tenant queue (the
@@ -264,8 +275,9 @@ class PrefetchDecoder {
   static void PruneActiveLocked(State& st);
   // Idle-tenant reclaim pass (invoked by the Executor with no executor
   // lock held): drops every quiescent chunked file's buffered records,
-  // releases their extra governor leases (floors are kept), and marks
-  // the files for skip-ahead re-decode on resume.
+  // releases every governor lease they held — extras and floor slots
+  // alike — and marks the files for skip-ahead re-decode on resume
+  // (which re-acquires its floor via the governor's FIFO Acquire).
   static void ReclaimIdle(const std::shared_ptr<State>& st);
 
   Options options_;

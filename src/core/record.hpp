@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "broker/archive.hpp"
+#include "core/arena.hpp"
 #include "core/elem.hpp"
 #include "mrt/mrt.hpp"
 
@@ -29,9 +30,12 @@ enum class DumpPosition : uint8_t { Start, Middle, End };
 const char* DumpPositionName(DumpPosition p);
 
 struct Record {
-  // Provenance annotations.
-  std::string project;
-  std::string collector;
+  // Provenance annotations. Interned: each distinct project/collector
+  // name is stored once per process, so stamping (and copying) them per
+  // record is a pointer copy, never a heap allocation. They convert
+  // implicitly to const std::string&.
+  InternedString project;
+  InternedString collector;
   DumpType dump_type = DumpType::Updates;
   Timestamp dump_time = 0;  // nominal start of the originating dump file
 

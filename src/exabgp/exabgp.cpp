@@ -100,7 +100,7 @@ std::string EncodeLine(const ExaBgpMessage& msg) {
   // Announcements grouped by family and next hop, ExaBGP-style.
   Json announce = Json::MakeObject();
   auto add_announce = [&](IpFamily family, const IpAddress& next_hop,
-                          const std::vector<Prefix>& prefixes) {
+                          const bgp::PrefixVec& prefixes) {
     if (prefixes.empty()) return;
     Json nlris = Json::MakeArray();
     for (const Prefix& p : prefixes) {
@@ -123,8 +123,7 @@ std::string EncodeLine(const ExaBgpMessage& msg) {
   if (announce.size() > 0) update.Set("announce", std::move(announce));
 
   Json withdraw = Json::MakeObject();
-  auto add_withdraw = [&](IpFamily family,
-                          const std::vector<Prefix>& prefixes) {
+  auto add_withdraw = [&](IpFamily family, const bgp::PrefixVec& prefixes) {
     if (prefixes.empty()) return;
     Json nlris = Json::MakeArray();
     for (const Prefix& p : prefixes) {

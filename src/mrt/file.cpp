@@ -55,12 +55,15 @@ Result<RawRecord> MrtFileReader::Next() {
     return CorruptError("implausible MRT record length in " + path_);
   }
 
-  raw.body.resize(len);
-  file_.read(reinterpret_cast<char*>(raw.body.data()), std::streamsize(len));
+  // Read into the reusable buffer and hand out a view: no per-record
+  // allocation once buf_ has grown to the file's largest record.
+  if (buf_.size() < len) buf_.resize(len);
+  file_.read(reinterpret_cast<char*>(buf_.data()), std::streamsize(len));
   if (file_.gcount() < std::streamsize(len)) {
     corrupt_ = true;
     return CorruptError("truncated MRT body in " + path_);
   }
+  raw.body = std::span<const uint8_t>(buf_.data(), len);
 
   if (raw.type == uint16_t(MrtType::Bgp4mpEt)) {
     if (raw.body.size() < 4) {
@@ -69,7 +72,7 @@ Result<RawRecord> MrtFileReader::Next() {
     }
     BufReader br(raw.body);
     raw.microseconds = br.u32().value();
-    raw.body.erase(raw.body.begin(), raw.body.begin() + 4);
+    raw.body = raw.body.subspan(4);
   }
 
   ++records_read_;

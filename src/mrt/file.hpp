@@ -31,6 +31,11 @@ class MrtFileReader {
 
   // Returns the next framed record; EndOfStream at EOF; Corrupt exactly
   // once if framing breaks, then EndOfStream.
+  //
+  // Zero-copy: the record's `body` views this reader's internal buffer
+  // and is valid only until the next Next() call (or reader
+  // destruction). The streaming decode path consumes each record before
+  // framing the next one; callers that keep bodies must copy them.
   Result<RawRecord> Next();
 
   // Total records framed so far (for stats / tests).
@@ -44,6 +49,9 @@ class MrtFileReader {
  private:
   std::string path_;
   std::ifstream file_;
+  // Reusable body buffer: grows to the largest record seen, so framing
+  // a record costs zero heap allocations at steady state.
+  Bytes buf_;
   bool corrupt_ = false;
   size_t records_read_ = 0;
   uint64_t offset_ = 0;

@@ -57,7 +57,8 @@ Result<PeerIndexTable> DecodePeerIndexTable(BufReader& r) {
   return pit;
 }
 
-Result<RibPrefix> DecodeRibPrefix(BufReader& r, IpFamily family) {
+Result<RibPrefix> DecodeRibPrefix(BufReader& r, IpFamily family,
+                                  bgp::AttrDecodeCtx* ctx) {
   RibPrefix rib;
   BGPS_ASSIGN_OR_RETURN(rib.sequence, r.u32());
   BGPS_ASSIGN_OR_RETURN(rib.prefix, bgp::DecodeNlriPrefix(r, family));
@@ -70,14 +71,15 @@ Result<RibPrefix> DecodeRibPrefix(BufReader& r, IpFamily family) {
     e.originated_time = otime;
     BGPS_ASSIGN_OR_RETURN(uint16_t attr_len, r.u16());
     BGPS_ASSIGN_OR_RETURN(
-        e.attrs,
-        bgp::DecodePathAttributes(r, attr_len, bgp::AsnEncoding::FourByte));
+        e.attrs, bgp::DecodePathAttributes(r, attr_len,
+                                           bgp::AsnEncoding::FourByte, ctx));
     rib.entries.push_back(std::move(e));
   }
   return rib;
 }
 
-Result<Bgp4mpMessage> DecodeBgp4mpMessage(BufReader& r, bool as4) {
+Result<Bgp4mpMessage> DecodeBgp4mpMessage(BufReader& r, bool as4,
+                                          bgp::AttrDecodeCtx* ctx) {
   Bgp4mpMessage msg;
   if (as4) {
     BGPS_ASSIGN_OR_RETURN(msg.peer_asn, r.u32());
@@ -103,7 +105,7 @@ Result<Bgp4mpMessage> DecodeBgp4mpMessage(BufReader& r, bool as4) {
     BGPS_ASSIGN_OR_RETURN(
         msg.update,
         bgp::DecodeUpdate(r, as4 ? bgp::AsnEncoding::FourByte
-                                 : bgp::AsnEncoding::TwoByte));
+                                 : bgp::AsnEncoding::TwoByte, ctx));
   }
   return msg;
 }
@@ -153,17 +155,19 @@ Result<RawRecord> DecodeRawRecord(BufReader& r) {
   BGPS_ASSIGN_OR_RETURN(raw.type, r.u16());
   BGPS_ASSIGN_OR_RETURN(raw.subtype, r.u16());
   BGPS_ASSIGN_OR_RETURN(uint32_t len, r.u32());
-  BGPS_ASSIGN_OR_RETURN(raw.body, r.bytes(len));
+  // Zero-copy: the body is a view into the caller's buffer, which
+  // outlives the record in every framing path (see RawRecord).
+  BGPS_ASSIGN_OR_RETURN(raw.body, r.view(len));
   if (raw.type == uint16_t(MrtType::Bgp4mpEt)) {
     // Extended timestamp: first 4 body bytes are microseconds.
     BufReader br(raw.body);
     BGPS_ASSIGN_OR_RETURN(raw.microseconds, br.u32());
-    raw.body.erase(raw.body.begin(), raw.body.begin() + 4);
+    raw.body = raw.body.subspan(4);
   }
   return raw;
 }
 
-Result<MrtMessage> DecodeRecord(const RawRecord& raw) {
+Result<MrtMessage> DecodeRecord(const RawRecord& raw, bgp::AttrDecodeCtx* ctx) {
   MrtMessage msg;
   msg.timestamp = raw.timestamp;
   msg.microseconds = raw.microseconds;
@@ -177,12 +181,12 @@ Result<MrtMessage> DecodeRecord(const RawRecord& raw) {
         return msg;
       }
       case TableDumpV2Subtype::RibIpv4Unicast: {
-        BGPS_ASSIGN_OR_RETURN(auto rib, DecodeRibPrefix(r, IpFamily::V4));
+        BGPS_ASSIGN_OR_RETURN(auto rib, DecodeRibPrefix(r, IpFamily::V4, ctx));
         msg.body = std::move(rib);
         return msg;
       }
       case TableDumpV2Subtype::RibIpv6Unicast: {
-        BGPS_ASSIGN_OR_RETURN(auto rib, DecodeRibPrefix(r, IpFamily::V6));
+        BGPS_ASSIGN_OR_RETURN(auto rib, DecodeRibPrefix(r, IpFamily::V6, ctx));
         msg.body = std::move(rib);
         return msg;
       }
@@ -197,7 +201,7 @@ Result<MrtMessage> DecodeRecord(const RawRecord& raw) {
       case Bgp4mpSubtype::Message:
       case Bgp4mpSubtype::MessageAs4: {
         bool as4 = Bgp4mpSubtype(raw.subtype) == Bgp4mpSubtype::MessageAs4;
-        BGPS_ASSIGN_OR_RETURN(auto m, DecodeBgp4mpMessage(r, as4));
+        BGPS_ASSIGN_OR_RETURN(auto m, DecodeBgp4mpMessage(r, as4, ctx));
         msg.body = std::move(m);
         return msg;
       }

@@ -40,12 +40,18 @@ enum class Bgp4mpSubtype : uint16_t {
 inline constexpr size_t kMrtHeaderSize = 12;
 
 // Raw framed record: header fields + undecoded body.
+//
+// `body` is a zero-copy view into whatever buffer the record was framed
+// from — the caller's Bytes for DecodeRawRecord, or MrtFileReader's
+// reusable read buffer (valid only until its next Next() call). Framing
+// a record no longer heap-allocates; decode the body (or copy it) before
+// the backing buffer moves on.
 struct RawRecord {
   Timestamp timestamp = 0;
   uint32_t microseconds = 0;  // only for BGP4MP_ET
   uint16_t type = 0;
   uint16_t subtype = 0;
-  Bytes body;
+  std::span<const uint8_t> body;
 };
 
 // --- Typed bodies -----------------------------------------------------------
@@ -126,8 +132,11 @@ struct MrtMessage {
 Result<RawRecord> DecodeRawRecord(BufReader& r);
 
 // Decodes the body of a framed record. Unknown (type, subtype) pairs yield
-// StatusCode::Unsupported; malformed bodies yield Corrupt.
-Result<MrtMessage> DecodeRecord(const RawRecord& raw);
+// StatusCode::Unsupported; malformed bodies yield Corrupt. `ctx`, when
+// given, is threaded into the attribute decoder (per-dump AS-path intern
+// cache — see bgp::AttrDecodeCtx).
+Result<MrtMessage> DecodeRecord(const RawRecord& raw,
+                                bgp::AttrDecodeCtx* ctx = nullptr);
 
 // --- Encode (used by the simulator's collectors and by tests) --------------
 

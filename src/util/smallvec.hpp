@@ -1,0 +1,181 @@
+// Small-vector with inline storage: the first N elements live inside the
+// object, so containers that are almost always short (AS-path segments,
+// community lists, NLRI prefix runs) cost zero heap allocations on the
+// decode hot path. Spills to the heap transparently past N, keeping
+// std::vector semantics for the rare long case.
+//
+// Deliberately minimal: the subset of the std::vector API the decode and
+// analysis layers use. Iterators are plain pointers and invalidate on any
+// growth, exactly like std::vector.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace bgps {
+
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = size_t;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) emplace_back(v);
+  }
+  SmallVec(const SmallVec& o) {
+    reserve(o.size_);
+    std::uninitialized_copy(o.begin(), o.end(), data());
+    size_ = o.size_;
+  }
+  SmallVec(SmallVec&& o) noexcept {
+    if (o.is_inline()) {
+      std::uninitialized_move(o.begin(), o.end(), inline_data());
+      size_ = o.size_;
+      o.clear();
+    } else {
+      // Steal the heap block; o reverts to its (empty) inline storage.
+      heap_ = o.heap_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.capacity_ = N;
+      o.size_ = 0;
+    }
+  }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      clear();
+      reserve(o.size_);
+      std::uninitialized_copy(o.begin(), o.end(), data());
+      size_ = o.size_;
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      new (this) SmallVec(std::move(o));
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) emplace_back(v);
+    return *this;
+  }
+  ~SmallVec() { release(); }
+
+  T* data() { return is_inline() ? inline_data() : heap_; }
+  const T* data() const { return is_inline() ? inline_data() : heap_; }
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+  const_iterator cbegin() const { return begin(); }
+  const_iterator cend() const { return end(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void reserve(size_t n) {
+    if (n <= capacity_) return;
+    Grow(n);
+  }
+
+  void clear() {
+    std::destroy(begin(), end());
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data() + size_;
+    new (slot) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+  void pop_back() {
+    --size_;
+    std::destroy_at(data() + size_);
+  }
+
+  // Single-element insert (AsPath::prepend). Returns the new element.
+  iterator insert(const_iterator pos, T v) {
+    size_t idx = size_t(pos - begin());
+    emplace_back(std::move(v));  // may reallocate; v is safe in the temp
+    std::rotate(begin() + idx, end() - 1, end());
+    return begin() + idx;
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      std::destroy(begin() + n, end());
+      size_ = n;
+    } else {
+      reserve(n);
+      while (size_ < n) emplace_back();
+    }
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  bool is_inline() const { return heap_ == nullptr; }
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void Grow(size_t want) {
+    size_t cap = std::max(want, std::max<size_t>(capacity_ * 2, N ? N : 4));
+    T* block = static_cast<T*>(::operator new(cap * sizeof(T), align()));
+    std::uninitialized_move(begin(), end(), block);
+    std::destroy(begin(), end());
+    if (!is_inline()) ::operator delete(heap_, align());
+    heap_ = block;
+    capacity_ = cap;
+  }
+
+  void release() {
+    std::destroy(begin(), end());
+    if (!is_inline()) ::operator delete(heap_, align());
+    heap_ = nullptr;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  static constexpr std::align_val_t align() {
+    return std::align_val_t(alignof(T));
+  }
+
+  alignas(T) unsigned char inline_[N > 0 ? N * sizeof(T) : 1];
+  T* heap_ = nullptr;  // null = elements live in inline_
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace bgps

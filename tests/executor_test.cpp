@@ -376,6 +376,36 @@ TEST(ExecutorTest, DeadlineClassesSplitByWeight) {
   EXPECT_LT(log.IndexOf("w2b-0"), log.IndexOf("w1-0"));
 }
 
+TEST(ExecutorTest, DeadlineClassFollowsWeightChange) {
+  // SetWeight moves a deadline tenant into the new weight's class: its
+  // tasks join that class's EDF pool and leave the old one. Pins the
+  // per-class registry the O(class) claim scans — a stale entry would
+  // either leak b's head into the w2 class or lose it from the w3 one.
+  Executor ex({.threads = 1});
+  auto gate_tenant = ex.CreateTenant();
+  auto a = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto b = ex.CreateTenant({.weight = 2, .deadline = true});
+  auto c = ex.CreateTenant({.weight = 3, .deadline = true});
+  CompletionLog log;
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  gate_tenant->Submit([opened] { opened.wait(); });
+
+  b->SetWeight(3);  // b leaves {a, b} (w2) and joins {c} (w3)
+  c->Submit([&log] { log.Note("c0"); });
+  b->Submit([&log] { log.Note("b0"); });
+  a->Submit([&log] { log.Note("a0"); });
+  gate.set_value();
+  ASSERT_TRUE(WaitFor([&] { return ex.tasks_run() == 4; }));
+
+  // The cursor visits a first; its class is now {a} alone, so a0 runs
+  // before the older c0/b0 (those belong to the w3 class, where EDF
+  // still holds: c0's older stamp precedes b0).
+  EXPECT_LT(log.IndexOf("a0"), log.IndexOf("c0"));
+  EXPECT_LT(log.IndexOf("c0"), log.IndexOf("b0"));
+}
+
 TEST(ExecutorTest, DeadlineUrgentTasksLeadTheClass) {
   // Urgent submissions stamp ahead of every normal one, so a blocked
   // consumer's refill is the class's next claim even from the youngest

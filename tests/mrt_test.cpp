@@ -152,7 +152,7 @@ TEST(MrtCodec, CorruptBodyReported) {
   BufReader r(wire);
   auto raw = DecodeRawRecord(r);
   ASSERT_TRUE(raw.ok());
-  raw->body.resize(raw->body.size() / 2);  // truncate body
+  raw->body = raw->body.subspan(0, raw->body.size() / 2);  // truncate body
   auto msg = DecodeRecord(*raw);
   EXPECT_FALSE(msg.ok());
 }

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <future>
 #include <thread>
 
 #include "core/prefetch.hpp"
@@ -469,6 +470,217 @@ TEST(PrefetchDecoderTest, BlockedGovernorDemandTriggersReclaimWithoutPool) {
     EXPECT_EQ(got[i], Timestamp(1458000000 + i)) << i;
   }
   EXPECT_GE(decoder.seek_resumes() + decoder.skip_resumes(), 1u);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+// Regression: reclaim must release the per-file floor slots too. A
+// reclaimed tenant that never drains another record used to keep one
+// floor slot per file parked forever, so a rival demanding the *full*
+// budget could never be granted. Post-fix the tenant's governor
+// footprint drains to zero and the floor is re-acquired (fair FIFO)
+// only when the consumer actually resumes.
+TEST(PrefetchDecoderTest, ReclaimReleasesFloorSlotsOfNeverDrainedTenant) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("bgps_floor_release_test_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  std::string path = (dir / "updates.mrt").string();
+  constexpr size_t kRecords = 600;
+  {
+    mrt::MrtFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    for (size_t i = 0; i < kRecords; ++i) {
+      mrt::Bgp4mpMessage m;
+      m.peer_asn = 65001;
+      m.local_asn = 64512;
+      m.peer_address = IpAddress::V4(10, 0, 0, 1);
+      m.local_address = IpAddress::V4(192, 0, 2, 1);
+      m.update.attrs.as_path = bgp::AsPath::Sequence({65001, 15169});
+      m.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+      m.update.announced.push_back(
+          Prefix(IpAddress::V4(10, uint8_t(i >> 8), uint8_t(i & 0xff), 0),
+                 24));
+      ASSERT_TRUE(w.Write(mrt::EncodeBgp4mpUpdate(
+                              1458000000 + Timestamp(i), m)).ok());
+    }
+    ASSERT_TRUE(w.Close().ok());
+  }
+  DumpFileMeta meta;
+  meta.project = "test";
+  meta.collector = "floored";
+  meta.type = DumpType::Updates;
+  meta.start = 1458000000;
+  meta.duration = 3600;
+  meta.path = path;
+
+  constexpr size_t kBudget = 24;
+  auto gov = std::make_shared<MemoryGovernor>(kBudget);
+  PrefetchDecoder::Options opt;
+  opt.threads = 2;  // private executor: the decoder wires the hook itself
+  opt.governor = gov;
+  opt.max_records_in_flight = 16;
+  opt.idle_reclaim_rounds = 3;
+  PrefetchDecoder decoder(std::move(opt));
+  ASSERT_TRUE(gov->Acquire(1).ok());  // the subset's floor slot
+  decoder.Submit({meta});
+  auto sources = decoder.WaitNextSources();
+  ASSERT_EQ(sources.size(), 1u);
+
+  auto wait_for = [](auto pred) {
+    auto until = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > until) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  };
+  // The consumer never pops a single record; the fills settle with a
+  // loaded buffer whose leases (floor included) are all parked.
+  ASSERT_TRUE(wait_for([&] {
+    return decoder.buffered_records() > 8 && decoder.queued_tasks() == 0;
+  }));
+
+  // A rival demanding the ENTIRE budget is only grantable if the
+  // reclaim releases every lease — the floor slot too. Pre-fix the
+  // floor stayed parked (in_use == 1) and this Acquire hung forever.
+  std::atomic<bool> granted{false};
+  std::thread rival([&] {
+    Status st = gov->Acquire(kBudget);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    granted.store(true);
+    gov->Release(kBudget);
+  });
+  ASSERT_TRUE(wait_for([&] { return decoder.reclaims() >= 1; }));
+  ASSERT_TRUE(wait_for([&] { return granted.load(); }));
+  rival.join();
+  // The never-resumed tenant's governor footprint is zero.
+  ASSERT_TRUE(wait_for([&] { return gov->in_use() == 0; }));
+
+  // Resume: the refill's open leg re-acquires the floor through the
+  // fair FIFO Acquire and the tail matches an undisturbed decode.
+  std::vector<Timestamp> got;
+  while (auto rec = sources[0]->Next()) got.push_back(rec->timestamp);
+  ASSERT_EQ(got.size(), kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(got[i], Timestamp(1458000000 + i)) << i;
+  }
+  EXPECT_GE(decoder.seek_resumes() + decoder.skip_resumes(), 1u);
+  // Fully drained: the ledger balances back to zero.
+  ASSERT_TRUE(wait_for([&] { return gov->in_use() == 0; }));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+// Regression: a deadline-class tenant's file *open* must not wait
+// behind a rival tenant's whole decode burst. The fill task used to
+// open the file and decode to buffer capacity in one task, so on a
+// busy pool a queued open (pure archive latency) sat behind an entire
+// CPU burst. Post-fix the open is its own task that re-submits the
+// burst with a fresh (later) stamp, so EDF runs the next tenant's open
+// first — at B's open hook, A has opened but buffered nothing yet.
+TEST(PrefetchDecoderTest, DeadlineOpenDoesNotWaitBehindRivalDecodeBurst) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("bgps_open_split_test_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  auto write_updates = [&](const std::string& name, size_t n) {
+    std::string path = (dir / name).string();
+    mrt::MrtFileWriter w;
+    EXPECT_TRUE(w.Open(path).ok());
+    for (size_t i = 0; i < n; ++i) {
+      mrt::Bgp4mpMessage m;
+      m.peer_asn = 65001;
+      m.local_asn = 64512;
+      m.peer_address = IpAddress::V4(10, 0, 0, 1);
+      m.local_address = IpAddress::V4(192, 0, 2, 1);
+      m.update.attrs.as_path = bgp::AsPath::Sequence({65001, 15169});
+      m.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+      m.update.announced.push_back(
+          Prefix(IpAddress::V4(10, uint8_t(i >> 8), uint8_t(i & 0xff), 0),
+                 24));
+      EXPECT_TRUE(w.Write(mrt::EncodeBgp4mpUpdate(
+                              1458000000 + Timestamp(i), m)).ok());
+    }
+    EXPECT_TRUE(w.Close().ok());
+    return path;
+  };
+  auto meta_for = [](const std::string& path, const std::string& collector) {
+    DumpFileMeta meta;
+    meta.project = "test";
+    meta.collector = collector;
+    meta.type = DumpType::Updates;
+    meta.start = 1458000000;
+    meta.duration = 3600;
+    meta.path = path;
+    return meta;
+  };
+  DumpFileMeta meta_a = meta_for(write_updates("a.mrt", 200), "tenant-a");
+  DumpFileMeta meta_b = meta_for(write_updates("b.mrt", 50), "tenant-b");
+
+  auto wait_for = [](auto pred) {
+    auto until = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > until) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  };
+
+  // One worker, blocked by a gate tenant while both decoders enqueue
+  // their initial fills — so the claim order after the gate opens is
+  // decided purely by the deadline class's EDF rule.
+  auto ex = std::make_shared<Executor>(Executor::Options{.threads = 1});
+  auto gate_tenant = ex->CreateTenant();
+  std::promise<void> gate;
+  std::shared_future<void> opened_gate = gate.get_future().share();
+  std::atomic<bool> gate_entered{false};
+  gate_tenant->Submit([opened_gate, &gate_entered] {
+    gate_entered.store(true);
+    opened_gate.wait();
+  });
+  ASSERT_TRUE(wait_for([&] { return gate_entered.load(); }));
+
+  PrefetchDecoder::Options opt_a;
+  opt_a.executor = ex;
+  opt_a.max_records_in_flight = 16;
+  opt_a.tenant_deadline = true;
+  PrefetchDecoder a(std::move(opt_a));
+
+  std::atomic<bool> b_opened{false};
+  std::atomic<size_t> a_buffered_at_b_open{size_t(-1)};
+  PrefetchDecoder::Options opt_b;
+  opt_b.executor = ex;
+  opt_b.max_records_in_flight = 16;
+  opt_b.tenant_deadline = true;
+  opt_b.decode.file_open_hook = [&](const DumpFileMeta&) {
+    a_buffered_at_b_open.store(a.buffered_records());
+    b_opened.store(true);
+  };
+  PrefetchDecoder b(std::move(opt_b));
+
+  a.Submit({meta_a});  // enqueued first: EDF opens A first...
+  b.Submit({meta_b});
+  auto sources_a = a.WaitNextSources();
+  auto sources_b = b.WaitNextSources();
+  gate.set_value();
+
+  ASSERT_TRUE(wait_for([&] { return b_opened.load(); }));
+  // ...but A's decode burst carries a *later* stamp than B's queued
+  // open, so B opens before A buffers anything. Pre-fix, A's single
+  // open+decode task had already filled its buffer to capacity (16)
+  // when B's open finally ran.
+  EXPECT_EQ(a_buffered_at_b_open.load(), 0u);
+
+  // Sanity: both streams still decode completely and in order.
+  std::vector<Timestamp> got_a, got_b;
+  while (auto rec = sources_a[0]->Next()) got_a.push_back(rec->timestamp);
+  while (auto rec = sources_b[0]->Next()) got_b.push_back(rec->timestamp);
+  ASSERT_EQ(got_a.size(), 200u);
+  ASSERT_EQ(got_b.size(), 50u);
+  for (size_t i = 0; i < got_a.size(); ++i) {
+    EXPECT_EQ(got_a[i], Timestamp(1458000000 + i)) << i;
+  }
   std::error_code ec;
   fs::remove_all(dir, ec);
 }

@@ -133,6 +133,15 @@ TEST_F(PipelineEquivalenceTest, AllConfigurationsEmitIdenticalStreams) {
     cross.prefetch_batches = true;
     configs.push_back({"prefetch+crossbatch", cross});
 
+    // Tiny chunked buffers force many refill bursts per file, so the
+    // per-dump arena state (AS-path cache, interned provenance, reused
+    // frame buffer) is exercised across task boundaries — the zero-copy
+    // decode path must still be byte-invisible in the output.
+    BgpStream::Options tiny = prefetch;
+    tiny.max_records_in_flight = 8;
+    tiny.extract_elems_in_workers = true;
+    configs.push_back({"prefetch+chunked-tiny+extract", tiny});
+
     configs.push_back({"full", FullPipeline()});
   }
   for (auto& c : configs) {
@@ -475,6 +484,53 @@ TEST_F(ChunkedStressTest, BoundedBuffersStreamALargeSubsetIdentically) {
   // The bound is per in-flight subset; a single subset must respect it
   // exactly.
   EXPECT_LE(chunked.max_records_buffered, kBound);
+}
+
+// The arena pipeline — DumpReader's per-dump AS-path intern cache,
+// arena-backed keys, and zero-copy record bodies — must be invisible in
+// the decoded output: record for record identical to a cache-free
+// DecodeRecord baseline over the same raw bytes.
+TEST_F(ChunkedStressTest, ArenaCachedDecodeMatchesCacheFreeBaseline) {
+  auto fingerprint = [](Timestamp ts, const mrt::Bgp4mpMessage& m) {
+    std::string fp = std::to_string(ts);
+    fp += '|';
+    fp += m.update.attrs.as_path.ToString();
+    fp += '|';
+    for (const auto& p : m.update.announced) {
+      fp += p.ToString();
+      fp += ',';
+    }
+    return fp;
+  };
+
+  // Baseline: raw framing + decode with no AttrDecodeCtx (every AS path
+  // decoded from the wire bytes, no cache, no arena).
+  std::vector<std::string> expect;
+  {
+    mrt::MrtFileReader reader;
+    ASSERT_TRUE(reader.Open(files_[0].path).ok());
+    while (true) {
+      auto raw = reader.Next();
+      if (!raw.ok()) break;
+      auto msg = mrt::DecodeRecord(*raw, /*ctx=*/nullptr);
+      ASSERT_TRUE(msg.ok());
+      expect.push_back(
+          fingerprint(msg->timestamp, std::get<mrt::Bgp4mpMessage>(msg->body)));
+    }
+  }
+  ASSERT_EQ(expect.size(), size_t(kRecordsPerFile));
+
+  // The arena pipeline: DumpReader threads its per-dump cache into
+  // every decode (repeat AS paths come out of the cache, keys live in
+  // the dump's arena).
+  std::vector<std::string> got;
+  DumpReader reader(files_[0]);
+  while (auto rec = reader.Next()) {
+    ASSERT_EQ(rec->status, RecordStatus::Valid);
+    got.push_back(fingerprint(rec->timestamp,
+                              std::get<mrt::Bgp4mpMessage>(rec->msg.body)));
+  }
+  EXPECT_EQ(got, expect);
 }
 
 TEST_F(ChunkedStressTest, WholeFileModeMaterializesMoreThanChunkedMode) {

@@ -12,9 +12,9 @@
 // --pool-threads routes the stream through a bgps::StreamPool — the
 // same shared decode runtime a multi-tenant service would use — instead
 // of a private synchronous pipeline; --pool-budget / --pool-weight /
-// --pool-deadline / --pool-stats-interval / --pool-stats-json tune and
-// introspect it (and require --pool-threads: they have no meaning
-// without the pool).
+// --pool-deadline / --pool-stats-interval / --pool-stats-json /
+// --pool-stats-file tune and introspect it (and require --pool-threads:
+// they have no meaning without the pool).
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -76,6 +76,11 @@ performance (shared decode runtime; all but --pool-threads require it):
                            line (machine-scrapable) instead of the
                            human-readable [pool] lines; also dumps a
                            final snapshot even without an interval
+  --pool-stats-file PATH   write the stats snapshots to PATH (always the
+                           one-JSON-object-per-line form) instead of
+                           stderr, so snapshots never interleave with
+                           diagnostics; also dumps a final snapshot even
+                           without an interval
 
 output:
   -m              bgpdump -m compatible output
@@ -107,45 +112,48 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-// One stats snapshot: human-readable stderr lines prefixed "[pool]", or
-// (json) exactly one JSON object per snapshot on one line — the
-// machine-scrapable form documented in docs/OPERATIONS.md.
-void DumpPoolStats(const StreamPool& pool, bool json) {
+// One stats snapshot to `out` (stderr, or the --pool-stats-file sink):
+// human-readable lines prefixed "[pool]", or (json) exactly one JSON
+// object per snapshot on one line — the machine-scrapable form
+// documented in docs/OPERATIONS.md. Flushed per snapshot so a live
+// scraper tailing the file sees whole lines promptly.
+void DumpPoolStats(const StreamPool& pool, bool json, std::FILE* out) {
   StreamPool::Snapshot snap = pool.Stats();
   if (json) {
-    std::string out;
-    out += "{\"executor\":{\"threads\":" +
+    std::string buf;
+    buf += "{\"executor\":{\"threads\":" +
            std::to_string(snap.executor.threads) +
            ",\"tasks_run\":" + std::to_string(snap.executor.tasks_run) +
            ",\"dispatch_rounds\":" +
            std::to_string(snap.executor.dispatch_rounds) +
            ",\"tenants\":" + std::to_string(snap.executor.tenants) + "}";
-    out += ",\"governor\":{\"capacity\":" +
+    buf += ",\"governor\":{\"capacity\":" +
            std::to_string(snap.governor.capacity) +
            ",\"in_use\":" + std::to_string(snap.governor.in_use) +
            ",\"max_in_use\":" + std::to_string(snap.governor.max_in_use) +
            ",\"waiting\":" + std::to_string(snap.governor.waiting) + "}";
-    out += ",\"streams_created\":" + std::to_string(snap.streams_created);
-    out += ",\"tenants\":[";
+    buf += ",\"streams_created\":" + std::to_string(snap.streams_created);
+    buf += ",\"tenants\":[";
     for (size_t i = 0; i < snap.tenants.size(); ++i) {
       const auto& t = snap.tenants[i];
-      if (i > 0) out += ",";
-      out += "{\"name\":\"" + JsonEscape(t.name) + "\"";
-      out += ",\"weight\":" + std::to_string(t.weight);
-      out += std::string(",\"deadline\":") + (t.deadline ? "true" : "false");
-      out += ",\"queue_depth\":" + std::to_string(t.stats.queue_depth);
-      out += ",\"tasks_executed\":" + std::to_string(t.stats.tasks_executed);
-      out += ",\"files_decoded\":" + std::to_string(t.stats.files_decoded);
-      out +=
+      if (i > 0) buf += ",";
+      buf += "{\"name\":\"" + JsonEscape(t.name) + "\"";
+      buf += ",\"weight\":" + std::to_string(t.weight);
+      buf += std::string(",\"deadline\":") + (t.deadline ? "true" : "false");
+      buf += ",\"queue_depth\":" + std::to_string(t.stats.queue_depth);
+      buf += ",\"tasks_executed\":" + std::to_string(t.stats.tasks_executed);
+      buf += ",\"files_decoded\":" + std::to_string(t.stats.files_decoded);
+      buf +=
           ",\"records_buffered\":" + std::to_string(t.stats.records_buffered);
-      out += ",\"records_emitted\":" + std::to_string(t.stats.records_emitted);
-      out += ",\"reclaims\":" + std::to_string(t.stats.reclaims) + "}";
+      buf += ",\"records_emitted\":" + std::to_string(t.stats.records_emitted);
+      buf += ",\"reclaims\":" + std::to_string(t.stats.reclaims) + "}";
     }
-    out += "]}\n";
-    std::fputs(out.c_str(), stderr);
+    buf += "]}\n";
+    std::fputs(buf.c_str(), out);
+    std::fflush(out);
     return;
   }
-  std::fprintf(stderr,
+  std::fprintf(out,
                "[pool] executor threads=%zu tasks_run=%zu rounds=%zu | "
                "governor in_use=%zu/%zu max=%zu waiting=%zu | streams=%zu\n",
                snap.executor.threads, snap.executor.tasks_run,
@@ -153,7 +161,7 @@ void DumpPoolStats(const StreamPool& pool, bool json) {
                snap.governor.capacity, snap.governor.max_in_use,
                snap.governor.waiting, snap.streams_created);
   for (const auto& t : snap.tenants) {
-    std::fprintf(stderr,
+    std::fprintf(out,
                  "[pool]   tenant %s weight=%zu%s queue=%zu tasks=%zu "
                  "files=%zu buffered=%zu emitted=%zu reclaims=%zu\n",
                  t.name.c_str(), t.weight, t.deadline ? " deadline" : "",
@@ -161,6 +169,7 @@ void DumpPoolStats(const StreamPool& pool, bool json) {
                  t.stats.files_decoded, t.stats.records_buffered,
                  t.stats.records_emitted, t.stats.reclaims);
   }
+  std::fflush(out);
 }
 
 }  // namespace
@@ -174,6 +183,7 @@ int main(int argc, char** argv) {
   size_t pool_threads = 0, pool_budget = 0, pool_weight = 0;
   bool pool_deadline = false, pool_stats_json = false;
   double pool_stats_interval = 0.0;
+  std::string pool_stats_file;
 
   auto fail = [&](const std::string& msg) {
     std::fprintf(stderr, "bgpreader: %s\n", msg.c_str());
@@ -267,6 +277,10 @@ int main(int argc, char** argv) {
       pool_deadline = true;
     } else if (arg == "--pool-stats-json") {
       pool_stats_json = true;
+    } else if (arg == "--pool-stats-file") {
+      const char* v = need_value();
+      if (!v) return fail("--pool-stats-file needs a path");
+      pool_stats_file = v;
     } else if (arg == "--pool-stats-interval") {
       const char* v = need_value();
       if (!v) return fail("--pool-stats-interval needs seconds");
@@ -307,6 +321,9 @@ int main(int argc, char** argv) {
                   "shared decode runtime is enabled by --pool-threads N)");
     if (pool_stats_json)
       return fail("--pool-stats-json requires --pool-threads (the shared "
+                  "decode runtime is enabled by --pool-threads N)");
+    if (!pool_stats_file.empty())
+      return fail("--pool-stats-file requires --pool-threads (the shared "
                   "decode runtime is enabled by --pool-threads N)");
   }
 
@@ -357,6 +374,18 @@ int main(int argc, char** argv) {
   stream->SetDataInterface(di.get());
   if (Status st = stream->Start(); !st.ok()) return fail(st.ToString());
 
+  // Stats sink: stderr by default; --pool-stats-file redirects the
+  // snapshots (always JSON there) to their own stream, so a scraper
+  // never has to pick JSON lines out of interleaved diagnostics.
+  std::FILE* stats_file = nullptr;
+  if (!pool_stats_file.empty()) {
+    stats_file = std::fopen(pool_stats_file.c_str(), "w");
+    if (!stats_file)
+      return fail("cannot open --pool-stats-file " + pool_stats_file);
+  }
+  std::FILE* stats_out = stats_file ? stats_file : stderr;
+  bool stats_json = pool_stats_json || stats_file != nullptr;
+
   // Periodic introspection dump while the stream runs.
   std::thread stats_thread;
   std::mutex stats_mu;
@@ -367,7 +396,7 @@ int main(int argc, char** argv) {
     stats_thread = std::thread([&] {
       std::unique_lock<std::mutex> lock(stats_mu);
       while (!stats_cv.wait_for(lock, interval, [&] { return stats_done; })) {
-        DumpPoolStats(*pool, pool_stats_json);
+        DumpPoolStats(*pool, stats_json, stats_out);
       }
     });
   }
@@ -381,12 +410,14 @@ int main(int argc, char** argv) {
     }
     stats_cv.notify_all();
     stats_thread.join();
-    DumpPoolStats(*pool, pool_stats_json);  // final snapshot after the drain
-  } else if (pool && pool_stats_json) {
-    // --pool-stats-json without an interval: one final snapshot, so a
-    // scraper always gets exactly one object per run.
-    DumpPoolStats(*pool, /*json=*/true);
+    // final snapshot after the drain
+    DumpPoolStats(*pool, stats_json, stats_out);
+  } else if (pool && (pool_stats_json || stats_file)) {
+    // JSON sink without an interval: one final snapshot, so a scraper
+    // always gets at least one object per run.
+    DumpPoolStats(*pool, stats_json, stats_out);
   }
+  if (stats_file) std::fclose(stats_file);
 
   if (!stream->status().ok()) {
     std::fprintf(stderr, "bgpreader: stream error: %s\n",
