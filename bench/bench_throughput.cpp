@@ -18,9 +18,11 @@
 #include "core/elem.hpp"
 #include "core/filter.hpp"
 #include "core/stream.hpp"
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 #include "mrt/mrt.hpp"
 #include "pool/stream_pool.hpp"
+#include "sim/corpus.hpp"
 #include "util/patricia.hpp"
 
 using namespace bgps;
@@ -337,6 +339,90 @@ BGPS_STREAM_BENCH(BM_StreamSync);
 BGPS_STREAM_BENCH(BM_StreamPrefetch);
 BGPS_STREAM_BENCH(BM_StreamCrossBatchExtract);
 BGPS_STREAM_BENCH(BM_StreamFullPipeline);
+
+// --- Simulator-generated corpus through the full pipeline ------------------
+//
+// The synthetic archives above repeat one hand-built record shape; the
+// scenario engine's corpus has the realistic mix — RIB dumps + updates
+// dumps across two collectors, MOAS/hijack bursts, session resets, a
+// long-tail AS-path distribution — which exercises the decode hot path
+// (AS-path cache, SmallVec spills, per-type dispatch) the way a real
+// RouteViews/RIS window does. Built lazily once per process, same seed
+// every run, so results are comparable across revisions.
+
+std::string& GeneratedCorpusDir() {
+  static std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bgps-bench-corpus-" + std::to_string(::getpid()))).string();
+  return dir;
+}
+
+const std::vector<broker::DumpFileMeta>& GetGeneratedCorpus() {
+  static const std::vector<broker::DumpFileMeta>* files = [] {
+    auto* out = new std::vector<broker::DumpFileMeta>();
+    std::atexit([] {
+      std::error_code ec;
+      std::filesystem::remove_all(GeneratedCorpusDir(), ec);
+    });
+    sim::CorpusOptions options;
+    options.scenario = "mixed";
+    options.duration = 3600;
+    options.flaps_per_hour = 1500;
+    options.seed = 12;
+    if (!sim::GenerateCorpus(options, GeneratedCorpusDir()).ok())
+      std::abort();
+    broker::ArchiveIndex index(GeneratedCorpusDir());
+    if (!index.Rescan().ok()) std::abort();
+    *out = index.files();
+    return out;
+  }();
+  return *files;
+}
+
+void BM_StreamGeneratedCorpus(benchmark::State& state) {
+  const auto& files = GetGeneratedCorpus();
+  auto open_latency = std::chrono::microseconds(state.range(0));
+  auto batch_latency = std::chrono::microseconds(state.range(1));
+  size_t records = 0, elems = 0;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    BatchedDataInterface di(files, 8, batch_latency);
+    core::BgpStream::Options opt;
+    opt.prefetch_subsets = 3;
+    opt.decode_threads = 4;
+    opt.prefetch_batches = true;
+    opt.extract_elems_in_workers = true;
+    opt.max_records_in_flight = 512;
+    if (open_latency.count() > 0) {
+      opt.file_open_hook = [open_latency](const broker::DumpFileMeta&) {
+        std::this_thread::sleep_for(open_latency);
+      };
+    }
+    core::BgpStream stream(std::move(opt));
+    stream.SetInterval(0, 4102444800);
+    stream.SetDataInterface(&di);
+    if (!stream.Start().ok()) std::abort();
+    while (auto rec = stream.NextRecord()) {
+      records += 1;
+      for (const auto& e : stream.Elems(*rec)) {
+        elems += 1;
+        benchmark::DoNotOptimize(e.time);
+      }
+      benchmark::DoNotOptimize(rec->timestamp);
+    }
+  }
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  state.SetItemsProcessed(int64_t(records));
+  state.counters["records_per_sec_wall"] =
+      wall_seconds > 0 ? double(records) / wall_seconds : 0.0;
+  state.counters["records_per_run"] =
+      double(records) / double(state.iterations());
+  state.counters["elems_per_run"] =
+      double(elems) / double(state.iterations());
+}
+BGPS_STREAM_BENCH(BM_StreamGeneratedCorpus);
 
 // --- Multi-tenant: shared StreamPool vs private per-stream pipelines ------
 //

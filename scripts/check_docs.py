@@ -8,12 +8,13 @@
 2. bgpreader pool flags: every `--pool-*` flag mentioned in the docs
    must appear in the tool's usage text (tools/bgpreader.cpp), so the
    operator guide can never drift ahead of (or behind) the CLI.
-3. Built-binary help drift: if a built bgpreader can be found (argv[1],
-   $BGPREADER, or build*/bgpreader), run `bgpreader --help` and diff
-   its output against the usage raw-string in the source. Check 2
-   reads the *source*, so a stale binary (or a build that somehow
-   diverges from the tree) would otherwise pass silently; skipped with
-   a notice when no binary exists (e.g. docs-only CI).
+3. Built-binary help drift: for each CLI tool (bgpreader = argv[1] /
+   $BGPREADER / build*/bgpreader, bgpsim = argv[2] / $BGPSIM /
+   build*/bgpsim), run `<tool> --help` and diff its output against the
+   usage raw-string in the tool's source. Check 2 reads the *source*,
+   so a stale binary (or a build that somehow diverges from the tree)
+   would otherwise pass silently; each leg is skipped with a notice
+   when no binary exists (e.g. docs-only CI).
 
 Exit code 0 = clean; 1 = problems (each printed as its own line).
 """
@@ -83,46 +84,61 @@ def check_pool_flags() -> list[str]:
     return problems
 
 
-def find_bgpreader() -> Path | None:
-    if len(sys.argv) > 1:
-        return Path(sys.argv[1])
-    env = os.environ.get("BGPREADER")
+# (tool name, source file, argv position, env var). Each tool's Usage()
+# must be a single raw-string written to stderr.
+TOOLS = [
+    ("bgpreader", "tools/bgpreader.cpp", 1, "BGPREADER"),
+    ("bgpsim", "tools/bgpsim.cpp", 2, "BGPSIM"),
+]
+
+
+def find_tool(name: str, argv_pos: int, env_var: str) -> Path | None:
+    if len(sys.argv) > argv_pos:
+        return Path(sys.argv[argv_pos])
+    env = os.environ.get(env_var)
     if env:
         return Path(env)
-    candidates = sorted(REPO.glob("build*/bgpreader"))
+    candidates = sorted(REPO.glob(f"build*/{name}"))
     return candidates[0] if candidates else None
 
 
 def check_help_text() -> list[str]:
-    binary = find_bgpreader()
-    if binary is None or not binary.exists():
-        print("check_help_text: no built bgpreader found, skipping "
-              "(pass a path, set $BGPREADER, or build into build*/)")
-        return []
-    source = (REPO / "tools" / "bgpreader.cpp").read_text(encoding="utf-8")
-    m = re.search(r'R"\((.*?)\)"', source, re.DOTALL)
-    if not m:
-        return ["tools/bgpreader.cpp: usage raw-string literal not found"]
-    expected = m.group(1)
-    try:
-        proc = subprocess.run(
-            [str(binary), "--help"], capture_output=True, text=True,
-            timeout=60,
+    problems = []
+    for name, source_rel, argv_pos, env_var in TOOLS:
+        binary = find_tool(name, argv_pos, env_var)
+        if binary is None or not binary.exists():
+            print(f"check_help_text: no built {name} found, skipping "
+                  f"(pass a path, set ${env_var}, or build into build*/)")
+            continue
+        source = (REPO / source_rel).read_text(encoding="utf-8")
+        m = re.search(r'R"\((.*?)\)"', source, re.DOTALL)
+        if not m:
+            problems.append(f"{source_rel}: usage raw-string literal not found")
+            continue
+        expected = m.group(1)
+        try:
+            proc = subprocess.run(
+                [str(binary), "--help"], capture_output=True, text=True,
+                timeout=60,
+            )
+        except OSError as e:
+            problems.append(f"{binary}: failed to run --help: {e}")
+            continue
+        if proc.returncode != 0:
+            problems.append(f"{binary}: --help exited {proc.returncode}")
+            continue
+        got = proc.stderr  # Usage() writes to stderr
+        if got == expected:
+            continue
+        diff = difflib.unified_diff(
+            expected.splitlines(), got.splitlines(),
+            fromfile=f"{source_rel} (usage raw-string)",
+            tofile=f"{binary} --help", lineterm="",
         )
-    except OSError as e:
-        return [f"{binary}: failed to run --help: {e}"]
-    if proc.returncode != 0:
-        return [f"{binary}: --help exited {proc.returncode}"]
-    got = proc.stderr  # Usage() writes to stderr
-    if got == expected:
-        return []
-    diff = difflib.unified_diff(
-        expected.splitlines(), got.splitlines(),
-        fromfile="tools/bgpreader.cpp (usage raw-string)",
-        tofile=f"{binary} --help", lineterm="",
-    )
-    return [f"{binary}: --help output drifted from the source usage "
-            "text (stale build?)"] + list(diff)
+        problems.append(f"{binary}: --help output drifted from the source "
+                        "usage text (stale build?)")
+        problems.extend(diff)
+    return problems
 
 
 def main() -> int:
@@ -134,7 +150,7 @@ def main() -> int:
         return 1
     print(
         f"docs OK: {len(MARKDOWN_FILES)} markdown files, links, "
-        "bgpreader --pool-* flags and --help text consistent"
+        "bgpreader --pool-* flags and tool --help text consistent"
     )
     return 0
 

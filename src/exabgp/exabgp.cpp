@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 
 namespace bgps::exabgp {

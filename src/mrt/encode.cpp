@@ -1,0 +1,123 @@
+#include "mrt/encode.hpp"
+
+namespace bgps::mrt {
+namespace {
+
+constexpr uint8_t kPeerTypeIpv6 = 0x01;
+constexpr uint8_t kPeerTypeAs4 = 0x02;
+// RFC 6793: stand-in ASN a 2-byte-only speaker uses for 4-byte ASNs.
+constexpr uint16_t kAsTrans = 23456;
+
+void WriteIp(BufWriter& w, const IpAddress& a) {
+  w.bytes(std::span<const uint8_t>(a.bytes().data(), size_t(a.width()) / 8));
+}
+
+uint16_t AfiFromFamily(IpFamily f) {
+  return f == IpFamily::V4 ? bgp::kAfiIpv4 : bgp::kAfiIpv6;
+}
+
+uint16_t Narrow(bgp::Asn asn) {
+  return asn > 0xFFFF ? kAsTrans : uint16_t(asn);
+}
+
+// Encodes the 12-byte common header followed by `body`.
+Bytes Frame(Timestamp ts, MrtType type, uint16_t subtype, const Bytes& body) {
+  BufWriter w;
+  w.u32(uint32_t(ts));
+  w.u16(uint16_t(type));
+  w.u16(subtype);
+  w.u32(uint32_t(body.size()));
+  w.bytes(body);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes EncodePeerIndexTable(Timestamp ts, const PeerIndexTable& pit,
+                           bgp::AsnEncoding enc) {
+  BufWriter w;
+  w.u32(pit.collector_bgp_id);
+  w.u16(uint16_t(pit.view_name.size()));
+  w.str(pit.view_name);
+  w.u16(uint16_t(pit.peers.size()));
+  for (const auto& pe : pit.peers) {
+    // Per-entry width: a 2-byte table still stores wide ASNs as AS4
+    // entries (the type octet is per peer, RFC 6396 §4.3.1).
+    bool as4 = enc == bgp::AsnEncoding::FourByte || pe.asn > 0xFFFF;
+    uint8_t type = as4 ? kPeerTypeAs4 : 0;
+    if (pe.address.is_v6()) type |= kPeerTypeIpv6;
+    w.u8(type);
+    w.u32(pe.bgp_id);
+    WriteIp(w, pe.address);
+    if (as4) {
+      w.u32(pe.asn);
+    } else {
+      w.u16(uint16_t(pe.asn));
+    }
+  }
+  return Frame(ts, MrtType::TableDumpV2,
+               uint16_t(TableDumpV2Subtype::PeerIndexTable), w.take());
+}
+
+Bytes EncodeRibPrefix(Timestamp ts, const RibPrefix& rib, IpFamily family) {
+  BufWriter w;
+  w.u32(rib.sequence);
+  bgp::EncodeNlriPrefix(w, rib.prefix);
+  w.u16(uint16_t(rib.entries.size()));
+  for (const auto& e : rib.entries) {
+    w.u16(e.peer_index);
+    w.u32(uint32_t(e.originated_time));
+    // TABLE_DUMP_V2 attributes are always 4-byte (RFC 6396 §4.3.4).
+    Bytes attrs =
+        bgp::EncodePathAttributes(e.attrs, bgp::AsnEncoding::FourByte);
+    w.u16(uint16_t(attrs.size()));
+    w.bytes(attrs);
+  }
+  auto subtype = family == IpFamily::V4 ? TableDumpV2Subtype::RibIpv4Unicast
+                                        : TableDumpV2Subtype::RibIpv6Unicast;
+  return Frame(ts, MrtType::TableDumpV2, uint16_t(subtype), w.take());
+}
+
+Bytes EncodeBgp4mpUpdate(Timestamp ts, const Bgp4mpMessage& msg,
+                         bgp::AsnEncoding enc) {
+  BufWriter w;
+  if (enc == bgp::AsnEncoding::FourByte) {
+    w.u32(msg.peer_asn);
+    w.u32(msg.local_asn);
+  } else {
+    w.u16(Narrow(msg.peer_asn));
+    w.u16(Narrow(msg.local_asn));
+  }
+  w.u16(msg.interface_index);
+  w.u16(AfiFromFamily(msg.peer_address.family()));
+  WriteIp(w, msg.peer_address);
+  WriteIp(w, msg.local_address);
+  w.bytes(bgp::EncodeUpdate(msg.update, enc));
+  auto subtype = enc == bgp::AsnEncoding::FourByte ? Bgp4mpSubtype::MessageAs4
+                                                   : Bgp4mpSubtype::Message;
+  return Frame(ts, MrtType::Bgp4mp, uint16_t(subtype), w.take());
+}
+
+Bytes EncodeBgp4mpStateChange(Timestamp ts, const Bgp4mpStateChange& sc,
+                              bgp::AsnEncoding enc) {
+  BufWriter w;
+  if (enc == bgp::AsnEncoding::FourByte) {
+    w.u32(sc.peer_asn);
+    w.u32(sc.local_asn);
+  } else {
+    w.u16(Narrow(sc.peer_asn));
+    w.u16(Narrow(sc.local_asn));
+  }
+  w.u16(sc.interface_index);
+  w.u16(AfiFromFamily(sc.peer_address.family()));
+  WriteIp(w, sc.peer_address);
+  WriteIp(w, sc.local_address);
+  w.u16(uint16_t(sc.old_state));
+  w.u16(uint16_t(sc.new_state));
+  auto subtype = enc == bgp::AsnEncoding::FourByte
+                     ? Bgp4mpSubtype::StateChangeAs4
+                     : Bgp4mpSubtype::StateChange;
+  return Frame(ts, MrtType::Bgp4mp, uint16_t(subtype), w.take());
+}
+
+}  // namespace bgps::mrt

@@ -1,0 +1,36 @@
+// MRT record encoders (RFC 6396): the write side of the MRT layer.
+//
+// Produces the same record set the decoder in mrt.hpp accepts —
+// TABLE_DUMP_V2 (PEER_INDEX_TABLE, RIB_IPV4/IPV6_UNICAST) and BGP4MP
+// updates / state changes — so anything encoded here round-trips through
+// DecodeRawRecord + DecodeRecord byte-for-semantics. Used by the
+// simulator's collectors (real MRT files on disk feed the whole decode
+// pipeline unmodified), by the BMP/exabgp normalizers, and by tests.
+//
+// BGP4MP records support both ASN encodings (RFC 6396 §4.4):
+//   * AsnEncoding::FourByte -> MESSAGE_AS4 / STATE_CHANGE_AS4, u32 header
+//     ASNs, 4-byte AS_PATH;
+//   * AsnEncoding::TwoByte  -> MESSAGE / STATE_CHANGE, u16 header ASNs,
+//     2-byte AS_PATH. ASNs above 0xFFFF are written as AS_TRANS (23456,
+//     RFC 6793) — lossy by design, exactly like a pre-AS4 speaker.
+// TABLE_DUMP_V2 RIB attributes are always 4-byte (RFC 6396 §4.3.4); the
+// `enc` parameter of EncodePeerIndexTable only selects the peer-entry
+// ASN width (entries that do not fit u16 stay 4-byte per entry).
+#pragma once
+
+#include "mrt/mrt.hpp"
+
+namespace bgps::mrt {
+
+Bytes EncodePeerIndexTable(Timestamp ts, const PeerIndexTable& pit,
+                           bgp::AsnEncoding enc = bgp::AsnEncoding::FourByte);
+
+Bytes EncodeRibPrefix(Timestamp ts, const RibPrefix& rib, IpFamily family);
+
+Bytes EncodeBgp4mpUpdate(Timestamp ts, const Bgp4mpMessage& msg,
+                         bgp::AsnEncoding enc = bgp::AsnEncoding::FourByte);
+
+Bytes EncodeBgp4mpStateChange(Timestamp ts, const Bgp4mpStateChange& sc,
+                              bgp::AsnEncoding enc = bgp::AsnEncoding::FourByte);
+
+}  // namespace bgps::mrt

@@ -19,18 +19,10 @@ Result<IpAddress> ReadIp(BufReader& r, IpFamily family) {
   return IpAddress::V6(arr);
 }
 
-void WriteIp(BufWriter& w, const IpAddress& a) {
-  w.bytes(std::span<const uint8_t>(a.bytes().data(), size_t(a.width()) / 8));
-}
-
 Result<IpFamily> FamilyFromAfi(uint16_t afi) {
   if (afi == bgp::kAfiIpv4) return IpFamily::V4;
   if (afi == bgp::kAfiIpv6) return IpFamily::V6;
   return CorruptError("bad AFI " + std::to_string(afi));
-}
-
-uint16_t AfiFromFamily(IpFamily f) {
-  return f == IpFamily::V4 ? bgp::kAfiIpv4 : bgp::kAfiIpv6;
 }
 
 Result<PeerIndexTable> DecodePeerIndexTable(BufReader& r) {
@@ -134,17 +126,6 @@ Result<Bgp4mpStateChange> DecodeBgp4mpStateChange(BufReader& r, bool as4) {
   return sc;
 }
 
-// Encodes the 12-byte common header followed by `body`.
-Bytes Frame(Timestamp ts, MrtType type, uint16_t subtype, const Bytes& body) {
-  BufWriter w;
-  w.u32(uint32_t(ts));
-  w.u16(uint16_t(type));
-  w.u16(subtype);
-  w.u32(uint32_t(body.size()));
-  w.bytes(body);
-  return w.take();
-}
-
 }  // namespace
 
 Result<RawRecord> DecodeRawRecord(BufReader& r) {
@@ -218,70 +199,6 @@ Result<MrtMessage> DecodeRecord(const RawRecord& raw, bgp::AttrDecodeCtx* ctx) {
   }
 
   return UnsupportedError("MRT type " + std::to_string(raw.type));
-}
-
-Bytes EncodePeerIndexTable(Timestamp ts, const PeerIndexTable& pit) {
-  BufWriter w;
-  w.u32(pit.collector_bgp_id);
-  w.u16(uint16_t(pit.view_name.size()));
-  w.str(pit.view_name);
-  w.u16(uint16_t(pit.peers.size()));
-  for (const auto& pe : pit.peers) {
-    uint8_t type = kPeerTypeAs4;  // we always write 4-byte ASNs
-    if (pe.address.is_v6()) type |= kPeerTypeIpv6;
-    w.u8(type);
-    w.u32(pe.bgp_id);
-    WriteIp(w, pe.address);
-    w.u32(pe.asn);
-  }
-  return Frame(ts, MrtType::TableDumpV2,
-               uint16_t(TableDumpV2Subtype::PeerIndexTable), w.take());
-}
-
-Bytes EncodeRibPrefix(Timestamp ts, const RibPrefix& rib, IpFamily family) {
-  BufWriter w;
-  w.u32(rib.sequence);
-  bgp::EncodeNlriPrefix(w, rib.prefix);
-  w.u16(uint16_t(rib.entries.size()));
-  for (const auto& e : rib.entries) {
-    w.u16(e.peer_index);
-    w.u32(uint32_t(e.originated_time));
-    Bytes attrs =
-        bgp::EncodePathAttributes(e.attrs, bgp::AsnEncoding::FourByte);
-    w.u16(uint16_t(attrs.size()));
-    w.bytes(attrs);
-  }
-  auto subtype = family == IpFamily::V4 ? TableDumpV2Subtype::RibIpv4Unicast
-                                        : TableDumpV2Subtype::RibIpv6Unicast;
-  return Frame(ts, MrtType::TableDumpV2, uint16_t(subtype), w.take());
-}
-
-Bytes EncodeBgp4mpUpdate(Timestamp ts, const Bgp4mpMessage& msg) {
-  BufWriter w;
-  w.u32(msg.peer_asn);
-  w.u32(msg.local_asn);
-  w.u16(msg.interface_index);
-  w.u16(AfiFromFamily(msg.peer_address.family()));
-  WriteIp(w, msg.peer_address);
-  WriteIp(w, msg.local_address);
-  Bytes bgp_msg = bgp::EncodeUpdate(msg.update, bgp::AsnEncoding::FourByte);
-  w.bytes(bgp_msg);
-  return Frame(ts, MrtType::Bgp4mp, uint16_t(Bgp4mpSubtype::MessageAs4),
-               w.take());
-}
-
-Bytes EncodeBgp4mpStateChange(Timestamp ts, const Bgp4mpStateChange& sc) {
-  BufWriter w;
-  w.u32(sc.peer_asn);
-  w.u32(sc.local_asn);
-  w.u16(sc.interface_index);
-  w.u16(AfiFromFamily(sc.peer_address.family()));
-  WriteIp(w, sc.peer_address);
-  WriteIp(w, sc.local_address);
-  w.u16(uint16_t(sc.old_state));
-  w.u16(uint16_t(sc.new_state));
-  return Frame(ts, MrtType::Bgp4mp, uint16_t(Bgp4mpSubtype::StateChangeAs4),
-               w.take());
 }
 
 }  // namespace bgps::mrt

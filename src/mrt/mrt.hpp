@@ -138,11 +138,7 @@ Result<RawRecord> DecodeRawRecord(BufReader& r);
 Result<MrtMessage> DecodeRecord(const RawRecord& raw,
                                 bgp::AttrDecodeCtx* ctx = nullptr);
 
-// --- Encode (used by the simulator's collectors and by tests) --------------
-
-Bytes EncodePeerIndexTable(Timestamp ts, const PeerIndexTable& pit);
-Bytes EncodeRibPrefix(Timestamp ts, const RibPrefix& rib, IpFamily family);
-Bytes EncodeBgp4mpUpdate(Timestamp ts, const Bgp4mpMessage& msg);
-Bytes EncodeBgp4mpStateChange(Timestamp ts, const Bgp4mpStateChange& sc);
+// The write side (TABLE_DUMP_V2 + BGP4MP encoders, both ASN encodings)
+// lives in mrt/encode.hpp.
 
 }  // namespace bgps::mrt

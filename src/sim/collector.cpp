@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "broker/archive.hpp"
+#include "mrt/encode.hpp"
 
 namespace fs = std::filesystem;
 
@@ -92,7 +93,7 @@ void CollectorSim::BufferUpdate(Timestamp t, const VpSpec& vp,
       msg.update.attrs.mp_reach = std::move(mp);
     }
   }
-  pending_.push_back({t, mrt::EncodeBgp4mpUpdate(t, msg)});
+  pending_.push_back({t, mrt::EncodeBgp4mpUpdate(t, msg, config_.asn_encoding)});
   ++total_messages_;
 }
 
@@ -117,7 +118,8 @@ void CollectorSim::VpDown(Timestamp t, Asn vp_asn, bool silent) {
     sc.local_address = config_.collector_address;
     sc.old_state = bgp::FsmState::Established;
     sc.new_state = bgp::FsmState::Idle;
-    pending_.push_back({t, mrt::EncodeBgp4mpStateChange(t, sc)});
+    pending_.push_back(
+        {t, mrt::EncodeBgp4mpStateChange(t, sc, config_.asn_encoding)});
   }
 }
 
@@ -133,7 +135,8 @@ void CollectorSim::VpUp(Timestamp t, Asn vp_asn, const World& world) {
     sc.local_address = config_.collector_address;
     sc.old_state = bgp::FsmState::OpenConfirm;
     sc.new_state = bgp::FsmState::Established;
-    pending_.push_back({t, mrt::EncodeBgp4mpStateChange(t, sc)});
+    pending_.push_back(
+        {t, mrt::EncodeBgp4mpStateChange(t, sc, config_.asn_encoding)});
   }
   // Session re-establishment: the VP re-advertises its full table.
   for (const auto& [prefix, route] : world.ExportedTable(vp_asn, vp->full_feed))
@@ -165,7 +168,8 @@ Status CollectorSim::WriteRib(Timestamp t, const World& world) {
   pit.view_name = config_.name;
   for (const auto& vp : config_.vps)
     pit.peers.push_back({uint32_t(vp.asn), vp.address, vp.asn});
-  BGPS_RETURN_IF_ERROR(writer.Write(mrt::EncodePeerIndexTable(t, pit)));
+  BGPS_RETURN_IF_ERROR(
+      writer.Write(mrt::EncodePeerIndexTable(t, pit, config_.asn_encoding)));
 
   // One RIB record per announced prefix with at least one live-VP route.
   // All records carry the snapshot instant `t`: the dumped content is the

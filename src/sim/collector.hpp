@@ -14,6 +14,7 @@
 
 #include <random>
 
+#include "bgp/attrs.hpp"
 #include "broker/archive.hpp"
 #include "mrt/file.hpp"
 #include "sim/world.hpp"
@@ -44,6 +45,11 @@ struct CollectorConfig {
   double update_loss_probability = 0.0;
   Asn collector_asn = 64512;
   IpAddress collector_address = IpAddress::V4(192, 0, 2, 1);
+  // ASN width of the BGP4MP records this collector writes (MESSAGE_AS4 /
+  // STATE_CHANGE_AS4 vs their 2-byte variants; >16-bit ASNs become
+  // AS_TRANS under TwoByte). TABLE_DUMP_V2 RIB attributes are always
+  // 4-byte per RFC 6396, independent of this knob.
+  bgp::AsnEncoding asn_encoding = bgp::AsnEncoding::FourByte;
 };
 
 // Deterministic VP session address for an AS.

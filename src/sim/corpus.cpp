@@ -1,0 +1,186 @@
+#include "sim/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "broker/archive.hpp"
+
+namespace fs = std::filesystem;
+
+namespace bgps::sim {
+namespace {
+
+// First `count` stub ASes (ascending ASN) that originate at least one
+// IPv4 prefix — deterministic scenario actors.
+std::vector<Asn> PickStubs(const Topology& topo, size_t count) {
+  std::vector<Asn> out;
+  for (Asn asn : topo.asns_sorted()) {
+    const AsNode& node = topo.node(asn);
+    if (node.tier != AsTier::Stub || node.prefixes.empty()) continue;
+    out.push_back(asn);
+    if (out.size() == count) break;
+  }
+  return out;
+}
+
+std::vector<Asn> PickTransits(const Topology& topo, size_t count) {
+  std::vector<Asn> out;
+  for (Asn asn : topo.asns_sorted()) {
+    if (topo.node(asn).tier != AsTier::Transit) continue;
+    out.push_back(asn);
+    if (out.size() == count) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CorpusScenarioNames() {
+  static const std::vector<std::string> names = {
+      "baseline", "flap",        "hijack", "leak",
+      "outage",   "reset-storm", "rtbh",   "mixed"};
+  return names;
+}
+
+Result<CorpusStats> GenerateCorpus(const CorpusOptions& options,
+                                   const std::string& root) {
+  const std::string& name = options.scenario;
+  const auto& known = CorpusScenarioNames();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    std::string all;
+    for (const auto& n : known) {
+      if (!all.empty()) all += ", ";
+      all += n;
+    }
+    return InvalidArgument("unknown corpus scenario '" + name +
+                           "' (expected one of: " + all + ")");
+  }
+
+  fs::remove_all(root);
+
+  StandardSimOptions sim_opts;
+  sim_opts.topo = options.topo;
+  sim_opts.topo.seed = options.seed * 1009 + 1;
+  sim_opts.rv_collectors = options.rv_collectors;
+  sim_opts.ris_collectors = options.ris_collectors;
+  sim_opts.vps_per_collector = options.vps_per_collector;
+  sim_opts.partial_feed_fraction = options.partial_feed_fraction;
+  sim_opts.publish_delay = 0;
+  sim_opts.asn_encoding = options.asn_encoding;
+  sim_opts.seed = options.seed;
+  auto driver = MakeStandardSim(sim_opts, root);
+
+  const Topology& topo = driver->topology();
+  CorpusStats stats;
+  stats.start = options.start != 0
+                    ? options.start
+                    : TimestampFromYmdHms(2016, 1, 1, 0, 0, 0);
+  stats.end = stats.start + options.duration;
+  const Timestamp start = stats.start, end = stats.end;
+  const Timestamp span = options.duration;
+
+  // Scenario composition. Generator registration order is part of the
+  // corpus definition: it fixes the RNG draw order and the event-queue
+  // tie-break, hence the bytes on disk.
+  std::set<Prefix> avoid;
+
+  if (name == "hijack" || name == "mixed") {
+    auto stubs = PickStubs(topo, 2);
+    if (stubs.size() == 2) {
+      HijackGenerator gen;
+      gen.victim = stubs[0];
+      gen.attacker = stubs[1];
+      gen.prefixes = topo.node(stubs[0]).prefixes;
+      for (int w = 0; w < 3; ++w) {
+        Timestamp t0 = start + span * (2 * w + 1) / 8;
+        Timestamp t1 = t0 + span / 10;
+        if (t1 < end) gen.windows.emplace_back(t0, t1);
+      }
+      driver->AddGenerator(gen);
+      for (const auto& p : gen.prefixes) avoid.insert(p);
+    }
+  }
+
+  if (name == "leak" || name == "mixed") {
+    auto transits = PickTransits(topo, 1);
+    if (!transits.empty()) {
+      RouteLeakGenerator gen;
+      gen.leaker = transits[0];
+      gen.start = start + span / 4;
+      gen.end = start + span / 2;
+      gen.max_prefixes = 40;
+      driver->AddGenerator(gen);
+    }
+  }
+
+  if (name == "outage") {
+    CountryOutageGenerator gen;
+    gen.isps = PickTransits(topo, 3);
+    Timestamp t0 = start + span / 4;
+    gen.windows.emplace_back(t0, t0 + span / 4);
+    std::set<Prefix> cone = ConePrefixes(topo, gen.isps);
+    avoid.insert(cone.begin(), cone.end());
+    driver->AddGenerator(gen);
+  }
+
+  if (name == "reset-storm" || name == "mixed") {
+    SessionResetGenerator gen;
+    gen.vps = driver->all_vps();
+    gen.start = start + span / 8;
+    gen.end = end - span / 8;
+    gen.resets = int(gen.vps.size()) * (name == "mixed" ? 2 : 4);
+    driver->AddGenerator(gen);
+  }
+
+  if (name == "rtbh" || name == "mixed") {
+    auto victims = PickStubs(topo, 3);
+    int i = 0;
+    for (Asn victim : victims) {
+      const AsNode& vnode = topo.node(victim);
+      RtbhGenerator gen;
+      gen.victim = victim;
+      gen.target = Prefix(vnode.prefixes.front().address(), 32);
+      for (Asn p : vnode.providers)
+        gen.tags.push_back(bgp::Community(uint16_t(p), kBlackholeValue));
+      gen.start = start + span * (i + 1) / 6;
+      gen.end = gen.start + span / 8;
+      driver->AddGenerator(gen);
+      avoid.insert(gen.target);
+      ++i;
+    }
+  }
+
+  if (name == "flap") {
+    auto stubs = PickStubs(topo, 1);
+    if (!stubs.empty()) {
+      FlapOscillationGenerator gen;
+      gen.prefix = topo.node(stubs[0]).prefixes.front();
+      gen.origin = stubs[0];
+      gen.start = start + span / 16;
+      gen.last = end - span / 16;
+      gen.period = std::max<Timestamp>(60, span / 16);
+      gen.downtime = std::max<Timestamp>(30, span / 64);
+      driver->AddGenerator(gen);
+      avoid.insert(gen.prefix);
+    }
+  }
+
+  // Background churn everywhere ("baseline" is nothing but this).
+  double churn = options.flaps_per_hour;
+  if (name == "baseline") churn = std::min(churn, 200.0);
+  driver->AddFlapNoise(start, end, churn, 120, avoid);
+
+  BGPS_RETURN_IF_ERROR(driver->Run(start, end));
+
+  for (const auto& c : driver->collectors()) {
+    stats.rib_dumps += c.ribs_written();
+    stats.updates_dumps += c.updates_files_written();
+    stats.update_messages += c.update_messages_buffered();
+  }
+  broker::ArchiveIndex index(root);
+  BGPS_RETURN_IF_ERROR(index.Rescan());
+  stats.files = index.files().size();
+  return stats;
+}
+
+}  // namespace bgps::sim

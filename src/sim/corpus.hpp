@@ -1,0 +1,66 @@
+// Seeded corpus generation: one call that builds a topology, composes
+// event generators for a named scenario, runs the driver and leaves a
+// real multi-file MRT archive on disk. Shared by the bgpsim CLI, the
+// stress tests and the generated-corpus benches — all three must agree
+// on what "the corpus for (scenario, seed)" means, and replaying the
+// same options must yield byte-identical files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace bgps::sim {
+
+struct CorpusOptions {
+  // One of CorpusScenarioNames():
+  //   baseline    announce-all plus light background churn
+  //   flap        heavy churn plus a deterministic oscillating prefix
+  //   hijack      MOAS hijack windows over a victim stub's prefixes
+  //   leak        a transit re-originates foreign prefixes for a window
+  //   outage      country-style outage of transit cones
+  //   reset-storm VP sessions bounce (some silently)
+  //   rtbh        blackhole /32 announcements with provider communities
+  //   mixed       hijack + leak + reset-storm + rtbh over shared churn
+  std::string scenario = "mixed";
+
+  // Small-but-real topology by default: big enough for distinct VP
+  // views, small enough that route propagation stays fast.
+  TopologyConfig topo = [] {
+    TopologyConfig t;
+    t.num_tier1 = 4;
+    t.num_transit = 12;
+    t.num_stub = 40;
+    return t;
+  }();
+  int rv_collectors = 1;
+  int ris_collectors = 1;
+  int vps_per_collector = 5;
+  double partial_feed_fraction = 0.3;
+
+  Timestamp start = 0;  // 0 => 2016-01-01 00:00:00 UTC
+  Timestamp duration = 2 * 3600;
+  double flaps_per_hour = 2000.0;
+
+  bgp::AsnEncoding asn_encoding = bgp::AsnEncoding::FourByte;
+  uint64_t seed = 1;
+};
+
+struct CorpusStats {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  size_t rib_dumps = 0;
+  size_t updates_dumps = 0;
+  size_t update_messages = 0;  // BGP4MP messages buffered across collectors
+  size_t files = 0;            // MRT files on disk under the root
+};
+
+const std::vector<std::string>& CorpusScenarioNames();
+
+// Wipes `root`, generates the archive, returns its stats.
+// InvalidArgument for an unknown scenario name.
+Result<CorpusStats> GenerateCorpus(const CorpusOptions& options,
+                                   const std::string& root);
+
+}  // namespace bgps::sim

@@ -26,27 +26,13 @@ std::vector<Asn> SimDriver::all_vps() const {
 void SimDriver::AddFlapNoise(Timestamp start, Timestamp end,
                              double flaps_per_hour, Timestamp mean_downtime,
                              const std::set<Prefix>& avoid) {
-  // Candidate prefixes: static topology origins not in the avoid set.
-  std::vector<std::pair<Asn, Prefix>> candidates;
-  for (const auto& [asn, prefix] : topo_.all_origins()) {
-    if (!avoid.count(prefix)) candidates.emplace_back(asn, prefix);
-  }
-  if (candidates.empty() || flaps_per_hour <= 0) return;
-
-  const double mean_gap = 3600.0 / flaps_per_hour;
-  std::exponential_distribution<double> gap(1.0 / mean_gap);
-  std::exponential_distribution<double> down(1.0 / double(mean_downtime));
-  double t = double(start) + gap(rng_);
-  while (t < double(end)) {
-    const auto& [asn, prefix] = candidates[rng_() % candidates.size()];
-    Timestamp td = Timestamp(t);
-    Timestamp tu = td + std::max<Timestamp>(1, Timestamp(down(rng_)));
-    AddEvent(SimEvent::WithdrawAt(td, prefix));
-    if (tu < end) {
-      AddEvent(SimEvent::Announce(tu, prefix, {OriginSpec{asn, {}}}));
-    }
-    t += gap(rng_);
-  }
+  FlapNoiseGenerator gen;
+  gen.start = start;
+  gen.end = end;
+  gen.flaps_per_hour = flaps_per_hour;
+  gen.mean_downtime = mean_downtime;
+  gen.avoid = avoid;
+  AddGenerator(gen);
 }
 
 void SimDriver::Apply(const SimEvent& event) {
@@ -73,11 +59,6 @@ void SimDriver::Apply(const SimEvent& event) {
 }
 
 Status SimDriver::Run(Timestamp start, Timestamp end) {
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const SimEvent& a, const SimEvent& b) {
-                     return a.time < b.time;
-                   });
-
   struct Schedule {
     Timestamp next_rib;
     Timestamp next_flush;  // flushes the window ending at this time
@@ -89,7 +70,6 @@ Status SimDriver::Run(Timestamp start, Timestamp end) {
         {start, start + c.config().update_period});
   }
 
-  size_t ei = 0;
   while (true) {
     // Next dump boundary across all collectors.
     Timestamp tb = end;
@@ -99,8 +79,9 @@ Status SimDriver::Run(Timestamp start, Timestamp end) {
     // Apply all events up to and including the boundary instant, so a RIB
     // dump written at tb reflects events that fired exactly at tb (their
     // update messages carry timestamp tb and land in the *next* updates
-    // window, which FlushUpdates selects by timestamp).
-    while (ei < events_.size() && events_[ei].time <= tb) Apply(events_[ei++]);
+    // window, which FlushUpdates selects by timestamp). Events are
+    // popped destructively, so a later Run() segment never re-fires them.
+    while (!queue_.empty() && queue_.next_time() <= tb) Apply(queue_.Pop());
 
     if (tb >= end) break;
 

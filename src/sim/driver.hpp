@@ -2,58 +2,21 @@
 // collectors dump MRT files into an archive — the complete stand-in for
 // "the Internet + RouteViews + RIPE RIS" that the rest of the stack
 // consumes through the Broker.
+//
+// The timeline is a discrete-event queue (sim/event.hpp) populated
+// either with raw SimEvents or by composable EventGenerators
+// (sim/generators.hpp). Generators draw from the driver's seeded RNG in
+// registration order, so a given (seed, generator sequence) replays to
+// a byte-identical archive.
 #pragma once
 
 #include <deque>
 
 #include "sim/collector.hpp"
+#include "sim/event.hpp"
+#include "sim/generators.hpp"
 
 namespace bgps::sim {
-
-struct SimEvent {
-  enum class Kind { SetOrigins, Withdraw, VpDown, VpUp };
-
-  Timestamp time = 0;
-  Kind kind = Kind::SetOrigins;
-  // SetOrigins / Withdraw:
-  Prefix prefix;
-  std::vector<OriginSpec> origins;
-  // VpDown / VpUp:
-  Asn vp = 0;
-  bool silent = false;  // down without a state message (RouteViews-style)
-
-  static SimEvent Announce(Timestamp t, const Prefix& p,
-                           std::vector<OriginSpec> origins) {
-    SimEvent e;
-    e.time = t;
-    e.kind = Kind::SetOrigins;
-    e.prefix = p;
-    e.origins = std::move(origins);
-    return e;
-  }
-  static SimEvent WithdrawAt(Timestamp t, const Prefix& p) {
-    SimEvent e;
-    e.time = t;
-    e.kind = Kind::Withdraw;
-    e.prefix = p;
-    return e;
-  }
-  static SimEvent Down(Timestamp t, Asn vp, bool silent) {
-    SimEvent e;
-    e.time = t;
-    e.kind = Kind::VpDown;
-    e.vp = vp;
-    e.silent = silent;
-    return e;
-  }
-  static SimEvent Up(Timestamp t, Asn vp) {
-    SimEvent e;
-    e.time = t;
-    e.kind = Kind::VpUp;
-    e.vp = vp;
-    return e;
-  }
-};
 
 class SimDriver {
  public:
@@ -66,20 +29,29 @@ class SimDriver {
   CollectorSim& AddCollector(CollectorConfig config);
   std::deque<CollectorSim>& collectors() { return collectors_; }
 
-  void AddEvent(SimEvent event) { events_.push_back(std::move(event)); }
+  void AddEvent(SimEvent event) { queue_.Push(std::move(event)); }
+
+  // Expands `generator` into the event queue using the driver's RNG.
+  void AddGenerator(const EventGenerator& generator) {
+    generator.Generate(topo_, rng_, queue_);
+  }
 
   // Schedules background churn: random announced prefixes flap (withdraw,
   // then re-announce after `mean_downtime`), `flaps_per_hour` on average
   // across the whole table. Prefixes in `avoid` are left alone so scripted
-  // events keep a clean signal.
+  // events keep a clean signal. (Thin wrapper over FlapNoiseGenerator.)
   void AddFlapNoise(Timestamp start, Timestamp end, double flaps_per_hour,
                     Timestamp mean_downtime = 120,
                     const std::set<Prefix>& avoid = {});
 
-  // Executes the timeline over [start, end): applies events in time order
-  // and triggers each collector's periodic RIB / updates dumps. Call after
-  // world().AnnounceAll() (or manual announcements).
+  // Executes the timeline over [start, end): pops pending events in time
+  // order and triggers each collector's periodic RIB / updates dumps.
+  // Call after world().AnnounceAll() (or manual announcements). Events
+  // are consumed — a later Run() segment continues where the previous
+  // one stopped.
   Status Run(Timestamp start, Timestamp end);
+
+  size_t pending_events() const { return queue_.size(); }
 
   // Union of all collectors' VP ASNs (deltas are computed for these).
   std::vector<Asn> all_vps() const;
@@ -91,7 +63,7 @@ class SimDriver {
   World world_;
   std::string archive_root_;
   std::deque<CollectorSim> collectors_;
-  std::vector<SimEvent> events_;
+  EventQueue queue_;
   std::mt19937_64 rng_;
 };
 

@@ -1,0 +1,93 @@
+// Discrete-event core of the simulator.
+//
+// A SimEvent is one timestamped control-plane action (announce/withdraw
+// a prefix, take a VP session down/up). The EventQueue orders them by
+// (time, insertion sequence): events fire in timestamp order, and events
+// sharing a timestamp fire in the order they were scheduled — the same
+// semantics as a stable sort over the insertion order, so a scenario is
+// reproducible no matter how its generators interleave their pushes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/routing.hpp"
+#include "util/time.hpp"
+
+namespace bgps::sim {
+
+struct SimEvent {
+  enum class Kind { SetOrigins, Withdraw, VpDown, VpUp };
+
+  Timestamp time = 0;
+  Kind kind = Kind::SetOrigins;
+  // SetOrigins / Withdraw:
+  Prefix prefix;
+  std::vector<OriginSpec> origins;
+  // VpDown / VpUp:
+  Asn vp = 0;
+  bool silent = false;  // down without a state message (RouteViews-style)
+
+  static SimEvent Announce(Timestamp t, const Prefix& p,
+                           std::vector<OriginSpec> origins) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::SetOrigins;
+    e.prefix = p;
+    e.origins = std::move(origins);
+    return e;
+  }
+  static SimEvent WithdrawAt(Timestamp t, const Prefix& p) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::Withdraw;
+    e.prefix = p;
+    return e;
+  }
+  static SimEvent Down(Timestamp t, Asn vp, bool silent) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::VpDown;
+    e.vp = vp;
+    e.silent = silent;
+    return e;
+  }
+  static SimEvent Up(Timestamp t, Asn vp) {
+    SimEvent e;
+    e.time = t;
+    e.kind = Kind::VpUp;
+    e.vp = vp;
+    return e;
+  }
+};
+
+// Deterministically ordered event queue. Pop() removes the earliest
+// event; ties break by push order (a monotonic sequence number, never
+// reused, so replaying the same pushes yields the same pops).
+class EventQueue {
+ public:
+  void Push(SimEvent event) {
+    Timestamp t = event.time;
+    events_.emplace(std::make_pair(t, next_seq_++), std::move(event));
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  // Timestamp of the earliest pending event. Requires !empty().
+  Timestamp next_time() const { return events_.begin()->first.first; }
+
+  // Removes and returns the earliest pending event. Requires !empty().
+  SimEvent Pop() {
+    auto it = events_.begin();
+    SimEvent e = std::move(it->second);
+    events_.erase(it);
+    return e;
+  }
+
+ private:
+  std::map<std::pair<Timestamp, uint64_t>, SimEvent> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace bgps::sim

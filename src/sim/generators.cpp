@@ -1,0 +1,140 @@
+#include "sim/generators.hpp"
+
+#include <algorithm>
+
+namespace bgps::sim {
+
+void FlapNoiseGenerator::Generate(const Topology& topo, std::mt19937_64& rng,
+                                  EventQueue& queue) const {
+  // Candidate prefixes: static topology origins not in the avoid set.
+  std::vector<std::pair<Asn, Prefix>> candidates;
+  for (const auto& [asn, prefix] : topo.all_origins()) {
+    if (!avoid.count(prefix)) candidates.emplace_back(asn, prefix);
+  }
+  if (candidates.empty() || flaps_per_hour <= 0) return;
+
+  const double mean_gap = 3600.0 / flaps_per_hour;
+  std::exponential_distribution<double> gap(1.0 / mean_gap);
+  std::exponential_distribution<double> down(1.0 / double(mean_downtime));
+  double t = double(start) + gap(rng);
+  while (t < double(end)) {
+    const auto& [asn, prefix] = candidates[rng() % candidates.size()];
+    Timestamp td = Timestamp(t);
+    Timestamp tu = td + std::max<Timestamp>(1, Timestamp(down(rng)));
+    queue.Push(SimEvent::WithdrawAt(td, prefix));
+    if (tu < end) {
+      queue.Push(SimEvent::Announce(tu, prefix, {OriginSpec{asn, {}}}));
+    }
+    t += gap(rng);
+  }
+}
+
+void FlapOscillationGenerator::Generate(const Topology& /*topo*/,
+                                        std::mt19937_64& /*rng*/,
+                                        EventQueue& queue) const {
+  for (Timestamp t = start; t < last; t += period) {
+    queue.Push(SimEvent::WithdrawAt(t, prefix));
+    queue.Push(
+        SimEvent::Announce(t + downtime, prefix, {OriginSpec{origin, {}}}));
+  }
+}
+
+void HijackGenerator::Generate(const Topology& /*topo*/,
+                               std::mt19937_64& /*rng*/,
+                               EventQueue& queue) const {
+  for (const auto& [t0, t1] : windows) {
+    for (const auto& p : prefixes) {
+      queue.Push(SimEvent::Announce(
+          t0, p, {OriginSpec{victim, {}}, OriginSpec{attacker, {}}}));
+      queue.Push(SimEvent::Announce(t1, p, {OriginSpec{victim, {}}}));
+    }
+  }
+}
+
+void RouteLeakGenerator::Generate(const Topology& topo, std::mt19937_64& rng,
+                                  EventQueue& queue) const {
+  // Foreign prefixes only: a leaker re-exporting its own space is just an
+  // announcement.
+  std::vector<std::pair<Asn, Prefix>> foreign;
+  for (const auto& [asn, prefix] : topo.all_origins()) {
+    if (asn != leaker) foreign.emplace_back(asn, prefix);
+  }
+  if (foreign.empty() || max_prefixes == 0) return;
+
+  // Draw a distinct sample; a bounded number of attempts keeps the draw
+  // count (and thus the RNG stream) finite even when max_prefixes is
+  // close to the pool size.
+  std::set<Prefix> picked;
+  std::vector<std::pair<Asn, Prefix>> leaked;
+  size_t want = std::min(max_prefixes, foreign.size());
+  for (size_t attempts = 0; leaked.size() < want && attempts < want * 8;
+       ++attempts) {
+    const auto& cand = foreign[rng() % foreign.size()];
+    if (picked.insert(cand.second).second) leaked.push_back(cand);
+  }
+  for (const auto& [owner, prefix] : leaked) {
+    queue.Push(SimEvent::Announce(
+        start, prefix, {OriginSpec{owner, {}}, OriginSpec{leaker, {}}}));
+    queue.Push(SimEvent::Announce(end, prefix, {OriginSpec{owner, {}}}));
+  }
+}
+
+void CountryOutageGenerator::Generate(const Topology& topo,
+                                      std::mt19937_64& /*rng*/,
+                                      EventQueue& queue) const {
+  std::set<Prefix> dark = ConePrefixes(topo, isps);
+  for (const auto& [t0, t1] : windows) {
+    for (const auto& p : dark) {
+      queue.Push(SimEvent::WithdrawAt(t0, p));
+    }
+    // Restore: each prefix re-announced by its owner.
+    for (Asn isp : isps) {
+      std::vector<Asn> cone{isp};
+      for (Asn c : topo.node(isp).customers) cone.push_back(c);
+      for (Asn member : cone) {
+        for (const auto& p : topo.node(member).prefixes) {
+          queue.Push(SimEvent::Announce(t1, p, {OriginSpec{member, {}}}));
+        }
+      }
+    }
+  }
+}
+
+void SessionResetGenerator::Generate(const Topology& /*topo*/,
+                                     std::mt19937_64& rng,
+                                     EventQueue& queue) const {
+  if (vps.empty() || resets <= 0 || end <= start) return;
+  for (int i = 0; i < resets; ++i) {
+    Asn vp = vps[rng() % vps.size()];
+    Timestamp td = start + Timestamp(rng() % uint64_t(end - start));
+    Timestamp tu =
+        td + std::max<Timestamp>(1, Timestamp(rng() % uint64_t(
+                                                  2 * mean_downtime + 1)));
+    bool silent = double(rng() % 1000) < silent_fraction * 1000.0;
+    queue.Push(SimEvent::Down(td, vp, silent));
+    if (tu < end) queue.Push(SimEvent::Up(tu, vp));
+  }
+}
+
+void RtbhGenerator::Generate(const Topology& /*topo*/,
+                             std::mt19937_64& /*rng*/,
+                             EventQueue& queue) const {
+  bgp::Communities c = tags;
+  queue.Push(SimEvent::Announce(start, target, {OriginSpec{victim, c}}));
+  queue.Push(SimEvent::WithdrawAt(end, target));
+}
+
+std::set<Prefix> ConePrefixes(const Topology& topo,
+                              const std::vector<Asn>& isps) {
+  std::set<Prefix> prefixes;
+  for (Asn isp : isps) {
+    std::vector<Asn> cone{isp};
+    for (Asn c : topo.node(isp).customers) cone.push_back(c);
+    for (Asn member : cone) {
+      for (const auto& p : topo.node(member).prefixes) prefixes.insert(p);
+    }
+  }
+  return prefixes;
+}
+
+}  // namespace bgps::sim

@@ -1,0 +1,140 @@
+// Composable event generators: scenarios as programs over events.
+//
+// A generator expands into SimEvents pushed onto an EventQueue. The
+// driver owns the RNG and feeds the same stream to every generator in
+// registration order, so a scenario built from N generators is exactly
+// as deterministic as one hand-rolled event list: same seed, same
+// generators, same order => identical event sequence => byte-identical
+// MRT output. Generators compose by timestamp — two generators whose
+// windows overlap simply interleave in the queue.
+//
+// The presets in presets.hpp are thin wrappers constructing these; the
+// bgpsim CLI exposes them as named scenarios.
+#pragma once
+
+#include <random>
+#include <set>
+
+#include "sim/event.hpp"
+
+namespace bgps::sim {
+
+class EventGenerator {
+ public:
+  virtual ~EventGenerator() = default;
+
+  // Expands this generator into `queue`. All randomness must come from
+  // `rng` (the driver's seeded stream) so replay is deterministic.
+  virtual void Generate(const Topology& topo, std::mt19937_64& rng,
+                        EventQueue& queue) const = 0;
+};
+
+// Background churn: random announced prefixes flap (withdraw, then
+// re-announce after ~mean_downtime), flaps_per_hour on average across
+// the whole table. Prefixes in `avoid` are left alone so scripted
+// events keep a clean signal.
+struct FlapNoiseGenerator : EventGenerator {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  double flaps_per_hour = 0;
+  Timestamp mean_downtime = 120;
+  std::set<Prefix> avoid;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// One prefix oscillating on a fixed period: withdrawn at t, re-announced
+// by `origin` at t + downtime, for t = start, start + period, ... while
+// t < last (exclusive). The deterministic single-prefix counterpart of
+// FlapNoiseGenerator (Fig. 6's green line).
+struct FlapOscillationGenerator : EventGenerator {
+  Prefix prefix;
+  Asn origin = 0;
+  Timestamp start = 0;
+  Timestamp last = 0;
+  Timestamp period = 86400 / 2;
+  Timestamp downtime = 1800;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// Same-prefix MOAS hijack: during each [t0, t1) window the attacker
+// co-announces every prefix in `prefixes`; at t1 the victim-only origin
+// set is restored (the GARR / TehnoGrup pattern of Fig. 6).
+struct HijackGenerator : EventGenerator {
+  Asn victim = 0;
+  Asn attacker = 0;
+  std::vector<Prefix> prefixes;
+  std::vector<std::pair<Timestamp, Timestamp>> windows;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// Route leak, modeled at the control-plane-visibility level: the leaker
+// re-originates up to `max_prefixes` foreign prefixes (drawn from the
+// topology's origins) for [start, end), then the true origins are
+// restored. The propagation model is strictly valley-free, so the leak
+// appears as a burst of origin changes through the leaker — the
+// signature monitors actually alert on — rather than as an export-policy
+// violation along the path.
+struct RouteLeakGenerator : EventGenerator {
+  Asn leaker = 0;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  size_t max_prefixes = 50;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// Country-wide outage: during each [t0, t1) window every prefix of the
+// listed ISPs and their customer cones is withdrawn; at t1 each prefix
+// is re-announced by its owner (the Iraq exam shutdowns of Fig. 10).
+struct CountryOutageGenerator : EventGenerator {
+  std::vector<Asn> isps;
+  std::vector<std::pair<Timestamp, Timestamp>> windows;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// Session reset storm: `resets` VP sessions bounce (down at a random
+// instant in [start, end), up again after ~mean_downtime). A fraction
+// of the downs are silent — the VP stops talking without a NOTIFICATION
+// (the RouteViews-style staleness of §6.2.1); the rest emit FSM state
+// messages on collectors that dump them.
+struct SessionResetGenerator : EventGenerator {
+  std::vector<Asn> vps;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  int resets = 0;
+  Timestamp mean_downtime = 300;
+  double silent_fraction = 0.25;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// RTBH event: the victim announces `target` (a /32) tagged with the
+// given blackhole communities for [start, end), then withdraws it
+// (§4.3; supporting providers null-route while it is announced).
+struct RtbhGenerator : EventGenerator {
+  Asn victim = 0;
+  Prefix target;
+  bgp::Communities tags;
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  void Generate(const Topology& topo, std::mt19937_64& rng,
+                EventQueue& queue) const override;
+};
+
+// All prefixes originated by `isps` or their customer cones (the set a
+// CountryOutageGenerator takes down). Exposed for avoid-lists.
+std::set<Prefix> ConePrefixes(const Topology& topo,
+                              const std::vector<Asn>& isps);
+
+}  // namespace bgps::sim

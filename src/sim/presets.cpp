@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "mrt/encode.hpp"
+
 namespace fs = std::filesystem;
 
 namespace bgps::sim {
@@ -86,25 +88,27 @@ GarrScenario BuildGarrScenario(const std::string& archive_root, int days,
     Timestamp t1 = t0 + 3600;
     if (t1 >= sc.end) continue;
     sc.hijack_windows.emplace_back(t0, t1);
-    for (const auto& p : sc.hijacked) {
-      driver->AddEvent(SimEvent::Announce(
-          t0, p, {OriginSpec{sc.victim, {}}, OriginSpec{sc.attacker, {}}}));
-      driver->AddEvent(
-          SimEvent::Announce(t1, p, {OriginSpec{sc.victim, {}}}));
-    }
   }
+  HijackGenerator hijack;
+  hijack.victim = sc.victim;
+  hijack.attacker = sc.attacker;
+  hijack.prefixes = sc.hijacked;
+  hijack.windows = sc.hijack_windows;
+  driver->AddGenerator(hijack);
 
   // Background churn away from the monitored space.
   std::set<Prefix> avoid(victim_prefixes.begin(), victim_prefixes.end());
   driver->AddFlapNoise(sc.start, sc.end, 60.0, 120, avoid);
   // Mild oscillation *inside* the monitored space (Fig. 6's green line):
   // the victim occasionally de-aggregates / re-aggregates one prefix.
-  for (Timestamp t = sc.start + 7200; t + 7200 < sc.end; t += 86400 / 2) {
-    const Prefix& p = victim_prefixes.back();
-    driver->AddEvent(SimEvent::WithdrawAt(t, p));
-    driver->AddEvent(
-        SimEvent::Announce(t + 1800, p, {OriginSpec{sc.victim, {}}}));
-  }
+  FlapOscillationGenerator osc;
+  osc.prefix = victim_prefixes.back();
+  osc.origin = sc.victim;
+  osc.start = sc.start + 7200;
+  osc.last = sc.end - 7200;
+  osc.period = 86400 / 2;
+  osc.downtime = 1800;
+  driver->AddGenerator(osc);
 
   (void)driver->Run(sc.start, sc.end);
   sc.driver = std::move(driver);
@@ -177,36 +181,18 @@ CountryOutageScenario BuildCountryOutageScenario(
   // stretch of the window (paper: Jun 27 - Jul 15, starting ~daily).
   Timestamp shutdown_first = sc.start + 7 * 86400;
   Timestamp shutdown_last = std::min(sc.end, sc.start + 25 * 86400);
-  std::set<Prefix> country_prefixes;
-  for (Asn isp : sc.isps) {
-    // The ISP and its customer cone go dark.
-    std::vector<Asn> cone{isp};
-    for (Asn c : driver->topology().node(isp).customers) cone.push_back(c);
-    for (Asn member : cone) {
-      for (const auto& p : driver->topology().node(member).prefixes)
-        country_prefixes.insert(p);
-    }
-  }
+  // The ISPs and their customer cones go dark.
+  std::set<Prefix> country_prefixes = ConePrefixes(driver->topology(), sc.isps);
+  CountryOutageGenerator outage;
+  outage.isps = sc.isps;
   for (Timestamp day = shutdown_first; day + 4 * 3600 < shutdown_last;
        day += 86400) {
     Timestamp t0 = day + 5 * 3600;  // 05:00 local-ish
     Timestamp t1 = t0 + 3 * 3600;
     sc.outage_windows.emplace_back(t0, t1);
-    for (const auto& p : country_prefixes) {
-      driver->AddEvent(SimEvent::WithdrawAt(t0, p));
-    }
-    // Restore: each prefix re-announced by its owner.
-    for (Asn isp : sc.isps) {
-      std::vector<Asn> cone{isp};
-      for (Asn c : driver->topology().node(isp).customers) cone.push_back(c);
-      for (Asn member : cone) {
-        for (const auto& p : driver->topology().node(member).prefixes) {
-          driver->AddEvent(
-              SimEvent::Announce(t1, p, {OriginSpec{member, {}}}));
-        }
-      }
-    }
+    outage.windows.emplace_back(t0, t1);
   }
+  driver->AddGenerator(outage);
 
   driver->AddFlapNoise(sc.start, sc.end, 40.0, 120, country_prefixes);
   (void)driver->Run(sc.start, sc.end);
@@ -290,9 +276,13 @@ RtbhScenario BuildRtbhScenario(const std::string& archive_root, int events,
     // Apply the announcement now, measure "during", then withdraw and
     // measure "after" — the sim timeline is advanced segment-wise by the
     // caller-visible driver below.
-    driver->AddEvent(
-        SimEvent::Announce(ev.start, ev.target, {OriginSpec{ev.victim, tags}}));
-    driver->AddEvent(SimEvent::WithdrawAt(ev.end, ev.target));
+    RtbhGenerator rtbh;
+    rtbh.victim = ev.victim;
+    rtbh.target = ev.target;
+    rtbh.tags = tags;
+    rtbh.start = ev.start;
+    rtbh.end = ev.end;
+    driver->AddGenerator(rtbh);
 
     // Probes: neighbors of the origin, plus random ASes (stand-in for
     // same-IXP / same-country Atlas probes).

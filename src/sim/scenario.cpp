@@ -66,6 +66,7 @@ std::unique_ptr<SimDriver> MakeStandardSim(const StandardSimOptions& options,
     cfg.publish_delay = options.publish_delay;
     cfg.publish_jitter = options.publish_jitter;
     cfg.corrupt_probability = options.corrupt_probability;
+    cfg.asn_encoding = options.asn_encoding;
     cfg.vps = PickVps(driver->topology(), options.vps_per_collector,
                       options.partial_feed_fraction, vp_seed++);
     driver->AddCollector(std::move(cfg));
@@ -80,6 +81,7 @@ std::unique_ptr<SimDriver> MakeStandardSim(const StandardSimOptions& options,
     cfg.publish_delay = options.publish_delay;
     cfg.publish_jitter = options.publish_jitter;
     cfg.corrupt_probability = options.corrupt_probability;
+    cfg.asn_encoding = options.asn_encoding;
     cfg.vps = PickVps(driver->topology(), options.vps_per_collector,
                       options.partial_feed_fraction, vp_seed++);
     driver->AddCollector(std::move(cfg));

@@ -16,6 +16,7 @@ struct StandardSimOptions {
   Timestamp publish_delay = 120;
   Timestamp publish_jitter = 0;
   double corrupt_probability = 0.0;
+  bgp::AsnEncoding asn_encoding = bgp::AsnEncoding::FourByte;
   uint64_t seed = 7;
 };
 

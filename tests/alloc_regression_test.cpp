@@ -13,9 +13,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <new>
+#include <random>
 
 #include "bgp/attrs.hpp"
 #include "core/prefetch.hpp"
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 
 namespace {
@@ -153,6 +155,107 @@ TEST(AllocRegressionTest, SteadyStateDecodeLoopIsAllocationFree) {
   // The cache actually served the repeats — the zero-allocation claim
   // above rests on it.
   EXPECT_GE(cache.hits(), kRecords - 1);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+// Same property over a *generated* corpus: seeded-random records drawn
+// from a pool of 64 distinct AS paths (2-8 hops) with varying prefixes,
+// communities and withdrawals — realistic churn diversity instead of
+// one repeated record. The pool is what a real dump looks like to the
+// intern cache (a few hundred distinct paths serving millions of
+// records), so the steady-state loop must still be allocation-free once
+// every pool entry has been seen. Everything stays within SmallVec
+// inline capacities by construction: diversity, not blow-ups, is what
+// this case adds.
+std::string WriteGeneratedCorpusFile(const std::filesystem::path& dir,
+                                     size_t n) {
+  std::mt19937_64 rng(4242);
+  std::vector<bgp::AsPath> pool;
+  for (int p = 0; p < 64; ++p) {
+    std::vector<bgp::Asn> hops;
+    size_t len = 2 + rng() % 7;  // 2..8 hops, within AsnVec's inline 8
+    for (size_t h = 0; h < len; ++h) hops.push_back(64512 + rng() % 1000);
+    pool.push_back(bgp::AsPath::Sequence(std::move(hops)));
+  }
+
+  std::string path = (dir / "generated.mrt").string();
+  mrt::MrtFileWriter w;
+  EXPECT_TRUE(w.Open(path).ok());
+  for (size_t i = 0; i < n; ++i) {
+    mrt::Bgp4mpMessage m;
+    m.peer_asn = 65001 + bgp::Asn(rng() % 4);
+    m.local_asn = 64512;
+    m.peer_address = IpAddress::V4(10, 0, 0, uint8_t(1 + rng() % 4));
+    m.local_address = IpAddress::V4(192, 0, 2, 1);
+    if (rng() % 8 == 0) {  // occasional pure withdrawal
+      m.update.withdrawn.push_back(
+          Prefix(IpAddress::V4(uint32_t(rng()) & 0xFFFFFF00u), 24));
+    } else {
+      m.update.attrs.as_path = pool[rng() % pool.size()];
+      m.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+      size_t ncomm = rng() % 4;  // within Communities' inline 8
+      for (size_t c = 0; c < ncomm; ++c)
+        m.update.attrs.communities.push_back(
+            bgp::Community(uint16_t(65001 + rng() % 4), uint16_t(rng() % 500)));
+      size_t nprefix = 1 + rng() % 2;
+      for (size_t p = 0; p < nprefix; ++p)
+        m.update.announced.push_back(
+            Prefix(IpAddress::V4(uint32_t(rng()) & 0xFFFFFF00u), 24));
+    }
+    EXPECT_TRUE(
+        w.Write(mrt::EncodeBgp4mpUpdate(1458000000 + Timestamp(i), m)).ok());
+  }
+  EXPECT_TRUE(w.Close().ok());
+  return path;
+}
+
+TEST(AllocRegressionTest, GeneratedCorpusDecodeLoopIsAllocationFree) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() /
+                 ("bgps_alloc_corpus_test_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  constexpr size_t kRecords = 2000;
+  std::string path = WriteGeneratedCorpusFile(dir, kRecords);
+
+  Arena arena;
+  bgp::AsPathCache cache(&arena);
+  bgp::AttrDecodeCtx ctx{&cache};
+
+  // Warm-up: sees all 64 pool paths, grows the frame buffer.
+  {
+    mrt::MrtFileReader reader;
+    ASSERT_TRUE(reader.Open(path).ok());
+    size_t decoded = 0;
+    while (true) {
+      auto raw = reader.Next();
+      if (!raw.ok()) break;
+      auto msg = mrt::DecodeRecord(*raw, &ctx);
+      ASSERT_TRUE(msg.ok());
+      ++decoded;
+    }
+    ASSERT_EQ(decoded, kRecords);
+  }
+
+  mrt::MrtFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  size_t before = AllocCount();
+  size_t decoded = 0;
+  uint64_t checksum = 0;
+  while (true) {
+    auto raw = reader.Next();
+    if (!raw.ok()) break;
+    auto msg = mrt::DecodeRecord(*raw, &ctx);
+    ASSERT_TRUE(msg.ok());
+    checksum += uint64_t(msg->timestamp);
+    ++decoded;
+  }
+  size_t allocs = AllocCount() - before;
+  EXPECT_EQ(decoded, kRecords);
+  EXPECT_NE(checksum, 0u);
+  EXPECT_LE(allocs, 16u) << "generated-corpus decode allocated " << allocs
+                         << " times for " << kRecords << " records";
 
   std::error_code ec;
   fs::remove_all(dir, ec);

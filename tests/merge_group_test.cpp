@@ -7,6 +7,7 @@
 #include <random>
 
 #include "core/merge.hpp"
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 
 namespace bgps::core {

@@ -1,0 +1,329 @@
+// Property tests for the MRT write side (mrt/encode.hpp): seeded
+// randomized records must survive encode -> DecodeRawRecord ->
+// DecodeRecord exactly, under BOTH ASN encodings, and the corpus
+// generator built on the encoders must be byte-deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+
+#include "mrt/encode.hpp"
+#include "sim/corpus.hpp"
+
+namespace bgps::mrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kAsTrans = 23456;
+
+bgp::Asn RandomAsn(std::mt19937_64& rng, bgp::AsnEncoding enc) {
+  // TwoByte is lossy above 16 bits (AS_TRANS) — the round-trip property
+  // only holds for representable ASNs; the lossy case is pinned in a
+  // directed test below.
+  if (enc == bgp::AsnEncoding::TwoByte) return 1 + rng() % 0xFFFE;
+  return 1 + rng() % 0xFFFFFFFEu;
+}
+
+Prefix RandomV4Prefix(std::mt19937_64& rng) {
+  uint8_t len = uint8_t(8 + rng() % 21);  // /8 .. /28
+  return Prefix(IpAddress::V4(uint32_t(rng())), len);
+}
+
+Prefix RandomV6Prefix(std::mt19937_64& rng) {
+  std::array<uint8_t, 16> b{};
+  for (auto& x : b) x = uint8_t(rng());
+  return Prefix(IpAddress::V6(b), uint8_t(16 + rng() % 49));  // /16 .. /64
+}
+
+// 1-3 segments; always at least one AS_SEQUENCE, sometimes an AS_SET in
+// the middle (the "1 2 {3,4} 5" shape bgpdump renders).
+bgp::AsPath RandomPath(std::mt19937_64& rng, bgp::AsnEncoding enc) {
+  bgp::AsPath path;
+  size_t segments = 1 + rng() % 3;
+  for (size_t s = 0; s < segments; ++s) {
+    bgp::AsPathSegment seg;
+    seg.type = (s == 1 && segments > 1) ? bgp::SegmentType::AsSet
+                                        : bgp::SegmentType::AsSequence;
+    size_t n = 1 + rng() % (seg.type == bgp::SegmentType::AsSet ? 4 : 6);
+    for (size_t i = 0; i < n; ++i) seg.asns.push_back(RandomAsn(rng, enc));
+    path.append_segment(std::move(seg));
+  }
+  return path;
+}
+
+bgp::Communities RandomCommunities(std::mt19937_64& rng) {
+  bgp::Communities cs;
+  size_t n = rng() % 6;
+  for (size_t i = 0; i < n; ++i)
+    cs.push_back(bgp::Community(uint16_t(rng()), uint16_t(rng())));
+  return cs;
+}
+
+Bgp4mpMessage RandomUpdate(std::mt19937_64& rng, bgp::AsnEncoding enc) {
+  Bgp4mpMessage msg;
+  msg.peer_asn = RandomAsn(rng, enc);
+  msg.local_asn = RandomAsn(rng, enc);
+  msg.peer_address = IpAddress::V4(uint32_t(rng()));
+  msg.local_address = IpAddress::V4(uint32_t(rng()));
+  size_t announced = rng() % 4, withdrawn = rng() % 3;
+  if (announced + withdrawn == 0) announced = 1;
+  for (size_t i = 0; i < withdrawn; ++i)
+    msg.update.withdrawn.push_back(RandomV4Prefix(rng));
+  if (announced > 0) {
+    msg.update.attrs.origin = bgp::Origin::Igp;
+    msg.update.attrs.as_path = RandomPath(rng, enc);
+    msg.update.attrs.next_hop = IpAddress::V4(uint32_t(rng()));
+    msg.update.attrs.communities = RandomCommunities(rng);
+    for (size_t i = 0; i < announced; ++i)
+      msg.update.announced.push_back(RandomV4Prefix(rng));
+    if (rng() % 3 == 0) {
+      bgp::MpReach mp;
+      mp.next_hop = *IpAddress::Parse("2001:db8::1");
+      mp.nlri.push_back(RandomV6Prefix(rng));
+      msg.update.attrs.mp_reach = std::move(mp);
+    }
+  }
+  return msg;
+}
+
+MrtMessage MustDecode(const Bytes& wire) {
+  BufReader r(wire);
+  auto raw = DecodeRawRecord(r);
+  EXPECT_TRUE(raw.ok()) << raw.status().ToString();
+  auto msg = DecodeRecord(*raw);
+  EXPECT_TRUE(msg.ok()) << msg.status().ToString();
+  return *msg;
+}
+
+class EncodeRoundTrip
+    : public ::testing::TestWithParam<bgp::AsnEncoding> {};
+
+TEST_P(EncodeRoundTrip, RandomizedUpdatesSurviveExactly) {
+  const bgp::AsnEncoding enc = GetParam();
+  std::mt19937_64 rng(enc == bgp::AsnEncoding::TwoByte ? 21 : 41);
+  for (int i = 0; i < 300; ++i) {
+    Bgp4mpMessage msg = RandomUpdate(rng, enc);
+    Timestamp ts = 1458000000 + i;
+    MrtMessage decoded = MustDecode(EncodeBgp4mpUpdate(ts, msg, enc));
+    EXPECT_EQ(decoded.timestamp, ts);
+    ASSERT_TRUE(decoded.is_message()) << "iteration " << i;
+    const auto& got = std::get<Bgp4mpMessage>(decoded.body);
+    EXPECT_EQ(got.peer_asn, msg.peer_asn) << "iteration " << i;
+    EXPECT_EQ(got.local_asn, msg.local_asn);
+    EXPECT_EQ(got.peer_address.ToString(), msg.peer_address.ToString());
+    EXPECT_EQ(got.update.withdrawn, msg.update.withdrawn);
+    EXPECT_EQ(got.update.announced, msg.update.announced);
+    EXPECT_EQ(got.update.attrs.as_path, msg.update.attrs.as_path)
+        << "iteration " << i << ": " << msg.update.attrs.as_path.ToString();
+    EXPECT_EQ(bgp::CommunitiesToString(got.update.attrs.communities),
+              bgp::CommunitiesToString(msg.update.attrs.communities));
+    ASSERT_EQ(got.update.attrs.mp_reach.has_value(),
+              msg.update.attrs.mp_reach.has_value());
+    if (msg.update.attrs.mp_reach) {
+      EXPECT_EQ(got.update.attrs.mp_reach->nlri,
+                msg.update.attrs.mp_reach->nlri);
+    }
+  }
+}
+
+TEST_P(EncodeRoundTrip, RandomizedPeerIndexTablesSurviveExactly) {
+  const bgp::AsnEncoding enc = GetParam();
+  std::mt19937_64 rng(enc == bgp::AsnEncoding::TwoByte ? 22 : 42);
+  for (int i = 0; i < 100; ++i) {
+    PeerIndexTable pit;
+    pit.collector_bgp_id = uint32_t(rng());
+    pit.view_name = "view-" + std::to_string(rng() % 1000);
+    size_t peers = 1 + rng() % 12;
+    for (size_t p = 0; p < peers; ++p) {
+      PeerEntry pe;
+      pe.bgp_id = uint32_t(rng());
+      // Wide ASNs are allowed even under TwoByte: the peer-index type
+      // octet is per entry, so the encoder promotes just that entry.
+      pe.asn = 1 + rng() % 0xFFFFFFFEu;
+      if (rng() % 4 == 0) {
+        std::array<uint8_t, 16> b{};
+        for (auto& x : b) x = uint8_t(rng());
+        pe.address = IpAddress::V6(b);
+      } else {
+        pe.address = IpAddress::V4(uint32_t(rng()));
+      }
+      pit.peers.push_back(std::move(pe));
+    }
+    MrtMessage decoded =
+        MustDecode(EncodePeerIndexTable(1458000000, pit, enc));
+    ASSERT_TRUE(decoded.is_peer_index());
+    const auto& got = std::get<PeerIndexTable>(decoded.body);
+    EXPECT_EQ(got.collector_bgp_id, pit.collector_bgp_id);
+    EXPECT_EQ(got.view_name, pit.view_name);
+    ASSERT_EQ(got.peers.size(), pit.peers.size());
+    for (size_t p = 0; p < peers; ++p) {
+      EXPECT_EQ(got.peers[p].asn, pit.peers[p].asn) << "peer " << p;
+      EXPECT_EQ(got.peers[p].bgp_id, pit.peers[p].bgp_id);
+      EXPECT_EQ(got.peers[p].address.ToString(),
+                pit.peers[p].address.ToString());
+    }
+  }
+}
+
+TEST_P(EncodeRoundTrip, RandomizedStateChangesSurviveExactly) {
+  const bgp::AsnEncoding enc = GetParam();
+  std::mt19937_64 rng(enc == bgp::AsnEncoding::TwoByte ? 23 : 43);
+  for (int i = 0; i < 100; ++i) {
+    Bgp4mpStateChange sc;
+    sc.peer_asn = RandomAsn(rng, enc);
+    sc.local_asn = RandomAsn(rng, enc);
+    sc.peer_address = IpAddress::V4(uint32_t(rng()));
+    sc.local_address = IpAddress::V4(uint32_t(rng()));
+    sc.old_state = bgp::FsmState(1 + rng() % 6);
+    sc.new_state = bgp::FsmState(1 + rng() % 6);
+    MrtMessage decoded =
+        MustDecode(EncodeBgp4mpStateChange(1458000000, sc, enc));
+    ASSERT_TRUE(decoded.is_state_change());
+    const auto& got = std::get<Bgp4mpStateChange>(decoded.body);
+    EXPECT_EQ(got.peer_asn, sc.peer_asn);
+    EXPECT_EQ(got.local_asn, sc.local_asn);
+    EXPECT_EQ(int(got.old_state), int(sc.old_state));
+    EXPECT_EQ(int(got.new_state), int(sc.new_state));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, EncodeRoundTrip,
+                         ::testing::Values(bgp::AsnEncoding::TwoByte,
+                                           bgp::AsnEncoding::FourByte),
+                         [](const auto& info) {
+                           return info.param == bgp::AsnEncoding::TwoByte
+                                      ? "TwoByte"
+                                      : "FourByte";
+                         });
+
+// RIB records always carry 4-byte attributes (RFC 6396), so wide ASNs
+// round-trip regardless of any collector-level encoding choice.
+TEST(EncodeRoundTrip, RandomizedRibRecordsSurviveExactly) {
+  std::mt19937_64 rng(44);
+  for (int i = 0; i < 100; ++i) {
+    bool v6 = rng() % 4 == 0;
+    RibPrefix rib;
+    rib.sequence = uint32_t(rng());
+    rib.prefix = v6 ? RandomV6Prefix(rng) : RandomV4Prefix(rng);
+    size_t entries = 1 + rng() % 6;
+    for (size_t e = 0; e < entries; ++e) {
+      RibEntry entry;
+      entry.peer_index = uint16_t(rng() % 64);
+      entry.originated_time = 1458000000 + Timestamp(rng() % 86400);
+      entry.attrs.as_path = RandomPath(rng, bgp::AsnEncoding::FourByte);
+      entry.attrs.communities = RandomCommunities(rng);
+      if (v6) {
+        bgp::MpReach mp;
+        mp.next_hop = *IpAddress::Parse("2001:db8::42");
+        entry.attrs.mp_reach = std::move(mp);
+      } else {
+        entry.attrs.next_hop = IpAddress::V4(uint32_t(rng()));
+      }
+      rib.entries.push_back(std::move(entry));
+    }
+    MrtMessage decoded = MustDecode(
+        EncodeRibPrefix(1458000000, rib, rib.prefix.family()));
+    ASSERT_TRUE(decoded.is_rib());
+    const auto& got = std::get<RibPrefix>(decoded.body);
+    EXPECT_EQ(got.sequence, rib.sequence);
+    EXPECT_EQ(got.prefix, rib.prefix);
+    ASSERT_EQ(got.entries.size(), rib.entries.size());
+    for (size_t e = 0; e < entries; ++e) {
+      EXPECT_EQ(got.entries[e].peer_index, rib.entries[e].peer_index);
+      EXPECT_EQ(got.entries[e].originated_time,
+                rib.entries[e].originated_time);
+      EXPECT_EQ(got.entries[e].attrs.as_path, rib.entries[e].attrs.as_path);
+    }
+  }
+}
+
+// The documented lossiness: a >16-bit ASN in a 2-byte BGP4MP header or
+// AS_PATH becomes AS_TRANS (RFC 6793), not garbage.
+TEST(EncodeRoundTrip, TwoByteEncodingNarrowsWideAsnsToAsTrans) {
+  Bgp4mpMessage msg;
+  msg.peer_asn = 4200000001;
+  msg.local_asn = 64512;
+  msg.peer_address = IpAddress::V4(10, 0, 0, 1);
+  msg.local_address = IpAddress::V4(192, 0, 2, 1);
+  msg.update.attrs.as_path = bgp::AsPath::Sequence({4200000001, 3356, 15169});
+  msg.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+  msg.update.announced.push_back(*Prefix::Parse("192.0.2.0/24"));
+
+  MrtMessage decoded = MustDecode(
+      EncodeBgp4mpUpdate(1458000000, msg, bgp::AsnEncoding::TwoByte));
+  const auto& got = std::get<Bgp4mpMessage>(decoded.body);
+  EXPECT_EQ(got.peer_asn, kAsTrans);
+  EXPECT_EQ(got.local_asn, 64512u);
+  EXPECT_EQ(got.update.attrs.as_path.ToString(),
+            std::to_string(kAsTrans) + " 3356 15169");
+}
+
+// Same options + same seed => the same files with the same bytes; a
+// different seed => different bytes. This is the replay contract bgpsim
+// documents, checked at the archive level.
+TEST(CorpusDeterminism, SameSeedIsByteIdenticalAcrossRuns) {
+  const std::string base =
+      (fs::temp_directory_path() /
+       ("bgps_corpus_det_" + std::to_string(::getpid()))).string();
+  sim::CorpusOptions options;
+  options.scenario = "mixed";
+  options.duration = 1200;
+  options.flaps_per_hour = 600;
+  options.seed = 1234;
+
+  for (bgp::AsnEncoding enc :
+       {bgp::AsnEncoding::FourByte, bgp::AsnEncoding::TwoByte}) {
+    options.asn_encoding = enc;
+    auto a = sim::GenerateCorpus(options, base + "_a");
+    auto b = sim::GenerateCorpus(options, base + "_b");
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_GT(a->files, 0u);
+    EXPECT_EQ(a->files, b->files);
+    EXPECT_EQ(a->update_messages, b->update_messages);
+
+    auto slurp_all = [](const std::string& root) {
+      std::map<std::string, std::string> bytes;
+      for (const auto& e : fs::recursive_directory_iterator(root)) {
+        if (!e.is_regular_file()) continue;
+        std::ifstream in(e.path(), std::ios::binary);
+        bytes[fs::relative(e.path(), root).string()] =
+            std::string(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+      }
+      return bytes;
+    };
+    auto bytes_a = slurp_all(base + "_a");
+    EXPECT_EQ(bytes_a, slurp_all(base + "_b"))
+        << "two runs with one seed diverged";
+
+    options.seed = 1235;
+    auto c = sim::GenerateCorpus(options, base + "_b");
+    ASSERT_TRUE(c.ok());
+    options.seed = 1234;
+    EXPECT_NE(bytes_a, slurp_all(base + "_b"))
+        << "seed change did not change the archive";
+  }
+  std::error_code ec;
+  fs::remove_all(base + "_a", ec);
+  fs::remove_all(base + "_b", ec);
+}
+
+TEST(CorpusDeterminism, UnknownScenarioIsRejectedWithTheNameList) {
+  sim::CorpusOptions options;
+  options.scenario = "nope";
+  auto r = sim::GenerateCorpus(
+      options, (fs::temp_directory_path() / "bgps_corpus_bad").string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(r.status().message().find("baseline"), std::string::npos);
+  EXPECT_NE(r.status().message().find("mixed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgps::mrt

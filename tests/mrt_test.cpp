@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 
 namespace bgps::mrt {

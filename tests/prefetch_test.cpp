@@ -13,6 +13,7 @@
 
 #include "core/prefetch.hpp"
 #include "core/stream.hpp"
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 #include "tests/sim_fixture.hpp"
 

@@ -1,0 +1,347 @@
+// Discrete-event core (sim/event.hpp) and generator (sim/generators.hpp)
+// tests: queue ordering + tie-break determinism, composition by
+// timestamp, seeded replay, and the world-visible pattern each scripted
+// generator produces.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "broker/archive.hpp"
+#include "mrt/file.hpp"
+#include "sim/driver.hpp"
+#include "sim/scenario.hpp"
+
+namespace bgps::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+Prefix P(const std::string& s) { return *Prefix::Parse(s); }
+
+TopologyConfig SmallConfig() {
+  TopologyConfig cfg;
+  cfg.num_tier1 = 3;
+  cfg.num_transit = 10;
+  cfg.num_stub = 30;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::string TempRoot(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          (tag + "_" + std::to_string(::getpid()))).string();
+}
+
+TEST(EventQueue, PopsInTimestampOrder) {
+  EventQueue q;
+  q.Push(SimEvent::WithdrawAt(300, P("10.0.0.0/24")));
+  q.Push(SimEvent::WithdrawAt(100, P("10.0.1.0/24")));
+  q.Push(SimEvent::WithdrawAt(200, P("10.0.2.0/24")));
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), 100);
+  EXPECT_EQ(q.Pop().time, 100);
+  EXPECT_EQ(q.Pop().time, 200);
+  EXPECT_EQ(q.Pop().time, 300);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameTimestampPopsInPushOrder) {
+  // The tie-break is the stable-sort contract the old vector timeline
+  // had: events sharing a timestamp fire in scheduling order.
+  EventQueue q;
+  for (int i = 0; i < 8; ++i)
+    q.Push(SimEvent::WithdrawAt(500, P("10.1." + std::to_string(i) + ".0/24")));
+  for (int i = 0; i < 8; ++i) {
+    SimEvent e = q.Pop();
+    EXPECT_EQ(e.prefix, P("10.1." + std::to_string(i) + ".0/24"))
+        << "tie-broken out of push order at " << i;
+  }
+}
+
+TEST(EventQueue, PopIsDestructiveAcrossSegments) {
+  // Segment-wise draining (what Run() does per dump boundary) must never
+  // re-fire an event in a later segment.
+  EventQueue q;
+  q.Push(SimEvent::WithdrawAt(100, P("10.0.0.0/24")));
+  q.Push(SimEvent::WithdrawAt(200, P("10.0.1.0/24")));
+
+  size_t fired_first = 0;
+  while (!q.empty() && q.next_time() <= 150) {
+    q.Pop();
+    ++fired_first;
+  }
+  EXPECT_EQ(fired_first, 1u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 200);
+}
+
+TEST(Generators, ComposeByTimestamp) {
+  // Two oscillators with offset schedules must interleave in the queue
+  // purely by timestamp, regardless of registration order.
+  Topology topo = Topology::Generate(SmallConfig());
+  std::mt19937_64 rng(7);
+  EventQueue q;
+
+  FlapOscillationGenerator a;
+  a.prefix = P("10.2.0.0/24");
+  a.origin = 65001;
+  a.start = 1000;
+  a.last = 3000;
+  a.period = 1000;  // withdraws at 1000, 2000
+  a.downtime = 100;
+
+  FlapOscillationGenerator b;
+  b.prefix = P("10.3.0.0/24");
+  b.origin = 65002;
+  b.start = 1500;
+  b.last = 2600;
+  b.period = 1000;  // withdraws at 1500, 2500
+  b.downtime = 100;
+
+  a.Generate(topo, rng, q);
+  b.Generate(topo, rng, q);
+
+  std::vector<Timestamp> times;
+  std::vector<Prefix> prefixes;
+  while (!q.empty()) {
+    SimEvent e = q.Pop();
+    times.push_back(e.time);
+    prefixes.push_back(e.prefix);
+  }
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // a@1000, a@1100(up), b@1500, b@1600(up), a@2000, a@2100, b@2500, b@2600up?
+  ASSERT_GE(times.size(), 6u);
+  EXPECT_EQ(times[0], 1000);
+  EXPECT_EQ(prefixes[0], a.prefix);
+  EXPECT_EQ(times[2], 1500);
+  EXPECT_EQ(prefixes[2], b.prefix);
+  EXPECT_EQ(times[4], 2000);
+  EXPECT_EQ(prefixes[4], a.prefix);
+}
+
+TEST(Generators, SeededReplayIsIdentical) {
+  Topology topo = Topology::Generate(SmallConfig());
+  FlapNoiseGenerator gen;
+  gen.start = 1451606400;
+  gen.end = gen.start + 3600;
+  gen.flaps_per_hour = 500;
+
+  auto expand = [&](uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    EventQueue q;
+    gen.Generate(topo, rng, q);
+    std::vector<std::tuple<Timestamp, int, std::string>> seq;
+    while (!q.empty()) {
+      SimEvent e = q.Pop();
+      seq.emplace_back(e.time, int(e.kind), e.prefix.ToString());
+    }
+    return seq;
+  };
+
+  auto a = expand(99), b = expand(99), c = expand(100);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same seed must replay the same event sequence";
+  EXPECT_NE(a, c) << "different seed must not";
+}
+
+TEST(Generators, FlapNoiseRespectsAvoidSet) {
+  Topology topo = Topology::Generate(SmallConfig());
+  // Avoid everything except one prefix: all flaps must hit that prefix.
+  std::set<Prefix> avoid;
+  for (const auto& [asn, prefix] : topo.all_origins()) avoid.insert(prefix);
+  auto keep = *avoid.begin();
+  avoid.erase(keep);
+
+  FlapNoiseGenerator gen;
+  gen.start = 0;
+  gen.end = 3600;
+  gen.flaps_per_hour = 200;
+  gen.avoid = avoid;
+  std::mt19937_64 rng(3);
+  EventQueue q;
+  gen.Generate(topo, rng, q);
+  ASSERT_FALSE(q.empty());
+  while (!q.empty()) EXPECT_EQ(q.Pop().prefix, keep);
+}
+
+// ---------------------------------------------------------------------
+// World-visible patterns, checked by running the driver in segments and
+// inspecting origin sets between them.
+
+struct ScriptedWorld : ::testing::Test {
+  void SetUp() override {
+    root = TempRoot("sim_event");
+    fs::remove_all(root);
+    driver = std::make_unique<SimDriver>(Topology::Generate(SmallConfig()),
+                                         root, 17);
+    driver->world().AnnounceAll();
+  }
+  void TearDown() override { fs::remove_all(root); }
+
+  std::string root;
+  std::unique_ptr<SimDriver> driver;
+};
+
+TEST_F(ScriptedWorld, HijackIsMoasDuringWindowOnly) {
+  const Topology& topo = driver->topology();
+  auto [victim, prefix] = topo.all_origins().front();
+  Asn attacker = 0;
+  for (const auto& [asn, p] : topo.all_origins()) {
+    if (asn != victim) { attacker = asn; break; }
+  }
+  ASSERT_NE(attacker, 0u);
+
+  HijackGenerator gen;
+  gen.victim = victim;
+  gen.attacker = attacker;
+  gen.prefixes = {prefix};
+  gen.windows.emplace_back(1000, 2000);
+  driver->AddGenerator(gen);
+  EXPECT_EQ(driver->pending_events(), 2u);
+
+  ASSERT_TRUE(driver->Run(0, 1500).ok());
+  auto during = driver->world().origins(prefix);
+  ASSERT_EQ(during.size(), 2u) << "expected a MOAS during the window";
+  EXPECT_EQ(during[0].asn, victim);
+  EXPECT_EQ(during[1].asn, attacker);
+
+  ASSERT_TRUE(driver->Run(1500, 2500).ok());
+  auto after = driver->world().origins(prefix);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].asn, victim);
+  EXPECT_EQ(driver->pending_events(), 0u);
+}
+
+TEST_F(ScriptedWorld, RouteLeakReoriginatesAndRestores) {
+  const Topology& topo = driver->topology();
+  Asn leaker = 0;
+  for (Asn asn : topo.asns_sorted()) {
+    if (topo.node(asn).tier == AsTier::Transit) { leaker = asn; break; }
+  }
+  ASSERT_NE(leaker, 0u);
+
+  RouteLeakGenerator gen;
+  gen.leaker = leaker;
+  gen.start = 1000;
+  gen.end = 2000;
+  gen.max_prefixes = 10;
+  driver->AddGenerator(gen);
+  ASSERT_GT(driver->pending_events(), 0u);
+
+  ASSERT_TRUE(driver->Run(0, 1500).ok());
+  size_t leaked = 0;
+  for (const auto& [prefix, origins] : driver->world().announced()) {
+    bool has_leaker = false, has_owner = false;
+    for (const auto& o : origins) {
+      if (o.asn == leaker) has_leaker = true;
+      else has_owner = true;
+    }
+    if (has_leaker && has_owner) ++leaked;
+  }
+  EXPECT_GT(leaked, 0u) << "mid-leak, foreign prefixes must show the leaker";
+  EXPECT_LE(leaked, gen.max_prefixes);
+
+  ASSERT_TRUE(driver->Run(1500, 2500).ok());
+  const AsNode& lnode = topo.node(leaker);
+  std::set<Prefix> own(lnode.prefixes.begin(), lnode.prefixes.end());
+  own.insert(lnode.prefixes_v6.begin(), lnode.prefixes_v6.end());
+  for (const auto& [prefix, origins] : driver->world().announced()) {
+    if (own.count(prefix)) continue;
+    for (const auto& o : origins)
+      EXPECT_NE(o.asn, leaker)
+          << prefix.ToString() << " still leaked after the window";
+  }
+}
+
+TEST_F(ScriptedWorld, OutageWithdrawsConeThenRestores) {
+  const Topology& topo = driver->topology();
+  CountryOutageGenerator gen;
+  for (Asn asn : topo.asns_sorted()) {
+    if (topo.node(asn).tier == AsTier::Transit) gen.isps.push_back(asn);
+    if (gen.isps.size() == 2) break;
+  }
+  gen.windows.emplace_back(1000, 2000);
+  std::set<Prefix> cone = ConePrefixes(topo, gen.isps);
+  ASSERT_FALSE(cone.empty());
+  driver->AddGenerator(gen);
+
+  ASSERT_TRUE(driver->Run(0, 1500).ok());
+  for (const auto& p : cone)
+    EXPECT_TRUE(driver->world().origins(p).empty())
+        << p.ToString() << " still announced mid-outage";
+
+  ASSERT_TRUE(driver->Run(1500, 2500).ok());
+  for (const auto& p : cone)
+    EXPECT_FALSE(driver->world().origins(p).empty())
+        << p.ToString() << " not restored after the outage";
+}
+
+TEST_F(ScriptedWorld, RtbhAnnouncesTaggedHostRouteDuringWindow) {
+  const Topology& topo = driver->topology();
+  auto [victim, prefix] = topo.all_origins().front();
+  RtbhGenerator gen;
+  gen.victim = victim;
+  gen.target = Prefix(prefix.address(), 32);
+  gen.tags.push_back(bgp::Community(65000, kBlackholeValue));
+  gen.start = 1000;
+  gen.end = 2000;
+  driver->AddGenerator(gen);
+
+  ASSERT_TRUE(driver->Run(0, 1500).ok());
+  auto during = driver->world().origins(gen.target);
+  ASSERT_EQ(during.size(), 1u);
+  EXPECT_EQ(during[0].asn, victim);
+  ASSERT_EQ(during[0].communities.size(), 1u);
+  EXPECT_EQ(during[0].communities[0], gen.tags[0]);
+
+  ASSERT_TRUE(driver->Run(1500, 2500).ok());
+  EXPECT_TRUE(driver->world().origins(gen.target).empty());
+}
+
+TEST_F(ScriptedWorld, SessionResetsEmitStateMessagesOnlyWhereDumped) {
+  CollectorConfig ris;
+  ris.project = "ris";
+  ris.name = "rrc00";
+  ris.rib_period = 1800;
+  ris.update_period = 300;
+  ris.state_messages = true;
+  ris.publish_delay = 0;
+  ris.vps = PickVps(driver->topology(), 3, 0.0, 42);
+  driver->AddCollector(ris);
+
+  CollectorConfig rv = ris;
+  rv.project = "routeviews";
+  rv.name = "route-views2";
+  rv.state_messages = false;  // RouteViews-style: no FSM records
+  driver->AddCollector(rv);
+
+  SessionResetGenerator gen;
+  gen.vps = driver->all_vps();
+  gen.start = 1800000000 + 60;
+  gen.end = 1800000000 + 1500;
+  gen.resets = 8;
+  gen.silent_fraction = 0.0;  // every reset is loud for this test
+  driver->AddGenerator(gen);
+  ASSERT_GT(driver->pending_events(), 0u);
+
+  ASSERT_TRUE(driver->Run(1800000000, 1800000000 + 1800).ok());
+
+  broker::ArchiveIndex index(root);
+  ASSERT_TRUE(index.Rescan().ok());
+  size_t ris_states = 0, rv_states = 0;
+  for (const auto& f : index.files()) {
+    auto scan = mrt::ScanFile(f.path);
+    ASSERT_TRUE(scan.ok()) << f.path;
+    for (const auto& msg : scan->messages) {
+      if (!msg.is_state_change()) continue;
+      (f.collector == "rrc00" ? ris_states : rv_states)++;
+    }
+  }
+  EXPECT_GT(ris_states, 0u) << "RIS collector must dump FSM transitions";
+  EXPECT_EQ(rv_states, 0u) << "RouteViews-style collector must not";
+}
+
+}  // namespace
+}  // namespace bgps::sim

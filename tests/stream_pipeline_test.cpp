@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "core/stream.hpp"
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 #include "pool/stream_pool.hpp"
 #include "tests/sim_fixture.hpp"

@@ -13,6 +13,7 @@
 #include <thread>
 #include <tuple>
 
+#include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 #include "pool/stream_pool.hpp"
 
