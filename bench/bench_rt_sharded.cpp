@@ -1,0 +1,175 @@
+// Sharded RoutingTables at global-table scale (google-benchmark).
+//
+// BM_Fig5aMillionPrefixRib — the fig-5a workload at its real size: a
+// synthetic >= 1M-prefix RIB dump seeds every VP's table through the full
+// stream -> decode -> RT pipeline, then churn windows and a closing RIB
+// drive the compare/merge path. BM_Fig9ShardedDiffs — the fig-9 shape:
+// per-bin diff emission over the same corpus, diff cells consumed by a
+// callback. Both run at 1/2/4 shards on a shared Executor; output is
+// identical at every shard count (pinned by rt_mega_stress_test), so the
+// counters here measure cost, not behavior:
+//   records/s          pipeline record throughput (items/sec)
+//   elems/s            update + RIB elems applied per second
+//   shard_elems_min/max per-shard applied-elem spread (balance)
+//   diff_cells         cells emitted across all bins (Fig9 bench)
+//
+// The corpus is built lazily once per machine (EnsureSyntheticRib) under
+// the same root the stress test uses; BGPS_BENCH_RIB_PREFIXES overrides
+// the prefix count (CI uses a small value, the full 1M is the default).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "broker/broker.hpp"
+#include "core/executor.hpp"
+#include "core/stream.hpp"
+#include "corsaro/corsaro.hpp"
+#include "corsaro/rt.hpp"
+#include "sim/corpus.hpp"
+
+namespace {
+
+using namespace bgps;
+using namespace bgps::corsaro;
+
+size_t RibPrefixes() {
+  if (const char* env = std::getenv("BGPS_BENCH_RIB_PREFIXES")) {
+    size_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 1'000'000;
+}
+
+sim::SyntheticRibOptions CorpusOptions() {
+  sim::SyntheticRibOptions options;  // defaults: 1M prefixes, 4 VPs
+  options.prefixes = RibPrefixes();
+  return options;
+}
+
+// Default-sized corpus shares the stress test's cache; overridden sizes
+// get their own directory so the markers never fight.
+std::string CorpusRoot() {
+  size_t n = RibPrefixes();
+  auto base = std::filesystem::temp_directory_path();
+  if (n == 1'000'000) return (base / "bgps_mega_rib_corpus").string();
+  return (base / ("bgps_mega_rib_corpus_" + std::to_string(n))).string();
+}
+
+const sim::SyntheticRibStats& Corpus() {
+  static const sim::SyntheticRibStats stats = [] {
+    auto r = sim::EnsureSyntheticRib(CorpusOptions(), CorpusRoot());
+    if (!r.ok()) {
+      std::fprintf(stderr, "corpus generation failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *r;
+  }();
+  return stats;
+}
+
+struct RunTotals {
+  size_t records = 0;
+  size_t elems_applied = 0;
+  size_t diff_cells = 0;
+  size_t shard_elems_min = 0;
+  size_t shard_elems_max = 0;
+};
+
+RunTotals RunPipeline(size_t shards, core::Executor* executor,
+                      bool consume_diffs) {
+  const auto& corpus = Corpus();
+  broker::Broker::Options bopt;
+  bopt.clock = [] { return Timestamp(4102444800); };
+  broker::Broker broker(CorpusRoot(), bopt);
+  core::BrokerDataInterface di(&broker);
+
+  core::BgpStream stream;
+  stream.SetInterval(corpus.start, corpus.end);
+  stream.SetDataInterface(&di);
+  if (!stream.Start().ok()) {
+    std::fprintf(stderr, "stream failed to start\n");
+    std::exit(1);
+  }
+
+  BgpCorsaro engine(&stream, 900);
+  RoutingTables::Options opt;
+  opt.shards = shards;
+  opt.executor = shards > 1 ? executor : nullptr;
+  auto rt = std::make_unique<RoutingTables>(opt);
+  RoutingTables* rtp = rt.get();
+  RunTotals totals;
+  if (consume_diffs) {
+    rtp->set_diff_callback(
+        [&totals](Timestamp, const std::vector<DiffCell>& diffs) {
+          for (const auto& d : diffs) benchmark::DoNotOptimize(d.cell);
+          totals.diff_cells += diffs.size();
+        });
+  }
+  engine.AddPlugin(std::move(rt));
+  totals.records = engine.Run();
+
+  auto stats = rtp->shard_stats();
+  totals.shard_elems_min = SIZE_MAX;
+  for (const auto& s : stats) {
+    totals.elems_applied += s.applied_elems;
+    totals.shard_elems_min = std::min(totals.shard_elems_min, s.applied_elems);
+    totals.shard_elems_max = std::max(totals.shard_elems_max, s.applied_elems);
+  }
+  return totals;
+}
+
+void ReportCommon(benchmark::State& state, const RunTotals& totals,
+                  size_t iterations) {
+  state.SetItemsProcessed(int64_t(totals.records) * iterations);
+  state.counters["records/s"] = benchmark::Counter(
+      double(totals.records) * iterations, benchmark::Counter::kIsRate);
+  state.counters["elems/s"] = benchmark::Counter(
+      double(totals.elems_applied) * iterations, benchmark::Counter::kIsRate);
+  state.counters["shard_elems_min"] = double(totals.shard_elems_min);
+  state.counters["shard_elems_max"] = double(totals.shard_elems_max);
+  state.counters["shards"] = double(state.range(0));
+}
+
+void BM_Fig5aMillionPrefixRib(benchmark::State& state) {
+  size_t shards = size_t(state.range(0));
+  core::Executor executor({.threads = 4});
+  RunTotals totals;
+  for (auto _ : state) {
+    totals = RunPipeline(shards, &executor, /*consume_diffs=*/false);
+  }
+  ReportCommon(state, totals, state.iterations());
+  state.counters["rib_prefixes"] = double(RibPrefixes());
+}
+BENCHMARK(BM_Fig5aMillionPrefixRib)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_Fig9ShardedDiffs(benchmark::State& state) {
+  size_t shards = size_t(state.range(0));
+  core::Executor executor({.threads = 4});
+  RunTotals totals;
+  for (auto _ : state) {
+    totals = RunPipeline(shards, &executor, /*consume_diffs=*/true);
+  }
+  ReportCommon(state, totals, state.iterations());
+  state.counters["diff_cells"] = double(totals.diff_cells);
+}
+BENCHMARK(BM_Fig9ShardedDiffs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -57,7 +57,10 @@ int main() {
     }
     return out;
   };
-  auto parts = analysis::RunPartitioned(collectors, map_fn);
+  // Executor-tenant backend: the partition tasks share one pool (and its
+  // deficit scheduler) instead of spawning private threads per analysis.
+  core::Executor executor({.threads = 4});
+  auto parts = analysis::RunPartitioned(collectors, map_fn, &executor);
 
   analysis::AsGraph graph;
   std::map<std::pair<uint32_t, uint32_t>, size_t> bgp_lens;

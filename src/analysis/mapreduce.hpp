@@ -6,11 +6,22 @@
 // on a thread pool: each partition opens its own BGPStream (one stream
 // per partition, like one task per RDD slice) and the caller reduces the
 // returned per-partition values.
+//
+// Two backends:
+//   * raw threads (the original shape) — spawns up to `workers` private
+//     std::threads;
+//   * an injected core::Executor — partitions become tasks of one tenant
+//     on the shared pool, so an analysis and the decode stages it drives
+//     share one set of workers instead of oversubscribing the host.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/executor.hpp"
 
 namespace bgps::analysis {
 
@@ -40,6 +51,42 @@ auto RunPartitioned(const std::vector<Partition>& partitions, Fn&& fn,
   threads.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
+  return results;
+}
+
+// Executor-backed variant: one task per partition on a fresh tenant of
+// `executor`, deficit-scheduled against every other tenant (a decode
+// stream's prefetch tasks, other analyses). Tasks of one tenant may run
+// concurrently on different workers — exactly what independent
+// partitions want. Blocks until every partition completed; results keep
+// partition order. Falls back to the thread backend when `executor` is
+// null or was built with zero threads (it could never run the tasks).
+template <typename Partition, typename Fn>
+auto RunPartitioned(const std::vector<Partition>& partitions, Fn&& fn,
+                    core::Executor* executor)
+    -> std::vector<decltype(fn(partitions.front()))> {
+  using Result = decltype(fn(partitions.front()));
+  if (executor == nullptr || executor->threads() == 0)
+    return RunPartitioned(partitions, std::forward<Fn>(fn), unsigned(0));
+  std::vector<Result> results(partitions.size());
+  if (partitions.empty()) return results;
+
+  auto tenant = executor->CreateTenant();
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t done = 0;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    tenant->Submit([&, i] {
+      results[i] = fn(partitions[i]);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+      }
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return done == partitions.size(); });
   return results;
 }
 

@@ -1,0 +1,55 @@
+#include "core/strand.hpp"
+
+#include <utility>
+
+namespace bgps::core {
+
+void Strand::Post(std::function<void()> fn) {
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    // Only the transition idle -> active submits a drain task; an active
+    // drain picks the new closure up itself. This keeps at most one
+    // drain task of this strand inside the tenant at any moment — the
+    // serialization guarantee.
+    if (!active_) {
+      active_ = true;
+      submit = true;
+    }
+  }
+  if (submit) tenant_->Submit([this] { RunLoop(); });
+}
+
+void Strand::RunLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        active_ = false;
+        idle_cv_.notify_all();
+        return;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+  }
+}
+
+void Strand::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !active_; });
+}
+
+size_t Strand::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+}  // namespace bgps::core

@@ -1,0 +1,63 @@
+// Serial execution context ("strand") on top of an Executor tenant.
+//
+// A tenant's queue is strictly FIFO, but nothing stops two of its tasks
+// from *running* concurrently on different workers — the executor hands a
+// new task to the next free worker as soon as the previous one is
+// claimed. The sharded RoutingTables apply-loops need the stronger
+// guarantee "at most one task of this shard in flight", so each shard
+// owns a Strand: closures Post()ed to it run one at a time, in post
+// order, on the underlying tenant's workers. This is the classic actor /
+// asio-strand shape — the strand submits at most one drain task to the
+// tenant at any moment and re-submits itself while work remains.
+//
+// Drain() blocks the calling thread until every closure posted before
+// the call has finished — the bin-end barrier. Post() never blocks.
+//
+// Lifetime: the tenant (and its executor) must outlive the Strand; the
+// destructor drains so queued closures never touch a dead owner.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "core/executor.hpp"
+
+namespace bgps::core {
+
+class Strand {
+ public:
+  // `tenant` must outlive this strand and must not be destroyed while
+  // closures are pending (destroying a tenant discards queued tasks,
+  // which would leave the strand's drain task lost and Drain() stuck).
+  explicit Strand(Executor::Tenant* tenant) : tenant_(tenant) {}
+  ~Strand() { Drain(); }
+
+  Strand(const Strand&) = delete;
+  Strand& operator=(const Strand&) = delete;
+
+  // Enqueues `fn` to run after every previously posted closure. Never
+  // blocks; never runs `fn` inline.
+  void Post(std::function<void()> fn);
+
+  // Blocks until all closures posted before this call have run. Safe to
+  // call concurrently from multiple threads; new Post()s during a drain
+  // extend the wait.
+  void Drain();
+
+  // Closures executed so far (stats for tests).
+  size_t completed() const;
+
+ private:
+  void RunLoop();
+
+  Executor::Tenant* tenant_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool active_ = false;  // a drain task is submitted or running
+  size_t completed_ = 0;
+};
+
+}  // namespace bgps::core

@@ -3,14 +3,15 @@
 namespace bgps::corsaro {
 
 PfxMonitor::PfxMonitor(const std::vector<Prefix>& ranges, RowCallback on_row)
-    : on_row_(std::move(on_row)) {
+    : ranges_snap_(ranges_.snapshot()), on_row_(std::move(on_row)) {
   for (const auto& r : ranges) ranges_.insert(r, 1);
+  ranges_snap_ = ranges_.snapshot();
 }
 
 void PfxMonitor::OnRecord(RecordContext& ctx) {
   for (const auto& elem : ctx.elems) {
     if (!elem.has_prefix()) continue;
-    if (!ranges_.overlaps(elem.prefix)) continue;
+    if (!ranges_snap_.overlaps(elem.prefix)) continue;
     VpKey vp{ctx.record.collector, elem.peer_asn};
     auto key = std::make_pair(elem.prefix, vp);
     switch (elem.type) {

@@ -43,6 +43,11 @@ class PfxMonitor : public Plugin {
   };
 
   PrefixTable<char> ranges_;
+  // Immutable epoch of ranges_, captured once at construction (the range
+  // set never changes afterwards): the per-elem overlap queries run on
+  // pinned shared_ptr roots, so they stay valid and lock-free even if a
+  // future writer republishes ranges_ concurrently.
+  PrefixTable<char>::Snapshot ranges_snap_;
   // <prefix, VP> -> origin ASN of the current route (erased on withdrawal).
   std::map<std::pair<Prefix, VpKey>, bgp::Asn> table_;
   std::vector<BinRow> rows_;

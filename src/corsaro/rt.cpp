@@ -1,5 +1,8 @@
 #include "corsaro/rt.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 namespace bgps::corsaro {
 
 const char* VpStateName(VpState s) {
@@ -12,15 +15,49 @@ const char* VpStateName(VpState s) {
   return "?";
 }
 
-RoutingTables::RoutingTables(Options options) : options_(options) {}
+RoutingTables::RoutingTables(Options options)
+    : options_(options), shard_count_(options.shards == 0 ? 1 : options.shards) {
+  shards_.reserve(shard_count_);
+  for (size_t i = 0; i < shard_count_; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  if (options_.executor != nullptr && options_.executor->threads() > 0) {
+    pending_.resize(shard_count_);
+    tenants_.reserve(shard_count_);
+    strands_.reserve(shard_count_);
+    for (size_t i = 0; i < shard_count_; ++i) {
+      tenants_.push_back(options_.executor->CreateTenant());
+      strands_.push_back(std::make_unique<core::Strand>(tenants_[i].get()));
+    }
+  }
+}
 
-RoutingTables::VpTable& RoutingTables::Vp(const VpKey& key) {
-  auto it = vps_.find(key);
-  if (it == vps_.end()) {
-    it = vps_.emplace(key, VpTable{}).first;
+RoutingTables::~RoutingTables() { Drain(); }
+
+size_t RoutingTables::ShardOf(const std::string& collector,
+                              bgp::Asn peer) const {
+  if (shard_count_ == 1) return 0;
+  // FNV-1a over the VpKey bytes: stable across runs and platforms, so a
+  // given VP always lands on the same shard (the determinism anchor).
+  uint64_t h = 1469598103934665603ull;
+  for (char c : collector) {
+    h ^= uint8_t(c);
+    h *= 1099511628211ull;
+  }
+  for (int i = 0; i < 4; ++i) {
+    h ^= uint8_t(peer >> (8 * i));
+    h *= 1099511628211ull;
+  }
+  return size_t(h % shard_count_);
+}
+
+RoutingTables::VpTable& RoutingTables::Vp(Shard& shard, const VpKey& key) {
+  auto it = shard.vps.find(key);
+  if (it == shard.vps.end()) {
+    it = shard.vps.emplace(key, VpTable{}).first;
+    shard.collector_vps[key.collector].insert(key);
     // A VP discovered mid-stream joins an in-progress RIB dump, if any.
-    auto rp = rib_progress_.find(key.collector);
-    if (rp != rib_progress_.end() && rp->second.active)
+    auto rp = shard.rib_progress.find(key.collector);
+    if (rp != shard.rib_progress.end() && rp->second.active)
       it->second.state = VpNextState(it->second.state, VpInput::RibStart);
   }
   return it->second;
@@ -30,10 +67,11 @@ void RoutingTables::Transition(VpTable& vp, VpInput input) {
   vp.state = VpNextState(vp.state, input);
 }
 
-void RoutingTables::ApplyUpdateElem(const std::string& collector,
+void RoutingTables::ApplyUpdateElem(Shard& shard, const std::string& collector,
                                     const core::Elem& elem) {
-  ++bin_elems_;
-  VpTable& vp = Vp(VpKey{collector, elem.peer_asn});
+  ++shard.applied_elems;
+  VpKey key{collector, elem.peer_asn};
+  VpTable& vp = Vp(shard, key);
   if (elem.type == core::ElemType::PeerState) {
     Transition(vp, elem.new_state == bgp::FsmState::Established
                        ? VpInput::StateEstablished
@@ -45,7 +83,7 @@ void RoutingTables::ApplyUpdateElem(const std::string& collector,
   // the RIB stages into shadows), gated on timestamp monotonicity.
   auto& cell = vp.main[elem.prefix];
   if (elem.time < cell.last_modified) return;
-  Touch(vp, elem.prefix);
+  Touch(shard, key, vp, elem.prefix);
   RtCell updated;
   updated.last_modified = elem.time;
   if (elem.type == core::ElemType::Announcement) {
@@ -59,9 +97,10 @@ void RoutingTables::ApplyUpdateElem(const std::string& collector,
   Transition(vp, VpInput::Update);
 }
 
-void RoutingTables::ApplyRibElem(const std::string& collector,
+void RoutingTables::ApplyRibElem(Shard& shard, const std::string& collector,
                                  const core::Elem& elem) {
-  VpTable& vp = Vp(VpKey{collector, elem.peer_asn});
+  ++shard.applied_elems;
+  VpTable& vp = Vp(shard, VpKey{collector, elem.peer_asn});
   vp.in_current_rib = true;
   RtCell cell;
   cell.announced = true;
@@ -71,35 +110,44 @@ void RoutingTables::ApplyRibElem(const std::string& collector,
   vp.shadow[elem.prefix] = std::move(cell);
 }
 
-void RoutingTables::BeginRib(const std::string& collector) {
-  auto& rp = rib_progress_[collector];
+void RoutingTables::BeginRib(Shard& shard, const std::string& collector) {
+  auto& rp = shard.rib_progress[collector];
   rp.active = true;
   rp.corrupt = false;
-  for (auto& [key, vp] : vps_) {
-    if (key.collector != collector) continue;
+  auto ci = shard.collector_vps.find(collector);
+  if (ci == shard.collector_vps.end()) return;
+  for (const VpKey& key : ci->second) {
+    VpTable& vp = shard.vps.at(key);
+    ++shard.boundary_visits;
     vp.shadow.clear();
     vp.in_current_rib = false;
     Transition(vp, VpInput::RibStart);
   }
 }
 
-void RoutingTables::AbortRib(const std::string& collector) {
+void RoutingTables::AbortRib(Shard& shard, const std::string& collector) {
   // E1: at least one record of the dump was corrupted — ignore it all.
-  auto& rp = rib_progress_[collector];
+  auto& rp = shard.rib_progress[collector];
   rp.active = false;
-  for (auto& [key, vp] : vps_) {
-    if (key.collector != collector) continue;
+  auto ci = shard.collector_vps.find(collector);
+  if (ci == shard.collector_vps.end()) return;
+  for (const VpKey& key : ci->second) {
+    VpTable& vp = shard.vps.at(key);
+    ++shard.boundary_visits;
     vp.shadow.clear();
     vp.in_current_rib = false;
     Transition(vp, VpInput::RibCorrupt);
   }
 }
 
-void RoutingTables::EndRib(const std::string& collector) {
-  auto& rp = rib_progress_[collector];
+void RoutingTables::EndRib(Shard& shard, const std::string& collector) {
+  auto& rp = shard.rib_progress[collector];
   rp.active = false;
-  for (auto& [key, vp] : vps_) {
-    if (key.collector != collector) continue;
+  auto ci = shard.collector_vps.find(collector);
+  if (ci == shard.collector_vps.end()) return;
+  for (const VpKey& key : ci->second) {
+    VpTable& vp = shard.vps.at(key);
+    ++shard.boundary_visits;
     if (!vp.in_current_rib) {
       // The paper's RouteViews mitigation: a VP absent from the RIB dump
       // is presumed down (stale cells would otherwise linger forever).
@@ -107,7 +155,7 @@ void RoutingTables::EndRib(const std::string& collector) {
         Transition(vp, VpInput::StateDown);
         for (auto& [prefix, cell] : vp.main) {
           if (!cell.announced) continue;
-          Touch(vp, prefix);
+          Touch(shard, key, vp, prefix);
           cell.announced = false;
         }
       }
@@ -121,23 +169,23 @@ void RoutingTables::EndRib(const std::string& collector) {
       auto it = vp.main.find(prefix);
       if (it == vp.main.end()) continue;
       const RtCell& main_cell = it->second;
-      ++rib_compared_;
+      ++shard.rib_compared;
       // E2 with tie tolerance: a cell updated at or after the RIB record's
       // timestamp already reflects (at least) the dump's knowledge.
       if (main_cell.last_modified >= shadow_cell.last_modified) continue;
       if (!main_cell.announced || main_cell.as_path != shadow_cell.as_path)
-        ++rib_mismatches_;
+        ++shard.rib_mismatches;
     }
     // Merge: shadow replaces main unless main is at least as new (E2).
     for (auto& [prefix, shadow_cell] : vp.shadow) {
       auto it = vp.main.find(prefix);
       if (it == vp.main.end()) {
-        Touch(vp, prefix);
+        Touch(shard, key, vp, prefix);
         vp.main[prefix] = std::move(shadow_cell);
         continue;
       }
       if (it->second.last_modified >= shadow_cell.last_modified) continue;
-      Touch(vp, prefix);
+      Touch(shard, key, vp, prefix);
       it->second = std::move(shadow_cell);
     }
     // Prefixes in main but absent from the dump: if not touched by newer
@@ -150,7 +198,7 @@ void RoutingTables::EndRib(const std::string& collector) {
       if (!vp.shadow.empty())
         dump_floor = vp.shadow.begin()->second.last_modified;
       if (cell.last_modified > dump_floor) continue;
-      Touch(vp, prefix);
+      Touch(shard, key, vp, prefix);
       cell.announced = false;
     }
     vp.shadow.clear();
@@ -159,11 +207,83 @@ void RoutingTables::EndRib(const std::string& collector) {
   }
 }
 
-void RoutingTables::CollectorUpdateCorrupt(const std::string& collector) {
-  for (auto& [key, vp] : vps_) {
-    if (key.collector != collector) continue;
-    Transition(vp, VpInput::UpdateCorrupt);
+void RoutingTables::CollectorUpdateCorrupt(Shard& shard,
+                                           const std::string& collector) {
+  auto ci = shard.collector_vps.find(collector);
+  if (ci == shard.collector_vps.end()) return;
+  for (const VpKey& key : ci->second) {
+    ++shard.boundary_visits;
+    Transition(shard.vps.at(key), VpInput::UpdateCorrupt);
   }
+}
+
+void RoutingTables::ApplyOp(Shard& shard, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kUpdateElem:
+      ApplyUpdateElem(shard, op.collector, op.elem);
+      break;
+    case Op::Kind::kRibElem:
+      ApplyRibElem(shard, op.collector, op.elem);
+      break;
+    case Op::Kind::kBeginRib:
+      BeginRib(shard, op.collector);
+      break;
+    case Op::Kind::kEndRib:
+      EndRib(shard, op.collector);
+      break;
+    case Op::Kind::kAbortRib:
+      AbortRib(shard, op.collector);
+      break;
+    case Op::Kind::kUpdateCorrupt:
+      CollectorUpdateCorrupt(shard, op.collector);
+      break;
+  }
+}
+
+void RoutingTables::RouteElem(Op::Kind kind, const std::string& collector,
+                              const core::Elem& elem) {
+  size_t s = ShardOf(collector, elem.peer_asn);
+  if (!threaded()) {
+    if (kind == Op::Kind::kUpdateElem) {
+      ApplyUpdateElem(*shards_[s], collector, elem);
+    } else {
+      ApplyRibElem(*shards_[s], collector, elem);
+    }
+    return;
+  }
+  pending_[s].push_back(Op{kind, collector, elem});
+  size_t batch = options_.batch_elems == 0 ? 1 : options_.batch_elems;
+  if (pending_[s].size() >= batch) FlushShard(s);
+}
+
+void RoutingTables::Broadcast(Op::Kind kind, const std::string& collector) {
+  for (size_t s = 0; s < shard_count_; ++s) {
+    if (!threaded()) {
+      ApplyOp(*shards_[s], Op{kind, collector, {}});
+    } else {
+      pending_[s].push_back(Op{kind, collector, {}});
+      size_t batch = options_.batch_elems == 0 ? 1 : options_.batch_elems;
+      if (pending_[s].size() >= batch) FlushShard(s);
+    }
+  }
+}
+
+void RoutingTables::FlushShard(size_t shard) {
+  if (pending_[shard].empty()) return;
+  std::vector<Op> batch;
+  batch.swap(pending_[shard]);
+  Shard* target = shards_[shard].get();
+  strands_[shard]->Post([this, target, batch = std::move(batch)]() {
+    for (const Op& op : batch) ApplyOp(*target, op);
+    ++target->batches;
+  });
+}
+
+void RoutingTables::Drain() const {
+  if (strands_.empty()) return;
+  auto* self = const_cast<RoutingTables*>(this);
+  for (size_t s = 0; s < self->shard_count_; ++s) self->FlushShard(s);
+  for (auto& strand : self->strands_) strand->Drain();
 }
 
 void RoutingTables::OnRecord(RecordContext& ctx) {
@@ -173,27 +293,36 @@ void RoutingTables::OnRecord(RecordContext& ctx) {
   if (rec.status != core::RecordStatus::Valid) {
     if (rec.status == core::RecordStatus::Unsupported) return;
     if (rec.dump_type == core::DumpType::Rib) {
-      AbortRib(collector);  // E1
+      Broadcast(Op::Kind::kAbortRib, collector);  // E1
     } else {
-      CollectorUpdateCorrupt(collector);  // E3
+      Broadcast(Op::Kind::kUpdateCorrupt, collector);  // E3
     }
     return;
   }
 
   if (rec.dump_type == core::DumpType::Rib) {
-    if (rec.position == core::DumpPosition::Start) BeginRib(collector);
+    if (rec.position == core::DumpPosition::Start)
+      Broadcast(Op::Kind::kBeginRib, collector);
     for (const auto& elem : ctx.elems) {
-      if (elem.type == core::ElemType::RibEntry) ApplyRibElem(collector, elem);
+      if (elem.type == core::ElemType::RibEntry)
+        RouteElem(Op::Kind::kRibElem, collector, elem);
     }
-    if (rec.position == core::DumpPosition::End) EndRib(collector);
+    if (rec.position == core::DumpPosition::End)
+      Broadcast(Op::Kind::kEndRib, collector);
     return;
   }
 
-  for (const auto& elem : ctx.elems) ApplyUpdateElem(collector, elem);
+  // The bin elem counter tracks every elem of valid updates records —
+  // counted on the driver thread so bin stats never wait on shards.
+  bin_elems_ += ctx.elems.size();
+  for (const auto& elem : ctx.elems)
+    RouteElem(Op::Kind::kUpdateElem, collector, elem);
 }
 
-void RoutingTables::Touch(VpTable& vp, const Prefix& prefix) {
+void RoutingTables::Touch(Shard& shard, const VpKey& key, VpTable& vp,
+                          const Prefix& prefix) {
   if (vp.dirty.count(prefix)) return;  // keep the earliest pre-bin value
+  if (vp.dirty.empty()) shard.dirty_vps.insert(key);
   auto it = vp.main.find(prefix);
   vp.dirty.emplace(prefix, it == vp.main.end() ? RtCell{} : it->second);
 }
@@ -208,17 +337,65 @@ bool SameContent(const RtCell& a, const RtCell& b) {
 }
 }  // namespace
 
-void RoutingTables::OnBinEnd(Timestamp bin_start, Timestamp /*bin_end*/) {
-  std::vector<DiffCell> diffs;
-  for (auto& [key, vp] : vps_) {
-    for (const auto& [prefix, old_cell] : vp.dirty) {
-      auto it = vp.main.find(prefix);
-      if (it == vp.main.end()) continue;
-      if (SameContent(old_cell, it->second)) continue;  // reverted in-bin
-      diffs.push_back(DiffCell{key, prefix, it->second});
+std::vector<DiffCell> RoutingTables::CollectDiffs() {
+  Drain();
+  auto collect = [](Shard& shard) {
+    shard.bin_diffs.clear();
+    for (const VpKey& key : shard.dirty_vps) {
+      VpTable& vp = shard.vps.at(key);
+      for (const auto& [prefix, old_cell] : vp.dirty) {
+        auto it = vp.main.find(prefix);
+        if (it == vp.main.end()) continue;
+        if (SameContent(old_cell, it->second)) continue;  // reverted in-bin
+        shard.bin_diffs.push_back(DiffCell{key, prefix, it->second});
+      }
+      vp.dirty.clear();
     }
-    vp.dirty.clear();
+    shard.dirty_vps.clear();
+  };
+
+  if (threaded() && shard_count_ > 1) {
+    // Fan the collection out to the shards' own strands (the barrier's
+    // parallel reduce step), then wait for all of them.
+    for (size_t s = 0; s < shard_count_; ++s) {
+      Shard* shard = shards_[s].get();
+      strands_[s]->Post([collect, shard] { collect(*shard); });
+    }
+    for (auto& strand : strands_) strand->Drain();
+  } else {
+    for (auto& shard : shards_) collect(*shard);
   }
+
+  if (shard_count_ == 1) return std::move(shards_[0]->bin_diffs);
+
+  // K-way merge back into global (VpKey, Prefix) order. Shards partition
+  // the VP space, so keys never tie across shards.
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->bin_diffs.size();
+  std::vector<DiffCell> out;
+  out.reserve(total);
+  std::vector<size_t> idx(shard_count_, 0);
+  while (out.size() < total) {
+    size_t best = shard_count_;
+    for (size_t s = 0; s < shard_count_; ++s) {
+      if (idx[s] >= shards_[s]->bin_diffs.size()) continue;
+      if (best == shard_count_) {
+        best = s;
+        continue;
+      }
+      const DiffCell& a = shards_[s]->bin_diffs[idx[s]];
+      const DiffCell& b = shards_[best]->bin_diffs[idx[best]];
+      if (std::tie(a.vp, a.prefix) < std::tie(b.vp, b.prefix)) best = s;
+    }
+    out.push_back(std::move(shards_[best]->bin_diffs[idx[best]]));
+    ++idx[best];
+  }
+  for (auto& shard : shards_) shard->bin_diffs.clear();
+  return out;
+}
+
+void RoutingTables::OnBinEnd(Timestamp bin_start, Timestamp /*bin_end*/) {
+  std::vector<DiffCell> diffs = CollectDiffs();
   bin_stats_.push_back(RtBinStats{bin_start, bin_elems_, diffs.size()});
   bin_elems_ = 0;
   ++bins_seen_;
@@ -226,21 +403,27 @@ void RoutingTables::OnBinEnd(Timestamp bin_start, Timestamp /*bin_end*/) {
   if (on_diffs_) on_diffs_(bin_start, diffs);
   if (on_snapshot_ && options_.snapshot_every_bins != 0 &&
       bins_seen_ % options_.snapshot_every_bins == 0) {
-    for (const auto& [key, vp] : vps_) {
+    for (const VpKey& key : vps()) {
       on_snapshot_(bin_start, key, table(key));
     }
   }
 }
 
+void RoutingTables::OnFinish() { Drain(); }
+
 VpState RoutingTables::state(const VpKey& vp) const {
-  auto it = vps_.find(vp);
-  return it == vps_.end() ? VpState::Down : it->second.state;
+  Drain();
+  const Shard& shard = *shards_[ShardOf(vp.collector, vp.peer)];
+  auto it = shard.vps.find(vp);
+  return it == shard.vps.end() ? VpState::Down : it->second.state;
 }
 
 std::map<Prefix, RtCell> RoutingTables::table(const VpKey& vp) const {
+  Drain();
   std::map<Prefix, RtCell> out;
-  auto it = vps_.find(vp);
-  if (it == vps_.end()) return out;
+  const Shard& shard = *shards_[ShardOf(vp.collector, vp.peer)];
+  auto it = shard.vps.find(vp);
+  if (it == shard.vps.end()) return out;
   for (const auto& [prefix, cell] : it->second.main) {
     if (cell.announced) out.emplace(prefix, cell);
   }
@@ -248,10 +431,48 @@ std::map<Prefix, RtCell> RoutingTables::table(const VpKey& vp) const {
 }
 
 std::vector<VpKey> RoutingTables::vps() const {
+  Drain();
   std::vector<VpKey> out;
-  out.reserve(vps_.size());
-  for (const auto& [key, _] : vps_) out.push_back(key);
+  for (const auto& shard : shards_) {
+    for (const auto& [key, _] : shard->vps) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+size_t RoutingTables::rib_compared_prefixes() const {
+  Drain();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->rib_compared;
+  return total;
+}
+
+size_t RoutingTables::rib_mismatches() const {
+  Drain();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->rib_mismatches;
+  return total;
+}
+
+std::vector<RtShardStats> RoutingTables::shard_stats() const {
+  Drain();
+  std::vector<RtShardStats> out;
+  out.reserve(shard_count_);
+  for (const auto& shard : shards_) {
+    RtShardStats s;
+    s.vps = shard->vps.size();
+    s.applied_elems = shard->applied_elems;
+    s.batches = shard->batches;
+    out.push_back(s);
+  }
+  return out;
+}
+
+size_t RoutingTables::rib_boundary_visits() const {
+  Drain();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->boundary_visits;
+  return total;
 }
 
 }  // namespace bgps::corsaro

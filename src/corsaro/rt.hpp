@@ -12,10 +12,28 @@
 // At the end of each time bin the plugin emits diff cells — only the
 // changed portion of each VP's table (§6.2.2) — plus periodic full
 // snapshots consumers can bootstrap from.
+//
+// Sharded execution (§5's shard-by-independent-key shape on our own
+// Executor): per-(collector, peer) state is independent between bin
+// boundaries, so with Options::shards > 1 and an Options::executor each
+// elem is routed by a stable hash of its VpKey to one of N shards, whose
+// apply-loops run as serialized Executor tasks (core::Strand — one task
+// of a shard in flight at a time, in stream order). RIB begin/end/abort
+// and corrupt events are broadcast to every shard in stream position, so
+// each shard sees exactly the global op sequence filtered to its own
+// VPs. OnBinEnd is a barrier: it drains all shards, collects each
+// shard's diffs (its dirty VPs in VpKey order), and k-way-merges them
+// back into global (VpKey, Prefix) order — the emitted diff stream,
+// bin stats, accuracy counters and per-VP tables are byte-identical to
+// the sequential path at any shard count. With shards == 1 or no
+// executor, ops apply inline with no queueing overhead.
 #pragma once
 
 #include <map>
+#include <memory>
+#include <set>
 
+#include "core/strand.hpp"
 #include "corsaro/plugin.hpp"
 #include "corsaro/rt_fsm.hpp"
 
@@ -42,12 +60,23 @@ struct DiffCell {
   VpKey vp;
   Prefix prefix;
   RtCell cell;  // announced == false -> the prefix was withdrawn
+
+  bool operator==(const DiffCell&) const = default;
 };
 
 struct RtBinStats {
   Timestamp bin_start = 0;
   size_t elems = 0;       // announcement/withdrawal elems seen in the bin
   size_t diff_cells = 0;  // cells that changed in the bin
+
+  bool operator==(const RtBinStats&) const = default;
+};
+
+// Per-shard observability (scaling counters for the benches).
+struct RtShardStats {
+  size_t vps = 0;            // VPs owned by this shard
+  size_t applied_elems = 0;  // update + RIB elems this shard applied
+  size_t batches = 0;        // apply batches its strand executed
 };
 
 struct RoutingTablesOptions {
@@ -57,6 +86,16 @@ struct RoutingTablesOptions {
   // Declare a VP down when a RIB dump contains none of its routes
   // (the paper's mitigation for RouteViews' missing state messages).
   bool down_if_absent_from_rib = true;
+  // VP-partitioned shards. 1 = classic sequential apply on the caller's
+  // thread. N > 1 requires `executor`; output is identical at any value.
+  size_t shards = 1;
+  // Pool running the shard apply-loops (one serialized tenant per
+  // shard). Not owned; must outlive the plugin. nullptr forces inline
+  // application regardless of `shards`.
+  core::Executor* executor = nullptr;
+  // Elems buffered per shard before a batch is posted to its strand
+  // (amortizes queue traffic; flushed at every bin/introspection point).
+  size_t batch_elems = 512;
 };
 
 class RoutingTables : public Plugin {
@@ -69,15 +108,19 @@ class RoutingTables : public Plugin {
       Timestamp bin_start, const VpKey&, const std::map<Prefix, RtCell>&)>;
 
   explicit RoutingTables(Options options = {});
+  ~RoutingTables() override;
 
   std::string_view name() const override { return "routing-tables"; }
   void OnRecord(RecordContext& ctx) override;
   void OnBinEnd(Timestamp bin_start, Timestamp bin_end) override;
+  void OnFinish() override;
 
   void set_diff_callback(DiffCallback cb) { on_diffs_ = std::move(cb); }
   void set_snapshot_callback(SnapshotCallback cb) { on_snapshot_ = std::move(cb); }
 
   // --- introspection (consumers, tests, benches) ---
+  // All introspection drains in-flight shard work first, so values are
+  // consistent as of every record handed to OnRecord so far.
   VpState state(const VpKey& vp) const;
   // Announced cells only (the reconstructed routing table).
   std::map<Prefix, RtCell> table(const VpKey& vp) const;
@@ -87,8 +130,16 @@ class RoutingTables : public Plugin {
   // Accuracy counters (§6.2.1): mismatches between the table evolved from
   // updates and the ground truth of the next RIB dump, over all compared
   // prefixes.
-  size_t rib_compared_prefixes() const { return rib_compared_; }
-  size_t rib_mismatches() const { return rib_mismatches_; }
+  size_t rib_compared_prefixes() const;
+  size_t rib_mismatches() const;
+
+  // Per-shard work distribution (size == shard count).
+  std::vector<RtShardStats> shard_stats() const;
+  // VP-table visits performed by RIB begin/end/abort and update-corrupt
+  // events, across all shards. With the per-collector VP index this is
+  // O(VPs of the event's collector) per event, not O(all VPs) — pinned
+  // by a regression test.
+  size_t rib_boundary_visits() const;
 
  private:
   struct VpTable {
@@ -103,32 +154,94 @@ class RoutingTables : public Plugin {
     std::map<Prefix, RtCell> dirty;
   };
 
-  // Marks `prefix` as touched, remembering its pre-bin value.
-  static void Touch(VpTable& vp, const Prefix& prefix);
-
   // Per-collector bookkeeping for the in-progress RIB dump.
   struct RibProgress {
     bool active = false;
     bool corrupt = false;  // E1 latch
   };
 
-  VpTable& Vp(const VpKey& key);
-  void Transition(VpTable& vp, VpInput input);
-  void ApplyUpdateElem(const std::string& collector, const core::Elem& elem);
-  void ApplyRibElem(const std::string& collector, const core::Elem& elem);
-  void BeginRib(const std::string& collector);
-  void EndRib(const std::string& collector);
-  void AbortRib(const std::string& collector);
-  void CollectorUpdateCorrupt(const std::string& collector);
+  // One VP partition. Only its strand (or the caller's thread, inline
+  // mode / after a drain) touches it, so no per-shard locking is needed.
+  struct Shard {
+    std::map<VpKey, VpTable> vps;
+    // Each shard tracks every collector's RIB progress independently
+    // (broadcast ops keep the copies in sync) so Vp() creation works
+    // without cross-shard reads.
+    std::map<std::string, RibProgress> rib_progress;
+    // Per-collector VP index: RIB boundary events visit exactly the
+    // collector's own VPs instead of scanning the whole table.
+    std::map<std::string, std::set<VpKey>> collector_vps;
+    // VPs touched this bin — bin-end diff collection visits only these.
+    std::set<VpKey> dirty_vps;
+    size_t rib_compared = 0;
+    size_t rib_mismatches = 0;
+    size_t applied_elems = 0;
+    size_t batches = 0;
+    size_t boundary_visits = 0;
+    // Bin-end scratch: this shard's diffs, already in (VpKey, Prefix)
+    // order, awaiting the global merge.
+    std::vector<DiffCell> bin_diffs;
+  };
+
+  // One buffered operation of a shard's apply stream.
+  struct Op {
+    enum class Kind : uint8_t {
+      kUpdateElem,      // announcement / withdrawal / peer-state elem
+      kRibElem,         // RIB_*_UNICAST entry
+      kBeginRib,        // broadcast
+      kEndRib,          // broadcast
+      kAbortRib,        // broadcast (E1)
+      kUpdateCorrupt,   // broadcast (E3)
+    };
+    Kind kind;
+    std::string collector;
+    core::Elem elem;  // valid for kUpdateElem / kRibElem
+  };
+
+  // Marks `prefix` as touched, remembering its pre-bin value.
+  static void Touch(Shard& shard, const VpKey& key, VpTable& vp,
+                    const Prefix& prefix);
+
+  VpTable& Vp(Shard& shard, const VpKey& key);
+  static void Transition(VpTable& vp, VpInput input);
+  void ApplyUpdateElem(Shard& shard, const std::string& collector,
+                       const core::Elem& elem);
+  void ApplyRibElem(Shard& shard, const std::string& collector,
+                    const core::Elem& elem);
+  void BeginRib(Shard& shard, const std::string& collector);
+  void EndRib(Shard& shard, const std::string& collector);
+  void AbortRib(Shard& shard, const std::string& collector);
+  void CollectorUpdateCorrupt(Shard& shard, const std::string& collector);
+  void ApplyOp(Shard& shard, const Op& op);
+
+  size_t ShardOf(const std::string& collector, bgp::Asn peer) const;
+  bool threaded() const { return !strands_.empty(); }
+  // Routes one elem op to its shard (inline apply or batch buffer).
+  void RouteElem(Op::Kind kind, const std::string& collector,
+                 const core::Elem& elem);
+  // Queues a collector-scoped event on every shard, in stream position.
+  void Broadcast(Op::Kind kind, const std::string& collector);
+  void FlushShard(size_t shard);
+  // Flushes every pending batch and waits for all strands to go idle —
+  // after this the caller's thread may touch any shard.
+  void Drain() const;
+  // Collects per-shard diffs (on the shards' own strands when threaded)
+  // and merges them into global (VpKey, Prefix) order.
+  std::vector<DiffCell> CollectDiffs();
 
   Options options_;
-  std::map<VpKey, VpTable> vps_;
-  std::map<std::string, RibProgress> rib_progress_;
+  size_t shard_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Driver-thread batch buffers, one per shard (threaded mode only).
+  std::vector<std::vector<Op>> pending_;
+  // Destruction order matters: strands drain against live tenants, so
+  // strands_ (declared last) is destroyed first, then tenants_.
+  std::vector<std::unique_ptr<core::Executor::Tenant>> tenants_;
+  std::vector<std::unique_ptr<core::Strand>> strands_;
+
   std::vector<RtBinStats> bin_stats_;
   size_t bin_elems_ = 0;
   size_t bins_seen_ = 0;
-  size_t rib_compared_ = 0;
-  size_t rib_mismatches_ = 0;
   DiffCallback on_diffs_;
   SnapshotCallback on_snapshot_;
 };

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
 
 #include "broker/archive.hpp"
+#include "mrt/encode.hpp"
+#include "mrt/file.hpp"
 
 namespace fs = std::filesystem;
 
@@ -181,6 +186,214 @@ Result<CorpusStats> GenerateCorpus(const CorpusOptions& options,
   BGPS_RETURN_IF_ERROR(index.Rescan());
   stats.files = index.files().size();
   return stats;
+}
+
+// --------------------------------------------------------------------------
+// Synthetic million-prefix RIB archive.
+// --------------------------------------------------------------------------
+namespace {
+
+// Everything that defines the corpus bytes, one token per option — the
+// marker file's cache key.
+std::string SyntheticSignature(const SyntheticRibOptions& o) {
+  std::ostringstream sig;
+  sig << "v1 " << o.project << ' ' << o.collector << ' ' << o.prefixes << ' '
+      << o.vps << ' ' << o.extra_entry_probability << ' ' << o.start << ' '
+      << o.update_windows << ' ' << o.update_period << ' ' << o.churn_fraction
+      << ' ' << o.final_rib << ' ' << o.seed;
+  return sig.str();
+}
+
+std::string SyntheticMarkerPath(const std::string& root) {
+  return (fs::path(root) / "synthetic_rib.meta").string();
+}
+
+Prefix SyntheticPrefix(size_t i) {
+  // Unique /24s from 1.0.0.0 upward — room for ~16.6M before wrapping.
+  return Prefix(IpAddress::V4(uint32_t(0x01000000u + i * 256u)), 24);
+}
+
+}  // namespace
+
+Result<SyntheticRibStats> GenerateSyntheticRib(
+    const SyntheticRibOptions& options, const std::string& root) {
+  if (options.prefixes == 0) return InvalidArgument("prefixes must be > 0");
+  if (options.vps < 1 || options.vps > 256)
+    return InvalidArgument("vps must be in [1, 256]");
+  if (options.update_windows < 0)
+    return InvalidArgument("update_windows must be >= 0");
+  fs::remove_all(root);
+
+  const size_t n_prefixes = options.prefixes;
+  const size_t n_vps = size_t(options.vps);
+  const Timestamp start = options.start != 0
+                              ? options.start
+                              : TimestampFromYmdHms(2016, 1, 1, 0, 0, 0);
+  const Timestamp period = std::max<Timestamp>(1, options.update_period);
+  const Timestamp final_t = start + Timestamp(options.update_windows) * period;
+  std::mt19937_64 rng(options.seed * 6364136223846793005ull + 1442695040888963407ull);
+
+  // A pooled set of AS paths (without the VP hop) keeps the generator's
+  // memory at one uint32 per (prefix, VP) cell instead of a full path.
+  constexpr size_t kPathPool = 1024;
+  std::vector<std::vector<Asn>> pool(kPathPool);
+  for (auto& path : pool) {
+    size_t hops = 2 + rng() % 3;
+    path.reserve(hops);
+    for (size_t h = 0; h < hops; ++h) path.push_back(Asn(1000 + rng() % 63000));
+  }
+
+  std::vector<Asn> vp_asns(n_vps);
+  std::vector<IpAddress> vp_addrs(n_vps);
+  for (size_t v = 0; v < n_vps; ++v) {
+    vp_asns[v] = Asn(65001 + v);
+    vp_addrs[v] = IpAddress::V4(0xC0000200u + uint32_t(v) + 1);  // 192.0.2.x
+  }
+
+  // Current collector state, cell (p, v) at p * n_vps + v.
+  std::vector<uint8_t> announced(n_prefixes * n_vps, 0);
+  std::vector<uint32_t> path_id(n_prefixes * n_vps, 0);
+  for (size_t p = 0; p < n_prefixes; ++p) {
+    for (size_t v = 0; v < n_vps; ++v) {
+      bool primary = v == p % n_vps;
+      bool carried =
+          primary || (options.extra_entry_probability > 0 &&
+                      double(rng() % 1000000) / 1000000.0 <
+                          options.extra_entry_probability);
+      size_t cell = p * n_vps + v;
+      announced[cell] = carried ? 1 : 0;
+      path_id[cell] = uint32_t(rng() % kPathPool);
+    }
+  }
+
+  SyntheticRibStats stats;
+  stats.start = start;
+  stats.end = final_t + (options.final_rib ? period : 0);
+
+  auto dump_path = [&](broker::DumpType type, Timestamp t,
+                       Timestamp duration) {
+    fs::path dir = fs::path(root) / options.project / options.collector /
+                   broker::DumpTypeName(type);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    return (dir / broker::ArchiveFileName(t, duration, 0)).string();
+  };
+
+  auto entry_attrs = [&](size_t v, uint32_t pid) {
+    bgp::PathAttributes attrs;
+    std::vector<Asn> path;
+    path.reserve(1 + pool[pid].size());
+    path.push_back(vp_asns[v]);
+    path.insert(path.end(), pool[pid].begin(), pool[pid].end());
+    attrs.as_path = bgp::AsPath::Sequence(std::move(path));
+    attrs.next_hop = vp_addrs[v];
+    return attrs;
+  };
+
+  auto write_rib = [&](Timestamp t) -> Status {
+    mrt::MrtFileWriter writer;
+    Timestamp rib_span = options.update_windows > 0
+                             ? Timestamp(options.update_windows) * period
+                             : period;
+    BGPS_RETURN_IF_ERROR(
+        writer.Open(dump_path(broker::DumpType::Rib, t, rib_span)));
+    mrt::PeerIndexTable pit;
+    pit.collector_bgp_id = 64512;
+    pit.view_name = options.collector;
+    for (size_t v = 0; v < n_vps; ++v)
+      pit.peers.push_back({uint32_t(vp_asns[v]), vp_addrs[v], vp_asns[v]});
+    BGPS_RETURN_IF_ERROR(writer.Write(mrt::EncodePeerIndexTable(t, pit)));
+    uint32_t seq = 0;
+    for (size_t p = 0; p < n_prefixes; ++p) {
+      mrt::RibPrefix rib;
+      rib.prefix = SyntheticPrefix(p);
+      for (size_t v = 0; v < n_vps; ++v) {
+        size_t cell = p * n_vps + v;
+        if (!announced[cell]) continue;
+        mrt::RibEntry entry;
+        entry.peer_index = uint16_t(v);
+        entry.originated_time = t;
+        entry.attrs = entry_attrs(v, path_id[cell]);
+        rib.entries.push_back(std::move(entry));
+      }
+      if (rib.entries.empty()) continue;
+      rib.sequence = seq++;
+      ++stats.rib_entries;
+      stats.rib_entries += rib.entries.size() - 1;
+      BGPS_RETURN_IF_ERROR(
+          writer.Write(mrt::EncodeRibPrefix(t, rib, rib.prefix.family())));
+    }
+    return writer.Close();
+  };
+
+  BGPS_RETURN_IF_ERROR(write_rib(start));
+
+  const IpAddress collector_addr = IpAddress::V4(0xC00002FEu);  // 192.0.2.254
+  size_t churn_per_window = size_t(double(n_prefixes) * options.churn_fraction);
+  for (int w = 0; w < options.update_windows; ++w) {
+    Timestamp wstart = start + Timestamp(w) * period;
+    mrt::MrtFileWriter writer;
+    BGPS_RETURN_IF_ERROR(
+        writer.Open(dump_path(broker::DumpType::Updates, wstart, period)));
+    for (size_t e = 0; e < churn_per_window; ++e) {
+      // Strictly inside (wstart, wstart + period), ascending — records
+      // land pre-sorted and never tie with the RIB records at `start`.
+      Timestamp t =
+          wstart + Timestamp((uint64_t(e) + 1) * uint64_t(period) /
+                             (uint64_t(churn_per_window) + 1));
+      size_t p = rng() % n_prefixes;
+      size_t v = p % n_vps;  // churn the primary VP's cell
+      size_t cell = p * n_vps + v;
+      mrt::Bgp4mpMessage msg;
+      msg.peer_asn = vp_asns[v];
+      msg.local_asn = 64512;
+      msg.peer_address = vp_addrs[v];
+      msg.local_address = collector_addr;
+      msg.message_type = bgp::MessageType::Update;
+      bool withdraw = announced[cell] && rng() % 100 < 30;
+      if (withdraw) {
+        announced[cell] = 0;
+        msg.update.withdrawn.push_back(SyntheticPrefix(p));
+      } else {
+        announced[cell] = 1;
+        path_id[cell] = uint32_t(rng() % kPathPool);
+        msg.update.announced.push_back(SyntheticPrefix(p));
+        msg.update.attrs = entry_attrs(v, path_id[cell]);
+      }
+      ++stats.update_messages;
+      BGPS_RETURN_IF_ERROR(writer.Write(mrt::EncodeBgp4mpUpdate(t, msg)));
+    }
+    BGPS_RETURN_IF_ERROR(writer.Close());
+  }
+
+  if (options.final_rib) BGPS_RETURN_IF_ERROR(write_rib(final_t));
+
+  broker::ArchiveIndex index(root);
+  BGPS_RETURN_IF_ERROR(index.Rescan());
+  stats.files = index.files().size();
+
+  std::ofstream marker(SyntheticMarkerPath(root));
+  marker << SyntheticSignature(options) << '\n'
+         << stats.start << ' ' << stats.end << ' ' << stats.rib_entries << ' '
+         << stats.update_messages << ' ' << stats.files << '\n';
+  if (!marker) return IoError("cannot write synthetic corpus marker");
+  return stats;
+}
+
+Result<SyntheticRibStats> EnsureSyntheticRib(const SyntheticRibOptions& options,
+                                             const std::string& root) {
+  std::ifstream marker(SyntheticMarkerPath(root));
+  if (marker) {
+    std::string signature;
+    SyntheticRibStats stats;
+    if (std::getline(marker, signature) &&
+        signature == SyntheticSignature(options) &&
+        (marker >> stats.start >> stats.end >> stats.rib_entries >>
+         stats.update_messages >> stats.files)) {
+      return stats;
+    }
+  }
+  return GenerateSyntheticRib(options, root);
 }
 
 }  // namespace bgps::sim

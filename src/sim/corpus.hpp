@@ -63,4 +63,51 @@ const std::vector<std::string>& CorpusScenarioNames();
 Result<CorpusStats> GenerateCorpus(const CorpusOptions& options,
                                    const std::string& root);
 
+// Synthetic million-prefix RIB archive (sharded-analytics scale tier).
+//
+// The scenario corpus above routes everything through the full routing
+// World, which keeps a per-prefix route map over all ASes — perfect for
+// behavioral fidelity, hopeless at 10^6 prefixes. This generator writes
+// the archive directly with the MRT encode layer instead: one collector,
+// a RIB dump over `prefixes` unique IPv4 /24s (each carried by its
+// primary VP plus each other VP with `extra_entry_probability`), then
+// `update_windows` updates dumps of seeded churn, then (optionally) a
+// closing RIB dump reflecting the churned state — so RoutingTables'
+// §6.2.1 compare/merge path runs at full scale too. Deterministic per
+// options: replaying the same options yields byte-identical files.
+struct SyntheticRibOptions {
+  std::string project = "routeviews";
+  std::string collector = "mega";
+  size_t prefixes = 1'000'000;
+  int vps = 4;
+  double extra_entry_probability = 0.25;
+  Timestamp start = 0;  // 0 => 2016-01-01 00:00:00 UTC
+  int update_windows = 4;
+  Timestamp update_period = 900;
+  // Fraction of prefixes touched per window (announce with a new path or
+  // withdraw, on the prefix's primary VP).
+  double churn_fraction = 0.01;
+  bool final_rib = true;
+  uint64_t seed = 1;
+};
+
+struct SyntheticRibStats {
+  Timestamp start = 0;
+  Timestamp end = 0;  // end of the covered interval (last window / final RIB)
+  size_t rib_entries = 0;       // RIB entries across all RIB dumps
+  size_t update_messages = 0;   // BGP4MP messages across all windows
+  size_t files = 0;
+};
+
+// Wipes `root` and writes the synthetic archive.
+Result<SyntheticRibStats> GenerateSyntheticRib(const SyntheticRibOptions& options,
+                                               const std::string& root);
+
+// Lazily-built variant for benches and stress tests: generates only when
+// `root` does not already hold an archive built from identical options
+// (recorded in a marker file), so the ~1M-record corpus is paid for once
+// per machine, not once per run.
+Result<SyntheticRibStats> EnsureSyntheticRib(const SyntheticRibOptions& options,
+                                             const std::string& root);
+
 }  // namespace bgps::sim

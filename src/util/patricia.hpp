@@ -6,11 +6,26 @@
 // longest-prefix match, and overlap queries (any stored prefix that
 // contains, or is contained by, the query prefix).
 //
+// Concurrency model (the pfxmonitor-style read path): nodes are
+// immutable once published — every mutation path-copies the spine from
+// the root to the changed node and swaps in a new root under a small
+// mutex (copy-on-write publish). snapshot() hands out the current root
+// as an immutable epoch: queries against a Snapshot — or against the
+// trie itself, whose const queries pin the root once per call — run
+// concurrently with a writer and always see a consistent trie, never a
+// torn one. The contract is single-writer / many-readers: mutations
+// must not race each other, reads are safe from any thread.
+//
+// Traversals are iterative with an explicit stack (a million-node trie
+// must not recurse per node), and erase() prunes now-valueless glue
+// chains so long-running monitors don't leak nodes.
+//
 // One trie holds a single address family; PrefixTable below pairs a
 // v4 and a v6 trie behind one interface.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -20,53 +35,143 @@ namespace bgps {
 
 template <typename V>
 class PatriciaTrie {
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
  public:
   explicit PatriciaTrie(IpFamily family) : family_(family) {}
 
+  PatriciaTrie(const PatriciaTrie&) = delete;
+  PatriciaTrie& operator=(const PatriciaTrie&) = delete;
+  PatriciaTrie(PatriciaTrie&& other) noexcept : family_(other.family_) {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    root_ = std::move(other.root_);
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
   IpFamily family() const { return family_; }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  bool empty() const { return size() == 0; }
+
+  // An immutable epoch of the trie: the root captured at snapshot()
+  // time plus the query algorithms. Reads cost the same as on the live
+  // trie and are unaffected by concurrent writers (which publish new
+  // roots without touching shared nodes).
+  class Snapshot {
+   public:
+    IpFamily family() const { return family_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const V* find(const Prefix& p) const {
+      if (p.family() != family_) return nullptr;
+      const Node* n = Locate(root_.get(), p);
+      return (n && n->value) ? &*n->value : nullptr;
+    }
+
+    std::optional<std::pair<Prefix, V>> longest_match(
+        const IpAddress& addr) const {
+      if (addr.family() != family_) return std::nullopt;
+      return LongestMatch(root_.get(), addr);
+    }
+
+    bool overlaps(const Prefix& q) const {
+      bool hit = false;
+      visit_overlaps(q, [&](const Prefix&, const V&) { hit = true; });
+      return hit;
+    }
+
+    template <typename Fn>
+    void visit_overlaps(const Prefix& q, Fn&& fn) const {
+      if (q.family() != family_) return;
+      VisitOverlaps(root_.get(), q, fn);
+    }
+
+    template <typename Fn>
+    void visit_matches(const IpAddress& addr, Fn&& fn) const {
+      if (addr.family() != family_) return;
+      VisitMatches(root_.get(), addr, fn);
+    }
+
+    template <typename Fn>
+    void visit_all(Fn&& fn) const {
+      VisitAll(root_.get(), fn);
+    }
+
+    std::vector<Prefix> keys() const {
+      std::vector<Prefix> out;
+      out.reserve(size_);
+      visit_all([&](const Prefix& p, const V&) { out.push_back(p); });
+      return out;
+    }
+
+   private:
+    friend class PatriciaTrie;
+    Snapshot(IpFamily family, NodePtr root, size_t size)
+        : family_(family), root_(std::move(root)), size_(size) {}
+
+    IpFamily family_;
+    NodePtr root_;
+    size_t size_ = 0;
+  };
+
+  // Captures the current epoch. O(1); safe concurrently with a writer.
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Snapshot(family_, root_, size_);
+  }
 
   // Inserts or overwrites. Returns true if the prefix was newly added.
   bool insert(const Prefix& p, V value) {
-    Node* n = find_or_create(p);
-    bool fresh = !n->value.has_value();
-    n->value = std::move(value);
-    if (fresh) ++size_;
+    NodePtr root;
+    size_t size;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      root = root_;
+      size = size_;
+    }
+    bool fresh = false;
+    NodePtr next = Insert(root, p, std::move(value), &fresh);
+    Publish(std::move(next), size + (fresh ? 1 : 0));
     return fresh;
   }
 
-  V* find(const Prefix& p) {
-    Node* n = locate(p);
-    return (n && n->value) ? &*n->value : nullptr;
-  }
-  const V* find(const Prefix& p) const {
-    return const_cast<PatriciaTrie*>(this)->find(p);
-  }
-
-  // Removes an exact prefix. Returns true if it was present.
+  // Removes an exact prefix, splicing out nodes that carry neither a
+  // value nor two children afterwards (glue pruning). Returns true if
+  // the prefix was present.
   bool erase(const Prefix& p) {
-    Node* n = locate(p);
-    if (!n || !n->value) return false;
-    n->value.reset();
-    --size_;
+    if (p.family() != family_) return false;
+    NodePtr root;
+    size_t size;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      root = root_;
+      size = size_;
+    }
+    bool erased = false;
+    NodePtr next = Erase(root, p, &erased);
+    if (!erased) return false;
+    Publish(std::move(next), size - 1);
     return true;
   }
 
+  const V* find(const Prefix& p) const {
+    if (p.family() != family_) return nullptr;
+    NodePtr root = Root();
+    const Node* n = Locate(root.get(), p);
+    return (n && n->value) ? &*n->value : nullptr;
+  }
+
   // Longest stored prefix containing `addr` (classic routing lookup).
-  std::optional<std::pair<Prefix, V>> longest_match(const IpAddress& addr) const {
+  std::optional<std::pair<Prefix, V>> longest_match(
+      const IpAddress& addr) const {
     if (addr.family() != family_) return std::nullopt;
-    const Node* n = root_.get();
-    std::optional<std::pair<Prefix, V>> best;
-    int depth = 0;
-    while (n) {
-      // Verify the node's full prefix really covers addr (patricia skips bits).
-      if (n->value && n->prefix.contains(addr)) best = {n->prefix, *n->value};
-      if (n->prefix.length() > depth) depth = n->prefix.length();
-      if (depth >= addr.width()) break;
-      n = addr.bit(n->prefix.length()) ? n->right.get() : n->left.get();
-    }
-    return best;
+    NodePtr root = Root();
+    return LongestMatch(root.get(), addr);
   }
 
   // True if any stored prefix overlaps `q` (contains it or is inside it).
@@ -80,7 +185,8 @@ class PatriciaTrie {
   template <typename Fn>
   void visit_overlaps(const Prefix& q, Fn&& fn) const {
     if (q.family() != family_) return;
-    visit_overlaps_rec(root_.get(), q, fn);
+    NodePtr root = Root();
+    VisitOverlaps(root.get(), q, fn);
   }
 
   // Invokes `fn(prefix, value)` for every stored prefix containing `addr`,
@@ -88,41 +194,156 @@ class PatriciaTrie {
   template <typename Fn>
   void visit_matches(const IpAddress& addr, Fn&& fn) const {
     if (addr.family() != family_) return;
-    const Node* n = root_.get();
-    while (n) {
-      if (n->value && n->prefix.contains(addr)) fn(n->prefix, *n->value);
-      if (n->prefix.length() >= addr.width()) break;
-      if (!n->prefix.contains(addr) && n->prefix.length() > 0) break;
-      n = addr.bit(n->prefix.length()) ? n->right.get() : n->left.get();
-    }
+    NodePtr root = Root();
+    VisitMatches(root.get(), addr, fn);
   }
 
   // Invokes `fn(prefix, value)` for every stored entry, in trie order.
   template <typename Fn>
   void visit_all(Fn&& fn) const {
-    visit_all_rec(root_.get(), fn);
+    NodePtr root = Root();
+    VisitAll(root.get(), fn);
   }
 
   std::vector<Prefix> keys() const {
     std::vector<Prefix> out;
-    visit_all([&](const Prefix& p, const V&) { out.push_back(p); });
+    NodePtr root;
+    size_t size;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      root = root_;
+      size = size_;
+    }
+    out.reserve(size);
+    VisitAll(root.get(), [&](const Prefix& p, const V&) { out.push_back(p); });
     return out;
+  }
+
+  // Total nodes in the current epoch, including valueless glue nodes —
+  // observability for the erase-prunes-glue guarantee.
+  size_t node_count() const {
+    NodePtr root = Root();
+    size_t count = 0;
+    std::vector<const Node*> stack;
+    if (root) stack.push_back(root.get());
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      ++count;
+      if (n->right) stack.push_back(n->right.get());
+      if (n->left) stack.push_back(n->left.get());
+    }
+    return count;
   }
 
  private:
   struct Node {
     explicit Node(Prefix p) : prefix(p) {}
+    Node(const Node&) = default;
     Prefix prefix;                 // masked; internal nodes have no value
     std::optional<V> value;
-    std::unique_ptr<Node> left;    // next bit == 0
-    std::unique_ptr<Node> right;   // next bit == 1
+    NodePtr left;                  // next bit == 0
+    NodePtr right;                 // next bit == 1
   };
+
+  NodePtr Root() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return root_;
+  }
+
+  void Publish(NodePtr root, size_t size) {
+    std::lock_guard<std::mutex> lock(mu_);
+    root_ = std::move(root);
+    size_ = size;
+  }
+
+  static std::shared_ptr<Node> Clone(const Node& n) {
+    return std::make_shared<Node>(n);
+  }
+
+  // Path-copying insert: returns the root of a trie with `p -> value`,
+  // sharing every untouched subtree with the input. Recursion depth is
+  // bounded by the strictly-increasing prefix lengths along the spine
+  // (<= 129 levels), not by node count.
+  static NodePtr Insert(const NodePtr& n, const Prefix& p, V&& value,
+                        bool* fresh) {
+    if (!n) {
+      auto leaf = Clone(Node(p));
+      leaf->value = std::move(value);
+      *fresh = true;
+      return leaf;
+    }
+    if (n->prefix == p) {
+      auto copy = Clone(*n);
+      *fresh = !copy->value.has_value();
+      copy->value = std::move(value);
+      return copy;
+    }
+    if (n->prefix.contains(p)) {
+      // Descend.
+      auto copy = Clone(*n);
+      bool bit = p.address().bit(n->prefix.length());
+      NodePtr& slot = bit ? copy->right : copy->left;
+      slot = Insert(slot, p, std::move(value), fresh);
+      return copy;
+    }
+    if (p.contains(n->prefix)) {
+      // p becomes an ancestor of n; n's subtree is shared as-is.
+      auto fresh_node = Clone(Node(p));
+      fresh_node->value = std::move(value);
+      bool bit = n->prefix.address().bit(p.length());
+      (bit ? fresh_node->right : fresh_node->left) = n;
+      *fresh = true;
+      return fresh_node;
+    }
+    // Diverge: insert a glue node at the longest common prefix.
+    int common = p.address().common_prefix_len(n->prefix.address());
+    int glue_len = std::min({common, p.length(), n->prefix.length()});
+    auto glue = Clone(Node(Prefix(p.address(), glue_len)));
+    bool nbit = n->prefix.address().bit(glue_len);
+    (nbit ? glue->right : glue->left) = n;
+    auto leaf = Clone(Node(p));
+    leaf->value = std::move(value);
+    (nbit ? glue->left : glue->right) = std::move(leaf);
+    *fresh = true;
+    return glue;
+  }
+
+  // A node that lost its value keeps the trie connected only while it
+  // has both children; with one child it is spliced out (the child keeps
+  // its full prefix, so bit-descent through the grandparent still works
+  // — every query re-checks contains() at each node), with none it
+  // vanishes.
+  static NodePtr PruneValueless(std::shared_ptr<Node> n) {
+    if (n->value) return n;
+    if (n->left && n->right) return n;
+    if (n->left) return n->left;
+    if (n->right) return n->right;
+    return nullptr;
+  }
+
+  static NodePtr Erase(const NodePtr& n, const Prefix& p, bool* erased) {
+    if (!n) return n;
+    if (n->prefix.length() > p.length() || !n->prefix.contains(p)) return n;
+    if (n->prefix == p) {
+      if (!n->value) return n;
+      *erased = true;
+      auto copy = Clone(*n);
+      copy->value.reset();
+      return PruneValueless(std::move(copy));
+    }
+    bool bit = p.address().bit(n->prefix.length());
+    const NodePtr& child = bit ? n->right : n->left;
+    NodePtr next = Erase(child, p, erased);
+    if (!*erased) return n;
+    auto copy = Clone(*n);
+    (bit ? copy->right : copy->left) = std::move(next);
+    return PruneValueless(std::move(copy));
+  }
 
   // Descends the trie along p's bits; returns the node whose prefix equals
   // p, or nullptr. Handles patricia bit-skipping by re-checking prefixes.
-  Node* locate(const Prefix& p) const {
-    if (p.family() != family_) return nullptr;
-    Node* n = root_.get();
+  static const Node* Locate(const Node* n, const Prefix& p) {
     while (n) {
       if (n->prefix.length() > p.length()) return nullptr;
       if (!n->prefix.contains(p)) return nullptr;
@@ -132,76 +353,78 @@ class PatriciaTrie {
     return nullptr;
   }
 
-  Node* find_or_create(const Prefix& p) {
-    std::unique_ptr<Node>* slot = &root_;
-    while (true) {
-      Node* n = slot->get();
-      if (!n) {
-        *slot = std::make_unique<Node>(p);
-        return slot->get();
-      }
-      if (n->prefix == p) return n;
-      if (n->prefix.contains(p)) {
-        // Descend.
-        slot = p.address().bit(n->prefix.length()) ? &n->right : &n->left;
-        continue;
-      }
-      if (p.contains(n->prefix)) {
-        // p becomes an ancestor of n.
-        auto fresh = std::make_unique<Node>(p);
-        bool bit = n->prefix.address().bit(p.length());
-        (bit ? fresh->right : fresh->left) = std::move(*slot);
-        *slot = std::move(fresh);
-        return slot->get();
-      }
-      // Diverge: insert a glue node at the longest common prefix.
-      int common = p.address().common_prefix_len(n->prefix.address());
-      int glue_len = std::min({common, p.length(), n->prefix.length()});
-      Prefix glue(p.address(), glue_len);
-      auto glue_node = std::make_unique<Node>(glue);
-      bool nbit = n->prefix.address().bit(glue_len);
-      (nbit ? glue_node->right : glue_node->left) = std::move(*slot);
-      *slot = std::move(glue_node);
-      Node* g = slot->get();
-      std::unique_ptr<Node>* pslot = p.address().bit(glue_len) ? &g->right : &g->left;
-      *pslot = std::make_unique<Node>(p);
-      return pslot->get();
+  static std::optional<std::pair<Prefix, V>> LongestMatch(
+      const Node* n, const IpAddress& addr) {
+    std::optional<std::pair<Prefix, V>> best;
+    int depth = 0;
+    while (n) {
+      // Verify the node's full prefix really covers addr (patricia skips bits).
+      if (n->value && n->prefix.contains(addr)) best = {n->prefix, *n->value};
+      if (n->prefix.length() > depth) depth = n->prefix.length();
+      if (depth >= addr.width()) break;
+      n = addr.bit(n->prefix.length()) ? n->right.get() : n->left.get();
+    }
+    return best;
+  }
+
+  template <typename Fn>
+  static void VisitMatches(const Node* n, const IpAddress& addr, Fn& fn) {
+    while (n) {
+      if (n->value && n->prefix.contains(addr)) fn(n->prefix, *n->value);
+      if (n->prefix.length() >= addr.width()) break;
+      if (!n->prefix.contains(addr) && n->prefix.length() > 0) break;
+      n = addr.bit(n->prefix.length()) ? n->right.get() : n->left.get();
+    }
+  }
+
+  // Iterative pre-order (node, left subtree, right subtree) with an
+  // explicit stack: pushing right before left makes the stack pop the
+  // left subtree first, matching the recursive visit order.
+  template <typename Fn>
+  static void VisitAll(const Node* root, Fn&& fn) {
+    std::vector<const Node*> stack;
+    if (root) stack.push_back(root);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (n->value) fn(n->prefix, *n->value);
+      if (n->right) stack.push_back(n->right.get());
+      if (n->left) stack.push_back(n->left.get());
     }
   }
 
   template <typename Fn>
-  static void visit_overlaps_rec(const Node* n, const Prefix& q, Fn& fn) {
-    if (!n) return;
-    if (!n->prefix.overlaps(q)) {
-      // A node not overlapping q can still have descendants that do only
-      // if q is *inside* the node's subtree span — impossible when they
-      // don't share the node's prefix. Prune.
-      if (!q.contains(n->prefix) && !n->prefix.contains(q)) return;
+  static void VisitOverlaps(const Node* root, const Prefix& q, Fn& fn) {
+    std::vector<const Node*> stack;
+    if (root) stack.push_back(root);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (!n->prefix.overlaps(q)) {
+        // A node not overlapping q can still have descendants that do
+        // only if q is *inside* the node's subtree span — impossible when
+        // they don't share the node's prefix. Prune.
+        if (!q.contains(n->prefix) && !n->prefix.contains(q)) continue;
+      }
+      if (n->value && n->prefix.overlaps(q)) fn(n->prefix, *n->value);
+      if (n->prefix.length() >= q.length()) {
+        // Everything below is more specific than q; all descendants that
+        // share q's prefix overlap. Walk both children, left first.
+        if (n->right) stack.push_back(n->right.get());
+        if (n->left) stack.push_back(n->left.get());
+      } else {
+        // Follow q's bit to stay on its path.
+        const Node* next = q.address().bit(n->prefix.length())
+                               ? n->right.get()
+                               : n->left.get();
+        if (next) stack.push_back(next);
+      }
     }
-    if (n->value && n->prefix.overlaps(q)) fn(n->prefix, *n->value);
-    if (n->prefix.length() >= q.length()) {
-      // Everything below is more specific than q; all descendants that
-      // share q's prefix overlap. Recurse into both children.
-      visit_overlaps_rec(n->left.get(), q, fn);
-      visit_overlaps_rec(n->right.get(), q, fn);
-    } else {
-      // Follow q's bit to stay on its path.
-      const Node* next = q.address().bit(n->prefix.length()) ? n->right.get()
-                                                             : n->left.get();
-      visit_overlaps_rec(next, q, fn);
-    }
-  }
-
-  template <typename Fn>
-  static void visit_all_rec(const Node* n, Fn& fn) {
-    if (!n) return;
-    if (n->value) fn(n->prefix, *n->value);
-    visit_all_rec(n->left.get(), fn);
-    visit_all_rec(n->right.get(), fn);
   }
 
   IpFamily family_;
-  std::unique_ptr<Node> root_;
+  mutable std::mutex mu_;  // guards root_/size_ publication only
+  NodePtr root_;
   size_t size_ = 0;
 };
 
@@ -214,13 +437,56 @@ class PrefixTable {
   bool insert(const Prefix& p, V value) {
     return trie(p.family()).insert(p, std::move(value));
   }
-  V* find(const Prefix& p) { return trie(p.family()).find(p); }
   const V* find(const Prefix& p) const {
     return p.family() == IpFamily::V4 ? v4_.find(p) : v6_.find(p);
   }
   bool erase(const Prefix& p) { return trie(p.family()).erase(p); }
   size_t size() const { return v4_.size() + v6_.size(); }
   bool empty() const { return size() == 0; }
+
+  // One immutable epoch across both families (each family's root is
+  // captured atomically; the pair is captured v4-then-v6).
+  class Snapshot {
+   public:
+    size_t size() const { return v4_.size() + v6_.size(); }
+    bool empty() const { return size() == 0; }
+    const V* find(const Prefix& p) const {
+      return p.family() == IpFamily::V4 ? v4_.find(p) : v6_.find(p);
+    }
+    std::optional<std::pair<Prefix, V>> longest_match(
+        const IpAddress& a) const {
+      return a.family() == IpFamily::V4 ? v4_.longest_match(a)
+                                        : v6_.longest_match(a);
+    }
+    bool overlaps(const Prefix& q) const {
+      return q.family() == IpFamily::V4 ? v4_.overlaps(q) : v6_.overlaps(q);
+    }
+    template <typename Fn>
+    void visit_overlaps(const Prefix& q, Fn&& fn) const {
+      if (q.family() == IpFamily::V4) v4_.visit_overlaps(q, fn);
+      else v6_.visit_overlaps(q, fn);
+    }
+    template <typename Fn>
+    void visit_matches(const IpAddress& a, Fn&& fn) const {
+      if (a.family() == IpFamily::V4) v4_.visit_matches(a, fn);
+      else v6_.visit_matches(a, fn);
+    }
+    template <typename Fn>
+    void visit_all(Fn&& fn) const {
+      v4_.visit_all(fn);
+      v6_.visit_all(fn);
+    }
+
+   private:
+    friend class PrefixTable;
+    Snapshot(typename PatriciaTrie<V>::Snapshot v4,
+             typename PatriciaTrie<V>::Snapshot v6)
+        : v4_(std::move(v4)), v6_(std::move(v6)) {}
+    typename PatriciaTrie<V>::Snapshot v4_;
+    typename PatriciaTrie<V>::Snapshot v6_;
+  };
+
+  Snapshot snapshot() const { return Snapshot(v4_.snapshot(), v6_.snapshot()); }
 
   std::optional<std::pair<Prefix, V>> longest_match(const IpAddress& a) const {
     return a.family() == IpFamily::V4 ? v4_.longest_match(a)

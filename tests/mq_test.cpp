@@ -265,6 +265,28 @@ TEST(Analysis, RunPartitionedKeepsOrder) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(results[size_t(i)], i * i);
 }
 
+TEST(Analysis, RunPartitionedOnExecutorKeepsOrder) {
+  core::Executor executor({.threads = 3});
+  std::vector<int> parts;
+  for (int i = 0; i < 64; ++i) parts.push_back(i);
+  auto results =
+      analysis::RunPartitioned(parts, [](int p) { return p * p; }, &executor);
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[size_t(i)], i * i);
+  // Empty partition list short-circuits without touching the pool.
+  auto none = analysis::RunPartitioned(std::vector<int>{},
+                                       [](int p) { return p; }, &executor);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Analysis, RunPartitionedNullExecutorFallsBackToThreads) {
+  std::vector<int> parts{1, 2, 3, 4, 5};
+  auto results = analysis::RunPartitioned(
+      parts, [](int p) { return p + 10; }, static_cast<core::Executor*>(nullptr));
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(results[i], int(i) + 11);
+}
+
 TEST(Analysis, Stats) {
   std::vector<int> v{5, 1, 9, 3, 7};
   EXPECT_DOUBLE_EQ(analysis::Mean(v), 5.0);

@@ -1,0 +1,131 @@
+#include "core/strand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace bgps::core {
+namespace {
+
+// An Executor tenant is FIFO in *start* order but two of its tasks can
+// overlap on different workers; the strand's whole job is to close that
+// gap. Appending to a plain (unsynchronized) vector from many posting
+// threads is exactly the access pattern sharded RoutingTables relies
+// on — it only works if the strand really serializes execution.
+TEST(Strand, SerializesTasksInPostOrder) {
+  Executor executor({.threads = 4});
+  auto tenant = executor.CreateTenant();
+  Strand strand(tenant.get());
+
+  std::vector<int> log;  // deliberately not synchronized
+  constexpr int kTasks = 5000;
+  for (int i = 0; i < kTasks; ++i) {
+    strand.Post([&log, i] { log.push_back(i); });
+  }
+  strand.Drain();
+
+  ASSERT_EQ(log.size(), size_t(kTasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(log[i], i) << "out of order at " << i;
+  EXPECT_EQ(strand.completed(), size_t(kTasks));
+}
+
+TEST(Strand, PostsFromManyThreadsStaySerialized) {
+  Executor executor({.threads = 4});
+  auto tenant = executor.CreateTenant();
+  Strand strand(tenant.get());
+
+  // Posters race each other (so global order is arbitrary) but each
+  // poster's own sequence must appear in order, and the total must be
+  // exact — any concurrent execution inside the strand would corrupt
+  // the unsynchronized vector or drop entries.
+  constexpr int kPosters = 4;
+  constexpr int kPerPoster = 2000;
+  std::vector<std::pair<int, int>> log;
+  std::vector<std::thread> posters;
+  for (int p = 0; p < kPosters; ++p) {
+    posters.emplace_back([&, p] {
+      for (int i = 0; i < kPerPoster; ++i) {
+        strand.Post([&log, p, i] { log.emplace_back(p, i); });
+      }
+    });
+  }
+  for (auto& t : posters) t.join();
+  strand.Drain();
+
+  ASSERT_EQ(log.size(), size_t(kPosters) * kPerPoster);
+  std::vector<int> next(kPosters, 0);
+  for (const auto& [p, i] : log) {
+    EXPECT_EQ(i, next[p]) << "poster " << p << " reordered";
+    next[p] = i + 1;
+  }
+}
+
+TEST(Strand, TasksMayPostMoreTasks) {
+  Executor executor({.threads = 2});
+  auto tenant = executor.CreateTenant();
+  Strand strand(tenant.get());
+
+  std::vector<int> log;
+  strand.Post([&] {
+    log.push_back(1);
+    strand.Post([&] { log.push_back(3); });
+    log.push_back(2);
+  });
+  strand.Drain();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Strand, DrainOnEmptyStrandReturnsImmediately) {
+  Executor executor({.threads = 2});
+  auto tenant = executor.CreateTenant();
+  Strand strand(tenant.get());
+  strand.Drain();
+  EXPECT_EQ(strand.completed(), 0u);
+  strand.Post([] {});
+  strand.Drain();
+  strand.Drain();  // idempotent
+  EXPECT_EQ(strand.completed(), 1u);
+}
+
+TEST(Strand, IndependentStrandsOnOneTenantProgressIndependently) {
+  Executor executor({.threads = 4});
+  auto tenant = executor.CreateTenant();
+  constexpr int kStrands = 3;
+  constexpr int kTasks = 1000;
+  std::vector<std::unique_ptr<Strand>> strands;
+  std::vector<std::vector<int>> logs(kStrands);
+  for (int s = 0; s < kStrands; ++s)
+    strands.push_back(std::make_unique<Strand>(tenant.get()));
+  for (int i = 0; i < kTasks; ++i) {
+    for (int s = 0; s < kStrands; ++s) {
+      strands[s]->Post([&logs, s, i] { logs[s].push_back(i); });
+    }
+  }
+  for (auto& s : strands) s->Drain();
+  for (int s = 0; s < kStrands; ++s) {
+    ASSERT_EQ(logs[s].size(), size_t(kTasks));
+    for (int i = 0; i < kTasks; ++i) EXPECT_EQ(logs[s][i], i);
+  }
+}
+
+// Destruction drains: the lambda's captures must stay valid until the
+// last posted task ran.
+TEST(Strand, DestructorDrainsPendingTasks) {
+  Executor executor({.threads = 4});
+  auto tenant = executor.CreateTenant();
+  std::atomic<int> ran{0};
+  {
+    Strand strand(tenant.get());
+    for (int i = 0; i < 500; ++i) strand.Post([&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+}  // namespace
+}  // namespace bgps::core

@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 
+#include "core/executor.hpp"
 #include "corsaro/corsaro.hpp"
 #include "corsaro/moas.hpp"
 #include "corsaro/pfxmonitor.hpp"
@@ -30,6 +32,9 @@ void Usage() {
                     pfxmonitor:PFX[,PFX...]  monitor address ranges (Fig. 6)
                     moas                     live MOAS/hijack events
                     rt                       routing-tables plugin (Fig. 9)
+                    rt:shards=N[,threads=M]  sharded RT apply on an M-thread
+                                             pool (default 4); output is
+                                             identical at any shard count
 )");
 }
 
@@ -93,6 +98,9 @@ int main(int argc, char** argv) {
   stream.SetDataInterface(&di);
   if (Status st = stream.Start(); !st.ok()) return fail(st.ToString());
 
+  // Declared before the engine: the engine owns the plugins, so it (and
+  // the sharded RT plugin's strands) must be destroyed before the pool.
+  std::unique_ptr<core::Executor> executor;
   corsaro::BgpCorsaro engine(&stream, bin);
   corsaro::RoutingTables* rt_plugin = nullptr;
 
@@ -128,7 +136,26 @@ int main(int argc, char** argv) {
                         ev.prefix.ToString().c_str(), origins.c_str());
           }));
     } else if (name == "rt") {
-      auto rt = std::make_unique<corsaro::RoutingTables>();
+      corsaro::RoutingTables::Options rt_opt;
+      size_t pool_threads = 4;
+      for (const auto& tok : SplitSkipEmpty(args, ',')) {
+        if (tok.rfind("shards=", 0) == 0) {
+          rt_opt.shards = std::strtoull(tok.c_str() + 7, nullptr, 10);
+          if (rt_opt.shards == 0) return fail("rt shards must be >= 1");
+        } else if (tok.rfind("threads=", 0) == 0) {
+          pool_threads = std::strtoull(tok.c_str() + 8, nullptr, 10);
+          if (pool_threads == 0) return fail("rt threads must be >= 1");
+        } else {
+          return fail("unknown rt option: " + tok);
+        }
+      }
+      if (rt_opt.shards > 1) {
+        if (!executor)
+          executor = std::make_unique<core::Executor>(
+              core::Executor::Options{.threads = pool_threads});
+        rt_opt.executor = executor.get();
+      }
+      auto rt = std::make_unique<corsaro::RoutingTables>(rt_opt);
       rt_plugin = rt.get();
       rt->set_diff_callback(
           [](Timestamp bin_start, const std::vector<corsaro::DiffCell>& diffs) {
@@ -148,6 +175,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bgpcorsaro: rt accuracy: %zu mismatches / %zu compared\n",
                  rt_plugin->rib_mismatches(), rt_plugin->rib_compared_prefixes());
+    auto shard_stats = rt_plugin->shard_stats();
+    if (shard_stats.size() > 1) {
+      for (size_t i = 0; i < shard_stats.size(); ++i) {
+        std::fprintf(stderr,
+                     "bgpcorsaro: rt shard %zu: vps=%zu elems=%zu batches=%zu\n",
+                     i, shard_stats[i].vps, shard_stats[i].applied_elems,
+                     shard_stats[i].batches);
+      }
+    }
   }
   return 0;
 }
