@@ -21,6 +21,7 @@
 #include "mrt/encode.hpp"
 #include "mrt/file.hpp"
 #include "mrt/mrt.hpp"
+#include "pool/record_fanout.hpp"
 #include "pool/stream_pool.hpp"
 #include "sim/corpus.hpp"
 #include "util/patricia.hpp"
@@ -797,6 +798,73 @@ BGPS_STREAM_BENCH(BM_MultiTenantWeightedOnlyLive);
 BGPS_STREAM_BENCH(BM_MultiTenantDeadlineLive);
 
 #undef BGPS_STREAM_BENCH
+
+// --- Record-plane fan-out: decode once, serve N subscribers ----------------
+//
+// One RecordPublisher drains the synthetic archive into an in-memory
+// cluster; N concurrent RecordSubscribers each re-materialize the full
+// stream (records + elems). The `decodes_per_run` counter pins the
+// tier's whole point: it stays equal to the archive's file count at
+// N=1, 4, and 16 — subscribers cost socket/queue work, never MRT
+// decode. items/s counts records *delivered* (published × N).
+void BM_FanOut1PublisherNSubscribers(benchmark::State& state) {
+  const size_t n_subs = size_t(state.range(0));
+  const auto& files = GetThroughputArchive();
+  size_t file_opens = 0, delivered = 0;
+  for (auto _ : state) {
+    mq::Cluster cluster;
+    BatchedDataInterface di(files, files.size(),
+                            std::chrono::microseconds(0));
+    core::BgpStream::Options opt;
+    opt.file_open_hook = [&file_opens](const broker::DumpFileMeta&) {
+      ++file_opens;
+    };
+    core::BgpStream stream(std::move(opt));
+    stream.SetInterval(0, 4102444800);
+    stream.SetDataInterface(&di);
+    if (!stream.Start().ok()) std::abort();
+
+    pool::RecordPublisher::Options popt;
+    popt.cluster = &cluster;
+    pool::RecordPublisher publisher(popt);
+    auto stats = publisher.Run(stream);
+    if (!stats.ok()) std::abort();
+
+    std::atomic<size_t> drained{0};
+    std::vector<std::thread> subs;
+    subs.reserve(n_subs);
+    for (size_t s = 0; s < n_subs; ++s) {
+      subs.emplace_back([&] {
+        pool::RecordSubscriber::Options sopt;
+        sopt.cluster = &cluster;
+        sopt.filters.interval = {0, 4102444800};
+        pool::RecordSubscriber sub(sopt);
+        if (!sub.Start().ok()) std::abort();
+        size_t local = 0;
+        while (auto rec = sub.NextRecord()) {
+          for (const auto& e : sub.Elems(*rec)) {
+            benchmark::DoNotOptimize(e.time);
+          }
+          ++local;
+        }
+        drained += local;
+      });
+    }
+    for (auto& t : subs) t.join();
+    delivered += drained.load();
+  }
+  state.SetItemsProcessed(int64_t(delivered));
+  state.counters["decodes_per_run"] =
+      double(file_opens) / double(state.iterations());
+  state.counters["records_delivered_per_run"] =
+      double(delivered) / double(state.iterations());
+}
+
+BENCHMARK(BM_FanOut1PublisherNSubscribers)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

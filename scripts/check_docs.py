@@ -10,7 +10,8 @@
    operator guide can never drift ahead of (or behind) the CLI.
 3. Built-binary help drift: for each CLI tool (bgpreader = argv[1] /
    $BGPREADER / build*/bgpreader, bgpsim = argv[2] / $BGPSIM /
-   build*/bgpsim), run `<tool> --help` and diff its output against the
+   build*/bgpsim, bgpfanout = argv[3] / $BGPFANOUT /
+   build*/bgpfanout), run `<tool> --help` and diff its output against the
    usage raw-string in the tool's source. Check 2 reads the *source*,
    so a stale binary (or a build that somehow diverges from the tree)
    would otherwise pass silently; each leg is skipped with a notice
@@ -89,6 +90,7 @@ def check_pool_flags() -> list[str]:
 TOOLS = [
     ("bgpreader", "tools/bgpreader.cpp", 1, "BGPREADER"),
     ("bgpsim", "tools/bgpsim.cpp", 2, "BGPSIM"),
+    ("bgpfanout", "tools/bgpfanout.cpp", 3, "BGPFANOUT"),
 ]
 
 

@@ -1,6 +1,7 @@
 #include "core/filter.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/strings.hpp"
 
@@ -145,6 +146,25 @@ Status FilterSet::AddOption(const std::string& key, const std::string& value) {
     else if (value == "withdrawals") elem_types.push_back(ElemType::Withdrawal);
     else if (value == "peerstates") elem_types.push_back(ElemType::PeerState);
     else return InvalidArgument("unknown elem type: " + value);
+    return OkStatus();
+  }
+  if (key == "interval") {
+    // "start,end" in unix seconds — the option form of SetInterval, so
+    // remote subscription protocols can carry the time window through
+    // the same key/value channel as every other filter.
+    auto comma = value.find(',');
+    if (comma == std::string::npos)
+      return InvalidArgument("interval needs start,end: " + value);
+    const std::string a = value.substr(0, comma);
+    const std::string b = value.substr(comma + 1);
+    char* end = nullptr;
+    long long start_s = std::strtoll(a.c_str(), &end, 10);
+    if (a.empty() || *end != '\0')
+      return InvalidArgument("bad interval start: " + value);
+    long long end_s = std::strtoll(b.c_str(), &end, 10);
+    if (b.empty() || *end != '\0')
+      return InvalidArgument("bad interval end: " + value);
+    interval = {Timestamp(start_s), Timestamp(end_s)};
     return OkStatus();
   }
   if (key == "ipversion") {

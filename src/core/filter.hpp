@@ -81,7 +81,8 @@ class FilterSet {
   //   project, collector, type (ribs|updates), prefix ([exact|more|less|any]
   //   <pfx>), community (<asn|*>:<value|*>), peer <asn>, elemtype
   //   (ribs|announcements|withdrawals|peerstates), path <asn>,
-  //   aspath <pattern> (see AsPathPattern), ipversion (4|6)
+  //   aspath <pattern> (see AsPathPattern), ipversion (4|6),
+  //   interval (<start>,<end> unix seconds)
   Status AddOption(const std::string& key, const std::string& value);
 
   // True if a dump file with this provenance can contribute to the stream.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <string>
+
+#include "core/executor.hpp"
 
 namespace bgps::core {
 
@@ -168,6 +171,81 @@ size_t MemoryGovernor::waiting() const {
 MemoryGovernor::Stats MemoryGovernor::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {capacity_, in_use_, max_in_use_, waiters_.size()};
+}
+
+size_t MemoryGovernor::contention_hook_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contention_hooks_.size();
+}
+
+namespace {
+
+using TickKey = std::pair<const MemoryGovernor*, const Executor*>;
+
+struct TickRegistryState {
+  std::mutex mu;
+  // Weak so the map never extends an entry's life: the Shares do.
+  std::map<TickKey, std::weak_ptr<void>> entries;
+};
+
+// Leaked on purpose: entry destructors may run during static teardown
+// of arbitrary translation units and must find the registry alive.
+TickRegistryState& TickRegistry() {
+  static auto* state = new TickRegistryState();
+  return *state;
+}
+
+// The refcounted payload behind a Share. Destruction (last Share
+// dropped) unhooks the governor and clears the registry slot.
+struct TickEntry {
+  std::weak_ptr<MemoryGovernor> governor;
+  uint64_t hook_id = 0;
+  TickKey key;
+
+  ~TickEntry() {
+    {
+      auto& reg = TickRegistry();
+      std::lock_guard<std::mutex> lock(reg.mu);
+      auto it = reg.entries.find(key);
+      // Erase only our own (now expired) slot: a concurrent Acquire may
+      // already have replaced it with a fresh entry for the same pair.
+      if (it != reg.entries.end() && it->second.expired())
+        reg.entries.erase(it);
+    }
+    if (auto gov = governor.lock(); gov && hook_id != 0)
+      gov->RemoveContentionHook(hook_id);
+  }
+};
+
+}  // namespace
+
+ReclaimTickRegistry::Share ReclaimTickRegistry::Acquire(
+    const std::shared_ptr<MemoryGovernor>& governor,
+    const std::shared_ptr<Executor>& executor) {
+  if (!governor || !executor) return nullptr;
+  auto& reg = TickRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  TickKey key{governor.get(), executor.get()};
+  auto it = reg.entries.find(key);
+  if (it != reg.entries.end()) {
+    if (auto live = it->second.lock()) return live;
+  }
+  auto entry = std::make_shared<TickEntry>();
+  entry->governor = governor;
+  entry->key = key;
+  // Aliveness is keyed to the entry (the pair's pooled interest), not
+  // to any single caller: the hook survives stream churn as long as
+  // one Share holds it and self-prunes once the last drops.
+  entry->hook_id = governor->AddContentionHook(
+      [we = std::weak_ptr<TickEntry>(entry),
+       ex = std::weak_ptr<Executor>(executor)] {
+        if (we.expired()) return false;
+        auto e = ex.lock();
+        if (e) e->RequestReclaimTick();
+        return e != nullptr;
+      });
+  reg.entries[key] = entry;
+  return entry;
 }
 
 }  // namespace bgps::core

@@ -53,6 +53,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -60,6 +61,8 @@
 #include "util/result.hpp"
 
 namespace bgps::core {
+
+class Executor;
 
 class MemoryGovernor {
  public:
@@ -127,6 +130,9 @@ class MemoryGovernor {
   // the exact double-release diagnostic, permanently.
   Status health() const;
 
+  // Currently registered contention hooks (proves hook dedup in tests).
+  size_t contention_hook_count() const;
+
   // Slots currently leased.
   size_t in_use() const;
   // High watermark of in_use() — proves the hard cap in tests.
@@ -159,6 +165,30 @@ class MemoryGovernor {
   size_t in_use_ = 0;
   size_t max_in_use_ = 0;
   Status health_;  // latched by the first over-release
+};
+
+// Deduplicates the waiter-driven reclaim trigger: every component that
+// wants "contention on governor G should tick reclaim on executor E"
+// used to register its own contention hook, so K decoders sharing one
+// executor fired K redundant RequestReclaimTick calls per re-signal and
+// grew the governor's hook list K-wide. The registry keys one shared
+// hook on the (governor, executor) pair; callers hold a Share, and the
+// hook is registered on the first Acquire and deregistered when the
+// last Share for the pair drops. The hook itself is the same as before:
+// weak-captured, fires Executor::RequestReclaimTick(), self-prunes once
+// the executor (or the last Share) is gone.
+class ReclaimTickRegistry {
+ public:
+  // Opaque refcount on the pair's shared hook. reset() (or destruction)
+  // drops this holder's interest; the underlying hook is removed when
+  // the last holder lets go.
+  using Share = std::shared_ptr<void>;
+
+  // Registers (or joins) the shared contention hook tying `governor`
+  // contention to `executor` reclaim ticks. Null inputs yield an empty
+  // Share and register nothing.
+  static Share Acquire(const std::shared_ptr<MemoryGovernor>& governor,
+                       const std::shared_ptr<Executor>& executor);
 };
 
 }  // namespace bgps::core

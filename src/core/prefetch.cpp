@@ -109,32 +109,25 @@ PrefetchDecoder::PrefetchDecoder(Options options)
     tenant_->SetIdleReclaim(options_.idle_reclaim_rounds,
                             [st = state_] { ReclaimIdle(st); });
     if (options_.governor) {
-      // Wire the waiter-driven reclaim trigger ourselves, so the
-      // executor+governor embedding works without a StreamPool (which
-      // also wires one — duplicates are harmless: RequestReclaimTick
-      // coalesces, and mark aging is wall-rate-limited). Aliveness is
-      // keyed to this decoder's State (the executor may be shared and
-      // long-lived), so stream churn self-prunes from the governor.
-      contention_hook_id_ = options_.governor->AddContentionHook(
-          [st = std::weak_ptr<State>(state_),
-           ex = std::weak_ptr<Executor>(executor_)] {
-            if (st.expired()) return false;
-            auto e = ex.lock();
-            if (e) e->RequestReclaimTick();
-            return e != nullptr;
-          });
+      // Wire the waiter-driven reclaim trigger, so the executor+governor
+      // embedding works without a StreamPool. The registry pools the
+      // hook per (governor, executor) pair: K decoders on one shared
+      // executor hold K Shares of ONE hook, so a contention re-signal
+      // fires one RequestReclaimTick instead of K redundant ones and
+      // the governor's hook list stays flat under stream churn.
+      tick_share_ = ReclaimTickRegistry::Acquire(options_.governor, executor_);
     }
   }
 }
 
 PrefetchDecoder::~PrefetchDecoder() {
-  // Deregister the contention hook eagerly: on a never-contended
-  // governor the self-prune-on-fire would otherwise never run, and
-  // stream churn would grow the hook list. (A fire already in flight
-  // may still call its copy once; the weak captures make that a no-op.)
-  if (contention_hook_id_ != 0) {
-    options_.governor->RemoveContentionHook(contention_hook_id_);
-  }
+  // Drop our share of the pooled contention hook eagerly: on a
+  // never-contended governor the self-prune-on-fire would otherwise
+  // never run. The hook itself is removed only when the last decoder
+  // sharing the (governor, executor) pair lets go. (A fire already in
+  // flight may still call its copy once; the weak captures make that a
+  // no-op.)
+  tick_share_.reset();
   {
     // Stop fill loops early and stop refill scheduling; queued tasks
     // are discarded by the tenant below, running ones finish.

@@ -282,9 +282,9 @@ class PrefetchDecoder {
 
   Options options_;
   std::shared_ptr<State> state_;
-  // Handle of the governor contention hook this decoder registered
-  // (0 = none); removed eagerly in the destructor.
-  uint64_t contention_hook_id_ = 0;
+  // Share of the (governor, executor) pair's pooled contention hook
+  // (see ReclaimTickRegistry); dropped eagerly in the destructor.
+  ReclaimTickRegistry::Share tick_share_;
   // Private pool when no shared executor was injected. Declared before
   // tenant_ so the tenant detaches first (members destruct in reverse).
   std::shared_ptr<Executor> executor_;

@@ -117,18 +117,19 @@ void GlobalViewConsumer::ProcessBin(Timestamp bin_start) {
 
 size_t GlobalViewConsumer::Poll() {
   size_t processed = 0;
-  for (const auto& marker_msg : ready_.Poll()) {
-    auto marker = DecodeReadyMarker(marker_msg.value);
+  // RT topics are unbounded (no retention), so the polls cannot fail.
+  for (const auto& marker_msg : ready_.Poll().value_or({})) {
+    auto marker = DecodeReadyMarker(marker_msg->value);
     if (!marker.ok()) continue;
     // Advance the view exactly to the ready bin: per-topic order is bin
     // order, so apply messages stamped at or before the bin and keep the
     // rest for later markers.
     for (size_t i = 0; i < rt_consumers_.size(); ++i) {
-      for (auto& msg : rt_consumers_[i].Poll())
+      for (auto& msg : rt_consumers_[i].Poll().value_or({}))
         pending_[i].push_back(std::move(msg));
       while (!pending_[i].empty() &&
-             pending_[i].front().timestamp <= marker->bin_start) {
-        Apply(pending_[i].front());
+             pending_[i].front()->timestamp <= marker->bin_start) {
+        Apply(*pending_[i].front());
         pending_[i].pop_front();
       }
     }

@@ -77,7 +77,7 @@ class GlobalViewConsumer {
   // Fetched but not-yet-applied messages per collector topic: the view is
   // advanced only up to the bin being processed, so a consumer lagging
   // behind the producers still computes each bin's true snapshot.
-  std::vector<std::deque<Message>> pending_;
+  std::vector<std::deque<MessagePtr>> pending_;
   Consumer ready_;
   std::map<corsaro::VpKey, std::map<Prefix, corsaro::RtCell>> view_;
   std::vector<VisibilityRow> country_rows_;

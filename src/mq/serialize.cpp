@@ -1,5 +1,7 @@
 #include "mq/serialize.hpp"
 
+#include <algorithm>
+
 #include "bgp/attrs.hpp"
 
 namespace bgps::mq {
@@ -152,6 +154,204 @@ Result<RtMessageKind> PeekKind(const Bytes& data) {
   uint8_t k = data[0];
   if (k != 1 && k != 2) return CorruptError("bad message kind");
   return RtMessageKind(k);
+}
+
+// --- Record-plane fan-out codec -------------------------------------------
+
+namespace {
+
+void WriteIp(BufWriter& w, const IpAddress& ip) {
+  w.u8(ip.is_v4() ? 4 : 6);
+  w.bytes(std::span<const uint8_t>(ip.bytes().data(), ip.is_v4() ? 4u : 16u));
+}
+
+Result<IpAddress> ReadIp(BufReader& r) {
+  BGPS_ASSIGN_OR_RETURN(uint8_t fam, r.u8());
+  if (fam == 4) {
+    BGPS_ASSIGN_OR_RETURN(auto raw, r.view(4));
+    return IpAddress::V4(raw[0], raw[1], raw[2], raw[3]);
+  }
+  if (fam == 6) {
+    BGPS_ASSIGN_OR_RETURN(auto raw, r.view(16));
+    std::array<uint8_t, 16> bytes;
+    std::copy(raw.begin(), raw.end(), bytes.begin());
+    return IpAddress::V6(bytes);
+  }
+  return CorruptError("bad address family");
+}
+
+// AS path serialized segment-exact (type + member list per segment):
+// the text form would merge adjacent sequences, and round-trip
+// exactness is part of the codec's contract.
+void WriteAsPath(BufWriter& w, const bgp::AsPath& path) {
+  w.u8(uint8_t(path.segments().size()));
+  for (const auto& seg : path.segments()) {
+    w.u8(uint8_t(seg.type));
+    w.u16(uint16_t(seg.asns.size()));
+    for (bgp::Asn asn : seg.asns) w.u32(asn);
+  }
+}
+
+Result<bgp::AsPath> ReadAsPath(BufReader& r) {
+  bgp::AsPath path;
+  BGPS_ASSIGN_OR_RETURN(uint8_t nseg, r.u8());
+  for (int s = 0; s < nseg; ++s) {
+    bgp::AsPathSegment seg;
+    BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
+    if (type != uint8_t(bgp::SegmentType::AsSet) &&
+        type != uint8_t(bgp::SegmentType::AsSequence)) {
+      return CorruptError("bad AS-path segment type");
+    }
+    seg.type = bgp::SegmentType(type);
+    BGPS_ASSIGN_OR_RETURN(uint16_t nasn, r.u16());
+    for (int i = 0; i < nasn; ++i) {
+      BGPS_ASSIGN_OR_RETURN(uint32_t asn, r.u32());
+      seg.asns.push_back(asn);
+    }
+    path.append_segment(std::move(seg));
+  }
+  return path;
+}
+
+void WriteElem(BufWriter& w, const core::Elem& e) {
+  w.u8(uint8_t(e.type));
+  w.u64(uint64_t(e.time));
+  WriteIp(w, e.peer_address);
+  w.u32(e.peer_asn);
+  WriteIp(w, e.prefix.address());
+  w.u8(uint8_t(e.prefix.length()));
+  WriteIp(w, e.next_hop);
+  WriteAsPath(w, e.as_path);
+  w.u16(uint16_t(e.communities.size()));
+  for (auto c : e.communities) w.u32(c.raw());
+  w.u16(uint16_t(e.old_state));
+  w.u16(uint16_t(e.new_state));
+}
+
+Status ReadElemInto(BufReader& r, core::Elem& e) {
+  BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
+  e.type = core::ElemType(type);
+  BGPS_ASSIGN_OR_RETURN(uint64_t time, r.u64());
+  e.time = Timestamp(time);
+  BGPS_ASSIGN_OR_RETURN(e.peer_address, ReadIp(r));
+  BGPS_ASSIGN_OR_RETURN(e.peer_asn, r.u32());
+  BGPS_ASSIGN_OR_RETURN(IpAddress pfx_addr, ReadIp(r));
+  BGPS_ASSIGN_OR_RETURN(uint8_t pfx_len, r.u8());
+  e.prefix = Prefix(pfx_addr, pfx_len);
+  BGPS_ASSIGN_OR_RETURN(e.next_hop, ReadIp(r));
+  BGPS_ASSIGN_OR_RETURN(e.as_path, ReadAsPath(r));
+  BGPS_ASSIGN_OR_RETURN(uint16_t ncomm, r.u16());
+  e.communities.clear();
+  for (int i = 0; i < ncomm; ++i) {
+    BGPS_ASSIGN_OR_RETURN(uint32_t raw, r.u32());
+    e.communities.push_back(bgp::Community(raw));
+  }
+  BGPS_ASSIGN_OR_RETURN(uint16_t old_state, r.u16());
+  e.old_state = bgp::FsmState(old_state);
+  BGPS_ASSIGN_OR_RETURN(uint16_t new_state, r.u16());
+  e.new_state = bgp::FsmState(new_state);
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string RecordTopic(const std::string& collector) {
+  return kRecordTopicPrefix + collector;
+}
+
+Bytes EncodeRecordBatch(const RecordBatchMessage& msg) {
+  BufWriter w;
+  w.u8(uint8_t(RecordMessageKind::Batch));
+  w.u8(kRecordBatchVersion);
+  WriteString(w, msg.project);
+  WriteString(w, msg.collector);
+  w.u32(uint32_t(msg.records.size()));
+  for (const auto& pr : msg.records) {
+    const core::Record& rec = pr.record;
+    w.u64(pr.seq);
+    w.u8(uint8_t(rec.dump_type));
+    w.u64(uint64_t(rec.dump_time));
+    w.u8(uint8_t(rec.status));
+    w.u8(uint8_t(rec.position));
+    w.u64(uint64_t(rec.timestamp));
+    const auto& elems = rec.prefetched_elems;
+    w.u32(elems ? uint32_t(elems->size()) : 0u);
+    if (elems) {
+      for (const auto& e : *elems) WriteElem(w, e);
+    }
+  }
+  return w.take();
+}
+
+Status DecodeRecordBatchInto(const Bytes& data, RecordBatchMessage& out) {
+  BufReader r(data);
+  BGPS_ASSIGN_OR_RETURN(uint8_t kind, r.u8());
+  if (kind != uint8_t(RecordMessageKind::Batch))
+    return CorruptError("not a record batch");
+  BGPS_ASSIGN_OR_RETURN(uint8_t version, r.u8());
+  if (version != kRecordBatchVersion)
+    return UnsupportedError("record batch version " + std::to_string(version));
+  BGPS_ASSIGN_OR_RETURN(out.project, ReadString(r));
+  BGPS_ASSIGN_OR_RETURN(out.collector, ReadString(r));
+  const InternedString project(out.project);
+  const InternedString collector(out.collector);
+  BGPS_ASSIGN_OR_RETURN(uint32_t n, r.u32());
+  out.records.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PublishedRecord& pr = out.records[i];
+    core::Record& rec = pr.record;
+    BGPS_ASSIGN_OR_RETURN(pr.seq, r.u64());
+    rec.project = project;
+    rec.collector = collector;
+    BGPS_ASSIGN_OR_RETURN(uint8_t dump_type, r.u8());
+    rec.dump_type = core::DumpType(dump_type);
+    BGPS_ASSIGN_OR_RETURN(uint64_t dump_time, r.u64());
+    rec.dump_time = Timestamp(dump_time);
+    BGPS_ASSIGN_OR_RETURN(uint8_t status, r.u8());
+    rec.status = core::RecordStatus(status);
+    BGPS_ASSIGN_OR_RETURN(uint8_t position, r.u8());
+    rec.position = core::DumpPosition(position);
+    BGPS_ASSIGN_OR_RETURN(uint64_t ts, r.u64());
+    rec.timestamp = Timestamp(ts);
+    BGPS_ASSIGN_OR_RETURN(uint32_t nelems, r.u32());
+    if (!rec.prefetched_elems) rec.prefetched_elems.emplace();
+    rec.prefetched_elems->resize(nelems);
+    for (uint32_t e = 0; e < nelems; ++e) {
+      BGPS_RETURN_IF_ERROR(ReadElemInto(r, (*rec.prefetched_elems)[e]));
+    }
+  }
+  if (!r.empty()) return CorruptError("trailing bytes after record batch");
+  return OkStatus();
+}
+
+Result<RecordBatchMessage> DecodeRecordBatch(const Bytes& data) {
+  RecordBatchMessage msg;
+  BGPS_RETURN_IF_ERROR(DecodeRecordBatchInto(data, msg));
+  return msg;
+}
+
+Bytes EncodeRecordWatermark(const RecordWatermarkMessage& msg) {
+  BufWriter w;
+  w.u8(uint8_t(RecordMessageKind::Watermark));
+  w.u8(kRecordBatchVersion);
+  w.u64(msg.published_through);
+  w.u8(msg.closed ? 1 : 0);
+  return w.take();
+}
+
+Result<RecordWatermarkMessage> DecodeRecordWatermark(const Bytes& data) {
+  BufReader r(data);
+  BGPS_ASSIGN_OR_RETURN(uint8_t kind, r.u8());
+  if (kind != uint8_t(RecordMessageKind::Watermark))
+    return CorruptError("not a record watermark");
+  BGPS_ASSIGN_OR_RETURN(uint8_t version, r.u8());
+  if (version != kRecordBatchVersion)
+    return UnsupportedError("watermark version " + std::to_string(version));
+  RecordWatermarkMessage msg;
+  BGPS_ASSIGN_OR_RETURN(msg.published_through, r.u64());
+  BGPS_ASSIGN_OR_RETURN(uint8_t closed, r.u8());
+  msg.closed = closed != 0;
+  return msg;
 }
 
 void PublishRtToCluster(corsaro::RoutingTables& rt, Cluster& cluster,

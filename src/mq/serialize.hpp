@@ -7,6 +7,7 @@
 // bin on the "rt-meta" topic for the sync servers.
 #pragma once
 
+#include "core/record.hpp"
 #include "corsaro/rt.hpp"
 #include "mq/log.hpp"
 
@@ -49,6 +50,65 @@ Result<RtMessageKind> PeekKind(const Bytes& data);
 // Standard topic names.
 std::string RtTopic(const std::string& collector);
 inline constexpr const char* kRtMetaTopic = "rt-meta";
+
+// ---------------------------------------------------------------------------
+// Record-plane fan-out codec: serialized Record/Elem batches, the wire
+// format between one decoding RecordPublisher and N RecordSubscribers
+// (see pool/record_fanout.hpp). Versioned and round-trip exact: every
+// header field and every elem field (AS-path segments included, not the
+// text rendering) survives encode/decode bit-for-bit, which is what the
+// fan-out identity pin rests on.
+// ---------------------------------------------------------------------------
+
+// Wire kinds of the record-plane topics, disjoint from RtMessageKind so
+// a misrouted message fails its kind check instead of mis-decoding.
+enum class RecordMessageKind : uint8_t { Batch = 3, Watermark = 4 };
+
+inline constexpr uint8_t kRecordBatchVersion = 1;
+
+// One published record: the provenance/annotation header of a
+// core::Record plus its fully-extracted (unfiltered) elems in
+// Record::prefetched_elems. The MRT body and peer index are *not*
+// carried — extraction already happened, exactly once, at the
+// publisher. `seq` is the publisher-global stream ordinal; subscribers
+// re-merge their collector topics by it to reconstruct the publisher's
+// total order.
+struct PublishedRecord {
+  uint64_t seq = 0;
+  core::Record record;
+};
+
+struct RecordBatchMessage {
+  std::string project;
+  std::string collector;
+  std::vector<PublishedRecord> records;
+};
+
+Bytes EncodeRecordBatch(const RecordBatchMessage& msg);
+Result<RecordBatchMessage> DecodeRecordBatch(const Bytes& data);
+// Arena-friendly decode: reuses `out`'s vectors (records and their elem
+// buffers keep their capacity across batches), so a steady-state
+// subscriber re-materializes records without reallocating per batch.
+Status DecodeRecordBatchInto(const Bytes& data, RecordBatchMessage& out);
+
+// Publisher progress marker on the kRecordWatermarkTopic: every record
+// with seq < `published_through` has been published to its collector
+// topic, so subscribers may emit up to (exclusive) that ordinal without
+// waiting on quiet topics. `closed` marks the end of the publisher run.
+struct RecordWatermarkMessage {
+  uint64_t published_through = 0;
+  bool closed = false;
+};
+
+Bytes EncodeRecordWatermark(const RecordWatermarkMessage& msg);
+Result<RecordWatermarkMessage> DecodeRecordWatermark(const Bytes& data);
+
+// Record-plane topic names.
+std::string RecordTopic(const std::string& collector);  // "records.<collector>"
+inline constexpr const char* kRecordTopicPrefix = "records.";
+inline constexpr const char* kRecordWatermarkTopic = "records-watermark";
+// Periodic StreamPool::Stats() JSON snapshots (plain UTF-8 payloads).
+inline constexpr const char* kStatsTopic = "stats";
 
 // Glue: wires a RoutingTables plugin to a Cluster — diffs, periodic
 // snapshots and meta all published to the right topics.

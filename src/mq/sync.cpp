@@ -28,8 +28,9 @@ Result<ReadyMarker> DecodeReadyMarker(const Bytes& data) {
 }
 
 size_t SyncServer::Poll() {
-  for (const auto& msg : meta_.Poll()) {
-    auto meta = DecodeMetaMessage(msg.value);
+  // The meta topic is unbounded (no retention), so Poll cannot fail.
+  for (const auto& msg : meta_.Poll().value_or({})) {
+    auto meta = DecodeMetaMessage(msg->value);
     if (!meta.ok()) continue;
     pending_[meta->bin_start].insert(meta->collector);
     newest_seen_ = std::max(newest_seen_, meta->bin_start);

@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::Unsupported: return "UNSUPPORTED";
     case StatusCode::IoError: return "IO_ERROR";
     case StatusCode::EndOfStream: return "END_OF_STREAM";
+    case StatusCode::Truncated: return "TRUNCATED";
   }
   return "UNKNOWN";
 }

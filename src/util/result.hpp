@@ -23,6 +23,7 @@ enum class StatusCode {
   Unsupported,       // recognized but unimplemented MRT type/subtype
   IoError,           // filesystem-level failure
   EndOfStream,       // clean end of data (not an error for callers that loop)
+  Truncated,         // requested position fell below a retention low-watermark
 };
 
 // Human-readable name for a status code (stable, used in logs and tests).
@@ -71,6 +72,12 @@ inline Status IoError(std::string m) {
   return Status(StatusCode::IoError, std::move(m));
 }
 inline Status EndOfStream() { return Status(StatusCode::EndOfStream, ""); }
+inline Status TruncatedError(std::string m) {
+  return Status(StatusCode::Truncated, std::move(m));
+}
+inline bool IsTruncated(const Status& s) {
+  return s.code() == StatusCode::Truncated;
+}
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>

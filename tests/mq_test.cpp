@@ -25,13 +25,13 @@ TEST(Cluster, PublishFetchOffsets) {
   EXPECT_EQ(cluster.EndOffset("t", 0), 2u);
   EXPECT_EQ(cluster.EndOffset("t", 1), 1u);
 
-  auto msgs = cluster.Fetch("t", 0, 0);
+  auto msgs = *cluster.Fetch("t", 0, 0);
   ASSERT_EQ(msgs.size(), 2u);
-  EXPECT_EQ(msgs[0].offset, 0u);
-  EXPECT_EQ(msgs[1].offset, 1u);
-  EXPECT_EQ(cluster.Fetch("t", 0, 1).size(), 1u);
-  EXPECT_TRUE(cluster.Fetch("t", 0, 2).empty());
-  EXPECT_TRUE(cluster.Fetch("missing", 0, 0).empty());
+  EXPECT_EQ(msgs[0]->offset, 0u);
+  EXPECT_EQ(msgs[1]->offset, 1u);
+  EXPECT_EQ(cluster.Fetch("t", 0, 1)->size(), 1u);
+  EXPECT_TRUE(cluster.Fetch("t", 0, 2)->empty());
+  EXPECT_TRUE(cluster.Fetch("missing", 0, 0)->empty());
 }
 
 TEST(Cluster, AutoCreateOnPublish) {
@@ -48,12 +48,12 @@ TEST(Cluster, ConsumerTracksPosition) {
   cluster.Publish("t", 0, m);
   cluster.Publish("t", 0, m);
   Consumer c(&cluster, "t");
-  EXPECT_EQ(c.Poll().size(), 2u);
-  EXPECT_TRUE(c.Poll().empty());
+  EXPECT_EQ(c.Poll()->size(), 2u);
+  EXPECT_TRUE(c.Poll()->empty());
   cluster.Publish("t", 0, m);
-  EXPECT_EQ(c.Poll().size(), 1u);
+  EXPECT_EQ(c.Poll()->size(), 1u);
   c.Seek(0);
-  EXPECT_EQ(c.Poll().size(), 3u);
+  EXPECT_EQ(c.Poll()->size(), 3u);
 }
 
 TEST(Cluster, ConcurrentProducersAreSafe) {
@@ -73,8 +73,131 @@ TEST(Cluster, ConcurrentProducersAreSafe) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(cluster.EndOffset("t", 0), size_t(kThreads * kPerThread));
   // Offsets are dense and unique.
-  auto msgs = cluster.Fetch("t", 0, 0);
-  for (size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(msgs[i].offset, i);
+  auto msgs = *cluster.Fetch("t", 0, 0);
+  for (size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(msgs[i]->offset, i);
+}
+
+Message Msg(std::initializer_list<uint8_t> bytes) {
+  Message m;
+  m.value = bytes;
+  return m;
+}
+
+TEST(Cluster, RetentionTruncatesOldMessages) {
+  RetentionOptions keep3;
+  keep3.max_messages = 3;
+  Cluster cluster;
+  cluster.CreateTopic("t", 1, keep3);
+  for (uint8_t i = 0; i < 10; ++i) cluster.Publish("t", 0, Msg({i}));
+  EXPECT_EQ(cluster.EndOffset("t", 0), 10u);
+  EXPECT_EQ(cluster.FirstOffset("t", 0), 7u);
+  auto msgs = *cluster.Fetch("t", 0, 7);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0]->value, Bytes({7}));
+  EXPECT_EQ(msgs[2]->offset, 9u);
+}
+
+TEST(Cluster, RetentionByBytesKeepsNewestMessage) {
+  RetentionOptions tiny;
+  tiny.max_bytes = 4;
+  Cluster cluster;
+  cluster.CreateTopic("t", 1, tiny);
+  // Each message exceeds the byte budget alone; the newest must survive
+  // anyway so a publish is never silently dropped.
+  cluster.Publish("t", 0, Msg({1, 2, 3, 4, 5, 6}));
+  cluster.Publish("t", 0, Msg({7, 8, 9, 10, 11, 12}));
+  EXPECT_EQ(cluster.FirstOffset("t", 0), 1u);
+  EXPECT_EQ(cluster.RetainedBytes("t", 0), 6u);
+  auto msgs = *cluster.Fetch("t", 0, 1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0]->value, Bytes({7, 8, 9, 10, 11, 12}));
+}
+
+TEST(Cluster, FetchBelowLowWatermarkIsTruncatedError) {
+  RetentionOptions keep2;
+  keep2.max_messages = 2;
+  Cluster cluster;
+  cluster.CreateTopic("t", 1, keep2);
+  for (uint8_t i = 0; i < 5; ++i) cluster.Publish("t", 0, Msg({i}));
+  EXPECT_EQ(cluster.FirstOffset("t", 0), 3u);
+  auto below = cluster.Fetch("t", 0, 0);
+  ASSERT_FALSE(below.ok());
+  EXPECT_TRUE(IsTruncated(below.status()));
+  // At or above the watermark is fine; past the end is empty, not error.
+  EXPECT_TRUE(cluster.Fetch("t", 0, 3).ok());
+  EXPECT_TRUE(cluster.Fetch("t", 0, 5)->empty());
+}
+
+TEST(Cluster, FetchByteBudgetCapsBatchButMakesProgress) {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.Publish("t", 0, Msg({1, 2, 3, 4}));
+  // Budget of 10 bytes fits two 4-byte messages.
+  EXPECT_EQ(cluster.Fetch("t", 0, 0, 0, 10)->size(), 2u);
+  // A budget smaller than any single message still returns one message —
+  // a tiny budget must not wedge the consumer.
+  auto one = *cluster.Fetch("t", 0, 0, 0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0]->offset, 0u);
+}
+
+TEST(Cluster, ConsumerPollHonorsByteBudgetAndTruncation) {
+  RetentionOptions keep2;
+  keep2.max_messages = 2;
+  Cluster cluster;
+  cluster.CreateTopic("t", 1, keep2);
+  for (uint8_t i = 0; i < 6; ++i) cluster.Publish("t", 0, Msg({i, i}));
+  Consumer c(&cluster, "t");
+  // Position 0 fell below the low-watermark: explicit error, cursor parked.
+  auto lost = c.Poll();
+  ASSERT_FALSE(lost.ok());
+  EXPECT_TRUE(IsTruncated(lost.status()));
+  EXPECT_EQ(c.position(), 0u);
+  // After re-seeking to the first retained offset, byte-budgeted polls
+  // walk the log one message at a time.
+  c.SeekToFirst();
+  EXPECT_EQ(c.position(), 4u);
+  EXPECT_EQ(c.Poll(0, 2)->size(), 1u);
+  EXPECT_EQ(c.Poll(0, 2)->size(), 1u);
+  EXPECT_TRUE(c.Poll(0, 2)->empty());
+}
+
+TEST(Cluster, PinsBlockTruncationUntilReleased) {
+  RetentionOptions keep2;
+  keep2.max_messages = 2;
+  Cluster cluster;
+  cluster.CreateTopic("t", 1, keep2);
+  cluster.Publish("t", 0, Msg({0}));
+  auto pin = cluster.CreatePin("t", 0, 0);
+  ASSERT_TRUE(pin);
+  for (uint8_t i = 1; i < 6; ++i) cluster.Publish("t", 0, Msg({i}));
+  // The pin holds the low-watermark at 0 despite max_messages = 2.
+  EXPECT_EQ(cluster.FirstOffset("t", 0), 0u);
+  EXPECT_EQ(cluster.Fetch("t", 0, 0)->size(), 6u);
+  // Advancing the pin releases the prefix below it.
+  pin.Advance(4);
+  EXPECT_EQ(cluster.FirstOffset("t", 0), 4u);
+  // Releasing entirely lets retention catch up to its configured bound.
+  pin.Release();
+  EXPECT_EQ(cluster.FirstOffset("t", 0), 4u);
+  EXPECT_TRUE(IsTruncated(cluster.Fetch("t", 0, 0).status()));
+}
+
+TEST(Cluster, EvictionHooksFireOnTruncationAndDestruction) {
+  int evicted = 0;
+  {
+    RetentionOptions keep1;
+    keep1.max_messages = 1;
+    Cluster cluster;
+    cluster.CreateTopic("t", 1, keep1);
+    for (int i = 0; i < 3; ++i) {
+      Message m;
+      m.value = {uint8_t(i)};
+      m.on_evict = [&evicted] { ++evicted; };
+      cluster.Publish("t", 0, std::move(m));
+    }
+    EXPECT_EQ(evicted, 2);  // two truncated, one retained
+  }
+  EXPECT_EQ(evicted, 3);  // cluster teardown releases the survivor
 }
 
 corsaro::DiffCell MakeDiff(const std::string& collector, bgp::Asn peer,
@@ -157,9 +280,9 @@ TEST(SyncServers, CompletenessWaitsForAllCollectors) {
   EXPECT_EQ(sync.Poll(), 0u);  // b missing
   PublishMeta(cluster, "b", 100);
   EXPECT_EQ(sync.Poll(), 1u);
-  auto markers = cluster.Fetch("ready", 0, 0);
+  auto markers = *cluster.Fetch("ready", 0, 0);
   ASSERT_EQ(markers.size(), 1u);
-  auto marker = DecodeReadyMarker(markers[0].value);
+  auto marker = DecodeReadyMarker(markers[0]->value);
   ASSERT_TRUE(marker.ok());
   EXPECT_EQ(marker->bin_start, 100);
   EXPECT_EQ(marker->collectors_present.size(), 2u);
@@ -174,9 +297,9 @@ TEST(SyncServers, TimeoutReleasesIncompleteBins) {
   EXPECT_EQ(sync.Poll(), 0u);       // only 300s of data-time passed
   PublishMeta(cluster, "a", 700);
   EXPECT_EQ(sync.Poll(), 1u);       // bin 100 timed out
-  auto markers = cluster.Fetch("ready", 0, 0);
+  auto markers = *cluster.Fetch("ready", 0, 0);
   ASSERT_EQ(markers.size(), 1u);
-  EXPECT_EQ(DecodeReadyMarker(markers[0].value)->bin_start, 100);
+  EXPECT_EQ(DecodeReadyMarker(markers[0]->value)->bin_start, 100);
 }
 
 // End-to-end consumer pipeline with hand-rolled diffs: two collectors,

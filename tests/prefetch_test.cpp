@@ -380,6 +380,51 @@ TEST(PrefetchDecoderTest, ReclaimResumeSeeksInsteadOfRereadingLargeFile) {
   fs::remove_all(dir, ec);
 }
 
+// K reclaim-enabled decoders sharing one executor and one governor pool
+// a single contention hook through the ReclaimTickRegistry — the hook
+// list must not grow K-wide (each re-signal would fire K redundant
+// reclaim ticks), and the hook must outlive any individual decoder
+// while at least one share remains.
+TEST(PrefetchDecoderTest, DecodersSharingExecutorPoolOneContentionHook) {
+  auto gov = std::make_shared<MemoryGovernor>(8);
+  Executor::Options eopt;
+  eopt.threads = 2;
+  auto executor = std::make_shared<Executor>(eopt);
+  ASSERT_EQ(gov->contention_hook_count(), 0u);
+
+  std::vector<std::unique_ptr<PrefetchDecoder>> decoders;
+  for (int i = 0; i < 4; ++i) {
+    PrefetchDecoder::Options opt;
+    opt.executor = executor;
+    opt.governor = gov;
+    opt.max_records_in_flight = 16;
+    opt.idle_reclaim_rounds = 3;
+    decoders.push_back(std::make_unique<PrefetchDecoder>(std::move(opt)));
+    EXPECT_EQ(gov->contention_hook_count(), 1u);
+  }
+
+  // A decoder with a private executor is a distinct (governor, executor)
+  // pair and rightly gets its own hook — scoped, so it unhooks on exit.
+  {
+    PrefetchDecoder::Options solo;
+    solo.threads = 1;
+    solo.governor = gov;
+    solo.max_records_in_flight = 16;
+    solo.idle_reclaim_rounds = 3;
+    PrefetchDecoder lone(std::move(solo));
+    EXPECT_EQ(gov->contention_hook_count(), 2u);
+  }
+  EXPECT_EQ(gov->contention_hook_count(), 1u);
+
+  // The pooled hook survives until the LAST sharing decoder is gone.
+  while (decoders.size() > 1) {
+    decoders.pop_back();
+    EXPECT_EQ(gov->contention_hook_count(), 1u);
+  }
+  decoders.clear();
+  EXPECT_EQ(gov->contention_hook_count(), 0u);
+}
+
 // The executor+governor embedding without a StreamPool: the decoder
 // wires the governor's contention hook itself, so a paused consumer's
 // buffers are reclaimed for a blocked rival demand with no manual
