@@ -1,0 +1,161 @@
+// Live ingestion tier latency/throughput: BMP frame ingest -> MRT
+// spool, exabgp line ingest, the full ingest -> published micro-dump ->
+// decoded record path, and the accelerated-replay merge loop. The live
+// requirement (§3.1) is that the ingest side outpaces what a busy
+// session delivers, and that the ingest -> record hand-off stays in the
+// milliseconds — these counters feed bench_diff.py like every other
+// bench JSON.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bmp/bmp.hpp"
+#include "core/clock.hpp"
+#include "core/stream.hpp"
+#include "exabgp/exabgp.hpp"
+#include "pool/live_source.hpp"
+#include "sim/corpus.hpp"
+#include "sim/replay.hpp"
+
+using namespace bgps;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string BenchDir(const std::string& leaf) {
+  return (fs::temp_directory_path() /
+          ("bgpstream-bench-live-" + std::to_string(::getpid())) / leaf)
+      .string();
+}
+
+bmp::BmpMessage MakeFrame(int prefixes, Timestamp ts) {
+  bmp::RouteMonitoring rm;
+  rm.peer.peer_address = IpAddress::V4(10, 0, 0, 1);
+  rm.peer.peer_asn = 65001;
+  rm.peer.peer_bgp_id = 65001;
+  rm.peer.timestamp = ts;
+  rm.update.attrs.as_path = bgp::AsPath::Sequence({65001, 3356, 2914, 15169});
+  rm.update.attrs.next_hop = IpAddress::V4(10, 0, 0, 1);
+  for (int i = 0; i < prefixes; ++i)
+    rm.update.announced.push_back(
+        Prefix(IpAddress::V4(uint32_t(10 + i) << 24), 16));
+  return bmp::BmpMessage{rm};
+}
+
+std::unique_ptr<pool::LiveSource> MakeSource(const std::string& leaf,
+                                             size_t flush_records) {
+  pool::LiveSource::Options opt;
+  opt.spool_dir = BenchDir(leaf);
+  opt.flush_records = flush_records;
+  auto source = pool::LiveSource::Create(std::move(opt));
+  if (!source.ok()) std::abort();
+  return std::move(*source);
+}
+
+// BMP wire -> decode -> MRT encode -> spooled record, the per-frame hot
+// path of a live session (micro-dump writes amortized over the flush).
+void BM_LiveBmpFrameIngest(benchmark::State& state) {
+  Bytes frame = bmp::Encode(MakeFrame(int(state.range(0)), 1451606400));
+  auto source = MakeSource("bmp-ingest", 4096);
+  for (auto _ : state) {
+    Status st = source->IngestBmp(frame);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  (void)source->Close();
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(frame.size()));
+  fs::remove_all(BenchDir("bmp-ingest"));
+}
+BENCHMARK(BM_LiveBmpFrameIngest)->Arg(1)->Arg(8)->Arg(64);
+
+// exabgp JSON line -> parse -> MRT encode -> spooled record.
+void BM_LiveExaBgpLineIngest(benchmark::State& state) {
+  auto mrt_msg = bmp::ToMrt(MakeFrame(int(state.range(0)), 1451606400), 64512);
+  auto exa = exabgp::FromMrt(*mrt_msg);
+  std::string line = exabgp::EncodeLine(*exa);
+  auto source = MakeSource("exabgp-ingest", 4096);
+  for (auto _ : state) {
+    Status st = source->IngestExaBgpLine(line);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  (void)source->Close();
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(line.size()));
+  fs::remove_all(BenchDir("exabgp-ingest"));
+}
+BENCHMARK(BM_LiveExaBgpLineIngest)->Arg(1)->Arg(8);
+
+// The whole tier end to end: a 64-frame session ingested, flushed,
+// published through LiveFeedInterface and drained as decoded records —
+// the latency a live consumer experiences from socket bytes to elems.
+void BM_LiveIngestToRecordEndToEnd(benchmark::State& state) {
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 64; ++i)
+    frames.push_back(bmp::Encode(MakeFrame(4, 1451606400 + i)));
+  size_t records = 0;
+  for (auto _ : state) {
+    auto source = MakeSource("e2e", 16);
+    for (const auto& f : frames)
+      if (!source->IngestBmp(f).ok())
+        state.SkipWithError("ingest failed");
+    (void)source->Close();
+    core::BgpStream stream;
+    stream.SetLive(0);
+    stream.SetDataInterface(source->feed());
+    if (!stream.Start().ok()) state.SkipWithError("stream failed");
+    while (auto rec = stream.NextRecord()) {
+      benchmark::DoNotOptimize(stream.Elems(*rec));
+      ++records;
+    }
+  }
+  state.SetItemsProcessed(int64_t(records));
+  fs::remove_all(BenchDir("e2e"));
+}
+BENCHMARK(BM_LiveIngestToRecordEndToEnd)->Unit(benchmark::kMillisecond);
+
+// Accelerated-replay merge loop over a generated archive: k-way merge +
+// MRT decode + BMP re-encode per record, virtual clock (no wall sleeps).
+void BM_ReplayArchiveMerge(benchmark::State& state) {
+  static const std::string* corpus_root = [] {
+    auto* root = new std::string(BenchDir("replay-corpus"));
+    sim::CorpusOptions opt;
+    opt.scenario = "baseline";
+    opt.rv_collectors = 1;
+    opt.ris_collectors = 0;
+    opt.vps_per_collector = 3;
+    opt.duration = 600;
+    opt.seed = 11;
+    if (!sim::GenerateCorpus(opt, *root).ok()) std::abort();
+    return root;
+  }();
+  size_t replayed = 0;
+  for (auto _ : state) {
+    core::AcceleratedClock clock(1.0, [](std::chrono::microseconds) {});
+    sim::ReplayOptions opt;
+    opt.archive_root = *corpus_root;
+    opt.format = sim::ReplayFormat::Bmp;
+    opt.clock = &clock;
+    auto stats = sim::ReplayArchive(opt, [](Timestamp, const Bytes& payload) {
+      benchmark::DoNotOptimize(payload.data());
+      return OkStatus();
+    });
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    replayed += stats->records_replayed;
+  }
+  state.SetItemsProcessed(int64_t(replayed));
+  state.SetLabel("records/iter=" +
+                 std::to_string(state.iterations()
+                                    ? replayed / size_t(state.iterations())
+                                    : 0));
+}
+BENCHMARK(BM_ReplayArchiveMerge)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

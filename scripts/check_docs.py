@@ -91,6 +91,7 @@ TOOLS = [
     ("bgpreader", "tools/bgpreader.cpp", 1, "BGPREADER"),
     ("bgpsim", "tools/bgpsim.cpp", 2, "BGPSIM"),
     ("bgpfanout", "tools/bgpfanout.cpp", 3, "BGPFANOUT"),
+    ("bgplive", "tools/bgplive.cpp", 4, "BGPLIVE"),
 ]
 
 

@@ -55,10 +55,18 @@ Bytes EncodeOpen(bgp::Asn asn) {
   w.u16(0);
   w.u8(uint8_t(bgp::MessageType::Open));
   w.u8(4);  // BGP version
-  w.u16(asn > 0xFFFF ? uint16_t(23456) : uint16_t(asn));
+  w.u16(asn > 0xFFFF ? uint16_t(23456) : uint16_t(asn));  // AS_TRANS
   w.u16(180);  // hold time
   w.u32(asn);  // BGP identifier (reuse ASN, deterministic)
-  w.u8(0);     // no optional parameters
+  // Four-octet-AS capability (RFC 6793): one optional parameter of
+  // type 2 (capability) carrying code 65 — without it a 4-byte ASN is
+  // unrecoverable from the AS_TRANS placeholder above.
+  w.u8(8);   // optional parameters length
+  w.u8(2);   // param type: capability
+  w.u8(6);   // param length
+  w.u8(65);  // capability: 4-octet AS number
+  w.u8(4);   // capability length
+  w.u32(asn);
   w.patch_u16(len_at, uint16_t(w.size()));
   return w.take();
 }
@@ -70,6 +78,28 @@ Result<bgp::Asn> DecodeOpenAsn(BufReader& r) {
   BGPS_ASSIGN_OR_RETURN(BufReader body, r.sub(body_len));
   BGPS_RETURN_IF_ERROR(body.skip(1));  // version
   BGPS_ASSIGN_OR_RETURN(uint16_t asn, body.u16());
+  BGPS_RETURN_IF_ERROR(body.skip(6));  // hold time + BGP identifier
+  // Scan the optional parameters for the 4-octet-AS capability
+  // (RFC 6793, code 65): the 2-byte field holds only AS_TRANS for ASNs
+  // above 0xFFFF. Absent or malformed parameters fall back to the
+  // 2-byte field — a router that never negotiated AS4 sends none.
+  BGPS_ASSIGN_OR_RETURN(uint8_t params_len, body.u8());
+  if (auto params = body.sub(params_len); params.ok()) {
+    while (params->remaining() >= 2) {
+      uint8_t param_type = *params->u8();
+      uint8_t param_len = *params->u8();
+      auto caps = params->sub(param_len);
+      if (!caps.ok()) break;
+      if (param_type != 2) continue;  // not a capability parameter
+      while (caps->remaining() >= 2) {
+        uint8_t code = *caps->u8();
+        uint8_t cap_len = *caps->u8();
+        auto value = caps->sub(cap_len);
+        if (!value.ok()) break;
+        if (code == 65 && cap_len == 4) return bgp::Asn(*value->u32());
+      }
+    }
+  }
   return bgp::Asn(asn);
 }
 
@@ -127,16 +157,12 @@ Bytes Encode(const BmpMessage& msg) {
   return Frame(type, body.data());
 }
 
-Result<BmpMessage> Decode(BufReader& r) {
-  if (r.empty()) return EndOfStream();
-  BGPS_ASSIGN_OR_RETURN(uint8_t version, r.u8());
-  if (version != kBmpVersion)
-    return CorruptError("BMP version " + std::to_string(version));
-  BGPS_ASSIGN_OR_RETURN(uint32_t length, r.u32());
-  if (length < kCommonHeaderSize) return CorruptError("BMP length too small");
-  BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
-  BGPS_ASSIGN_OR_RETURN(BufReader body, r.sub(length - kCommonHeaderSize));
+namespace {
 
+// Body decode of one well-framed message; `body` spans exactly the
+// frame's payload. Short reads here mean the frame *claimed* more
+// content than it carries — the caller maps them to Corrupt.
+Result<BmpMessage> DecodeBody(uint8_t type, BufReader& body) {
   BmpMessage msg;
   switch (MessageType(type)) {
     case MessageType::RouteMonitoring: {
@@ -195,6 +221,38 @@ Result<BmpMessage> Decode(BufReader& r) {
   return UnsupportedError("BMP type " + std::to_string(type));
 }
 
+}  // namespace
+
+Result<BmpMessage> Decode(BufReader& r) {
+  if (r.empty()) return EndOfStream();
+  // Peek the common header without consuming: a partial frame must
+  // leave the reader byte-for-byte where it was, so a socket framer can
+  // retry once more data arrives.
+  if (r.remaining() < kCommonHeaderSize)
+    return OutOfRange("incomplete BMP common header");
+  BufReader peek = r;
+  BGPS_ASSIGN_OR_RETURN(uint8_t version, peek.u8());
+  if (version != kBmpVersion)
+    return CorruptError("BMP version " + std::to_string(version));
+  BGPS_ASSIGN_OR_RETURN(uint32_t length, peek.u32());
+  if (length < kCommonHeaderSize) return CorruptError("BMP length too small");
+  if (length > kMaxBmpFrameSize)
+    return CorruptError("implausible BMP length " + std::to_string(length));
+  if (r.remaining() < length)
+    return OutOfRange("incomplete BMP frame");
+
+  // The whole frame is present: commit to consuming exactly `length`
+  // bytes so body errors leave the reader aligned on the next frame.
+  BGPS_RETURN_IF_ERROR(r.skip(5));  // version + length (peeked above)
+  BGPS_ASSIGN_OR_RETURN(uint8_t type, r.u8());
+  BGPS_ASSIGN_OR_RETURN(BufReader body, r.sub(length - kCommonHeaderSize));
+
+  auto msg = DecodeBody(type, body);
+  if (!msg.ok() && msg.status().code() == StatusCode::OutOfRange)
+    return CorruptError("truncated BMP body: " + msg.status().message());
+  return msg;
+}
+
 std::optional<mrt::MrtMessage> ToMrt(const BmpMessage& msg,
                                      bgp::Asn local_asn_hint) {
   mrt::MrtMessage out;
@@ -237,6 +295,47 @@ std::optional<mrt::MrtMessage> ToMrt(const BmpMessage& msg,
     return out;
   }
   return std::nullopt;  // Initiation / Termination
+}
+
+std::optional<BmpMessage> FromMrt(const mrt::MrtMessage& msg) {
+  BmpMessage out;
+  if (msg.is_message()) {
+    const auto& m = std::get<mrt::Bgp4mpMessage>(msg.body);
+    if (m.message_type != bgp::MessageType::Update) return std::nullopt;
+    RouteMonitoring rm;
+    rm.peer.peer_address = m.peer_address;
+    rm.peer.peer_asn = m.peer_asn;
+    // Deterministic identifier: reuse the ASN, like EncodeOpen does.
+    rm.peer.peer_bgp_id = uint32_t(m.peer_asn);
+    rm.peer.timestamp = msg.timestamp;
+    rm.peer.microseconds = msg.microseconds;
+    rm.update = m.update;
+    out.body = std::move(rm);
+    return out;
+  }
+  if (msg.is_state_change()) {
+    const auto& sc = std::get<mrt::Bgp4mpStateChange>(msg.body);
+    PeerHeader ph;
+    ph.peer_address = sc.peer_address;
+    ph.peer_asn = sc.peer_asn;
+    ph.peer_bgp_id = uint32_t(sc.peer_asn);
+    ph.timestamp = msg.timestamp;
+    ph.microseconds = msg.microseconds;
+    if (sc.new_state == bgp::FsmState::Established) {
+      PeerUp pu;
+      pu.peer = ph;
+      pu.local_address = sc.local_address;
+      pu.local_asn = sc.local_asn;
+      out.body = pu;
+    } else {
+      PeerDown pd;
+      pd.peer = ph;
+      pd.reason = PeerDownReason::RemoteNoNotification;
+      out.body = pd;
+    }
+    return out;
+  }
+  return std::nullopt;  // RIB / PEER_INDEX_TABLE
 }
 
 Result<TranscodeStats> TranscodeBmpToMrt(const std::string& bmp_path,

@@ -23,6 +23,11 @@ namespace bgps::bmp {
 
 inline constexpr uint8_t kBmpVersion = 3;
 inline constexpr size_t kCommonHeaderSize = 6;
+// Framing sanity cap. The largest legitimate frame is a Peer Up carrying
+// two maximum-size BGP PDUs (~8 KiB with headers); anything claiming a
+// megabyte is wire garbage, and a live framer must treat it as Corrupt
+// rather than buffer forever waiting for the "rest" of the frame.
+inline constexpr uint32_t kMaxBmpFrameSize = 1u << 20;
 
 enum class MessageType : uint8_t {
   RouteMonitoring = 0,
@@ -93,7 +98,17 @@ struct BmpMessage {
 
 Bytes Encode(const BmpMessage& msg);
 // Frames and decodes one message from `r` (a stream may concatenate
-// many); EndOfStream on clean end, Corrupt on framing/body errors.
+// many). Contract, designed for a live socket framer:
+//   * EndOfStream on a clean end (empty reader) — nothing consumed;
+//   * OutOfRange when the reader holds only part of a frame — nothing
+//     consumed, so the caller can wait for more bytes and retry with
+//     the same prefix;
+//   * Corrupt on framing errors (bad version, implausible length) —
+//     nothing consumed; the frame boundary is lost, so a byte-stream
+//     caller must drop the connection (there is no resync marker);
+//   * Corrupt/Unsupported on body errors inside a well-framed message —
+//     the whole frame is consumed and the reader stays aligned on the
+//     next frame boundary, so decoding can continue.
 Result<BmpMessage> Decode(BufReader& r);
 
 // --- MRT bridge ---
@@ -102,6 +117,15 @@ Result<BmpMessage> Decode(BufReader& r);
 // equivalent and return nullopt.
 std::optional<mrt::MrtMessage> ToMrt(const BmpMessage& msg,
                                      bgp::Asn local_asn_hint = 0);
+
+// The reverse bridge, for replaying archived MRT as a live BMP session:
+// BGP4MP updates become Route Monitoring, state changes become Peer Up
+// (new_state == Established) or Peer Down. RIB/PEER_INDEX records and
+// non-UPDATE messages have no BMP equivalent and return nullopt. Lossy
+// where BMP is (FSM states collapse to up/down); round-tripping the
+// *produced frames* through Decode + ToMrt is exact, which is what the
+// live-path conformance tests pin.
+std::optional<BmpMessage> FromMrt(const mrt::MrtMessage& msg);
 
 // Transcodes a file of concatenated BMP messages into an MRT dump file.
 struct TranscodeStats {

@@ -1,0 +1,49 @@
+#include "core/clock.hpp"
+
+#include <thread>
+
+namespace bgps::core {
+
+AcceleratedClock::AcceleratedClock(double speedup, SleepFn sleep)
+    : speedup_(speedup > 0 ? speedup : 1.0),
+      sleep_(std::move(sleep)),
+      wall0_(std::chrono::steady_clock::now()) {}
+
+int64_t AcceleratedClock::NowMicros() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - wall0_)
+                     .count();
+  int64_t derived = virtual0_ + int64_t(double(wall_us) * speedup_);
+  return derived > virtual_now_ ? derived : virtual_now_;
+}
+
+void AcceleratedClock::SleepUntilMicros(int64_t t) {
+  std::chrono::steady_clock::time_point wall_target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (t <= virtual_now_) return;
+    virtual_now_ = t;
+    wall_target = wall0_ + std::chrono::microseconds(int64_t(
+                               double(t - virtual0_) / speedup_));
+  }
+  if (sleep_) {
+    auto now = std::chrono::steady_clock::now();
+    auto owed = wall_target > now
+                    ? std::chrono::duration_cast<std::chrono::microseconds>(
+                          wall_target - now)
+                    : std::chrono::microseconds(0);
+    sleep_(owed);
+    return;
+  }
+  std::this_thread::sleep_until(wall_target);
+}
+
+void AcceleratedClock::Anchor(int64_t t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wall0_ = std::chrono::steady_clock::now();
+  virtual0_ = t;
+  if (t > virtual_now_) virtual_now_ = t;
+}
+
+}  // namespace bgps::core

@@ -1,0 +1,103 @@
+// Replay clocks for the live ingestion tier.
+//
+// A live source replays archived or simulated data as if it were
+// arriving from a BMP/exabgp session. Pacing runs against a ReplayClock
+// in *virtual microseconds* (MRT timestamps scaled by 1e6), so the same
+// replay driver serves three regimes:
+//   * AcceleratedClock(1.0)   — real-time replay (virtual == wall);
+//   * AcceleratedClock(N)     — N× wall speed (a 2 h corpus in 2 h / N);
+//   * AcceleratedClock(N, fake_sleep) or ManualClock — deterministic
+//     tests: pacing arithmetic runs, wall time does not, and the emitted
+//     record sequence must be identical at any speed-up.
+//
+// The speed-up lives in the clock, not the replay driver, so every
+// consumer of SleepUntilMicros is speed-up-agnostic by construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace bgps::core {
+
+class ReplayClock {
+ public:
+  virtual ~ReplayClock() = default;
+
+  // Current virtual time, in microseconds. Monotone.
+  virtual int64_t NowMicros() = 0;
+
+  // Blocks (by the clock's own policy) until virtual time reaches `t`;
+  // a target at or before NowMicros() returns immediately. Virtual time
+  // never moves backwards.
+  virtual void SleepUntilMicros(int64_t t) = 0;
+
+  // Re-anchors virtual time to `t` at the current wall instant —
+  // called once by a replay driver with the first record's timestamp,
+  // so a corpus that starts in 2016 does not "sleep" fifty years.
+  virtual void Anchor(int64_t t) = 0;
+};
+
+// Wall-clock-backed virtual time running `speedup`× faster than wall
+// time. The wall schedule is absolute (anchor + delta/speedup via
+// sleep_until), so per-record sleep overshoot does not accumulate:
+// record k's arrival error is bounded by one scheduler quantum
+// regardless of how many records preceded it.
+//
+// `sleep` overrides the wall-sleep operation (the duration still owed
+// when the sleep is issued; never negative). Tests inject a no-op or an
+// accumulator to run the pacing arithmetic deterministically without
+// consuming wall time; the default performs a real
+// std::this_thread::sleep_until against the absolute schedule.
+class AcceleratedClock : public ReplayClock {
+ public:
+  using SleepFn = std::function<void(std::chrono::microseconds)>;
+
+  explicit AcceleratedClock(double speedup = 1.0, SleepFn sleep = {});
+
+  int64_t NowMicros() override;
+  void SleepUntilMicros(int64_t t) override;
+  void Anchor(int64_t t) override;
+
+  double speedup() const { return speedup_; }
+
+ private:
+  const double speedup_;
+  const SleepFn sleep_;  // empty = real absolute-schedule sleep
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point wall0_;
+  int64_t virtual0_ = 0;
+  // High-watermark of slept-to targets: with an injected sleeper wall
+  // time does not advance, so NowMicros() reports max(anchor-derived
+  // time, last target) to stay monotone in both regimes.
+  int64_t virtual_now_ = 0;
+};
+
+// Fully deterministic test clock: SleepUntilMicros just advances the
+// virtual now (no wall time passes, ever), Advance() moves it manually.
+// Thread-safe; virtual time is monotone.
+class ManualClock : public ReplayClock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() override { return now_.load(std::memory_order_acquire); }
+  void SleepUntilMicros(int64_t t) override { AdvanceTo(t); }
+  void Anchor(int64_t t) override { AdvanceTo(t); }
+  void Advance(int64_t micros) {
+    AdvanceTo(now_.load(std::memory_order_acquire) + micros);
+  }
+
+ private:
+  void AdvanceTo(int64_t t) {
+    int64_t cur = now_.load(std::memory_order_acquire);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace bgps::core

@@ -125,4 +125,42 @@ DataBatch CsvFileInterface::NextBatch(const FilterSet& filters) {
   return batch;
 }
 
+void LiveFeedInterface::Push(broker::DumpFileMeta meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  queue_.push_back(std::move(meta));
+  ++published_;
+}
+
+void LiveFeedInterface::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+bool LiveFeedInterface::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t LiveFeedInterface::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+DataBatch LiveFeedInterface::NextBatch(const FilterSet&) {
+  DataBatch batch;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) {
+    batch.files.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    return batch;
+  }
+  if (closed_) {
+    batch.end_of_stream = true;
+  } else {
+    batch.retry_later = true;
+  }
+  return batch;
+}
+
 }  // namespace bgps::core

@@ -4,6 +4,8 @@
 // the same "local index" use case here — see DESIGN.md.)
 #pragma once
 
+#include <deque>
+#include <mutex>
 #include <unordered_set>
 
 #include "broker/broker.hpp"
@@ -73,6 +75,39 @@ class CsvFileInterface : public DataInterface {
   std::vector<broker::DumpFileMeta> files_;
   size_t next_ = 0;
   Status status_;
+};
+
+// Live feed: a thread-safe FIFO of dump files published by an in-process
+// ingestion source (pool::LiveSource spools decoded live traffic into
+// micro-dumps and Push()es each one here) and consumed by a live-mode
+// BgpStream. Serves exactly ONE file per NextBatch, so the stream merges
+// publications strictly in publication order — the emitted record
+// sequence is the ingestion sequence, deterministically, with no
+// cross-file timestamp reordering between micro-dumps. While the feed is
+// open and drained, batches carry retry_later (the stream's live poll
+// loop); after Close() the drained feed reports end_of_stream. Meta
+// filters are the publisher's concern (a live session is already one
+// project/collector); record-level filters still apply downstream.
+class LiveFeedInterface : public DataInterface {
+ public:
+  // Publishes one dump file to the consumer. Push after Close is a
+  // programming error and is dropped (the stream may already have ended).
+  void Push(broker::DumpFileMeta meta);
+
+  // No further Push() will come; the stream ends once the queue drains.
+  // Idempotent.
+  void Close();
+
+  bool closed() const;
+  size_t published() const;  // files pushed so far (stats/tests)
+
+  DataBatch NextBatch(const FilterSet& filters) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<broker::DumpFileMeta> queue_;
+  bool closed_ = false;
+  size_t published_ = 0;
 };
 
 }  // namespace bgps::core

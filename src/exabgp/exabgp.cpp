@@ -249,6 +249,35 @@ mrt::MrtMessage ToMrt(const ExaBgpMessage& msg) {
   return out;
 }
 
+std::optional<ExaBgpMessage> FromMrt(const mrt::MrtMessage& msg) {
+  ExaBgpMessage out;
+  out.time = msg.timestamp;
+  if (msg.is_message()) {
+    const auto& m = std::get<mrt::Bgp4mpMessage>(msg.body);
+    if (m.message_type != bgp::MessageType::Update) return std::nullopt;
+    out.kind = ExaBgpMessage::Kind::Update;
+    out.peer_address = m.peer_address;
+    out.local_address = m.local_address;
+    out.peer_asn = m.peer_asn;
+    out.local_asn = m.local_asn;
+    out.update = m.update;
+    return out;
+  }
+  if (msg.is_state_change()) {
+    const auto& sc = std::get<mrt::Bgp4mpStateChange>(msg.body);
+    out.kind = ExaBgpMessage::Kind::State;
+    out.peer_address = sc.peer_address;
+    out.local_address = sc.local_address;
+    out.peer_asn = sc.peer_asn;
+    out.local_asn = sc.local_asn;
+    out.state = sc.new_state == bgp::FsmState::Established
+                    ? bgp::FsmState::Established
+                    : bgp::FsmState::Idle;
+    return out;
+  }
+  return std::nullopt;  // RIB / PEER_INDEX_TABLE
+}
+
 Bytes EncodeAsMrt(const ExaBgpMessage& msg) {
   if (msg.kind == ExaBgpMessage::Kind::State) {
     return mrt::EncodeBgp4mpStateChange(

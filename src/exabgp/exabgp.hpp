@@ -50,6 +50,15 @@ Result<ExaBgpMessage> DecodeLine(const std::string& line);
 mrt::MrtMessage ToMrt(const ExaBgpMessage& msg);
 Bytes EncodeAsMrt(const ExaBgpMessage& msg);
 
+// The reverse bridge, for replaying archived MRT as a live exabgp feed:
+// BGP4MP updates become "update" lines, state changes become "state"
+// lines (Established -> "up", anything else -> "down"). RIB/PEER_INDEX
+// records and non-UPDATE messages have no line equivalent and return
+// nullopt. Lossy where the line format is; round-tripping the *produced
+// lines* through DecodeLine + ToMrt is what the live-path conformance
+// tests pin.
+std::optional<ExaBgpMessage> FromMrt(const mrt::MrtMessage& msg);
+
 // Transcodes a file of JSON lines into an MRT dump file. Returns the
 // number of messages converted; malformed lines are counted and skipped
 // (consistent with the tolerant-parse policy of §3.3.3).

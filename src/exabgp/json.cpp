@@ -12,6 +12,13 @@ const Json& NullJson() {
   return null;
 }
 
+// Containers deeper than this are rejected as Corrupt. The parser
+// recurses once per nesting level, so without a cap a line of a few
+// hundred KB of '[' characters overflows the stack — a crash a malformed
+// (or hostile) exabgp feed must never be able to cause. Real exabgp
+// output nests ~6 levels; 128 is orders of magnitude of headroom.
+constexpr int kMaxJsonDepth = 128;
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -39,8 +46,15 @@ class Parser {
   Result<Json> Value() {
     if (pos_ >= text_.size()) return CorruptError("unexpected end of JSON");
     char c = text_[pos_];
-    if (c == '{') return Object();
-    if (c == '[') return Array();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxJsonDepth)
+        return CorruptError("JSON nesting deeper than " +
+                            std::to_string(kMaxJsonDepth));
+      ++depth_;
+      Result<Json> v = c == '{' ? Object() : Array();
+      --depth_;
+      return v;
+    }
     if (c == '"') {
       BGPS_ASSIGN_OR_RETURN(std::string s, String());
       return Json::MakeString(std::move(s));
@@ -178,6 +192,7 @@ class Parser {
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;  // current container nesting, capped at kMaxJsonDepth
 };
 
 void DumpString(const std::string& s, std::string& out) {

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <random>
 
 #include "bmp/bmp.hpp"
 #include "mrt/file.hpp"
@@ -235,6 +236,223 @@ TEST(Bmp, TranscodeStreamToMrt) {
   EXPECT_TRUE(scan->messages[2].is_state_change());
   fs::remove(bmp_path);
   fs::remove(mrt_path);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level property tests (fixed seed: failures reproduce exactly).
+// ---------------------------------------------------------------------------
+
+// Random-but-valid message generator for the round-trip property.
+BmpMessage RandomMessage(std::mt19937& rng) {
+  auto u = [&](uint32_t lo, uint32_t hi) {
+    return std::uniform_int_distribution<uint32_t>(lo, hi)(rng);
+  };
+  PeerHeader ph;
+  ph.peer_address =
+      IpAddress::V4(10, uint8_t(u(0, 255)), uint8_t(u(0, 255)), 1);
+  ph.peer_asn = u(1, 4200000000u);  // exercises 4-byte ASNs
+  ph.peer_bgp_id = u(1, 0xffffffffu);
+  ph.timestamp = 1451606400 + Timestamp(u(0, 86400));
+  ph.microseconds = u(0, 999999);
+
+  switch (u(0, 9)) {
+    case 0: {  // peer up
+      PeerUp pu;
+      pu.peer = ph;
+      pu.local_address = IpAddress::V4(192, 0, 2, uint8_t(u(1, 254)));
+      pu.local_asn = u(1, 4200000000u);
+      pu.local_port = uint16_t(u(1024, 65535));
+      pu.remote_port = uint16_t(u(1024, 65535));
+      return BmpMessage{pu};
+    }
+    case 1: {  // peer down
+      PeerDown pd;
+      pd.peer = ph;
+      pd.reason = PeerDownReason(u(1, 4));
+      return BmpMessage{pd};
+    }
+    case 2: {  // initiation / termination
+      InfoTlvs info;
+      info.type = u(0, 1) ? MessageType::Initiation : MessageType::Termination;
+      info.sys_name = "r" + std::to_string(u(0, 9999));
+      if (u(0, 1)) info.sys_descr = std::string(u(0, 64), 'x');
+      return BmpMessage{info};
+    }
+    default: {  // route monitoring (the hot path gets the weight)
+      RouteMonitoring rm;
+      rm.peer = ph;
+      size_t announced = u(0, 3);
+      size_t withdrawn = announced == 0 ? u(1, 2) : u(0, 2);
+      if (announced > 0) {
+        std::vector<bgp::Asn> path;
+        for (size_t i = 0, n = u(1, 5); i < n; ++i)
+          path.push_back(u(1, 4200000000u));
+        rm.update.attrs.as_path = bgp::AsPath::Sequence(path);
+        rm.update.attrs.next_hop = ph.peer_address;
+        for (size_t i = 0, n = u(0, 2); i < n; ++i)
+          rm.update.attrs.communities.push_back(
+              bgp::Community(uint16_t(u(1, 65535)), uint16_t(u(0, 65535))));
+      }
+      auto pfx = [&] {
+        // Host bits kept zero so decode -> re-encode is the identity.
+        switch (u(0, 2)) {
+          case 0:
+            return P(std::to_string(u(1, 223)) + ".0.0.0/8");
+          case 1:
+            return P(std::to_string(u(1, 223)) + "." +
+                     std::to_string(u(0, 255)) + ".0.0/16");
+          default:
+            return P(std::to_string(u(1, 223)) + "." +
+                     std::to_string(u(0, 255)) + "." +
+                     std::to_string(u(0, 255)) + ".0/24");
+        }
+      };
+      for (size_t i = 0; i < announced; ++i)
+        rm.update.announced.push_back(pfx());
+      for (size_t i = 0; i < withdrawn; ++i)
+        rm.update.withdrawn.push_back(pfx());
+      return BmpMessage{rm};
+    }
+  }
+}
+
+TEST(BmpProperty, SeededEncodeDecodeReencodeIsTheIdentity) {
+  std::mt19937 rng(20160112);  // fixed: any failure reproduces exactly
+  for (int i = 0; i < 300; ++i) {
+    BmpMessage msg = RandomMessage(rng);
+    Bytes wire = Encode(msg);
+    BufReader r(wire);
+    auto decoded = Decode(r);
+    ASSERT_TRUE(decoded.ok()) << "iteration " << i << ": "
+                              << decoded.status().ToString();
+    EXPECT_TRUE(r.empty()) << "iteration " << i;
+    EXPECT_EQ(Encode(*decoded), wire) << "iteration " << i;
+  }
+}
+
+TEST(BmpProperty, SeededMutationFuzzNeverCrashesAndKeepsPositionSane) {
+  std::mt19937 rng(7854);
+  std::vector<Bytes> seeds;
+  for (int i = 0; i < 8; ++i) seeds.push_back(Encode(RandomMessage(rng)));
+
+  auto u = [&](size_t lo, size_t hi) {
+    return std::uniform_int_distribution<size_t>(lo, hi)(rng);
+  };
+  for (int round = 0; round < 500; ++round) {
+    // A stream of 1-3 frames with one mutation: byte flips, a
+    // truncation, or an insertion of pure garbage.
+    Bytes stream;
+    for (size_t i = 0, n = u(1, 3); i < n; ++i) {
+      const Bytes& s = seeds[u(0, seeds.size() - 1)];
+      stream.insert(stream.end(), s.begin(), s.end());
+    }
+    switch (u(0, 2)) {
+      case 0:
+        for (size_t i = 0, n = u(1, 8); i < n; ++i)
+          stream[u(0, stream.size() - 1)] ^= uint8_t(u(1, 255));
+        break;
+      case 1:
+        stream.resize(u(0, stream.size() - 1));
+        break;
+      default: {
+        Bytes junk(u(1, 32));
+        for (auto& b : junk) b = uint8_t(u(0, 255));
+        stream.insert(stream.begin() + long(u(0, stream.size())),
+                      junk.begin(), junk.end());
+        break;
+      }
+    }
+
+    // Run the framer contract over the mutated stream: Decode must
+    // always return (never crash/throw), never move the cursor
+    // backwards or past the end, and only ever report known codes.
+    BufReader r(stream);
+    while (true) {
+      size_t before = r.position();
+      auto msg = Decode(r);
+      ASSERT_GE(r.position(), before);
+      ASSERT_LE(r.position(), stream.size());
+      if (msg.ok()) continue;
+      StatusCode code = msg.status().code();
+      ASSERT_TRUE(code == StatusCode::EndOfStream ||
+                  code == StatusCode::OutOfRange ||
+                  code == StatusCode::Corrupt ||
+                  code == StatusCode::Unsupported)
+          << msg.status().ToString();
+      if (code == StatusCode::EndOfStream || code == StatusCode::OutOfRange)
+        break;  // drained / partial tail
+      if (r.position() == before) break;  // framing lost: stop, resync
+    }
+  }
+}
+
+// Regression (found by the seeded round-trip property): a 4-byte local
+// ASN in a Peer Up used to decode as AS_TRANS (23456) because the
+// decoder read only the OPEN's 2-byte ASN field; it must come back via
+// the RFC 6793 capability.
+TEST(BmpRegression, FourByteLocalAsnSurvivesThePeerUpOpen) {
+  PeerUp pu;
+  pu.peer = MakePeer();
+  pu.local_address = IpAddress::V4(192, 0, 2, 1);
+  pu.local_asn = 4200000001u;  // > 0xFFFF: 2-byte field carries AS_TRANS
+  BmpMessage msg;
+  msg.body = pu;
+  Bytes wire = Encode(msg);
+  BufReader r(wire);
+  auto decoded = Decode(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(std::get<PeerUp>(decoded->body).local_asn, 4200000001u);
+}
+
+// Regression: a declared frame length shorter than the per-peer header
+// used to let the body decoder read past the frame into the next one.
+// It must fail as Corrupt, consume exactly the declared frame, and
+// leave the following frame decodable.
+TEST(BmpRegression, ShortPerPeerHeaderIsCorruptAndStaysAligned) {
+  Bytes next = Encode(MakeRouteMonitoring());
+  Bytes short_frame = {3 /* version */, 0, 0, 0, kCommonHeaderSize + 10,
+                       0 /* RouteMonitoring */};
+  for (int i = 0; i < 10; ++i) short_frame.push_back(uint8_t(i));
+
+  Bytes stream = short_frame;
+  stream.insert(stream.end(), next.begin(), next.end());
+  BufReader r(stream);
+  auto bad = Decode(r);
+  ASSERT_EQ(bad.status().code(), StatusCode::Corrupt);
+  EXPECT_NE(bad.status().message().find("truncated BMP body"),
+            std::string::npos)
+      << bad.status().ToString();
+  EXPECT_EQ(r.position(), short_frame.size());
+  auto good = Decode(r);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good->is_route_monitoring());
+  EXPECT_TRUE(r.empty());
+}
+
+// Regression: an implausible declared length (> kMaxBmpFrameSize) must
+// be Corrupt with nothing consumed — waiting for a megabyte that will
+// never arrive would wedge the framer forever.
+TEST(BmpRegression, ImplausibleLengthIsCorruptWithNothingConsumed) {
+  Bytes frame = {3, 0xff, 0xff, 0xff, 0xff, 0};
+  BufReader r(frame);
+  EXPECT_EQ(Decode(r).status().code(), StatusCode::Corrupt);
+  EXPECT_EQ(r.position(), 0u);
+}
+
+// A partial frame leaves the reader byte-for-byte untouched so a socket
+// framer can retry the same buffer once more data arrives.
+TEST(BmpRegression, PartialFrameLeavesTheReaderUntouched) {
+  Bytes wire = Encode(MakeRouteMonitoring());
+  for (size_t cut : {size_t(1), kCommonHeaderSize - 1, kCommonHeaderSize,
+                     wire.size() - 1}) {
+    Bytes partial(wire.begin(), wire.begin() + long(cut));
+    BufReader r(partial);
+    EXPECT_EQ(Decode(r).status().code(), StatusCode::OutOfRange)
+        << "cut " << cut;
+    EXPECT_EQ(r.position(), 0u) << "cut " << cut;
+  }
+  BufReader full(wire);
+  EXPECT_TRUE(Decode(full).ok());
 }
 
 }  // namespace

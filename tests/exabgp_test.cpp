@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <random>
 
 #include "exabgp/exabgp.hpp"
 #include "mrt/file.hpp"
@@ -205,6 +206,110 @@ TEST(ExaBgp, TranscodeFileToMrt) {
   EXPECT_TRUE(scan->messages[1].is_state_change());
   fs::remove(json_path);
   fs::remove(mrt_path);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial-input layer (fixed seeds: failures reproduce exactly).
+// ---------------------------------------------------------------------------
+
+// Regression: the recursive-descent parser used to recurse once per
+// nesting level with no cap, so a line of ~100k brackets — two bytes of
+// input per stack frame — overflowed the stack. It must come back as a
+// Corrupt Result, not a crash.
+TEST(JsonRegression, DeepNestingIsAnErrorNotAStackOverflow) {
+  for (size_t depth : {size_t(200), size_t(100000)}) {
+    std::string bombs[] = {std::string(depth, '['),
+                           [&] {
+                             std::string s;
+                             for (size_t i = 0; i < depth; ++i) s += "{\"a\":";
+                             return s;
+                           }()};
+    for (const auto& bomb : bombs) {
+      auto j = Json::Parse(bomb);
+      ASSERT_FALSE(j.ok());
+      EXPECT_EQ(j.status().code(), StatusCode::Corrupt);
+      EXPECT_NE(j.status().message().find("nesting deeper"),
+                std::string::npos)
+          << j.status().ToString();
+    }
+  }
+  // Balanced-but-deep input fails identically (it is the depth, not the
+  // missing closers, that matters).
+  std::string balanced =
+      std::string(100000, '[') + std::string(100000, ']');
+  EXPECT_FALSE(Json::Parse(balanced).ok());
+  // ...while nesting under the cap still parses.
+  std::string fine = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_TRUE(Json::Parse(fine).ok());
+  EXPECT_FALSE(DecodeLine(std::string(100000, '[')).ok());
+}
+
+TEST(ExaBgpFuzz, SeededMutationsAlwaysReturnAResult) {
+  // Mutate valid encoder output plus handwritten-shape lines: the
+  // decoder must always return a Result — tolerant-parse semantics
+  // (paper §3.3.3) means errors, never exceptions or crashes.
+  std::mt19937 rng(433);  // RFC 4271's number, reproducibly
+  std::vector<std::string> seeds = {EncodeLine(MakeUpdate())};
+  {
+    ExaBgpMessage st;
+    st.kind = ExaBgpMessage::Kind::State;
+    st.time = 1500898536;
+    st.peer_address = IpAddress::V4(10, 0, 0, 1);
+    st.peer_asn = 65001;
+    st.state = bgp::FsmState::Established;
+    seeds.push_back(EncodeLine(st));
+  }
+  auto u = [&](size_t lo, size_t hi) {
+    return std::uniform_int_distribution<size_t>(lo, hi)(rng);
+  };
+  size_t ok_lines = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string line = seeds[u(0, seeds.size() - 1)];
+    switch (u(0, 3)) {
+      case 0:  // byte flips (may garble numbers, quotes, braces)
+        for (size_t i = 0, n = u(1, 6); i < n; ++i)
+          line[u(0, line.size() - 1)] ^= char(u(1, 255));
+        break;
+      case 1:  // truncation
+        line.resize(u(0, line.size() - 1));
+        break;
+      case 2: {  // splice random printable garbage
+        std::string junk(u(1, 24), ' ');
+        for (auto& c : junk) c = char(u(0x20, 0x7e));
+        line.insert(u(0, line.size()), junk);
+        break;
+      }
+      default: {  // structural: drop a random brace/bracket/quote
+        size_t at = u(0, line.size() - 1);
+        line.erase(at, 1);
+        break;
+      }
+    }
+    auto decoded = DecodeLine(line);  // must not throw — Result only
+    if (decoded.ok()) ++ok_lines;
+  }
+  // Some mutations keep the line valid (e.g. junk inside a string
+  // value); most must not. Both outcomes occurring proves the fuzz
+  // actually explores the boundary instead of one trivial regime.
+  EXPECT_GT(ok_lines, 0u);
+  EXPECT_LT(ok_lines, 2000u * 9 / 10);
+}
+
+TEST(ExaBgpFuzz, RandomGarbageNeverParses) {
+  std::mt19937 rng(6793);
+  auto u = [&](size_t lo, size_t hi) {
+    return std::uniform_int_distribution<size_t>(lo, hi)(rng);
+  };
+  for (int round = 0; round < 500; ++round) {
+    std::string junk(u(1, 200), '\0');
+    for (auto& c : junk) c = char(u(0, 255));
+    auto decoded = DecodeLine(junk);
+    if (decoded.ok()) {
+      // Astronomically unlikely: random bytes forming a full exabgp
+      // envelope. Treat it as a bug in the decoder's strictness.
+      ADD_FAILURE() << "random garbage parsed on round " << round;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Stress layer for the live ingestion tier (ctest label: stress): a
+// ~50k-record mixed-scenario corpus replayed as BMP wire traffic at
+// high virtual speed into a pool::LiveSource feeding a deadline tenant,
+// while two backfill tenants chew the same archive directly through the
+// same governed pool. The live tenant's decoded stream must carry
+// exactly the corpus's update content (multiset equality — the replay's
+// cross-collector global merge legitimately reorders equal-timestamp
+// records relative to the stream's per-file merge), the backfills must
+// stay byte-identical to the synchronous reference, and the shared
+// ledger must balance to zero.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "broker/archive.hpp"
+#include "pool/live_source.hpp"
+#include "pool/stream_pool.hpp"
+#include "sim/corpus.hpp"
+#include "sim/replay.hpp"
+#include "tests/live_test_util.hpp"
+
+namespace bgps {
+namespace {
+
+namespace fs = std::filesystem;
+using broker::DumpFileMeta;
+using livetest::Drain;
+using livetest::StreamRun;
+
+// Corpus plus single-threaded reference runs, generated once per
+// process (generation and the reference drains dominate the runtime).
+struct Corpus {
+  std::string root;
+  std::vector<DumpFileMeta> all_files;
+  std::vector<DumpFileMeta> updates_files;
+  StreamRun updates_reference;  // direct read of the updates dumps
+};
+
+const Corpus& GetCorpus() {
+  static const Corpus* corpus = [] {
+    auto* c = new Corpus;
+    c->root = (fs::temp_directory_path() /
+               ("bgps_livestress_" + std::to_string(::getpid()))).string();
+
+    sim::CorpusOptions options;
+    options.scenario = "mixed";
+    options.duration = 2 * 3600;
+    options.flaps_per_hour = 2600;  // sized to clear 50k records total
+    options.seed = 7;
+    auto stats = sim::GenerateCorpus(options, c->root);
+    if (!stats.ok()) {
+      ADD_FAILURE() << "corpus generation failed: "
+                    << stats.status().ToString();
+      return c;
+    }
+
+    broker::ArchiveIndex index(c->root);
+    if (!index.Rescan().ok()) {
+      ADD_FAILURE() << "corpus rescan failed";
+      return c;
+    }
+    c->all_files = index.files();
+    for (const auto& f : c->all_files)
+      if (f.type == broker::DumpType::Updates) c->updates_files.push_back(f);
+
+    core::BgpStream stream;
+    livetest::VectorDataInterface di(c->updates_files);
+    stream.SetInterval(0, 4102444800);
+    stream.SetDataInterface(&di);
+    if (!stream.Start().ok()) {
+      ADD_FAILURE() << "reference stream failed to start";
+      return c;
+    }
+    c->updates_reference = Drain(stream);
+    return c;
+  }();
+  return *corpus;
+}
+
+class CorpusCleanup : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(GetCorpus().root, ec);
+  }
+};
+const auto* const kCleanup =
+    ::testing::AddGlobalTestEnvironment(new CorpusCleanup);
+
+TEST(LiveReplayStressTest, CorpusClearsTheFiftyThousandRecordBar) {
+  const Corpus& corpus = GetCorpus();
+  ASSERT_TRUE(corpus.updates_reference.status.ok());
+  EXPECT_GE(corpus.updates_reference.records.size(), 50000u)
+      << "corpus undersized — raise duration or flaps_per_hour";
+  EXPECT_GT(corpus.updates_files.size(), 10u);
+}
+
+TEST(LiveReplayStressTest, LiveTenantPlusTwoBackfillsUnderOneLedger) {
+  const Corpus& corpus = GetCorpus();
+  ASSERT_FALSE(corpus.updates_files.empty());
+  ASSERT_TRUE(corpus.updates_reference.status.ok());
+
+  constexpr size_t kBudget = 512;
+  auto pool = StreamPool::Create({.threads = 4, .record_budget = kBudget});
+  ASSERT_TRUE(pool.ok());
+
+  fs::path spool = fs::path(corpus.root) / ".live-spool";
+  pool::LiveSource::Options sopt;
+  sopt.spool_dir = spool.string();
+  sopt.flush_records = 64;
+  sopt.governor = (*pool)->governor();
+  sopt.executor = (*pool)->executor();
+  auto source = pool::LiveSource::Create(std::move(sopt));
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+
+  auto live = (*pool)->CreateStream(
+      livetest::LiveStreamOptions(),
+      {.weight = 4, .deadline = true, .name = "live",
+       .idle_reclaim_rounds = std::nullopt});
+  live->SetLive(0);
+  live->SetDataInterface((*source)->feed());
+  ASSERT_TRUE(live->Start().ok());
+
+  // Session thread: the whole corpus as BMP wire bytes, paced by a
+  // virtual clock (all the merge and pacing arithmetic, no wall time).
+  // A full governor parks the ingest mid-replay; the draining tenant
+  // unparks it — the stress is that this happens thousands of times.
+  Status replay_status = OkStatus();
+  sim::ReplayStats replay_stats;
+  std::thread session([&] {
+    core::AcceleratedClock clock(4096.0, [](std::chrono::microseconds) {});
+    sim::ReplayOptions ropt;
+    ropt.archive_root = corpus.root;
+    ropt.format = sim::ReplayFormat::Bmp;
+    ropt.clock = &clock;
+    auto stats =
+        sim::ReplayArchive(ropt, [&](Timestamp, const Bytes& payload) {
+          return (*source)->IngestBmp(payload);
+        });
+    if (stats.ok()) {
+      replay_stats = *stats;
+      replay_status = (*source)->Close();
+    } else {
+      replay_status = stats.status();
+      (void)(*source)->Close();
+    }
+  });
+
+  // Two weight-1 backfill tenants drain the same archive directly,
+  // competing for the same ledger and workers the live tenant uses.
+  std::vector<StreamRun> backfills(2);
+  std::vector<std::thread> backfill_threads;
+  for (size_t i = 0; i < backfills.size(); ++i) {
+    backfill_threads.emplace_back([&, i] {
+      auto stream = (*pool)->CreateStream(
+          {}, {.weight = 1, .deadline = false,
+               .name = "backfill-" + std::to_string(i),
+               .idle_reclaim_rounds = std::nullopt});
+      livetest::VectorDataInterface di(corpus.updates_files);
+      stream->SetInterval(0, 4102444800);
+      stream->SetDataInterface(&di);
+      if (!stream->Start().ok()) {
+        backfills[i].status = InvalidArgument("backfill failed to start");
+        return;
+      }
+      backfills[i] = Drain(*stream);
+    });
+  }
+
+  StreamRun live_run = Drain(*live);
+  session.join();
+  for (auto& t : backfill_threads) t.join();
+
+  ASSERT_TRUE(replay_status.ok()) << replay_status.ToString();
+  ASSERT_TRUE(live_run.status.ok()) << live_run.status.ToString();
+  ASSERT_EQ((*source)->stats().corrupt_frames, 0u);
+  EXPECT_EQ((*source)->stats().messages_decoded,
+            replay_stats.records_replayed);
+
+  // Backfills saw the archive as-is: byte-identical to the reference.
+  for (size_t i = 0; i < backfills.size(); ++i) {
+    ASSERT_TRUE(backfills[i].status.ok())
+        << "backfill " << i << ": " << backfills[i].status.ToString();
+    EXPECT_EQ(backfills[i].records, corpus.updates_reference.records)
+        << "backfill " << i;
+    EXPECT_EQ(backfills[i].elems, corpus.updates_reference.elems)
+        << "backfill " << i;
+  }
+
+  // The live tenant carries the same decoded content. The replay's
+  // global cross-collector merge may order equal-timestamp records
+  // differently than the per-file stream merge, so compare as
+  // multisets; the count must match exactly.
+  auto live_elems = live_run.elems;
+  auto ref_elems = corpus.updates_reference.elems;
+  ASSERT_EQ(live_elems.size(), ref_elems.size());
+  std::sort(live_elems.begin(), live_elems.end());
+  std::sort(ref_elems.begin(), ref_elems.end());
+  EXPECT_EQ(live_elems, ref_elems);
+
+  // Bounded memory the whole way: the ledger never exceeded its budget
+  // and balances to zero once everything is torn down.
+  live.reset();
+  source->reset();
+  EXPECT_LE((*pool)->max_records_in_use(), kBudget);
+  EXPECT_EQ((*pool)->records_in_use(), 0u);
+  EXPECT_TRUE((*pool)->governor()->health().ok());
+}
+
+}  // namespace
+}  // namespace bgps

@@ -1,0 +1,194 @@
+// Accelerated-replay determinism: the same (corpus, format) replayed
+// under a virtual clock must emit the identical payload sequence at any
+// speed-up — pacing may only change *when* payloads arrive, never
+// *what* or *in which order*. Plus end-to-end conformance: a corpus
+// replayed as BMP wire traffic through pool::LiveSource must decode to
+// the same elem stream as reading the archive directly.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "broker/archive.hpp"
+#include "pool/live_source.hpp"
+#include "sim/corpus.hpp"
+#include "sim/replay.hpp"
+#include "tests/live_test_util.hpp"
+
+namespace bgps {
+namespace {
+
+namespace fs = std::filesystem;
+using livetest::Drain;
+using livetest::StreamRun;
+
+// One payload as the sink saw it: (virtual timestamp, wire bytes).
+using Emitted = std::vector<std::pair<Timestamp, Bytes>>;
+
+struct ReplayRun {
+  sim::ReplayStats stats;
+  Emitted payloads;
+};
+
+// A single-collector corpus shared (read-only) by every test in the
+// suite: with one collector the archive's update windows do not
+// overlap, so the replay's global merge order and a direct stream's
+// merge order coincide and conformance can demand exact equality.
+class LiveReplayTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    root_ = new fs::path(fs::temp_directory_path() /
+                         ("bgps_replay_" + std::to_string(::getpid())));
+    sim::CorpusOptions opt;
+    opt.scenario = "baseline";
+    opt.rv_collectors = 1;
+    opt.ris_collectors = 0;
+    opt.vps_per_collector = 3;
+    opt.duration = 900;
+    opt.seed = 42;
+    auto stats = sim::GenerateCorpus(opt, root_->string());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_GT(stats->update_messages, 0u);
+  }
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*root_, ec);
+    delete root_;
+    root_ = nullptr;
+  }
+
+  static ReplayRun Replay(sim::ReplayFormat format, double speedup,
+                          core::ReplayClock* clock, size_t max_records = 0) {
+    ReplayRun run;
+    sim::ReplayOptions opt;
+    opt.archive_root = root_->string();
+    opt.format = format;
+    opt.speedup = speedup;
+    opt.clock = clock;
+    opt.max_records = max_records;
+    auto stats = sim::ReplayArchive(opt, [&](Timestamp ts, const Bytes& p) {
+      run.payloads.emplace_back(ts, p);
+      return OkStatus();
+    });
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats.ok()) run.stats = *stats;
+    return run;
+  }
+
+  static fs::path* root_;
+};
+
+fs::path* LiveReplayTest::root_ = nullptr;
+
+TEST_F(LiveReplayTest, BmpSequenceIdenticalAcrossSpeedups) {
+  // No-op sleeper: the pacing arithmetic runs at every speed-up, wall
+  // time passes at none of them.
+  std::vector<ReplayRun> runs;
+  for (double speedup : {1.0, 16.0, 256.0}) {
+    core::AcceleratedClock clock(speedup,
+                                 [](std::chrono::microseconds) {});
+    runs.push_back(Replay(sim::ReplayFormat::Bmp, speedup, &clock));
+  }
+  ASSERT_GT(runs[0].payloads.size(), 100u);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].payloads, runs[0].payloads) << "speedup run " << i;
+    EXPECT_EQ(runs[i].stats.records_replayed, runs[0].stats.records_replayed);
+    EXPECT_EQ(runs[i].stats.updates, runs[0].stats.updates);
+    EXPECT_EQ(runs[i].stats.state_changes, runs[0].stats.state_changes);
+    EXPECT_EQ(runs[i].stats.skipped, runs[0].stats.skipped);
+    EXPECT_EQ(runs[i].stats.first_ts, runs[0].stats.first_ts);
+    EXPECT_EQ(runs[i].stats.last_ts, runs[0].stats.last_ts);
+  }
+  // Timestamps are non-decreasing: the k-way merge emits one global
+  // timeline no matter how the corpus was sharded into files.
+  for (size_t i = 1; i < runs[0].payloads.size(); ++i)
+    EXPECT_LE(runs[0].payloads[i - 1].first, runs[0].payloads[i].first);
+}
+
+TEST_F(LiveReplayTest, ExaBgpSequenceIdenticalAcrossSpeedups) {
+  core::ManualClock clock_a;
+  core::ManualClock clock_b;
+  ReplayRun a = Replay(sim::ReplayFormat::ExaBgp, 1.0, &clock_a);
+  ReplayRun b = Replay(sim::ReplayFormat::ExaBgp, 4096.0, &clock_b);
+  ASSERT_GT(a.payloads.size(), 100u);
+  EXPECT_EQ(a.payloads, b.payloads);
+  // Every payload is a JSON line, newline-free (framing adds it).
+  for (const auto& [ts, p] : a.payloads) {
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.front(), uint8_t('{'));
+    EXPECT_EQ(std::count(p.begin(), p.end(), uint8_t('\n')), 0);
+  }
+}
+
+TEST_F(LiveReplayTest, VirtualClockPacesToTheLastRecord) {
+  core::ManualClock clock;
+  ReplayRun run = Replay(sim::ReplayFormat::Bmp, 1.0, &clock);
+  ASSERT_GT(run.stats.records_replayed, 0u);
+  // The clock slept to every record's due time: after the run its
+  // virtual now sits inside the last record's second.
+  EXPECT_GE(clock.NowMicros(), int64_t(run.stats.last_ts) * 1'000'000);
+  EXPECT_LT(clock.NowMicros(), int64_t(run.stats.last_ts + 1) * 1'000'000);
+  EXPECT_GE(run.stats.last_ts, run.stats.first_ts);
+}
+
+TEST_F(LiveReplayTest, MaxRecordsStopsTheReplayEarly) {
+  core::ManualClock clock;
+  ReplayRun run = Replay(sim::ReplayFormat::Bmp, 1.0, &clock, 10);
+  EXPECT_EQ(run.stats.records_replayed, 10u);
+  EXPECT_EQ(run.payloads.size(), 10u);
+}
+
+TEST_F(LiveReplayTest, ReplayThroughLiveSourceMatchesDirectArchiveRead) {
+  // Live path: replay the corpus as BMP wire bytes into a LiveSource,
+  // then drain its feed.
+  fs::path spool = *root_ / "spool";
+  pool::LiveSource::Options sopt;
+  sopt.spool_dir = spool.string();
+  sopt.flush_records = 256;
+  auto source = pool::LiveSource::Create(std::move(sopt));
+  ASSERT_TRUE(source.ok());
+  core::ManualClock clock;
+  sim::ReplayOptions ropt;
+  ropt.archive_root = root_->string();
+  ropt.clock = &clock;
+  auto stats =
+      sim::ReplayArchive(ropt, [&](Timestamp, const Bytes& payload) {
+        return (*source)->IngestBmp(payload);
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE((*source)->Close().ok());
+  ASSERT_EQ((*source)->stats().corrupt_frames, 0u);
+  EXPECT_EQ((*source)->stats().messages_decoded, stats->records_replayed);
+
+  core::BgpStream live(livetest::LiveStreamOptions());
+  live.SetLive(0);
+  live.SetDataInterface((*source)->feed());
+  ASSERT_TRUE(live.Start().ok());
+  StreamRun live_run = Drain(live);
+  ASSERT_TRUE(live_run.status.ok()) << live_run.status.ToString();
+
+  // Direct path: stream the archive's updates dumps themselves.
+  broker::ArchiveIndex index(root_->string());
+  ASSERT_TRUE(index.Rescan().ok());
+  std::vector<broker::DumpFileMeta> updates;
+  for (const auto& f : index.files())
+    if (f.type == broker::DumpType::Updates) updates.push_back(f);
+  ASSERT_FALSE(updates.empty());
+  livetest::VectorDataInterface di(updates);
+  core::BgpStream direct;
+  direct.SetInterval(0, 4102444800);
+  direct.SetDataInterface(&di);
+  ASSERT_TRUE(direct.Start().ok());
+  StreamRun direct_run = Drain(direct);
+  ASSERT_TRUE(direct_run.status.ok()) << direct_run.status.ToString();
+
+  // Record annotations differ by design (collector "live", micro-dump
+  // boundaries); the decoded elem stream must not.
+  EXPECT_EQ(live_run.elems.size(), direct_run.elems.size());
+  EXPECT_EQ(live_run.elems, direct_run.elems);
+  EXPECT_EQ((*source)->stats().parks, 0u);  // no governor => no parking
+}
+
+}  // namespace
+}  // namespace bgps
